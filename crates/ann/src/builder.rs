@@ -1,0 +1,222 @@
+//! Network construction with randomised initial weights.
+
+use crate::activation::Activation;
+use crate::layer::Layer;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Error building a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildNetworkError {
+    /// No output layer was specified.
+    MissingOutput,
+    /// A layer width of zero was requested.
+    ZeroWidth,
+}
+
+impl fmt::Display for BuildNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetworkError::MissingOutput => f.write_str("no output layer specified"),
+            BuildNetworkError::ZeroWidth => f.write_str("layer width must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildNetworkError {}
+
+/// Builder for feed-forward networks.
+///
+/// # Example
+///
+/// ```
+/// use shmd_ann::builder::NetworkBuilder;
+/// use shmd_ann::Activation;
+///
+/// let net = NetworkBuilder::new(16)
+///     .hidden(8)
+///     .hidden_activation(Activation::SigmoidSymmetric)
+///     .output(1)
+///     .seed(42)
+///     .build()?;
+/// assert_eq!(net.input_dim(), 16);
+/// assert_eq!(net.output_dim(), 1);
+/// # Ok::<(), shmd_ann::BuildNetworkError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    input: usize,
+    hidden: Vec<usize>,
+    output: Option<usize>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with `input` features.
+    pub fn new(input: usize) -> NetworkBuilder {
+        NetworkBuilder {
+            input,
+            hidden: Vec::new(),
+            output: None,
+            hidden_activation: Activation::SigmoidSymmetric,
+            output_activation: Activation::Sigmoid,
+            seed: 0,
+        }
+    }
+
+    /// Appends a hidden layer of the given width.
+    #[must_use]
+    pub fn hidden(mut self, width: usize) -> NetworkBuilder {
+        self.hidden.push(width);
+        self
+    }
+
+    /// Sets the output layer width.
+    #[must_use]
+    pub fn output(mut self, width: usize) -> NetworkBuilder {
+        self.output = Some(width);
+        self
+    }
+
+    /// Activation for hidden layers (default: symmetric sigmoid).
+    #[must_use]
+    pub fn hidden_activation(mut self, activation: Activation) -> NetworkBuilder {
+        self.hidden_activation = activation;
+        self
+    }
+
+    /// Activation for the output layer (default: sigmoid).
+    #[must_use]
+    pub fn output_activation(mut self, activation: Activation) -> NetworkBuilder {
+        self.output_activation = activation;
+        self
+    }
+
+    /// Seed for weight initialisation (default 0; builds are deterministic
+    /// per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> NetworkBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network with Xavier-uniform initial weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildNetworkError::MissingOutput`] if [`NetworkBuilder::output`]
+    /// was never called, or [`BuildNetworkError::ZeroWidth`] if any layer
+    /// width is zero.
+    pub fn build(self) -> Result<Network, BuildNetworkError> {
+        let output = self.output.ok_or(BuildNetworkError::MissingOutput)?;
+        if self.input == 0 || output == 0 || self.hidden.contains(&0) {
+            return Err(BuildNetworkError::ZeroWidth);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dims = vec![self.input];
+        dims.extend(&self.hidden);
+        dims.push(output);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for (idx, pair) in dims.windows(2).enumerate() {
+            let (fan_in, fan_out) = (pair[0], pair[1]);
+            let activation = if idx == dims.len() - 2 {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            let mut layer = Layer::zeros(fan_in, fan_out, activation);
+            let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+            for w in layer.weights_mut() {
+                *w = rng.gen_range(-bound..bound) as f32;
+            }
+            layers.push(layer);
+        }
+        Ok(Network::from_layers(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_topology() {
+        let net = NetworkBuilder::new(8)
+            .hidden(4)
+            .hidden(3)
+            .output(2)
+            .build()
+            .expect("valid");
+        let dims: Vec<(usize, usize)> = net
+            .layers()
+            .iter()
+            .map(|l| (l.in_dim(), l.out_dim()))
+            .collect();
+        assert_eq!(dims, vec![(8, 4), (4, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn missing_output_is_error() {
+        assert_eq!(
+            NetworkBuilder::new(4).hidden(2).build().unwrap_err(),
+            BuildNetworkError::MissingOutput
+        );
+    }
+
+    #[test]
+    fn zero_width_is_error() {
+        assert_eq!(
+            NetworkBuilder::new(4).hidden(0).output(1).build().unwrap_err(),
+            BuildNetworkError::ZeroWidth
+        );
+        assert_eq!(
+            NetworkBuilder::new(0).output(1).build().unwrap_err(),
+            BuildNetworkError::ZeroWidth
+        );
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = NetworkBuilder::new(4).hidden(4).output(1).seed(9).build().unwrap();
+        let b = NetworkBuilder::new(4).hidden(4).output(1).seed(9).build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NetworkBuilder::new(4).hidden(4).output(1).seed(1).build().unwrap();
+        let b = NetworkBuilder::new(4).hidden(4).output(1).seed(2).build().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_activation_is_applied() {
+        let net = NetworkBuilder::new(2)
+            .output(1)
+            .output_activation(Activation::Linear)
+            .build()
+            .unwrap();
+        assert_eq!(net.layers()[0].activation(), Activation::Linear);
+    }
+
+    #[test]
+    fn weights_are_within_xavier_bound() {
+        let net = NetworkBuilder::new(10).hidden(10).output(1).seed(3).build().unwrap();
+        for layer in net.layers() {
+            let bound = (6.0 / (layer.in_dim() + layer.out_dim()) as f64).sqrt() as f32;
+            for &w in layer.weights() {
+                assert!(w.abs() <= bound + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        assert!(!BuildNetworkError::MissingOutput.to_string().is_empty());
+        assert!(!BuildNetworkError::ZeroWidth.to_string().is_empty());
+    }
+}

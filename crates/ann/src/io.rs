@@ -1,0 +1,383 @@
+//! Saving and loading networks in a FANN-like text format.
+//!
+//! FANN persists networks as self-describing text (`.net` files); deployed
+//! HMDs ship as such model files. This module provides an equivalent
+//! format so trained detectors can be stored, versioned, and loaded without
+//! any non-text tooling:
+//!
+//! ```text
+//! SHMD-ANN 1
+//! layers 2
+//! layer 16 12 sigmoid_symmetric
+//! 0.125 -0.5 ... (out*(in+1) weights, row-major, bias last)
+//! layer 12 1 sigmoid
+//! ...
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::Layer;
+use crate::network::Network;
+use std::fmt;
+use std::io::{BufReader, Read, Write};
+
+/// Magic header of the format.
+const MAGIC: &str = "SHMD-ANN";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Largest accepted layer weight count (DoS guard for untrusted files).
+const MAX_LAYER_WEIGHTS: usize = 16 << 20;
+
+/// Error parsing a serialized network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseNetworkError {
+    /// Missing or wrong magic/version header.
+    BadHeader(String),
+    /// A structural line did not match the expected grammar.
+    BadStructure(String),
+    /// A weight value failed to parse.
+    BadWeight(String),
+    /// The declared and actual layer/weight counts disagree.
+    CountMismatch(String),
+    /// Unknown activation name.
+    UnknownActivation(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetworkError::BadHeader(s) => write!(f, "bad header: {s}"),
+            ParseNetworkError::BadStructure(s) => write!(f, "bad structure: {s}"),
+            ParseNetworkError::BadWeight(s) => write!(f, "bad weight: {s}"),
+            ParseNetworkError::CountMismatch(s) => write!(f, "count mismatch: {s}"),
+            ParseNetworkError::UnknownActivation(s) => write!(f, "unknown activation: {s}"),
+            ParseNetworkError::Io(s) => write!(f, "io error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNetworkError {}
+
+fn activation_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Linear => "linear",
+        Activation::Sigmoid => "sigmoid",
+        Activation::SigmoidSymmetric => "sigmoid_symmetric",
+        Activation::Relu => "relu",
+    }
+}
+
+fn activation_from_name(name: &str) -> Result<Activation, ParseNetworkError> {
+    match name {
+        "linear" => Ok(Activation::Linear),
+        "sigmoid" => Ok(Activation::Sigmoid),
+        "sigmoid_symmetric" => Ok(Activation::SigmoidSymmetric),
+        "relu" => Ok(Activation::Relu),
+        other => Err(ParseNetworkError::UnknownActivation(other.to_string())),
+    }
+}
+
+/// Serializes a network to the text format.
+pub fn to_text(network: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{MAGIC} {VERSION}\n"));
+    out.push_str(&format!("layers {}\n", network.layers().len()));
+    for layer in network.layers() {
+        out.push_str(&format!(
+            "layer {} {} {}\n",
+            layer.in_dim(),
+            layer.out_dim(),
+            activation_name(layer.activation())
+        ));
+        let weights: Vec<String> = layer.weights().iter().map(|w| format!("{w:e}")).collect();
+        out.push_str(&weights.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a network to any [`Write`] (pass `&mut file` to keep the file).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save<W: Write>(network: &Network, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(to_text(network).as_bytes())
+}
+
+/// Parses a network from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] describing the first problem found.
+pub fn from_text(text: &str) -> Result<Network, ParseNetworkError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseNetworkError::BadHeader("empty input".to_string()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(ParseNetworkError::BadHeader(header.to_string()));
+    }
+    let version: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParseNetworkError::BadHeader(header.to_string()))?;
+    if version != VERSION {
+        return Err(ParseNetworkError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let count_line = lines
+        .next()
+        .ok_or_else(|| ParseNetworkError::BadStructure("missing layers line".to_string()))?;
+    let layer_count: usize = count_line
+        .strip_prefix("layers ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| ParseNetworkError::BadStructure(count_line.to_string()))?;
+    if layer_count == 0 {
+        return Err(ParseNetworkError::CountMismatch(
+            "a network needs at least one layer".to_string(),
+        ));
+    }
+
+    let mut layers = Vec::with_capacity(layer_count);
+    for idx in 0..layer_count {
+        let decl = lines.next().ok_or_else(|| {
+            ParseNetworkError::CountMismatch(format!("expected layer {idx}, found end of input"))
+        })?;
+        let mut parts = decl.split_whitespace();
+        if parts.next() != Some("layer") {
+            return Err(ParseNetworkError::BadStructure(decl.to_string()));
+        }
+        let in_dim: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseNetworkError::BadStructure(decl.to_string()))?;
+        let out_dim: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseNetworkError::BadStructure(decl.to_string()))?;
+        let activation = activation_from_name(
+            parts
+                .next()
+                .ok_or_else(|| ParseNetworkError::BadStructure(decl.to_string()))?,
+        )?;
+        if in_dim == 0 || out_dim == 0 {
+            return Err(ParseNetworkError::BadStructure(format!(
+                "layer {idx} has a zero dimension"
+            )));
+        }
+        if in_dim
+            .checked_add(1)
+            .and_then(|w| w.checked_mul(out_dim))
+            .is_none_or(|n| n > MAX_LAYER_WEIGHTS)
+        {
+            return Err(ParseNetworkError::BadStructure(format!(
+                "layer {idx} declares an implausibly large weight count"
+            )));
+        }
+
+        let weights_line = lines.next().ok_or_else(|| {
+            ParseNetworkError::CountMismatch(format!("layer {idx} is missing its weights"))
+        })?;
+        let mut layer = Layer::zeros(in_dim, out_dim, activation);
+        let expected = layer.len();
+        let mut parsed = 0usize;
+        for (slot, token) in layer.weights_mut().iter_mut().zip(weights_line.split_whitespace())
+        {
+            *slot = token
+                .parse()
+                .map_err(|_| ParseNetworkError::BadWeight(token.to_string()))?;
+            parsed += 1;
+        }
+        let actual_tokens = weights_line.split_whitespace().count();
+        if parsed != expected || actual_tokens != expected {
+            return Err(ParseNetworkError::CountMismatch(format!(
+                "layer {idx}: expected {expected} weights, found {actual_tokens}"
+            )));
+        }
+        layers.push(layer);
+    }
+
+    // Validate chaining before handing to Network (which would panic).
+    for pair in layers.windows(2) {
+        if pair[0].out_dim() != pair[1].in_dim() {
+            return Err(ParseNetworkError::CountMismatch(format!(
+                "layer widths do not chain: {} -> {}",
+                pair[0].out_dim(),
+                pair[1].in_dim()
+            )));
+        }
+    }
+    Ok(Network::from_layers(layers))
+}
+
+/// Reads a network from any [`Read`] (pass `&mut file` to keep the file).
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError::Io`] for reader failures and parse errors
+/// otherwise.
+pub fn load<R: Read>(reader: R) -> Result<Network, ParseNetworkError> {
+    let mut text = String::new();
+    BufReader::new(reader)
+        .read_to_string(&mut text)
+        .map_err(|e| ParseNetworkError::Io(e.to_string()))?;
+    from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn sample() -> Network {
+        NetworkBuilder::new(5)
+            .hidden(3)
+            .output(1)
+            .seed(17)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn round_trip_preserves_the_network() {
+        let net = sample();
+        let text = to_text(&net);
+        let loaded = from_text(&text).expect("parses");
+        assert_eq!(net, loaded);
+    }
+
+    #[test]
+    fn round_trip_preserves_inference() {
+        let net = sample();
+        let loaded = from_text(&to_text(&net)).expect("parses");
+        let input = [0.1, -0.2, 0.3, 0.4, -0.5];
+        assert_eq!(net.forward(&input), loaded.forward(&input));
+    }
+
+    #[test]
+    fn save_and_load_through_io() {
+        let net = sample();
+        let mut buffer = Vec::new();
+        save(&net, &mut buffer).expect("writes");
+        let loaded = load(buffer.as_slice()).expect("reads");
+        assert_eq!(net, loaded);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(matches!(
+            from_text("FANN_FLO_2.1\n"),
+            Err(ParseNetworkError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        assert!(matches!(
+            from_text("SHMD-ANN 99\nlayers 1\n"),
+            Err(ParseNetworkError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(from_text(""), Err(ParseNetworkError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_zero_layers() {
+        assert!(matches!(
+            from_text("SHMD-ANN 1\nlayers 0\n"),
+            Err(ParseNetworkError::CountMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_weights() {
+        let net = sample();
+        let text = to_text(&net);
+        // Drop the last weight token.
+        let truncated = text.trim_end().rsplit_once(' ').expect("has weights").0;
+        assert!(matches!(
+            from_text(truncated),
+            Err(ParseNetworkError::CountMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_weights() {
+        let net = sample();
+        let text = to_text(&net).replace(char::is_numeric, "x");
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_activation() {
+        let text = "SHMD-ANN 1\nlayers 1\nlayer 1 1 softmax\n0 0\n";
+        assert_eq!(
+            from_text(text),
+            Err(ParseNetworkError::UnknownActivation("softmax".to_string()))
+        );
+    }
+
+    #[test]
+    fn rejects_unchained_layers() {
+        let text = "SHMD-ANN 1\nlayers 2\nlayer 2 3 sigmoid\n0 0 0 0 0 0 0 0 0\nlayer 4 1 sigmoid\n0 0 0 0 0\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseNetworkError::CountMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            ParseNetworkError::BadHeader("h".into()),
+            ParseNetworkError::BadStructure("s".into()),
+            ParseNetworkError::BadWeight("w".into()),
+            ParseNetworkError::CountMismatch("c".into()),
+            ParseNetworkError::UnknownActivation("a".into()),
+            ParseNetworkError::Io("i".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_input_never_panics(text in proptest::string::string_regex(".{0,200}").unwrap()) {
+            let _ = from_text(&text); // must return Err, never panic
+        }
+
+        #[test]
+        fn mangled_valid_files_never_panic(cut in 0usize..400) {
+            let net = sample();
+            let text = to_text(&net);
+            let truncated: String = text.chars().take(cut).collect();
+            let _ = from_text(&truncated);
+        }
+    }
+
+    #[test]
+    fn oversized_declared_layers_are_rejected_without_allocating() {
+        let text = "SHMD-ANN 1\nlayers 1\nlayer 99999999 99999999 sigmoid\n0\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseNetworkError::BadStructure(_))
+        ));
+    }
+
+    #[test]
+    fn weights_survive_with_full_precision() {
+        let mut net = sample();
+        net.layers_mut()[0].weights_mut()[0] = f32::MIN_POSITIVE;
+        net.layers_mut()[0].weights_mut()[1] = -1.234_567_9e-12;
+        let loaded = from_text(&to_text(&net)).expect("parses");
+        assert_eq!(net, loaded, "scientific notation keeps full f32 precision");
+    }
+}

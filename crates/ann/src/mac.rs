@@ -1,0 +1,147 @@
+//! MAC datapath adapters.
+//!
+//! The quantised inference path of [`crate::network::QuantizedNetwork`]
+//! accepts any [`ProductCorruptor`]; this module adds adapters that are
+//! useful around it:
+//!
+//! - [`CountingMac`] wraps another corruptor and counts multiplications
+//!   (used by the power/latency models, which charge per MAC);
+//! - [`NoisyMac`] emulates the *software* noise-injection alternative the
+//!   paper compares against (§VIII "Comparison with TRNG"): additive noise
+//!   drawn from an external RNG after every MAC, which costs an RNG query
+//!   per multiplication instead of being free like undervolting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shmd_volt::fault::ProductCorruptor;
+
+/// Wraps a corruptor and counts how many products pass through.
+#[derive(Clone, Debug)]
+pub struct CountingMac<C> {
+    inner: C,
+    count: u64,
+}
+
+impl<C: ProductCorruptor> CountingMac<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> CountingMac<C> {
+        CountingMac { inner, count: 0 }
+    }
+
+    /// Number of multiplications observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets the counter.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// Returns the wrapped corruptor.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ProductCorruptor> ProductCorruptor for CountingMac<C> {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        self.count += 1;
+        self.inner.corrupt(product)
+    }
+}
+
+/// Software noise injection: adds bounded uniform noise to every product,
+/// querying an RNG per MAC.
+///
+/// This models the randomisation-defense baseline that needs a TRNG/PRNG
+/// query for each of the `n` MAC operations — the source of the ≈62×/4×
+/// performance overheads in the paper's §VIII comparison. The noise
+/// amplitude is expressed in Q32.32 product LSBs.
+#[derive(Clone, Debug)]
+pub struct NoisyMac {
+    rng: StdRng,
+    amplitude: i64,
+    queries: u64,
+}
+
+impl NoisyMac {
+    /// Creates a noisy MAC with the given noise amplitude (Q32.32 units).
+    pub fn new(amplitude: i64, seed: u64) -> NoisyMac {
+        NoisyMac {
+            rng: StdRng::seed_from_u64(seed),
+            amplitude: amplitude.abs(),
+            queries: 0,
+        }
+    }
+
+    /// RNG queries issued so far (one per MAC).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+impl ProductCorruptor for NoisyMac {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        self.queries += 1;
+        if self.amplitude == 0 {
+            return product;
+        }
+        let noise = self.rng.gen_range(-self.amplitude..=self.amplitude);
+        product.saturating_add(noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_volt::fault::ExactDatapath;
+
+    #[test]
+    fn counting_mac_counts() {
+        let mut mac = CountingMac::new(ExactDatapath);
+        for i in 0..17 {
+            assert_eq!(mac.corrupt(i), i);
+        }
+        assert_eq!(mac.count(), 17);
+        mac.reset();
+        assert_eq!(mac.count(), 0);
+    }
+
+    #[test]
+    fn noisy_mac_queries_once_per_mac() {
+        let mut mac = NoisyMac::new(1 << 20, 4);
+        for _ in 0..100 {
+            mac.corrupt(0);
+        }
+        assert_eq!(mac.queries(), 100);
+    }
+
+    #[test]
+    fn noisy_mac_noise_is_bounded() {
+        let amp = 1 << 24;
+        let mut mac = NoisyMac::new(amp, 5);
+        for _ in 0..1000 {
+            let out = mac.corrupt(1 << 32);
+            assert!((out - (1i64 << 32)).abs() <= amp);
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_exact() {
+        let mut mac = NoisyMac::new(0, 6);
+        assert_eq!(mac.corrupt(12345), 12345);
+    }
+
+    #[test]
+    fn counting_mac_composes_with_network() {
+        use crate::builder::NetworkBuilder;
+        let net = NetworkBuilder::new(3).hidden(5).output(1).seed(1).build().unwrap();
+        let q = net.quantized();
+        let mut mac = CountingMac::new(ExactDatapath);
+        q.infer(&[0.1, 0.2, 0.3], &mut mac);
+        assert_eq!(mac.count() as usize, q.mac_count());
+    }
+}

@@ -1,0 +1,323 @@
+//! Feed-forward networks: the float training path and the quantised,
+//! fault-injectable inference path.
+
+use crate::activation::Activation;
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+use shmd_fixed::{Accumulator, Q16};
+use shmd_volt::fault::ProductCorruptor;
+
+/// A feed-forward multi-layer perceptron (float weights).
+///
+/// Build one with [`crate::builder::NetworkBuilder`]; train it with the
+/// algorithms in [`crate::train`]; deploy it on the fault-injectable
+/// datapath via [`Network::quantized`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Assembles a network from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn from_layers(layers: Vec<Layer>) -> Network {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "consecutive layer dimensions must match"
+            );
+        }
+        Network { layers }
+    }
+
+    /// The layers, input-side first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by trainers).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total number of weights (including biases).
+    pub fn num_weights(&self) -> usize {
+        self.layers.iter().map(Layer::len).sum()
+    }
+
+    /// Number of multiply–accumulate operations per inference.
+    pub fn mac_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.in_dim() * l.out_dim())
+            .sum()
+    }
+
+    /// Exact floating-point forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`Network::input_dim`].
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass that records every layer's activations (input first,
+    /// final output last). Used by backpropagation.
+    pub fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Quantises the network to the Q16.16 datapath.
+    pub fn quantized(&self) -> QuantizedNetwork {
+        QuantizedNetwork {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| QuantizedLayer {
+                    in_dim: l.in_dim(),
+                    out_dim: l.out_dim(),
+                    activation: l.activation(),
+                    weights: l.weights().iter().map(|&w| Q16::from_f32(w)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A layer with Q16.16 weights.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct QuantizedLayer {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    weights: Vec<Q16>,
+}
+
+impl QuantizedLayer {
+    fn forward(&self, input: &[Q16], corruptor: &mut dyn ProductCorruptor) -> Vec<Q16> {
+        let stride = self.in_dim + 1;
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * stride..(o + 1) * stride];
+            let mut acc = Accumulator::new();
+            for (w, x) in row[..self.in_dim].iter().zip(input) {
+                acc.mac(*w, *x, |p| corruptor.corrupt(p));
+            }
+            acc.add_q16(row[self.in_dim]);
+            // Activations are computed by LUT/dedicated logic off the
+            // multiplier's critical path, so they evaluate exactly.
+            let activated = self.activation.apply(acc.to_q16().to_f64());
+            out.push(Q16::from_f64(activated));
+        }
+        out
+    }
+}
+
+/// A network quantised to Q16.16 whose multiplications run through a
+/// [`ProductCorruptor`] — the deployment form of a (Stochastic-)HMD.
+///
+/// With [`shmd_volt::fault::ExactDatapath`] this reproduces the float
+/// network up to quantisation error; with a
+/// [`shmd_volt::fault::FaultInjector`] it becomes the undervolted detector.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedNetwork {
+    layers: Vec<QuantizedLayer>,
+}
+
+impl QuantizedNetwork {
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Number of multiply–accumulate operations per inference.
+    pub fn mac_count(&self) -> usize {
+        self.layers.iter().map(|l| l.in_dim * l.out_dim).sum()
+    }
+
+    /// Approximate model size in bytes when stored as Q16.16 weights.
+    pub fn size_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() * 4).sum()
+    }
+
+    /// Forward pass over Q16.16 inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn forward(&self, input: &[Q16], corruptor: &mut dyn ProductCorruptor) -> Vec<Q16> {
+        assert_eq!(input.len(), self.input_dim(), "input width mismatch");
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x, corruptor);
+        }
+        x
+    }
+
+    /// Convenience: quantises an `f32` input, runs the forward pass, and
+    /// returns `f32` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn infer(&self, input: &[f32], corruptor: &mut dyn ProductCorruptor) -> Vec<f32> {
+        let q: Vec<Q16> = input.iter().map(|&v| Q16::from_f32(v)).collect();
+        self.forward(&q, corruptor)
+            .into_iter()
+            .map(Q16::to_f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use proptest::prelude::*;
+    use shmd_volt::fault::{ExactDatapath, FaultInjector, FaultModel};
+
+    fn small_net(seed: u64) -> Network {
+        NetworkBuilder::new(4)
+            .hidden(6)
+            .output(1)
+            .seed(seed)
+            .build()
+            .expect("valid network")
+    }
+
+    #[test]
+    fn dims_and_counts() {
+        let net = small_net(1);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.mac_count(), 4 * 6 + 6);
+        assert_eq!(net.num_weights(), 6 * 5 + 7);
+    }
+
+    #[test]
+    fn forward_trace_matches_forward() {
+        let net = small_net(2);
+        let input = [0.1, -0.2, 0.3, 0.4];
+        let trace = net.forward_trace(&input);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.last().expect("output"), &net.forward(&input));
+    }
+
+    #[test]
+    fn quantized_exact_path_matches_float() {
+        let net = small_net(3);
+        let q = net.quantized();
+        for trial in 0..20 {
+            let input: Vec<f32> = (0..4).map(|i| ((trial * 4 + i) as f32 * 0.07) % 1.0).collect();
+            let float_out = net.forward(&input)[0];
+            let q_out = q.infer(&input, &mut ExactDatapath)[0];
+            assert!(
+                (float_out - q_out).abs() < 1e-2,
+                "float {float_out} vs quantized {q_out}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_path_perturbs_scores() {
+        let net = small_net(4);
+        let q = net.quantized();
+        let input = [0.3, 0.3, 0.3, 0.3];
+        let exact = q.infer(&input, &mut ExactDatapath)[0];
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(1.0).unwrap(), 9);
+        let mut any_different = false;
+        for _ in 0..50 {
+            if (q.infer(&input, &mut inj)[0] - exact).abs() > 1e-4 {
+                any_different = true;
+            }
+        }
+        assert!(any_different, "er = 1 should visibly perturb scores");
+    }
+
+    #[test]
+    fn faulty_scores_vary_across_runs() {
+        // The moving-target property: the same input yields different
+        // scores on different invocations.
+        let net = small_net(5);
+        let q = net.quantized();
+        let input = [0.2, 0.4, 0.6, 0.8];
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.3).unwrap(), 10);
+        let scores: Vec<f32> = (0..100).map(|_| q.infer(&input, &mut inj)[0]).collect();
+        let distinct = scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 2, "only {distinct} distinct scores");
+    }
+
+    #[test]
+    fn zero_error_rate_injector_is_exact() {
+        let net = small_net(6);
+        let q = net.quantized();
+        let input = [0.5, 0.1, -0.3, 0.9];
+        let exact = q.infer(&input, &mut ExactDatapath)[0];
+        let mut inj = FaultInjector::new(FaultModel::exact(), 11);
+        assert_eq!(q.infer(&input, &mut inj)[0], exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive layer dimensions must match")]
+    fn mismatched_layers_panic() {
+        use crate::layer::Layer;
+        let _ = Network::from_layers(vec![
+            Layer::zeros(2, 3, Activation::Sigmoid),
+            Layer::zeros(4, 1, Activation::Sigmoid),
+        ]);
+    }
+
+    #[test]
+    fn size_bytes_counts_weights() {
+        let q = small_net(7).quantized();
+        assert_eq!(q.size_bytes(), (6 * 5 + 7) * 4);
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_output_is_bounded_even_under_faults(
+            seed in any::<u64>(),
+            input in proptest::collection::vec(-1.0f32..1.0, 4)
+        ) {
+            let q = small_net(12).quantized();
+            let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.8).unwrap(), seed);
+            let out = q.infer(&input, &mut inj)[0];
+            prop_assert!((0.0..=1.0).contains(&out), "sigmoid output {out} out of range");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Quantisation-aware fine-tuning.
+//!
+//! The deployed HMD runs in Q16.16, but training happens in `f32`; the
+//! quantisation gap slightly shifts scores near the decision boundary.
+//! Quantisation-aware training (QAT) closes it: after ordinary training, a
+//! few fine-tuning epochs run the *forward* pass through the quantised
+//! datapath (straight-through estimator: gradients flow as if the forward
+//! pass were exact). The paper needs no QAT — its defense explicitly avoids
+//! retraining — but a deployment that wants the last fraction of a percent
+//! of baseline accuracy can apply it before enabling undervolting.
+
+use super::{gradients, TrainData};
+use crate::network::Network;
+use shmd_fixed::Q16;
+
+/// Quantisation-aware fine-tuner (straight-through estimator).
+#[derive(Clone, Debug)]
+pub struct QatTrainer {
+    learning_rate: f64,
+    epochs: usize,
+}
+
+impl QatTrainer {
+    /// A fine-tuner with a deliberately small learning rate (QAT polishes,
+    /// it does not re-learn).
+    pub fn new() -> QatTrainer {
+        QatTrainer {
+            learning_rate: 0.05,
+            epochs: 30,
+        }
+    }
+
+    /// Sets the learning rate.
+    #[must_use]
+    pub fn learning_rate(mut self, lr: f64) -> QatTrainer {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the number of fine-tuning epochs.
+    #[must_use]
+    pub fn epochs(mut self, epochs: usize) -> QatTrainer {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Fine-tunes the network so that its *quantised* weights fit the data:
+    /// each epoch snaps weights to Q16.16, computes gradients at the
+    /// snapped point (straight-through), and applies them to the full-
+    /// precision weights. Returns the quantised-forward MSE after tuning.
+    pub fn fine_tune(&self, net: &mut Network, data: &TrainData) -> f64 {
+        // Keep full-precision "shadow" weights; gradients accumulate there.
+        let mut shadow: Vec<Vec<f32>> = net
+            .layers()
+            .iter()
+            .map(|l| l.weights().to_vec())
+            .collect();
+        for _ in 0..self.epochs {
+            // Snap the working network to the quantised grid.
+            for (layer, sw) in net.layers_mut().iter_mut().zip(&shadow) {
+                for (w, &s) in layer.weights_mut().iter_mut().zip(sw) {
+                    *w = Q16::from_f32(s).to_f32();
+                }
+            }
+            // Batch gradient at the snapped point.
+            let shape: Vec<usize> = net.layers().iter().map(|l| l.len()).collect();
+            let mut batch: Vec<Vec<f64>> = shape.iter().map(|&n| vec![0.0; n]).collect();
+            for (input, target) in data.iter() {
+                let g = gradients(net, input, target);
+                for (acc, gl) in batch.iter_mut().zip(&g) {
+                    for (a, &v) in acc.iter_mut().zip(gl) {
+                        *a += f64::from(v);
+                    }
+                }
+            }
+            let n = data.len() as f64;
+            // Straight-through: apply to the shadow weights.
+            for (sw, gl) in shadow.iter_mut().zip(&batch) {
+                for (s, &g) in sw.iter_mut().zip(gl) {
+                    *s -= (self.learning_rate * g / n) as f32;
+                }
+            }
+        }
+        // Leave the network holding the quantised weights.
+        for (layer, sw) in net.layers_mut().iter_mut().zip(&shadow) {
+            for (w, &s) in layer.weights_mut().iter_mut().zip(sw) {
+                *w = Q16::from_f32(s).to_f32();
+            }
+        }
+        super::mse(net, data)
+    }
+}
+
+impl Default for QatTrainer {
+    fn default() -> QatTrainer {
+        QatTrainer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::train::{mse, RpropTrainer};
+    use shmd_volt::fault::ExactDatapath;
+
+    fn xor_data() -> TrainData {
+        TrainData::new(
+            vec![vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]],
+            vec![vec![0.], vec![1.], vec![1.], vec![0.]],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn qat_leaves_weights_on_the_q16_grid() {
+        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(3).build().unwrap();
+        let data = xor_data();
+        RpropTrainer::new().epochs(400).train(&mut net, &data);
+        QatTrainer::new().epochs(5).fine_tune(&mut net, &data);
+        for layer in net.layers() {
+            for &w in layer.weights() {
+                assert_eq!(
+                    w,
+                    shmd_fixed::Q16::from_f32(w).to_f32(),
+                    "weight {w} is off the Q16.16 grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qat_does_not_destroy_a_trained_network() {
+        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(3).build().unwrap();
+        let data = xor_data();
+        RpropTrainer::new().epochs(600).train(&mut net, &data);
+        let before = mse(&net, &data);
+        let after = QatTrainer::new().fine_tune(&mut net, &data);
+        assert!(after < before + 0.05, "QAT regressed: {before} -> {after}");
+    }
+
+    #[test]
+    fn qat_shrinks_the_quantisation_gap() {
+        let mut plain = NetworkBuilder::new(2).hidden(4).output(1).seed(5).build().unwrap();
+        let data = xor_data();
+        RpropTrainer::new().epochs(600).train(&mut plain, &data);
+        let mut tuned = plain.clone();
+        QatTrainer::new().fine_tune(&mut tuned, &data);
+
+        // Measure quantised-path MSE for both.
+        let q_mse = |net: &Network| {
+            let q = net.quantized();
+            let mut total = 0.0;
+            for (input, target) in data.iter() {
+                let y = f64::from(q.infer(input, &mut ExactDatapath)[0]);
+                total += (y - f64::from(target[0])).powi(2);
+            }
+            total / data.len() as f64
+        };
+        assert!(
+            q_mse(&tuned) <= q_mse(&plain) + 1e-6,
+            "QAT should not widen the quantised-path error: {} vs {}",
+            q_mse(&tuned),
+            q_mse(&plain)
+        );
+    }
+}

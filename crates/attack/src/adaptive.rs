@@ -1,0 +1,216 @@
+//! Adaptive attackers: countermeasures a stronger adversary might try
+//! against a Stochastic-HMD, and what they cost.
+//!
+//! The paper's threat model gives the attacker unlimited black-box query
+//! access, so the obvious adaptation against a *stochastic* oracle is to
+//! query each sample several times and majority-vote the labels away from
+//! the noise before training the proxy. This module implements that
+//! denoising attacker so the defense can be evaluated against it — and so
+//! the defender can quantify the attacker's extra query cost, which is the
+//! practical deterrent (each query is an execution of the sample on the
+//! victim machine).
+
+use crate::reverse::{Proxy, ReverseConfig, ReverseError};
+use crate::ProxyKind;
+use shmd_ann::builder::NetworkBuilder;
+use shmd_ann::train::{RpropTrainer, TrainData};
+use shmd_ml::logistic::LogisticRegression;
+use shmd_ml::forest::RandomForest;
+use shmd_ml::tree::DecisionTree;
+use shmd_workload::dataset::Dataset;
+use stochastic_hmd::detector::Detector;
+
+/// Reverse-engineers a victim with majority-voted labels.
+///
+/// Each training sample is queried `queries_per_sample` times; the label is
+/// the majority verdict. Against a deterministic victim this reduces to the
+/// plain attack; against a stochastic victim it filters per-query label
+/// noise at a linear cost in queries.
+///
+/// # Errors
+///
+/// Returns [`ReverseError`] exactly like
+/// [`crate::reverse::reverse_engineer`].
+pub fn denoised_reverse_engineer(
+    victim: &mut dyn Detector,
+    dataset: &Dataset,
+    query_indices: &[usize],
+    config: &ReverseConfig,
+    queries_per_sample: usize,
+) -> Result<Proxy, ReverseError> {
+    if query_indices.is_empty() {
+        return Err(ReverseError::NoQueries);
+    }
+    let k = queries_per_sample.max(1);
+    let mut inputs = Vec::with_capacity(query_indices.len());
+    let mut labels = Vec::with_capacity(query_indices.len());
+    for &i in query_indices {
+        let trace = dataset.trace(i);
+        let mut features = Vec::new();
+        for spec in &config.specs {
+            features.extend(spec.extract(trace));
+        }
+        inputs.push(features);
+        let positives = (0..k)
+            .filter(|_| victim.classify(trace).is_malware())
+            .count();
+        labels.push(2 * positives > k);
+    }
+    if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+        return Err(ReverseError::DegenerateOracle);
+    }
+    Proxy::fit(config, inputs, labels)
+}
+
+/// Total victim queries the denoising attack issues.
+pub fn query_cost(samples: usize, queries_per_sample: usize) -> usize {
+    samples * queries_per_sample.max(1)
+}
+
+impl Proxy {
+    /// Fits a proxy of `config.proxy`'s family on explicit features and
+    /// labels (shared by the plain and denoised attacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReverseError::Fit`] / [`ReverseError::DegenerateOracle`]
+    /// from the underlying model fit.
+    pub(crate) fn fit(
+        config: &ReverseConfig,
+        inputs: Vec<Vec<f32>>,
+        labels: Vec<bool>,
+    ) -> Result<Proxy, ReverseError> {
+        let model = match config.proxy {
+            ProxyKind::Mlp => {
+                let targets: Vec<Vec<f32>> = labels
+                    .iter()
+                    .map(|&m| vec![if m { 1.0 } else { 0.0 }])
+                    .collect();
+                let width = inputs[0].len();
+                let data = TrainData::new(inputs, targets)
+                    .map_err(|e| ReverseError::Fit(e.to_string()))?;
+                let mut net = NetworkBuilder::new(width)
+                    .hidden(config.mlp_hidden)
+                    .output(1)
+                    .seed(config.seed)
+                    .build()
+                    .map_err(|e| ReverseError::Fit(e.to_string()))?;
+                RpropTrainer::new()
+                    .epochs(config.mlp_epochs)
+                    .train(&mut net, &data);
+                crate::reverse::ProxyModel::Mlp(net)
+            }
+            ProxyKind::LogisticRegression => crate::reverse::ProxyModel::Lr(
+                LogisticRegression::fit(&inputs, &labels, &config.logistic)?,
+            ),
+            ProxyKind::DecisionTree => {
+                crate::reverse::ProxyModel::Dt(DecisionTree::fit(&inputs, &labels, &config.tree)?)
+            }
+            ProxyKind::RandomForest => crate::reverse::ProxyModel::Rf(RandomForest::fit(
+                &inputs,
+                &labels,
+                &config.forest,
+            )?),
+        };
+        Ok(Proxy::from_parts(config.proxy, config.specs.clone(), model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reverse::{effectiveness, reverse_engineer};
+    use shmd_workload::dataset::DatasetConfig;
+    use shmd_workload::features::FeatureSpec;
+    use stochastic_hmd::stochastic::StochasticHmd;
+    use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+
+    fn setup() -> (Dataset, stochastic_hmd::BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(150), 77);
+        let split = dataset.three_fold_split(0);
+        let victim = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("trains");
+        (dataset, victim)
+    }
+
+    #[test]
+    fn denoising_equals_plain_attack_on_deterministic_victims() {
+        let (dataset, victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
+        let mut v1 = victim.clone();
+        let plain = reverse_engineer(&mut v1, &dataset, split.attacker_training(), &cfg)
+            .expect("plain RE");
+        let mut v2 = victim.clone();
+        let denoised =
+            denoised_reverse_engineer(&mut v2, &dataset, split.attacker_training(), &cfg, 5)
+                .expect("denoised RE");
+        for &i in split.testing().iter().take(20) {
+            assert_eq!(
+                plain.score_trace(dataset.trace(i)),
+                denoised.score_trace(dataset.trace(i)),
+                "deterministic oracle: voting must change nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn denoising_recovers_effectiveness_against_stochastic_victims() {
+        // The adaptive-attacker finding: majority voting claws back part of
+        // the reverse-engineering resistance — at k× the query cost.
+        let (dataset, victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let cfg = ReverseConfig::new(ProxyKind::Mlp);
+        let trials = 3;
+        let (mut plain_sum, mut denoised_sum) = (0.0, 0.0);
+        for seed in 0..trials {
+            let mut sto = StochasticHmd::from_baseline(&victim, 0.4, seed).expect("valid");
+            let plain = reverse_engineer(&mut sto, &dataset, split.attacker_training(), &cfg)
+                .expect("plain RE");
+            plain_sum += effectiveness(&plain, &mut sto, &dataset, split.testing());
+
+            let mut sto = StochasticHmd::from_baseline(&victim, 0.4, seed).expect("valid");
+            let denoised = denoised_reverse_engineer(
+                &mut sto,
+                &dataset,
+                split.attacker_training(),
+                &cfg,
+                9,
+            )
+            .expect("denoised RE");
+            denoised_sum += effectiveness(&denoised, &mut sto, &dataset, split.testing());
+        }
+        assert!(
+            denoised_sum >= plain_sum - 0.05,
+            "voting should not hurt the attacker: {denoised_sum} vs {plain_sum}"
+        );
+    }
+
+    #[test]
+    fn query_cost_is_linear() {
+        assert_eq!(query_cost(1200, 9), 10_800);
+        assert_eq!(query_cost(100, 0), 100, "at least one query per sample");
+    }
+
+    #[test]
+    fn empty_queries_error() {
+        let (dataset, victim) = setup();
+        let mut v = victim.clone();
+        assert_eq!(
+            denoised_reverse_engineer(
+                &mut v,
+                &dataset,
+                &[],
+                &ReverseConfig::new(ProxyKind::Mlp),
+                3
+            )
+            .unwrap_err(),
+            ReverseError::NoQueries
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Reverse engineering: train a proxy on the victim's black-box labels.
+
+use crate::ProxyKind;
+use shmd_ann::network::Network;
+use shmd_ml::logistic::{LogisticConfig, LogisticRegression};
+use shmd_ml::forest::{ForestConfig, RandomForest};
+use shmd_ml::tree::{DecisionTree, TreeConfig};
+use shmd_ml::FitError;
+use shmd_workload::dataset::Dataset;
+use shmd_workload::features::FeatureSpec;
+use shmd_workload::trace::Trace;
+use std::fmt;
+use stochastic_hmd::detector::Detector;
+
+/// Error reverse-engineering a victim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReverseError {
+    /// No query indices were supplied.
+    NoQueries,
+    /// The victim answered every query with the same label, so no
+    /// discriminative proxy can be fitted.
+    DegenerateOracle,
+    /// Underlying model fitting failed.
+    Fit(String),
+}
+
+impl fmt::Display for ReverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReverseError::NoQueries => f.write_str("no query samples supplied"),
+            ReverseError::DegenerateOracle => {
+                f.write_str("victim labelled every query identically")
+            }
+            ReverseError::Fit(msg) => write!(f, "proxy fitting failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReverseError {}
+
+impl From<FitError> for ReverseError {
+    fn from(e: FitError) -> ReverseError {
+        match e {
+            FitError::SingleClass => ReverseError::DegenerateOracle,
+            other => ReverseError::Fit(other.to_string()),
+        }
+    }
+}
+
+/// Reverse-engineering configuration.
+#[derive(Clone, Debug)]
+pub struct ReverseConfig {
+    /// Proxy model family.
+    pub proxy: ProxyKind,
+    /// Feature vectors the attacker computes from each trace
+    /// (concatenated). Against an RHMD the paper uses "all the feature
+    /// vectors used in the construction".
+    pub specs: Vec<FeatureSpec>,
+    /// MLP hidden width.
+    pub mlp_hidden: usize,
+    /// MLP training epochs.
+    pub mlp_epochs: usize,
+    /// Logistic-regression hyper-parameters.
+    pub logistic: LogisticConfig,
+    /// Decision-tree hyper-parameters.
+    pub tree: TreeConfig,
+    /// Random-forest hyper-parameters (the extension proxy).
+    pub forest: ForestConfig,
+    /// Weight-initialisation seed for the MLP proxy.
+    pub seed: u64,
+}
+
+impl ReverseConfig {
+    /// A configuration matching the paper's attacker: the given proxy kind
+    /// over the primary frequency feature vector.
+    pub fn new(proxy: ProxyKind) -> ReverseConfig {
+        ReverseConfig {
+            proxy,
+            specs: vec![FeatureSpec::frequency()],
+            mlp_hidden: 8,
+            mlp_epochs: 100,
+            logistic: LogisticConfig::default(),
+            tree: TreeConfig::default(),
+            forest: ForestConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Attacks with a custom set of feature vectors (for RHMD victims).
+    #[must_use]
+    pub fn with_specs(mut self, specs: Vec<FeatureSpec>) -> ReverseConfig {
+        self.specs = specs;
+        self
+    }
+
+    /// Sets the MLP initialisation seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ReverseConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+pub(crate) enum ProxyModel {
+    Mlp(Network),
+    Lr(LogisticRegression),
+    Dt(DecisionTree),
+    Rf(RandomForest),
+}
+
+impl fmt::Debug for ProxyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ProxyModel::Mlp(_) => "Mlp",
+            ProxyModel::Lr(_) => "Lr",
+            ProxyModel::Dt(_) => "Dt",
+            ProxyModel::Rf(_) => "Rf",
+        };
+        write!(f, "ProxyModel::{name}")
+    }
+}
+
+/// A reverse-engineered proxy of the victim HMD.
+#[derive(Debug)]
+pub struct Proxy {
+    kind: ProxyKind,
+    specs: Vec<FeatureSpec>,
+    model: ProxyModel,
+}
+
+impl Proxy {
+    pub(crate) fn from_parts(kind: ProxyKind, specs: Vec<FeatureSpec>, model: ProxyModel) -> Proxy {
+        Proxy { kind, specs, model }
+    }
+
+    /// The proxy's model family.
+    pub fn kind(&self) -> ProxyKind {
+        self.kind
+    }
+
+    /// The feature vectors the proxy consumes.
+    pub fn specs(&self) -> &[FeatureSpec] {
+        &self.specs
+    }
+
+    /// Extracts the proxy's (concatenated) feature vector from a trace.
+    pub fn features(&self, trace: &Trace) -> Vec<f32> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            out.extend(spec.extract(trace));
+        }
+        out
+    }
+
+    /// The proxy's malware score for an extracted feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the proxy's training width.
+    pub fn score_features(&self, features: &[f32]) -> f64 {
+        match &self.model {
+            ProxyModel::Mlp(net) => f64::from(net.forward(features)[0]),
+            ProxyModel::Lr(lr) => lr.predict_proba(features),
+            ProxyModel::Dt(dt) => dt.predict_proba(features),
+            ProxyModel::Rf(rf) => rf.predict_proba(features),
+        }
+    }
+
+    /// The proxy's malware score for a trace.
+    pub fn score_trace(&self, trace: &Trace) -> f64 {
+        self.score_features(&self.features(trace))
+    }
+
+    /// The proxy's hard decision for a trace (`true` = malware).
+    pub fn predict_trace(&self, trace: &Trace) -> bool {
+        self.score_trace(trace) >= 0.5
+    }
+}
+
+/// Reverse-engineers a victim HMD.
+///
+/// Each query index is traced, the victim is queried **once** (black box —
+/// a stochastic victim's answer may differ between queries, which is
+/// exactly what degrades the attack), and a proxy is trained on the
+/// observed labels.
+///
+/// # Errors
+///
+/// Returns [`ReverseError`] if no queries are supplied, the oracle answers
+/// degenerately, or model fitting fails.
+pub fn reverse_engineer(
+    victim: &mut dyn Detector,
+    dataset: &Dataset,
+    query_indices: &[usize],
+    config: &ReverseConfig,
+) -> Result<Proxy, ReverseError> {
+    if query_indices.is_empty() {
+        return Err(ReverseError::NoQueries);
+    }
+    let mut inputs = Vec::with_capacity(query_indices.len());
+    let mut labels = Vec::with_capacity(query_indices.len());
+    for &i in query_indices {
+        let trace = dataset.trace(i);
+        let mut features = Vec::new();
+        for spec in &config.specs {
+            features.extend(spec.extract(trace));
+        }
+        inputs.push(features);
+        labels.push(victim.classify(trace).is_malware());
+    }
+    if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+        return Err(ReverseError::DegenerateOracle);
+    }
+
+    Proxy::fit(config, inputs, labels)
+}
+
+/// Reverse-engineering effectiveness: how often the proxy agrees with the
+/// victim on held-out samples (the victim queried once per sample, as an
+/// attacker validating the proxy would).
+pub fn effectiveness(
+    proxy: &Proxy,
+    victim: &mut dyn Detector,
+    dataset: &Dataset,
+    test_indices: &[usize],
+) -> f64 {
+    if test_indices.is_empty() {
+        return 0.0;
+    }
+    let agree = test_indices
+        .iter()
+        .filter(|&&i| {
+            let trace = dataset.trace(i);
+            proxy.predict_trace(trace) == victim.classify(trace).is_malware()
+        })
+        .count();
+    agree as f64 / test_indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_workload::dataset::DatasetConfig;
+    use stochastic_hmd::stochastic::StochasticHmd;
+    use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+    use stochastic_hmd::BaselineHmd;
+
+    fn setup() -> (Dataset, BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(120), 61);
+        let split = dataset.three_fold_split(0);
+        let victim = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("train victim");
+        (dataset, victim)
+    }
+
+    #[test]
+    fn all_proxies_reverse_engineer_a_deterministic_victim() {
+        let (dataset, mut victim) = setup();
+        let split = dataset.three_fold_split(0);
+        for kind in ProxyKind::ALL {
+            let proxy = reverse_engineer(
+                &mut victim,
+                &dataset,
+                split.attacker_training(),
+                &ReverseConfig::new(kind),
+            )
+            .expect("reverse engineering succeeds");
+            let eff = effectiveness(&proxy, &mut victim, &dataset, split.testing());
+            assert!(eff > 0.85, "{kind} proxy only {eff} effective");
+        }
+    }
+
+    #[test]
+    fn stochastic_victim_resists_reverse_engineering() {
+        // The core Figure-3 claim: RE effectiveness drops against a
+        // Stochastic-HMD relative to the baseline.
+        let (dataset, mut victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let cfg = ReverseConfig::new(ProxyKind::Mlp);
+        let base_proxy =
+            reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg)
+                .expect("baseline RE");
+        let base_eff = effectiveness(&base_proxy, &mut victim, &dataset, split.testing());
+
+        let mut stochastic = StochasticHmd::from_baseline(&victim, 0.5, 7).expect("protect");
+        let sto_proxy =
+            reverse_engineer(&mut stochastic, &dataset, split.attacker_training(), &cfg)
+                .expect("stochastic RE");
+        let sto_eff = effectiveness(&sto_proxy, &mut stochastic, &dataset, split.testing());
+        assert!(
+            sto_eff < base_eff,
+            "stochastic RE {sto_eff} should trail baseline {base_eff}"
+        );
+    }
+
+    #[test]
+    fn empty_queries_error() {
+        let (dataset, mut victim) = setup();
+        assert_eq!(
+            reverse_engineer(
+                &mut victim,
+                &dataset,
+                &[],
+                &ReverseConfig::new(ProxyKind::Mlp)
+            )
+            .unwrap_err(),
+            ReverseError::NoQueries
+        );
+    }
+
+    #[test]
+    fn degenerate_oracle_errors() {
+        struct AlwaysMalware;
+        impl Detector for AlwaysMalware {
+            fn name(&self) -> &str {
+                "always-malware"
+            }
+            fn score(&mut self, _trace: &Trace) -> f64 {
+                1.0
+            }
+        }
+        let (dataset, _) = setup();
+        let split = dataset.three_fold_split(0);
+        let err = reverse_engineer(
+            &mut AlwaysMalware,
+            &dataset,
+            split.attacker_training(),
+            &ReverseConfig::new(ProxyKind::LogisticRegression),
+        )
+        .unwrap_err();
+        assert_eq!(err, ReverseError::DegenerateOracle);
+    }
+
+    #[test]
+    fn multi_spec_proxy_concatenates_features() {
+        use shmd_workload::features::{DetectionPeriod, FeatureKind, FEATURE_DIM};
+        let (dataset, mut victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let cfg = ReverseConfig::new(ProxyKind::Mlp).with_specs(vec![
+            FeatureSpec::frequency(),
+            FeatureSpec::new(FeatureKind::Burstiness, DetectionPeriod::EVERY_WINDOW),
+        ]);
+        let proxy = reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg)
+            .expect("RE");
+        assert_eq!(proxy.features(dataset.trace(0)).len(), 2 * FEATURE_DIM);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ReverseError::NoQueries.to_string().contains("no query"));
+        assert!(ReverseError::DegenerateOracle.to_string().contains("identically"));
+    }
+}

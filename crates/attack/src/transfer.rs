@@ -1,0 +1,165 @@
+//! Transferability: do proxy-evading samples also evade the victim?
+
+use crate::evasion::{generate_evasive_malware, EvasionConfig};
+use crate::reverse::Proxy;
+use serde::{Deserialize, Serialize};
+use shmd_workload::dataset::Dataset;
+use stochastic_hmd::detector::Detector;
+
+/// Outcome of a transferability experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferOutcome {
+    /// Malware samples the attacker tried to make evasive.
+    pub attempted: usize,
+    /// Samples that successfully evade the proxy.
+    pub evaded_proxy: usize,
+    /// Proxy-evading samples that also evade the victim (one detection).
+    pub evaded_victim: usize,
+}
+
+impl TransferOutcome {
+    /// The paper's "transferability attack success rate": the fraction of
+    /// evasive malware (proxy-evading) that also evades the victim.
+    /// Returns 0 when no sample evaded the proxy.
+    pub fn success_rate(&self) -> f64 {
+        if self.evaded_proxy == 0 {
+            return 0.0;
+        }
+        self.evaded_victim as f64 / self.evaded_proxy as f64
+    }
+
+    /// The defender's view: the fraction of evasive malware *detected*
+    /// (Figure 5's y-axis).
+    pub fn detection_rate(&self) -> f64 {
+        1.0 - self.success_rate()
+    }
+}
+
+/// Number of detection periods an evasive sample is tested against,
+/// matching the paper's single-detection evaluation.
+///
+/// Deployed HMDs monitor continuously, so a real evasive sample must evade
+/// *every* detection period of its execution; pass a larger count to
+/// [`transferability`] to study that (strictly defender-favouring) setting.
+pub const DEFAULT_DETECTION_PERIODS: usize = 1;
+
+/// Runs the transferability experiment: generate evasive malware against
+/// the proxy, then test each evasive sample against the victim over
+/// `detections` detection periods (the sample evades only if every period
+/// says benign).
+pub fn transferability(
+    victim: &mut dyn Detector,
+    proxy: &Proxy,
+    dataset: &Dataset,
+    malware_indices: &[usize],
+    config: &EvasionConfig,
+    detections: usize,
+) -> TransferOutcome {
+    // Only malware the proxy detects in the first place needs evading;
+    // samples it already misses are excluded, as in the attack literature.
+    let detected: Vec<usize> = malware_indices
+        .iter()
+        .copied()
+        .filter(|&i| proxy.predict_trace(dataset.trace(i)))
+        .collect();
+    let evasive = generate_evasive_malware(proxy, dataset, &detected, config);
+    let mut evaded_victim = 0usize;
+    for sample in &evasive {
+        let evades_all =
+            (0..detections.max(1)).all(|_| !victim.classify(&sample.trace).is_malware());
+        if evades_all {
+            evaded_victim += 1;
+        }
+    }
+    TransferOutcome {
+        attempted: detected.len(),
+        evaded_proxy: evasive.len(),
+        evaded_victim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reverse::{reverse_engineer, ReverseConfig};
+    use crate::ProxyKind;
+    use shmd_workload::dataset::DatasetConfig;
+    use shmd_workload::features::FeatureSpec;
+    use stochastic_hmd::stochastic::StochasticHmd;
+    use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+    use stochastic_hmd::BaselineHmd;
+
+    fn setup() -> (Dataset, BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(150), 81);
+        let split = dataset.three_fold_split(0);
+        let victim = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("train victim");
+        (dataset, victim)
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let outcome = TransferOutcome {
+            attempted: 100,
+            evaded_proxy: 80,
+            evaded_victim: 20,
+        };
+        assert!((outcome.success_rate() - 0.25).abs() < 1e-12);
+        assert!((outcome.detection_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_proxy_evasions_is_zero_success() {
+        let outcome = TransferOutcome::default();
+        assert_eq!(outcome.success_rate(), 0.0);
+        assert_eq!(outcome.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn baseline_victim_is_vulnerable_and_stochastic_is_not() {
+        // The Figure-4 headline, end to end: evasive malware transfers to
+        // the deterministic baseline far more than to the Stochastic-HMD.
+        let (dataset, mut victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let proxy = reverse_engineer(
+            &mut victim,
+            &dataset,
+            split.attacker_training(),
+            &ReverseConfig::new(ProxyKind::Mlp),
+        )
+        .expect("RE");
+        let malware: Vec<usize> = dataset.malware_indices(split.testing()).collect();
+
+        let baseline_outcome = transferability(
+            &mut victim,
+            &proxy,
+            &dataset,
+            &malware,
+            &EvasionConfig::default(),
+            DEFAULT_DETECTION_PERIODS,
+        );
+        assert!(
+            baseline_outcome.success_rate() > 0.25,
+            "baseline should be substantially evadable: {baseline_outcome:?}"
+        );
+
+        let mut protected = StochasticHmd::from_baseline(&victim, 0.1, 5).expect("protect");
+        let protected_outcome = transferability(
+            &mut protected,
+            &proxy,
+            &dataset,
+            &malware,
+            &EvasionConfig::default(),
+            DEFAULT_DETECTION_PERIODS,
+        );
+        assert!(
+            protected_outcome.success_rate() < baseline_outcome.success_rate(),
+            "stochastic victim must be harder to transfer to: {protected_outcome:?} vs {baseline_outcome:?}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench: raw fault-injector throughput across error rates.
+//!
+//! The hot path (no fault) must stay a single RNG draw per product so that
+//! paper-scale sweeps (Figs. 2 & 8) remain tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmd_volt::fault::{FaultInjector, FaultModel};
+use std::hint::black_box;
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corrupt_product");
+    for er in [0.0, 0.01, 0.1, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(er), &er, |b, &er| {
+            let mut injector =
+                FaultInjector::new(FaultModel::from_error_rate(er).unwrap(), 11);
+            let mut x = 0x0123_4567_89ab_cdefi64;
+            b.iter(|| {
+                x = x.rotate_left(1);
+                black_box(injector.corrupt_product(black_box(x)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_injection);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Ablation studies on the reproduction's design choices.
+//!
+//! Three ablations quantify the knobs DESIGN.md §6 calls out:
+//!
+//! - [`ripple_ablation`] — the carry-ripple (catastrophic-fault) fraction:
+//!   the accuracy ↔ security coupling EXPERIMENTS.md analyses;
+//! - [`policy_ablation`] — deployment detection policies: how multi-
+//!   detection aggregation trades evasive-malware detection against false
+//!   positives;
+//! - [`adaptive_ablation`] — the denoising attacker: how much reverse-
+//!   engineering effectiveness majority-voted queries buy back, and at
+//!   what query cost.
+
+use crate::cli::Args;
+use crate::setup::{victim, OPERATING_ERROR_RATE};
+use shmd_attack::adaptive::{denoised_reverse_engineer, query_cost};
+use shmd_attack::campaign::{AttackCampaign, AttackTrainingSet};
+use shmd_attack::evasion::EvasionConfig;
+use shmd_attack::reverse::{effectiveness, reverse_engineer, ReverseConfig};
+use shmd_attack::transfer::transferability;
+use shmd_attack::ProxyKind;
+use shmd_volt::fault::{FaultModel, DEFAULT_RIPPLE_SPAN};
+use shmd_workload::dataset::Dataset;
+use stochastic_hmd::deploy::{DetectionPolicy, PolicyDetector};
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::evaluate;
+
+/// One row of the ripple-fraction ablation.
+#[derive(Clone, Debug)]
+pub struct RippleRow {
+    /// Fraction of flips diverted above the product MSB.
+    pub ripple: f64,
+    /// Detection accuracy at er = 0.1 with this tail.
+    pub accuracy: f64,
+    /// MLP reverse-engineering effectiveness against the victim.
+    pub re_effectiveness: f64,
+    /// MLP transferability success against the victim.
+    pub transfer_success: f64,
+}
+
+/// Sweeps the catastrophic-fault fraction at the er = 0.1 operating point.
+pub fn ripple_ablation(dataset: &Dataset, args: &Args, fractions: &[f64]) -> Vec<RippleRow> {
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let base = victim(dataset, rotation, args);
+    let seeds = args.reps_or(3) as u64;
+    let mut rows = Vec::with_capacity(fractions.len());
+    for &ripple in fractions {
+        let (mut acc, mut eff, mut success) = (0.0, 0.0, 0.0);
+        for s in 0..seeds {
+            let model = FaultModel::from_error_rate(OPERATING_ERROR_RATE)
+                .expect("valid rate")
+                .with_ripple(ripple, DEFAULT_RIPPLE_SPAN);
+            let mut hmd = StochasticHmd::with_fault_model(&base, model, args.seed ^ s);
+            acc += evaluate(&mut hmd, dataset, split.testing()).accuracy();
+            let campaign = AttackCampaign::new(
+                ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed),
+            )
+            .with_training_set(AttackTrainingSet::AttackerTraining);
+            let report = campaign
+                .run(&mut hmd, dataset, rotation)
+                .expect("attack succeeds");
+            eff += report.re_effectiveness;
+            success += report.transfer.success_rate();
+        }
+        let n = seeds as f64;
+        rows.push(RippleRow {
+            ripple,
+            accuracy: acc / n,
+            re_effectiveness: eff / n,
+            transfer_success: success / n,
+        });
+    }
+    rows
+}
+
+/// One row of the deployment-policy ablation.
+#[derive(Clone, Debug)]
+pub struct PolicyRow {
+    /// The policy (display form).
+    pub policy: String,
+    /// Detection accuracy on natural programs.
+    pub accuracy: f64,
+    /// False-positive rate on natural programs.
+    pub fpr: f64,
+    /// Fraction of evasive malware detected.
+    pub evasive_detected: f64,
+}
+
+/// Evaluates detection policies over the er = 0.1 Stochastic-HMD.
+pub fn policy_ablation(
+    dataset: &Dataset,
+    args: &Args,
+    policies: &[DetectionPolicy],
+) -> Vec<PolicyRow> {
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let base = victim(dataset, rotation, args);
+    let malware: Vec<usize> = dataset.malware_indices(split.testing()).collect();
+    let seeds = args.reps_or(3) as u64;
+    let mut rows = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let (mut acc, mut fpr, mut detected) = (0.0, 0.0, 0.0);
+        for s in 0..seeds {
+            let hmd = StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ s)
+                .expect("valid rate");
+            let mut deployed = PolicyDetector::new(hmd, policy);
+            let m = evaluate(&mut deployed, dataset, split.testing());
+            acc += m.accuracy();
+            fpr += m.false_positive_rate();
+            // The attacker reverse-engineers the *deployed* (policy-wrapped)
+            // detector, as a black box.
+            let proxy = reverse_engineer(
+                &mut deployed,
+                dataset,
+                split.attacker_training(),
+                &ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed),
+            )
+            .expect("RE succeeds");
+            let outcome = transferability(
+                &mut deployed,
+                &proxy,
+                dataset,
+                &malware,
+                &EvasionConfig::default(),
+                1, // the policy already aggregates detections internally
+            );
+            detected += outcome.detection_rate();
+        }
+        let n = seeds as f64;
+        rows.push(PolicyRow {
+            policy: policy.to_string(),
+            accuracy: acc / n,
+            fpr: fpr / n,
+            evasive_detected: detected / n,
+        });
+    }
+    rows
+}
+
+/// One row of the adaptive-attacker ablation.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRow {
+    /// Victim queries per training sample.
+    pub queries_per_sample: usize,
+    /// MLP proxy effectiveness achieved.
+    pub effectiveness: f64,
+    /// Total victim queries issued for reverse engineering.
+    pub total_queries: usize,
+}
+
+/// Sweeps the denoising attacker's per-sample query budget against the
+/// er = 0.1 Stochastic-HMD.
+pub fn adaptive_ablation(
+    dataset: &Dataset,
+    args: &Args,
+    query_counts: &[usize],
+) -> Vec<AdaptiveRow> {
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let base = victim(dataset, rotation, args);
+    let seeds = args.reps_or(3) as u64;
+    let mut rows = Vec::with_capacity(query_counts.len());
+    for &k in query_counts {
+        let mut eff = 0.0;
+        for s in 0..seeds {
+            let mut hmd =
+                StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ s)
+                    .expect("valid rate");
+            let proxy = denoised_reverse_engineer(
+                &mut hmd,
+                dataset,
+                split.attacker_training(),
+                &ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed),
+                k,
+            )
+            .expect("RE succeeds");
+            eff += effectiveness(&proxy, &mut hmd, dataset, split.testing());
+        }
+        rows.push(AdaptiveRow {
+            queries_per_sample: k,
+            effectiveness: eff / seeds as f64,
+            total_queries: query_cost(split.attacker_training().len(), k),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+
+    fn fast_args() -> Args {
+        Args::parse_from(["--fast".to_string(), "--reps".to_string(), "1".to_string()])
+    }
+
+    #[test]
+    fn ripple_ablation_shows_the_coupling() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = ripple_ablation(&dataset, &args, &[0.0, 0.3]);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[0].accuracy >= rows[1].accuracy - 0.02,
+            "a heavier catastrophic tail must not improve accuracy: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn policy_ablation_produces_rows_per_policy() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = policy_ablation(
+            &dataset,
+            &args,
+            &[DetectionPolicy::Single, DetectionPolicy::AnyOf(4)],
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.accuracy), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.evasive_detected), "{r:?}");
+        }
+        assert!(
+            rows[1].fpr >= rows[0].fpr - 0.02,
+            "any-of-k must not reduce FPR: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_ablation_reports_query_costs() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = adaptive_ablation(&dataset, &args, &[1, 5]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].total_queries, 5 * rows[0].total_queries);
+        assert!(rows[1].effectiveness >= rows[0].effectiveness - 0.08);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation: deployment detection policies over the er = 0.1
+//! Stochastic-HMD — evasive-malware detection vs false-positive cost.
+
+use hmd_bench::ablation::policy_ablation;
+use hmd_bench::{setup, table, Args};
+use stochastic_hmd::deploy::DetectionPolicy;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let policies = [
+        DetectionPolicy::Single,
+        DetectionPolicy::AnyOf(2),
+        DetectionPolicy::AnyOf(4),
+        DetectionPolicy::AnyOf(8),
+        DetectionPolicy::MajorityOf(3),
+        DetectionPolicy::MajorityOf(5),
+    ];
+    let rows = policy_ablation(&dataset, &args, &policies);
+
+    table::title("Ablation: detection policy (Stochastic-HMD, er = 0.1)");
+    table::header(&["policy", "accuracy", "FPR", "evasive det."]);
+    for r in &rows {
+        table::row(&[
+            r.policy.clone(),
+            table::pct(r.accuracy),
+            table::pct(r.fpr),
+            table::pct(r.evasive_detected),
+        ]);
+    }
+    println!();
+    println!("any-of-k re-rolls the moving boundary per period: evasive detection");
+    println!("climbs with k, at a false-positive cost; majority voting suppresses both");
+}

@@ -1,0 +1,27 @@
+//! Ablation: the carry-ripple (catastrophic-fault) fraction at er = 0.1 —
+//! the accuracy ↔ security coupling analysed in EXPERIMENTS.md.
+
+use hmd_bench::ablation::ripple_ablation;
+use hmd_bench::{setup, table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let fractions = [0.0, 0.01, 0.03, 0.05, 0.1, 0.2, 0.4];
+    let rows = ripple_ablation(&dataset, &args, &fractions);
+
+    table::title("Ablation: carry-ripple fraction at er = 0.1 (MLP attacker)");
+    table::header(&["ripple", "accuracy", "RE eff.", "transfer succ."]);
+    for r in &rows {
+        table::row(&[
+            format!("{:.2}", r.ripple),
+            table::pct(r.accuracy),
+            table::pct(r.re_effectiveness),
+            table::pct(r.transfer_success),
+        ]);
+    }
+    println!();
+    println!("accuracy and attacker success fall together: the same catastrophic");
+    println!("faults that resist the attacker also cost detection accuracy");
+    println!("(default calibration: ripple = 0.03)");
+}

@@ -1,0 +1,87 @@
+//! §II characterisation narrative: first-fault offsets by operand class,
+//! ALU immunity, freeze offset, the calibration curve, and the MSR command
+//! a deployment would issue.
+
+use hmd_bench::{table, Args};
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+use shmd_volt::characterize::{sweep_all, SweepConfig, SweepOutcome};
+use shmd_volt::multiplier::{AluTimingModel, MultiplierTimingModel, OBSERVABLE_P};
+use shmd_volt::voltage::{Millivolts, MsrVoltageCommand, VoltagePlane, NOMINAL_CORE_VOLTAGE};
+
+fn main() {
+    let args = Args::parse();
+    let timing = MultiplierTimingModel::broadwell_2_2ghz();
+
+    table::title("First-fault offsets by operand criticality (paper: -103 .. -145 mV)");
+    table::header(&["operand class", "factor", "first fault"]);
+    for (name, factor) in [
+        ("worst case (dense)", 1.0),
+        ("typical (random)", 0.982),
+        ("least critical", 0.9642),
+    ] {
+        table::row(&[
+            name.into(),
+            format!("{factor:.3}"),
+            timing.first_fault_offset(factor).to_string(),
+        ]);
+    }
+
+    table::title("Per-instruction 1 mV sweeps (paper: mul faults; add/sub/bitwise never)");
+    table::header(&["instruction", "outcome"]);
+    let sweep_cfg = SweepConfig {
+        seed: args.seed,
+        ..SweepConfig::default()
+    };
+    for result in sweep_all(&sweep_cfg) {
+        let outcome = match result.outcome {
+            SweepOutcome::FaultAt(o) => format!("first fault at {o}"),
+            SweepOutcome::FrozeAt(o) => format!("no faults; system froze at {o}"),
+        };
+        table::row(&[result.kind.to_string(), outcome]);
+    }
+
+    table::title("ALU (add/sub/bit-wise) immunity (paper: no faults observed)");
+    let alu = AluTimingModel::broadwell_2_2ghz();
+    let freeze = timing.freeze_offset();
+    let mut alu_faulted = false;
+    let mut mv = 0;
+    while mv >= freeze.get() {
+        if alu.violation_probability(NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(mv)))
+            >= OBSERVABLE_P
+        {
+            alu_faulted = true;
+        }
+        mv -= 1;
+    }
+    println!(
+        "ALU faults anywhere above the freeze offset ({freeze}): {}",
+        if alu_faulted { "YES (!)" } else { "none" }
+    );
+
+    table::title("Per-device calibration curves (1 mV sweep)");
+    table::header(&["device", "first fault", "freeze", "offset for er=0.1"]);
+    for device in [
+        DeviceProfile::reference(),
+        DeviceProfile::sampled("unit-2", args.seed + 1),
+        DeviceProfile::sampled("unit-3", args.seed + 2),
+    ] {
+        let curve = Calibrator::new().calibrate(&device);
+        let op = curve
+            .offset_for_error_rate(0.1)
+            .map(|o| o.to_string())
+            .unwrap_or_else(|e| format!("({e})"));
+        table::row(&[
+            device.name.clone(),
+            curve.first_fault_offset().to_string(),
+            curve.freeze_offset().to_string(),
+            op,
+        ]);
+    }
+
+    let curve = Calibrator::new().calibrate(&DeviceProfile::reference());
+    if let Ok(offset) = curve.offset_for_error_rate(0.1) {
+        if let Ok(cmd) = MsrVoltageCommand::new(VoltagePlane::CpuCore, offset) {
+            println!("\nto deploy on the reference device: {cmd}");
+        }
+    }
+}

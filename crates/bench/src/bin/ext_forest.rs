@@ -1,0 +1,49 @@
+//! Extension: the random-forest proxy (beyond the paper's MLP/LR/DT set) —
+//! the adaptive adversary's ensemble counter to a stochastic oracle.
+
+use hmd_bench::setup::OPERATING_ERROR_RATE;
+use hmd_bench::{setup, table, Args};
+use shmd_attack::campaign::{AttackCampaign, AttackTrainingSet};
+use shmd_attack::reverse::ReverseConfig;
+use shmd_attack::ProxyKind;
+use stochastic_hmd::stochastic::StochasticHmd;
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let base = setup::victim(&dataset, 0, &args);
+    let seeds = args.reps_or(3) as u64;
+
+    table::title("Extension: all proxies incl. random forest (er = 0.1, attacker set)");
+    table::header(&["proxy", "victim", "RE eff.", "transfer succ."]);
+    for proxy in ProxyKind::EXTENDED {
+        let campaign = AttackCampaign::new(ReverseConfig::new(proxy).with_seed(args.seed))
+            .with_training_set(AttackTrainingSet::AttackerTraining);
+        let mut baseline = base.clone();
+        let report = campaign.run(&mut baseline, &dataset, 0).expect("attack");
+        table::row(&[
+            report.proxy.clone(),
+            "baseline".into(),
+            table::pct(report.re_effectiveness),
+            table::pct(report.transfer.success_rate()),
+        ]);
+        let (mut eff, mut succ) = (0.0, 0.0);
+        for s in 0..seeds {
+            let mut protected =
+                StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ s)
+                    .expect("valid");
+            let report = campaign.run(&mut protected, &dataset, 0).expect("attack");
+            eff += report.re_effectiveness / seeds as f64;
+            succ += report.transfer.success_rate() / seeds as f64;
+        }
+        table::row(&[
+            proxy.to_string(),
+            "stochastic".into(),
+            table::pct(eff),
+            table::pct(succ),
+        ]);
+    }
+    println!();
+    println!("the RF proxy is the ensemble counter an adaptive adversary would try;");
+    println!("compare its stochastic-victim rows against the paper's DT attacker");
+}

@@ -1,0 +1,66 @@
+//! Extension: the victim-validating attacker — "no reliable access to the
+//! HMD's output", quantified.
+//!
+//! The attacker validates every evasive candidate against the victim and
+//! only ships samples the victim cleared several times in a row. Against
+//! the deterministic baseline that validation is a certificate; against
+//! the Stochastic-HMD it expires at the next detection.
+
+use hmd_bench::setup::OPERATING_ERROR_RATE;
+use hmd_bench::{setup, table, Args};
+use shmd_attack::evasion::EvasionConfig;
+use shmd_attack::reverse::{reverse_engineer, ReverseConfig};
+use shmd_attack::validated::{validated_outcome, ValidationConfig};
+use shmd_attack::ProxyKind;
+use stochastic_hmd::detector::Detector;
+use stochastic_hmd::stochastic::StochasticHmd;
+
+const DEPLOYMENT_DETECTIONS: usize = 16;
+
+fn run(label: &str, victim: &mut dyn Detector, dataset: &shmd_workload::dataset::Dataset, seed: u64) {
+    let split = dataset.three_fold_split(0);
+    let proxy = reverse_engineer(
+        victim,
+        dataset,
+        split.attacker_training(),
+        &ReverseConfig::new(ProxyKind::Mlp).with_seed(seed),
+    )
+    .expect("RE succeeds");
+    let malware: Vec<usize> = dataset.malware_indices(split.testing()).collect();
+    let outcome = validated_outcome(
+        victim,
+        &proxy,
+        dataset,
+        &malware,
+        &EvasionConfig::default(),
+        &ValidationConfig::default(),
+        DEPLOYMENT_DETECTIONS,
+    );
+    table::row(&[
+        label.to_string(),
+        format!("{}/{}", outcome.validated, outcome.attempted),
+        outcome.validation_queries.to_string(),
+        table::pct(outcome.deployment_catch_rate()),
+    ]);
+}
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let base = setup::victim(&dataset, 0, &args);
+
+    table::title(&format!(
+        "Victim-validated evasion (3 clean verdicts required; deployment = {DEPLOYMENT_DETECTIONS} detections)"
+    ));
+    table::header(&["victim", "validated", "queries", "caught later"]);
+    let mut baseline = base.clone();
+    run("baseline", &mut baseline, &dataset, args.seed);
+    let mut protected =
+        StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed).expect("valid");
+    run("stochastic", &mut protected, &dataset, args.seed);
+
+    println!();
+    println!("against the deterministic baseline, one clean validation lasts forever;");
+    println!("against the Stochastic-HMD the attacker's own validation is unreliable —");
+    println!("the paper's 'no reliable access to the HMD's output', measured");
+}

@@ -1,0 +1,26 @@
+//! Figure 4: transferability attack success rate — baseline HMD vs
+//! Stochastic-HMD (er = 0.1), MLP/LR/DT proxies × victim/attacker training
+//! sets.
+
+use hmd_bench::experiments::security_matrix;
+use hmd_bench::{setup, table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let rows = security_matrix(&dataset, &args, 3);
+
+    table::title("Figure 4: transferability attack success rate (er = 0.1, 3-fold mean)");
+    table::header(&["proxy", "training set", "baseline", "stochastic"]);
+    for r in &rows {
+        table::row(&[
+            r.proxy.to_string(),
+            r.training_set.to_string(),
+            table::pct(r.baseline_transfer_success),
+            table::pct(r.stochastic_transfer_success),
+        ]);
+    }
+    println!();
+    println!("paper (MLP): 84% -> 5.85% (victim set), 81.2% -> 4.17% (attacker set)");
+    println!("paper (LR):  72% -> 9.7%,  70.5% -> 4.32%; (DT): 33% -> 6.15%, 31.25% -> 5.81%");
+}

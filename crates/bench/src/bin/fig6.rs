@@ -1,0 +1,24 @@
+//! Figure 6: baseline detection accuracy — RHMD constructions vs the
+//! Stochastic-HMD (er = 0.1).
+
+use hmd_bench::experiments::rhmd_comparison;
+use hmd_bench::{setup, table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let rows = rhmd_comparison(&dataset, &args);
+
+    table::title("Figure 6: baseline accuracy of the defenders");
+    table::header(&["defender", "accuracy"]);
+    for r in &rows {
+        table::row(&[r.name.clone(), table::pct(r.accuracy)]);
+    }
+    let rhmd_3f2p = rows[3].accuracy;
+    let stochastic = rows[4].accuracy;
+    println!();
+    println!(
+        "accuracy gap to RHMD-3F2P: {:.2}pt (paper: <2%)",
+        (rhmd_3f2p - stochastic) * 100.0
+    );
+}

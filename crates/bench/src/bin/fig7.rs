@@ -1,0 +1,29 @@
+//! Figure 7: power savings of the Stochastic-HMD vs supply voltage
+//! (1.18 V → 0.68 V), over the baseline HMD and over RHMD-2F.
+
+use hmd_bench::{table, Args};
+use shmd_power::cmos::{CmosPowerModel, PowerScope};
+use shmd_volt::voltage::Volts;
+
+fn main() {
+    let _args = Args::parse(); // analytic: scale/seed do not matter
+    let model = CmosPowerModel::i7_5557u();
+
+    table::title("Figure 7: power savings vs supply voltage (core scope)");
+    table::header(&["voltage", "vs baseline", "vs RHMD-2F"]);
+    let mut v = 1.18;
+    while v > 0.67 {
+        let vdd = Volts(v);
+        table::row(&[
+            format!("{v:.2} V"),
+            table::pct(model.savings_over_baseline(vdd, PowerScope::Core)),
+            table::pct(model.savings_over_rhmd(vdd, PowerScope::Core)),
+        ]);
+        v -= 0.1;
+    }
+    println!();
+    println!(
+        "at 0.68 V: {} over RHMD (paper: >75% under 40% voltage scaling)",
+        table::pct(model.savings_over_rhmd(Volts(0.68), PowerScope::Core))
+    );
+}

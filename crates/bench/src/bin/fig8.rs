@@ -1,0 +1,27 @@
+//! Figure 8: the trade-off between detection accuracy, transferability
+//! robustness, and reverse-engineering robustness as the error rate sweeps
+//! 0 → 1.
+
+use hmd_bench::experiments::tradeoff_sweep;
+use hmd_bench::{setup, table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let dataset = setup::dataset(&args);
+    let grid: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+    let rows = tradeoff_sweep(&dataset, &args, &grid);
+
+    table::title("Figure 8: Stochastic-HMD trade-off");
+    table::header(&["er", "accuracy", "transfer rob.", "RE rob."]);
+    for r in &rows {
+        table::row(&[
+            format!("{:.1}", r.error_rate),
+            table::pct(r.accuracy),
+            table::pct(r.transfer_robustness),
+            table::pct(r.re_robustness),
+        ]);
+    }
+    println!();
+    println!("paper: region 1 (er <= 0.2) is the practical trade-off zone;");
+    println!("       er > 0.2 (region 2) costs too much accuracy to deploy");
+}

@@ -1,0 +1,36 @@
+//! §VIII memory-space comparison: Equation (1) storage savings and L1
+//! pressure of RHMD constructions vs the single-model Stochastic-HMD.
+
+use hmd_bench::{table, Args};
+use shmd_power::memory::{storage_savings, MemoryModel, L1_DCACHE_BYTES};
+use stochastic_hmd::rhmd::RhmdConstruction;
+
+fn main() {
+    let _args = Args::parse();
+    let memory = MemoryModel::paper();
+
+    table::title("Memory space: RHMD constructions vs Stochastic-HMD (Eq. 1)");
+    table::header(&["defender", "models", "storage", "savings", "L1 footprint"]);
+    for c in RhmdConstruction::ALL {
+        let n = c.detector_count();
+        table::row(&[
+            c.to_string(),
+            n.to_string(),
+            format!("{} KB", memory.rhmd_bytes(n) / 1024),
+            table::pct(storage_savings(n)),
+            format!("{:.1}x", memory.l1_footprint(n)),
+        ]);
+    }
+    table::row(&[
+        "Stochastic-HMD".into(),
+        "1".into(),
+        format!("{} KB", memory.stochastic_bytes() / 1024),
+        "-".into(),
+        format!("{:.1}x", memory.l1_footprint(1)),
+    ]);
+    println!();
+    println!(
+        "paper: each HMD takes 71 KB; L1 is {} KB; savings over RHMD-2F = 50%",
+        L1_DCACHE_BYTES / 1024
+    );
+}

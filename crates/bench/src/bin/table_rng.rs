@@ -1,0 +1,55 @@
+//! §VIII "Comparison with TRNG": overheads of injecting noise from a
+//! TRNG/PRNG after every MAC, vs undervolting (free).
+
+use hmd_bench::{setup, table, Args};
+use shmd_ann::mac::NoisyMac;
+use shmd_power::rng_cost::{NoiseSource, RngCostModel};
+use shmd_volt::fault::ExactDatapath;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let model = RngCostModel::i7_5557u();
+
+    table::title("Noise-source overheads (paper-calibrated model)");
+    table::header(&["source", "time overhead", "energy overhead"]);
+    for source in [NoiseSource::Undervolting, NoiseSource::Prng, NoiseSource::Trng] {
+        table::row(&[
+            source.to_string(),
+            format!("{:.1}x", model.time_overhead(source)),
+            format!("{:.1}x", model.energy_overhead(source)),
+        ]);
+    }
+    println!("paper: TRNG ~62x time / ~112x energy; PRNG ~4x / ~5.7x");
+
+    // Live: plain datapath vs per-MAC PRNG noise injection.
+    let dataset = setup::dataset(&args);
+    let victim = setup::victim(&dataset, 0, &args);
+    let q = victim.quantized();
+    let features = victim.spec().extract(dataset.trace(0));
+    let n = 20_000;
+
+    let start = Instant::now();
+    let mut exact = ExactDatapath;
+    for _ in 0..n {
+        std::hint::black_box(q.infer(&features, &mut exact));
+    }
+    let exact_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
+
+    let mut noisy = NoisyMac::new(1 << 16, args.seed);
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(q.infer(&features, &mut noisy));
+    }
+    let noisy_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
+
+    println!();
+    table::title("Live measurement: per-MAC PRNG noise injection");
+    table::header(&["datapath", "time/inference", "overhead"]);
+    table::row(&["plain".into(), format!("{exact_ns:.0} ns"), "1.0x".into()]);
+    table::row(&[
+        "PRNG/MAC".into(),
+        format!("{noisy_ns:.0} ns"),
+        format!("{:.1}x", noisy_ns / exact_ns),
+    ]);
+}

@@ -1,0 +1,149 @@
+//! Minimal flag parsing shared by all experiment binaries.
+
+/// Dataset scale selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny smoke-test dataset (~120 programs).
+    Fast,
+    /// Default medium dataset (~720 programs) — minutes, not hours.
+    Medium,
+    /// The paper's full 3 000 + 600 dataset.
+    Paper,
+}
+
+/// Parsed command-line arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// Master seed.
+    pub seed: u64,
+    /// Stochastic repetitions (`None`: experiment default).
+    pub reps: Option<usize>,
+    /// Dataset scale.
+    pub scale: Scale,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, exiting with a usage message on
+    /// malformed flags.
+    pub fn parse() -> Args {
+        match Args::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("flags: --seed N  --reps N  --paper  --fast");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags (tests); binaries
+    /// should use [`Args::parse`], which exits cleanly instead.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
+        match Args::try_from_iter(args) {
+            Ok(args) => args,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Parses an explicit argument list, reporting malformed flags as a
+    /// message rather than panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed flag.
+    pub fn try_from_iter<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args {
+            seed: 42,
+            reps: None,
+            scale: Scale::Medium,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed expects an integer, got {v}"))?;
+                }
+                "--reps" => {
+                    let v = it.next().ok_or("--reps needs a value")?;
+                    out.reps = Some(
+                        v.parse()
+                            .map_err(|_| format!("--reps expects an integer, got {v}"))?,
+                    );
+                }
+                "--paper" => out.scale = Scale::Paper,
+                "--fast" => out.scale = Scale::Fast,
+                "--help" | "-h" => {
+                    println!("flags: --seed N  --reps N  --paper  --fast");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}; try --help")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Repetitions to use, given an experiment default.
+    pub fn reps_or(&self, default: usize) -> usize {
+        self.reps.unwrap_or(match self.scale {
+            Scale::Fast => default.div_ceil(10),
+            _ => default,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.reps, None);
+        assert_eq!(a.scale, Scale::Medium);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--seed", "7", "--reps", "3", "--paper"]);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.reps, Some(3));
+        assert_eq!(a.scale, Scale::Paper);
+    }
+
+    #[test]
+    fn fast_scales_down_default_reps() {
+        let a = parse(&["--fast"]);
+        assert_eq!(a.reps_or(50), 5);
+        let b = parse(&[]);
+        assert_eq!(b.reps_or(50), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn try_from_iter_reports_errors_without_panicking() {
+        let err = Args::try_from_iter(["--seed".to_string()]).unwrap_err();
+        assert!(err.contains("--seed needs a value"));
+        let err =
+            Args::try_from_iter(["--reps".to_string(), "abc".to_string()]).unwrap_err();
+        assert!(err.contains("expects an integer"));
+        let err = Args::try_from_iter(["--bogus".to_string()]).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The paper's experiments as reusable functions.
+//!
+//! Each figure binary is a thin printer over one of these functions, so
+//! integration tests can run the identical code at reduced scale.
+
+use crate::cli::Args;
+use crate::setup::{train_config, victim, OPERATING_ERROR_RATE};
+use shmd_attack::campaign::{AttackCampaign, AttackTrainingSet};
+use shmd_attack::reverse::ReverseConfig;
+use shmd_attack::ProxyKind;
+use shmd_volt::entropy::approximate_entropy;
+use shmd_volt::fault::{FaultInjector, FaultModel, FaultStats};
+use shmd_volt::multiplier::MultiplierTimingModel;
+use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
+use shmd_workload::dataset::Dataset;
+use shmd_workload::features::FeatureSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stochastic_hmd::rhmd::{Rhmd, RhmdConstruction};
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::evaluate;
+
+/// Figure 1 data: bit-wise fault rates of the undervolted multiplier.
+#[derive(Clone, Debug)]
+pub struct Fig1Data {
+    /// Per-bit error rate (flips per multiplication).
+    pub bitwise_rates: Vec<f64>,
+    /// Overall observed multiplication error rate.
+    pub observed_error_rate: f64,
+    /// Approximate entropy of the fault-location series (stochasticity).
+    pub apen: f64,
+    /// The undervolt offset used.
+    pub offset: Millivolts,
+}
+
+/// Reproduces §II's characterisation: repeatedly multiply random operand
+/// sets on the undervolted timing model and record where faults land.
+pub fn characterize_fig1(operand_sets: usize, reps_per_set: usize, seed: u64) -> Fig1Data {
+    let offset = Millivolts::new(-130);
+    let timing = MultiplierTimingModel::broadwell_2_2ghz();
+    let vdd = NOMINAL_CORE_VOLTAGE.with_offset(offset);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = FaultStats {
+        multiplies: 0,
+        faulty: 0,
+        bit_flips: vec![0; 64],
+    };
+    let mut locations: Vec<u8> = Vec::new();
+    for _ in 0..operand_sets {
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
+        let model = FaultModel::at_voltage_for_operands(&timing, vdd, a, b)
+            .expect("timing probabilities are valid");
+        let mut injector = FaultInjector::new(model, rng.gen());
+        let product = a.wrapping_mul(b);
+        for _ in 0..reps_per_set {
+            let corrupted = injector.corrupt_unsigned(product);
+            if corrupted != product {
+                let diff = corrupted ^ product;
+                locations.push(diff.trailing_zeros() as u8);
+            }
+        }
+        stats.merge(injector.stats());
+    }
+    Fig1Data {
+        bitwise_rates: stats.bitwise_error_rates(),
+        observed_error_rate: stats.observed_error_rate(),
+        apen: approximate_entropy(&locations, 1),
+        offset,
+    }
+}
+
+/// One row of the Figures 3 & 4 matrix.
+#[derive(Clone, Debug)]
+pub struct SecurityRow {
+    /// Proxy model family.
+    pub proxy: ProxyKind,
+    /// Which fold the attacker trained on.
+    pub training_set: AttackTrainingSet,
+    /// RE effectiveness against the baseline HMD (Fig. 3, "Baseline").
+    pub baseline_effectiveness: f64,
+    /// RE effectiveness against the Stochastic-HMD (Fig. 3).
+    pub stochastic_effectiveness: f64,
+    /// Transfer success against the baseline HMD (Fig. 4, "Baseline").
+    pub baseline_transfer_success: f64,
+    /// Transfer success against the Stochastic-HMD (Fig. 4).
+    pub stochastic_transfer_success: f64,
+}
+
+/// Runs the full security matrix (Figures 3 and 4): every proxy × training
+/// set, against the baseline and the er = 0.1 Stochastic-HMD, averaged over
+/// `rotations` cross-validation rotations.
+pub fn security_matrix(dataset: &Dataset, args: &Args, rotations: usize) -> Vec<SecurityRow> {
+    let mut rows = Vec::new();
+    for &proxy in &ProxyKind::ALL {
+        for training_set in [
+            AttackTrainingSet::VictimTraining,
+            AttackTrainingSet::AttackerTraining,
+        ] {
+            let seeds = args.reps_or(3) as u64;
+            let mut acc = [0.0f64; 4];
+            for rotation in 0..rotations {
+                let base = victim(dataset, rotation, args);
+                let campaign = AttackCampaign::new(
+                    ReverseConfig::new(proxy).with_seed(args.seed + rotation as u64),
+                )
+                .with_training_set(training_set);
+
+                let mut baseline = base.clone();
+                let report = campaign
+                    .run(&mut baseline, dataset, rotation)
+                    .expect("attack on generated data succeeds");
+                acc[0] += report.re_effectiveness;
+                acc[2] += report.transfer.success_rate();
+
+                // The stochastic victim's outcome depends on its fault
+                // draws; average several injector seeds per rotation.
+                for s in 0..seeds {
+                    let mut protected = StochasticHmd::from_baseline(
+                        &base,
+                        OPERATING_ERROR_RATE,
+                        args.seed ^ 0xabcd ^ (rotation as u64) << 8 ^ s,
+                    )
+                    .expect("valid error rate");
+                    let report = campaign
+                        .run(&mut protected, dataset, rotation)
+                        .expect("attack on generated data succeeds");
+                    acc[1] += report.re_effectiveness / seeds as f64;
+                    acc[3] += report.transfer.success_rate() / seeds as f64;
+                }
+            }
+            let n = rotations as f64;
+            rows.push(SecurityRow {
+                proxy,
+                training_set,
+                baseline_effectiveness: acc[0] / n,
+                stochastic_effectiveness: acc[1] / n,
+                baseline_transfer_success: acc[2] / n,
+                stochastic_transfer_success: acc[3] / n,
+            });
+        }
+    }
+    rows
+}
+
+/// One bar group of Figures 5 & 6.
+#[derive(Clone, Debug)]
+pub struct RhmdRow {
+    /// Defender name (`RHMD-2F` … or `Stochastic-HMD`).
+    pub name: String,
+    /// Fraction of evasive malware detected (Fig. 5).
+    pub evasive_detected: f64,
+    /// Baseline detection accuracy (Fig. 6).
+    pub accuracy: f64,
+}
+
+/// Runs the RHMD comparison (Figures 5 and 6): each RHMD construction and
+/// the er = 0.1 Stochastic-HMD, attacked with an MLP proxy that uses all
+/// the construction's feature vectors.
+pub fn rhmd_comparison(dataset: &Dataset, args: &Args) -> Vec<RhmdRow> {
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let cfg = train_config(args);
+    let seeds = args.reps_or(3) as u64;
+    let mut rows = Vec::new();
+    for construction in RhmdConstruction::ALL {
+        let (mut detected, mut accuracy) = (0.0, 0.0);
+        for s in 0..seeds {
+            let mut rhmd = Rhmd::train(
+                dataset,
+                split.victim_training(),
+                construction,
+                &cfg,
+                args.seed ^ 0x7177 ^ s,
+            )
+            .expect("training succeeds");
+            accuracy += evaluate(&mut rhmd, dataset, split.testing()).accuracy();
+            // "We reverse-engineer each RHMD construction using all the
+            // feature vectors used in the construction."
+            let campaign = AttackCampaign::new(
+                ReverseConfig::new(ProxyKind::Mlp)
+                    .with_specs(construction.specs())
+                    .with_seed(args.seed),
+            );
+            let report = campaign
+                .run(&mut rhmd, dataset, rotation)
+                .expect("attack succeeds");
+            detected += report.transfer.detection_rate();
+        }
+        rows.push(RhmdRow {
+            name: construction.to_string(),
+            evasive_detected: detected / seeds as f64,
+            accuracy: accuracy / seeds as f64,
+        });
+    }
+
+    let base = victim(dataset, rotation, args);
+    let (mut detected, mut accuracy) = (0.0, 0.0);
+    for s in 0..seeds {
+        let mut protected =
+            StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ 0x57 ^ s)
+                .expect("valid error rate");
+        accuracy += evaluate(&mut protected, dataset, split.testing()).accuracy();
+        let campaign =
+            AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
+        let report = campaign
+            .run(&mut protected, dataset, rotation)
+            .expect("attack succeeds");
+        detected += report.transfer.detection_rate();
+    }
+    rows.push(RhmdRow {
+        name: "Stochastic-HMD".to_string(),
+        evasive_detected: detected / seeds as f64,
+        accuracy: accuracy / seeds as f64,
+    });
+    rows
+}
+
+/// One point of the Figure 8 trade-off curves.
+#[derive(Clone, Debug)]
+pub struct TradeoffRow {
+    /// Multiplication error rate.
+    pub error_rate: f64,
+    /// Baseline detection accuracy at this rate.
+    pub accuracy: f64,
+    /// Transferability robustness: fraction of evasive malware detected.
+    pub transfer_robustness: f64,
+    /// Reverse-engineering robustness: `1 − RE effectiveness`.
+    pub re_robustness: f64,
+}
+
+/// Runs the Figure 8 trade-off sweep with an MLP attacker on the
+/// attacker-training fold.
+pub fn tradeoff_sweep(dataset: &Dataset, args: &Args, er_grid: &[f64]) -> Vec<TradeoffRow> {
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let base = victim(dataset, rotation, args);
+    let mut rows = Vec::with_capacity(er_grid.len());
+    for (i, &er) in er_grid.iter().enumerate() {
+        let mut protected =
+            StochasticHmd::from_baseline(&base, er, args.seed ^ (0x100 + i as u64))
+                .expect("valid error rate");
+        let accuracy = evaluate(&mut protected, dataset, split.testing()).accuracy();
+        let campaign =
+            AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
+        let report = campaign
+            .run(&mut protected, dataset, rotation)
+            .expect("attack succeeds");
+        rows.push(TradeoffRow {
+            error_rate: er,
+            accuracy,
+            transfer_robustness: report.transfer.detection_rate(),
+            re_robustness: 1.0 - report.re_effectiveness,
+        });
+    }
+    rows
+}
+
+/// The er values Figure 2(b) plots confidence distributions for.
+pub const FIG2B_ERROR_RATES: [f64; 3] = [0.1, 0.5, 1.0];
+
+/// The frequency feature spec used throughout the figures.
+pub fn primary_spec() -> FeatureSpec {
+    FeatureSpec::frequency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+
+    fn fast_args() -> Args {
+        Args::parse_from(["--fast".to_string(), "--seed".to_string(), "3".to_string()])
+    }
+
+    #[test]
+    fn fig1_characterisation_has_paper_properties() {
+        // −130 mV faults are rare (~0.1% of multiplies), so the ApEn series
+        // needs many operand sets to fill up.
+        let data = characterize_fig1(30_000, 10, 9);
+        assert_eq!(data.bitwise_rates.len(), 64);
+        assert_eq!(data.bitwise_rates[63], 0.0, "sign bit never flips");
+        for bit in 0..8 {
+            assert_eq!(data.bitwise_rates[bit], 0.0, "LSB {bit} never flips");
+        }
+        assert!(data.observed_error_rate > 0.0, "−130 mV must fault");
+        assert!(data.apen > 0.5, "fault locations must look stochastic");
+    }
+
+    #[test]
+    fn security_matrix_shape_matches_figures_3_and_4() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = security_matrix(&dataset, &args, 1);
+        assert_eq!(rows.len(), 6, "3 proxies × 2 training sets");
+        for row in &rows {
+            for v in [
+                row.baseline_effectiveness,
+                row.stochastic_effectiveness,
+                row.baseline_transfer_success,
+                row.stochastic_transfer_success,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{row:?}");
+            }
+            assert!(row.baseline_effectiveness > 0.7, "{row:?}");
+        }
+        // Averaged over proxies, stochasticity must not make RE easier
+        // (per-cell values are too noisy at this test scale to compare).
+        let base_mean: f64 =
+            rows.iter().map(|r| r.baseline_effectiveness).sum::<f64>() / rows.len() as f64;
+        let sto_mean: f64 =
+            rows.iter().map(|r| r.stochastic_effectiveness).sum::<f64>() / rows.len() as f64;
+        assert!(
+            base_mean >= sto_mean - 0.03,
+            "stochasticity must not make RE easier on average: {base_mean} vs {sto_mean}"
+        );
+    }
+
+    #[test]
+    fn rhmd_comparison_includes_all_defenders() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = rhmd_comparison(&dataset, &args);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4].name, "Stochastic-HMD");
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.evasive_detected), "{row:?}");
+            assert!(row.accuracy > 0.7, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn tradeoff_sweep_covers_the_grid() {
+        let args = fast_args();
+        let dataset = setup::dataset(&args);
+        let rows = tradeoff_sweep(&dataset, &args, &[0.0, 0.1]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].accuracy >= rows[1].accuracy - 0.08);
+        // At er = 0 there is no stochasticity, so RE is easy.
+        assert!(rows[0].re_robustness < 0.2, "{:?}", rows[0]);
+    }
+}

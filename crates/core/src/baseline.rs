@@ -1,0 +1,152 @@
+//! The unprotected baseline HMD: an MLP over instruction-category features.
+
+use crate::detector::{Detector, Label};
+use serde::{Deserialize, Serialize};
+use shmd_ann::network::{Network, QuantizedNetwork};
+use shmd_volt::fault::ExactDatapath;
+use shmd_workload::features::FeatureSpec;
+use shmd_workload::trace::Trace;
+
+/// A trained, deterministic HMD.
+///
+/// The baseline scores with its quantised Q16.16 model through an exact
+/// datapath — the very same datapath a [`crate::stochastic::StochasticHmd`]
+/// undervolts, so baseline and protected detector differ *only* in supply
+/// voltage, exactly as the paper deploys them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineHmd {
+    name: String,
+    spec: FeatureSpec,
+    network: Network,
+    quantized: QuantizedNetwork,
+}
+
+impl BaselineHmd {
+    /// Wraps a trained network as a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's output is not a single score.
+    pub fn new(name: impl Into<String>, spec: FeatureSpec, network: Network) -> BaselineHmd {
+        assert_eq!(network.output_dim(), 1, "an HMD outputs one malware score");
+        let quantized = network.quantized();
+        BaselineHmd {
+            name: name.into(),
+            spec,
+            network,
+            quantized,
+        }
+    }
+
+    /// The feature specification this detector consumes.
+    pub fn spec(&self) -> FeatureSpec {
+        self.spec
+    }
+
+    /// The underlying float network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The quantised deployment model.
+    pub fn quantized(&self) -> &QuantizedNetwork {
+        &self.quantized
+    }
+
+    /// Scores an already-extracted feature vector (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the network input.
+    pub fn score_features(&self, features: &[f32]) -> f64 {
+        f64::from(self.quantized.infer(features, &mut ExactDatapath)[0])
+    }
+
+    /// Deterministic classification of a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the network input.
+    pub fn classify_features(&self, features: &[f32]) -> Label {
+        Label::from_bool(self.score_features(features) >= 0.5)
+    }
+}
+
+impl Detector for BaselineHmd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&mut self, trace: &Trace) -> f64 {
+        let features = self.spec.extract(trace);
+        self.score_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_baseline, HmdTrainConfig};
+    use shmd_ml::metrics::ConfusionMatrix;
+    use shmd_workload::dataset::{Dataset, DatasetConfig};
+
+    fn trained() -> (Dataset, BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(100), 11);
+        let split = dataset.three_fold_split(0);
+        let hmd = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("training succeeds");
+        (dataset, hmd)
+    }
+
+    #[test]
+    fn baseline_detects_held_out_malware() {
+        let (dataset, mut hmd) = trained();
+        let split = dataset.three_fold_split(0);
+        let m = ConfusionMatrix::from_pairs(split.testing().iter().map(|&i| {
+            (
+                hmd.classify(dataset.trace(i)).is_malware(),
+                dataset.program(i).is_malware(),
+            )
+        }));
+        assert!(m.accuracy() > 0.9, "baseline accuracy {}", m.accuracy());
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let (dataset, mut hmd) = trained();
+        let t = dataset.trace(0);
+        let a = hmd.score(t);
+        let b = hmd.score(t);
+        assert_eq!(a, b, "the unprotected HMD must be deterministic");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (dataset, mut hmd) = trained();
+        for i in 0..dataset.len().min(30) {
+            let s = hmd.score(dataset.trace(i));
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn feature_and_trace_paths_agree() {
+        let (dataset, mut hmd) = trained();
+        let t = dataset.trace(2);
+        let f = hmd.spec().extract(t);
+        assert_eq!(hmd.score(t), hmd.score_features(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "one malware score")]
+    fn multi_output_network_is_rejected() {
+        use shmd_ann::builder::NetworkBuilder;
+        let net = NetworkBuilder::new(16).output(2).build().unwrap();
+        let _ = BaselineHmd::new("bad", FeatureSpec::frequency(), net);
+    }
+}

@@ -1,0 +1,263 @@
+//! §VI space exploration: how the error rate shapes accuracy and
+//! decision-boundary stochasticity.
+//!
+//! [`accuracy_sweep`] regenerates the data behind Figure 2(a): detection
+//! accuracy, FPR, and FNR (mean ± standard deviation over repetitions ×
+//! folds) as the error rate sweeps `[0, 1]`. [`confidence_distribution`]
+//! regenerates Figure 2(b): the distribution of output scores per class at
+//! a given error rate.
+
+use crate::stochastic::StochasticHmd;
+use crate::train::{train_baseline, HmdTrainConfig, TrainHmdError};
+use serde::{Deserialize, Serialize};
+use shmd_ml::metrics::{mean_std, ConfusionMatrix};
+use shmd_volt::fault::FaultModelError;
+use shmd_workload::dataset::Dataset;
+use shmd_workload::features::FeatureSpec;
+use std::fmt;
+
+/// Error running a space-exploration sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExploreError {
+    /// Training a fold's baseline failed.
+    Train(TrainHmdError),
+    /// An error rate in the grid is invalid.
+    Fault(FaultModelError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Train(e) => write!(f, "training failed: {e}"),
+            ExploreError::Fault(e) => write!(f, "invalid error rate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<TrainHmdError> for ExploreError {
+    fn from(e: TrainHmdError) -> ExploreError {
+        ExploreError::Train(e)
+    }
+}
+
+impl From<FaultModelError> for ExploreError {
+    fn from(e: FaultModelError) -> ExploreError {
+        ExploreError::Fault(e)
+    }
+}
+
+/// One row of Figure 2(a): statistics at a single error rate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The multiplication error rate.
+    pub error_rate: f64,
+    /// Mean detection accuracy across repetitions × folds.
+    pub accuracy_mean: f64,
+    /// Standard deviation of the accuracy — the visible stochasticity of
+    /// the decision boundary.
+    pub accuracy_std: f64,
+    /// Mean false-positive rate.
+    pub fpr_mean: f64,
+    /// Standard deviation of the FPR.
+    pub fpr_std: f64,
+    /// Mean false-negative rate.
+    pub fnr_mean: f64,
+    /// Standard deviation of the FNR.
+    pub fnr_std: f64,
+}
+
+/// Runs the Figure 2(a) sweep.
+///
+/// For each of the three cross-validation rotations, a baseline is trained
+/// once; each grid error rate is then evaluated `reps` times over the
+/// held-out fold with fresh fault-injector seeds.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if training fails or a grid rate is invalid.
+pub fn accuracy_sweep(
+    dataset: &Dataset,
+    er_grid: &[f64],
+    reps: usize,
+    config: &HmdTrainConfig,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ExploreError> {
+    let spec = FeatureSpec::frequency();
+    // Train one baseline per rotation.
+    let mut folds = Vec::new();
+    for rotation in 0..3 {
+        let split = dataset.three_fold_split(rotation);
+        let baseline = train_baseline(dataset, split.victim_training(), spec, config)?;
+        folds.push((baseline, split));
+    }
+
+    let mut points = Vec::with_capacity(er_grid.len());
+    for (gi, &er) in er_grid.iter().enumerate() {
+        let mut accs = Vec::new();
+        let mut fprs = Vec::new();
+        let mut fnrs = Vec::new();
+        for (fi, (baseline, split)) in folds.iter().enumerate() {
+            for rep in 0..reps {
+                let inj_seed = seed
+                    .wrapping_add(0x1000 * gi as u64)
+                    .wrapping_add(0x100 * fi as u64)
+                    .wrapping_add(rep as u64);
+                let mut hmd = StochasticHmd::from_baseline(baseline, er, inj_seed)?;
+                let mut m = ConfusionMatrix::new();
+                for &i in split.testing() {
+                    let f = spec.extract(dataset.trace(i));
+                    m.record(
+                        hmd.score_features(&f) >= 0.5,
+                        dataset.program(i).is_malware(),
+                    );
+                }
+                accs.push(m.accuracy());
+                fprs.push(m.false_positive_rate());
+                fnrs.push(m.false_negative_rate());
+            }
+        }
+        let (accuracy_mean, accuracy_std) = mean_std(&accs);
+        let (fpr_mean, fpr_std) = mean_std(&fprs);
+        let (fnr_mean, fnr_std) = mean_std(&fnrs);
+        points.push(SweepPoint {
+            error_rate: er,
+            accuracy_mean,
+            accuracy_std,
+            fpr_mean,
+            fpr_std,
+            fnr_mean,
+            fnr_std,
+        });
+    }
+    Ok(points)
+}
+
+/// The Figure 2(b) data: output-score samples per true class at one error
+/// rate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceDistribution {
+    /// The multiplication error rate.
+    pub error_rate: f64,
+    /// Scores assigned to benign test samples.
+    pub benign_scores: Vec<f64>,
+    /// Scores assigned to malware test samples.
+    pub malware_scores: Vec<f64>,
+}
+
+impl ConfidenceDistribution {
+    /// `(mean, std)` of the benign-sample scores.
+    pub fn benign_summary(&self) -> (f64, f64) {
+        mean_std(&self.benign_scores)
+    }
+
+    /// `(mean, std)` of the malware-sample scores.
+    pub fn malware_summary(&self) -> (f64, f64) {
+        mean_std(&self.malware_scores)
+    }
+}
+
+/// Collects the Figure 2(b) confidence distribution at one error rate
+/// (rotation 0, `reps` stochastic detections per test sample).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if training fails or the rate is invalid.
+pub fn confidence_distribution(
+    dataset: &Dataset,
+    er: f64,
+    reps: usize,
+    config: &HmdTrainConfig,
+    seed: u64,
+) -> Result<ConfidenceDistribution, ExploreError> {
+    let spec = FeatureSpec::frequency();
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(dataset, split.victim_training(), spec, config)?;
+    let mut hmd = StochasticHmd::from_baseline(&baseline, er, seed)?;
+    let mut benign_scores = Vec::new();
+    let mut malware_scores = Vec::new();
+    for &i in split.testing() {
+        let f = spec.extract(dataset.trace(i));
+        for _ in 0..reps {
+            let s = hmd.score_features(&f);
+            if dataset.program(i).is_malware() {
+                malware_scores.push(s);
+            } else {
+                benign_scores.push(s);
+            }
+        }
+    }
+    Ok(ConfidenceDistribution {
+        error_rate: er,
+        benign_scores,
+        malware_scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_workload::dataset::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::small(60), 51)
+    }
+
+    #[test]
+    fn sweep_shapes_match_fig2a() {
+        let d = dataset();
+        let grid = [0.0, 0.1, 0.9];
+        let points =
+            accuracy_sweep(&d, &grid, 3, &HmdTrainConfig::fast(), 7).expect("sweep");
+        assert_eq!(points.len(), 3);
+        // Accuracy at er = 0 is the (good) baseline.
+        assert!(points[0].accuracy_mean > 0.88, "{:?}", points[0]);
+        // er = 0 is deterministic per fold: only inter-fold spread remains.
+        assert!(points[0].accuracy_std < 0.05, "{:?}", points[0]);
+        // er = 0.1 costs little accuracy (paper: ≈2%).
+        assert!(
+            points[0].accuracy_mean - points[1].accuracy_mean < 0.08,
+            "{:?} vs {:?}",
+            points[0],
+            points[1]
+        );
+        // er = 0.9 degrades markedly more.
+        assert!(points[1].accuracy_mean > points[2].accuracy_mean);
+        // Stochasticity appears at non-zero error rates.
+        assert!(points[1].accuracy_std > 0.0);
+    }
+
+    #[test]
+    fn confidence_spread_grows_with_error_rate(){
+        let d = dataset();
+        let cfg = HmdTrainConfig::fast();
+        let low = confidence_distribution(&d, 0.1, 3, &cfg, 1).expect("low");
+        let high = confidence_distribution(&d, 0.9, 3, &cfg, 1).expect("high");
+        let (_, low_std) = low.malware_summary();
+        let (_, high_std) = high.malware_summary();
+        assert!(
+            high_std > low_std,
+            "uncertainty must grow with er: {low_std} vs {high_std}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_distribution_is_degenerate_per_sample() {
+        let d = dataset();
+        let dist =
+            confidence_distribution(&d, 0.0, 2, &HmdTrainConfig::fast(), 1).expect("dist");
+        // With two deterministic reps per sample, consecutive scores pair up.
+        for pair in dist.malware_scores.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn invalid_rate_is_an_error() {
+        let d = dataset();
+        let err = accuracy_sweep(&d, &[2.0], 1, &HmdTrainConfig::fast(), 1)
+            .expect_err("invalid");
+        assert!(matches!(err, ExploreError::Fault(_)));
+    }
+}

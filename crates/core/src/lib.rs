@@ -1,0 +1,69 @@
+//! Stochastic-HMDs: adversarial-resilient hardware malware detectors via
+//! undervolting (DAC 2023).
+//!
+//! This crate is the paper's primary contribution. It provides:
+//!
+//! - [`detector::Detector`] — the common interface of all HMDs: score an
+//!   execution trace, classify it as malware or benign;
+//! - [`baseline::BaselineHmd`] — the unprotected neural-network HMD
+//!   (FANN-style MLP over instruction-category features);
+//! - [`stochastic::StochasticHmd`] — the defense: the *same* trained model
+//!   inferred on an undervolted datapath, so every multiplication may fault
+//!   stochastically. No retraining, no model changes, no extra hardware —
+//!   only a supply-voltage offset;
+//! - [`rhmd::Rhmd`] — the state-of-the-art comparison defense (RHMD,
+//!   MICRO 2017): random switching among diverse base detectors;
+//! - [`train`] — training pipelines and the 3-fold cross-validation
+//!   harness;
+//! - [`explore`] — the §VI space exploration: accuracy and
+//!   confidence-distribution sweeps over the error rate.
+//!
+//! # Example
+//!
+//! ```
+//! use shmd_workload::dataset::{Dataset, DatasetConfig};
+//! use shmd_workload::features::FeatureSpec;
+//! use stochastic_hmd::detector::Detector;
+//! use stochastic_hmd::stochastic::StochasticHmd;
+//! use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+//!
+//! let dataset = Dataset::generate(&DatasetConfig::small(60), 1);
+//! let split = dataset.three_fold_split(0);
+//! let baseline = train_baseline(
+//!     &dataset,
+//!     split.victim_training(),
+//!     FeatureSpec::frequency(),
+//!     &HmdTrainConfig::fast(),
+//! )?;
+//! // Protect it: 10% error rate, the paper's selected operating point.
+//! let mut protected = StochasticHmd::from_baseline(&baseline, 0.1, 42)?;
+//! let verdict = protected.classify(dataset.trace(split.testing()[0]));
+//! println!("{verdict}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod deploy;
+pub mod detector;
+pub mod enclave;
+pub mod explore;
+pub mod monitor;
+pub mod rhmd;
+pub mod roc;
+pub mod stochastic;
+pub mod train;
+pub mod xval;
+
+pub use baseline::BaselineHmd;
+pub use deploy::{DetectionPolicy, PolicyDetector};
+pub use enclave::{DetectionEnclave, EnclaveError};
+pub use detector::{Detector, Label};
+pub use monitor::{monitor_all, monitor_trace, MonitorOutcome, MonitorReport};
+pub use rhmd::{Rhmd, RhmdConstruction};
+pub use roc::{RocCurve, RocError, RocPoint};
+pub use stochastic::StochasticHmd;
+pub use train::{train_baseline, HmdTrainConfig, TrainHmdError};
+pub use xval::{cross_validate, XvalSummary};

@@ -1,0 +1,253 @@
+//! The Stochastic-HMD: the baseline model inferred on an undervolted core.
+
+use crate::baseline::BaselineHmd;
+use crate::detector::Detector;
+use shmd_ann::network::QuantizedNetwork;
+use shmd_volt::calibration::CalibrationCurve;
+use shmd_volt::fault::{FaultInjector, FaultModel, FaultModelError};
+use shmd_volt::voltage::Millivolts;
+use shmd_workload::features::FeatureSpec;
+use shmd_workload::trace::Trace;
+
+/// A Stochastic-HMD: the *unmodified* trained model whose inference runs on
+/// an undervolted multiplier, turning its decision boundary into a moving
+/// target.
+///
+/// Construction never retrains or alters the model ("no retraining or fine
+/// tuning is needed") — it only attaches a fault model, the software twin of
+/// writing an undervolt offset to MSR `0x150`.
+#[derive(Clone, Debug)]
+pub struct StochasticHmd {
+    name: String,
+    spec: FeatureSpec,
+    quantized: QuantizedNetwork,
+    injector: FaultInjector,
+    error_rate: f64,
+    offset: Option<Millivolts>,
+}
+
+impl StochasticHmd {
+    /// Protects a baseline HMD with the abstract error-rate knob — the
+    /// quantity the paper's space exploration sweeps. `er = 0.1` is the
+    /// paper's selected operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is outside
+    /// `[0, 1]`.
+    pub fn from_baseline(
+        base: &BaselineHmd,
+        er: f64,
+        seed: u64,
+    ) -> Result<StochasticHmd, FaultModelError> {
+        let model = FaultModel::from_error_rate(er)?;
+        Ok(StochasticHmd {
+            name: format!("stochastic({}, er={er})", Detector::name(base)),
+            spec: base.spec(),
+            quantized: base.quantized().clone(),
+            injector: FaultInjector::new(model, seed),
+            error_rate: er,
+            offset: None,
+        })
+    }
+
+    /// Protects a baseline HMD with an explicit fault model (for ablation
+    /// studies — e.g. varying the carry-ripple tail).
+    pub fn with_fault_model(base: &BaselineHmd, model: FaultModel, seed: u64) -> StochasticHmd {
+        let er = model.error_rate();
+        StochasticHmd {
+            name: format!("stochastic({}, custom er={er})", Detector::name(base)),
+            spec: base.spec(),
+            quantized: base.quantized().clone(),
+            injector: FaultInjector::new(model, seed),
+            error_rate: er,
+            offset: None,
+        }
+    }
+
+    /// Protects a baseline HMD by running it at a physical undervolt offset
+    /// on a calibrated device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-model construction errors (cannot occur for offsets
+    /// within the calibrated range).
+    pub fn at_offset(
+        base: &BaselineHmd,
+        curve: &CalibrationCurve,
+        offset: Millivolts,
+        seed: u64,
+    ) -> Result<StochasticHmd, FaultModelError> {
+        let model = curve.fault_model_at(offset)?;
+        let er = model.error_rate();
+        Ok(StochasticHmd {
+            name: format!(
+                "stochastic({}, {offset} on {})",
+                Detector::name(base),
+                curve.device()
+            ),
+            spec: base.spec(),
+            quantized: base.quantized().clone(),
+            injector: FaultInjector::new(model, seed),
+            error_rate: er,
+            offset: Some(offset),
+        })
+    }
+
+    /// The effective multiplication error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// The physical undervolt offset, when constructed from a calibration
+    /// curve.
+    pub fn offset(&self) -> Option<Millivolts> {
+        self.offset
+    }
+
+    /// The feature specification this detector consumes.
+    pub fn spec(&self) -> FeatureSpec {
+        self.spec
+    }
+
+    /// Accumulated fault statistics of the injector.
+    pub fn fault_stats(&self) -> &shmd_volt::fault::FaultStats {
+        self.injector.stats()
+    }
+
+    /// Scores an already-extracted feature vector (one stochastic
+    /// detection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the network input.
+    pub fn score_features(&mut self, features: &[f32]) -> f64 {
+        f64::from(self.quantized.infer(features, &mut self.injector)[0])
+    }
+}
+
+impl Detector for StochasticHmd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&mut self, trace: &Trace) -> f64 {
+        let features = self.spec.extract(trace);
+        self.score_features(&features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_baseline, HmdTrainConfig};
+    use shmd_ml::metrics::ConfusionMatrix;
+    use shmd_volt::calibration::{Calibrator, DeviceProfile};
+    use shmd_workload::dataset::{Dataset, DatasetConfig};
+
+    fn setup() -> (Dataset, BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(100), 21);
+        let split = dataset.three_fold_split(0);
+        let hmd = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("training succeeds");
+        (dataset, hmd)
+    }
+
+    #[test]
+    fn invalid_error_rate_is_rejected() {
+        let (_, base) = setup();
+        assert!(StochasticHmd::from_baseline(&base, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn zero_error_rate_matches_baseline() {
+        let (dataset, base) = setup();
+        let mut protected = StochasticHmd::from_baseline(&base, 0.0, 0).expect("valid");
+        for i in 0..20 {
+            let t = dataset.trace(i);
+            assert_eq!(protected.score(t), base.score_features(&base.spec().extract(t)));
+        }
+    }
+
+    #[test]
+    fn accuracy_loss_is_small_at_er_0_1() {
+        // Paper headline: < 2% accuracy loss at the er = 0.1 operating
+        // point (we allow a slightly wider band on the small test dataset).
+        let (dataset, base) = setup();
+        let split = dataset.three_fold_split(0);
+        let mut baseline_m = ConfusionMatrix::new();
+        for &i in split.testing() {
+            let f = base.spec().extract(dataset.trace(i));
+            baseline_m.record(
+                base.classify_features(&f).is_malware(),
+                dataset.program(i).is_malware(),
+            );
+        }
+        let mut protected = StochasticHmd::from_baseline(&base, 0.1, 7).expect("valid");
+        let mut protected_m = ConfusionMatrix::new();
+        for _ in 0..5 {
+            for &i in split.testing() {
+                protected_m.record(
+                    protected.classify(dataset.trace(i)).is_malware(),
+                    dataset.program(i).is_malware(),
+                );
+            }
+        }
+        let loss = baseline_m.accuracy() - protected_m.accuracy();
+        assert!(
+            loss < 0.06,
+            "accuracy loss {loss} too high (baseline {}, stochastic {})",
+            baseline_m.accuracy(),
+            protected_m.accuracy()
+        );
+    }
+
+    #[test]
+    fn scores_vary_across_queries() {
+        let (dataset, base) = setup();
+        let mut protected = StochasticHmd::from_baseline(&base, 0.5, 3).expect("valid");
+        let t = dataset.trace(1);
+        let scores: std::collections::HashSet<u64> =
+            (0..50).map(|_| protected.score(t).to_bits()).collect();
+        assert!(scores.len() > 1, "moving-target defense must vary scores");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let (dataset, base) = setup();
+        let mut a = StochasticHmd::from_baseline(&base, 0.3, 5).expect("valid");
+        let mut b = StochasticHmd::from_baseline(&base, 0.3, 5).expect("valid");
+        for i in 0..10 {
+            assert_eq!(a.score(dataset.trace(i)), b.score(dataset.trace(i)));
+        }
+    }
+
+    #[test]
+    fn physical_offset_construction_works() {
+        let (dataset, base) = setup();
+        let curve = Calibrator::new()
+            .with_step(2)
+            .calibrate(&DeviceProfile::reference());
+        let offset = curve.offset_for_error_rate(0.1).expect("reachable");
+        let mut protected =
+            StochasticHmd::at_offset(&base, &curve, offset, 1).expect("valid");
+        assert_eq!(protected.offset(), Some(offset));
+        assert!(protected.error_rate() > 0.05);
+        let s = protected.score(dataset.trace(0));
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn fault_stats_accumulate() {
+        let (dataset, base) = setup();
+        let mut protected = StochasticHmd::from_baseline(&base, 0.2, 2).expect("valid");
+        protected.score(dataset.trace(0));
+        let stats = protected.fault_stats();
+        assert_eq!(stats.multiplies as usize, base.quantized().mac_count());
+    }
+}

@@ -1,0 +1,240 @@
+//! Training pipelines and the 3-fold cross-validation harness.
+
+use crate::baseline::BaselineHmd;
+use crate::detector::Detector;
+use serde::{Deserialize, Serialize};
+use shmd_ann::builder::{BuildNetworkError, NetworkBuilder};
+use shmd_ann::train::{RpropTrainer, TrainData, TrainDataError};
+use shmd_ml::metrics::ConfusionMatrix;
+use shmd_workload::dataset::Dataset;
+use shmd_workload::features::{FeatureSpec, FEATURE_DIM};
+use std::fmt;
+
+/// Error training an HMD.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainHmdError {
+    /// The training fold is unusable (empty / ragged / single class).
+    BadTrainingData(String),
+    /// The network topology is invalid.
+    BadTopology(BuildNetworkError),
+}
+
+impl fmt::Display for TrainHmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainHmdError::BadTrainingData(msg) => write!(f, "bad training data: {msg}"),
+            TrainHmdError::BadTopology(e) => write!(f, "bad network topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainHmdError {}
+
+impl From<TrainDataError> for TrainHmdError {
+    fn from(e: TrainDataError) -> TrainHmdError {
+        TrainHmdError::BadTrainingData(e.to_string())
+    }
+}
+
+impl From<BuildNetworkError> for TrainHmdError {
+    fn from(e: BuildNetworkError) -> TrainHmdError {
+        TrainHmdError::BadTopology(e)
+    }
+}
+
+/// HMD training hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HmdTrainConfig {
+    /// Hidden-layer width of the MLP.
+    pub hidden: usize,
+    /// iRPROP− epochs.
+    pub epochs: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl HmdTrainConfig {
+    /// The configuration used for the paper-scale experiments.
+    pub fn paper() -> HmdTrainConfig {
+        HmdTrainConfig {
+            hidden: 12,
+            epochs: 200,
+            seed: 0,
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn fast() -> HmdTrainConfig {
+        HmdTrainConfig {
+            hidden: 8,
+            epochs: 80,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for HmdTrainConfig {
+    fn default() -> HmdTrainConfig {
+        HmdTrainConfig::paper()
+    }
+}
+
+/// Trains a baseline HMD on a fold of the dataset.
+///
+/// # Errors
+///
+/// Returns [`TrainHmdError`] when the fold is unusable or the topology is
+/// invalid.
+pub fn train_baseline(
+    dataset: &Dataset,
+    indices: &[usize],
+    spec: FeatureSpec,
+    config: &HmdTrainConfig,
+) -> Result<BaselineHmd, TrainHmdError> {
+    let lf = dataset.labeled_features(indices, spec);
+    let targets: Vec<Vec<f32>> = lf
+        .labels
+        .iter()
+        .map(|&m| vec![if m { 1.0 } else { 0.0 }])
+        .collect();
+    let data = TrainData::new(lf.inputs, targets)?;
+    let mut network = NetworkBuilder::new(FEATURE_DIM)
+        .hidden(config.hidden)
+        .output(1)
+        .seed(config.seed)
+        .build()?;
+    RpropTrainer::new().epochs(config.epochs).train(&mut network, &data);
+    Ok(BaselineHmd::new(format!("hmd[{spec}]"), spec, network))
+}
+
+/// Evaluates a detector over a set of program indices, one detection per
+/// program.
+pub fn evaluate(
+    detector: &mut dyn Detector,
+    dataset: &Dataset,
+    indices: &[usize],
+) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::new();
+    for &i in indices {
+        m.record(
+            detector.classify(dataset.trace(i)).is_malware(),
+            dataset.program(i).is_malware(),
+        );
+    }
+    m
+}
+
+/// One rotation of the 3-fold cross-validation: train on the victim fold,
+/// evaluate on the test fold.
+///
+/// # Errors
+///
+/// Propagates [`TrainHmdError`].
+pub fn cross_validate_baseline(
+    dataset: &Dataset,
+    spec: FeatureSpec,
+    config: &HmdTrainConfig,
+) -> Result<Vec<ConfusionMatrix>, TrainHmdError> {
+    let mut out = Vec::with_capacity(3);
+    for rotation in 0..3 {
+        let split = dataset.three_fold_split(rotation);
+        let mut hmd = train_baseline(dataset, split.victim_training(), spec, config)?;
+        out.push(evaluate(&mut hmd, dataset, split.testing()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_workload::dataset::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::small(100), 31)
+    }
+
+    #[test]
+    fn training_yields_accurate_detector() {
+        let d = dataset();
+        let split = d.three_fold_split(0);
+        let mut hmd = train_baseline(
+            &d,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("train");
+        let m = evaluate(&mut hmd, &d, split.testing());
+        assert!(m.accuracy() > 0.9, "{m}");
+    }
+
+    #[test]
+    fn cross_validation_runs_three_rotations() {
+        let d = dataset();
+        let folds =
+            cross_validate_baseline(&d, FeatureSpec::frequency(), &HmdTrainConfig::fast())
+                .expect("cv");
+        assert_eq!(folds.len(), 3);
+        for m in &folds {
+            assert!(m.accuracy() > 0.85, "{m}");
+        }
+    }
+
+    #[test]
+    fn empty_fold_is_an_error() {
+        let d = dataset();
+        let err = train_baseline(
+            &d,
+            &[],
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect_err("empty fold");
+        assert!(matches!(err, TrainHmdError::BadTrainingData(_)));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = dataset();
+        let split = d.three_fold_split(0);
+        let a = train_baseline(
+            &d,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .unwrap();
+        let b = train_baseline(
+            &d,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .unwrap();
+        assert_eq!(a.network(), b.network());
+    }
+
+    #[test]
+    fn different_specs_yield_different_detectors() {
+        use shmd_workload::features::{DetectionPeriod, FeatureKind};
+        let d = dataset();
+        let split = d.three_fold_split(0);
+        let cfg = HmdTrainConfig::fast();
+        let a = train_baseline(&d, split.victim_training(), FeatureSpec::frequency(), &cfg)
+            .unwrap();
+        let b = train_baseline(
+            &d,
+            split.victim_training(),
+            FeatureSpec::new(FeatureKind::Burstiness, DetectionPeriod::EVERY_WINDOW),
+            &cfg,
+        )
+        .unwrap();
+        assert_ne!(a.network(), b.network());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TrainHmdError::BadTrainingData("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Q16.16 fixed-point arithmetic for the fault-injectable inference datapath.
+//!
+//! The Stochastic-HMD defense perturbs the *integer multiplier* of the CPU
+//! core that runs detector inference. To expose that perturbation to the
+//! neural-network code, inference runs over [`Q16`] fixed-point values whose
+//! products are produced by a 64-bit multiplier. The raw 64-bit product
+//! (format Q32.32) is the value the undervolting fault model corrupts, which
+//! is what makes the bit-level fault distribution of the paper's Figure 1
+//! physically meaningful here: a flip in product bit *k* changes the result
+//! by `2^(k-32)`.
+//!
+//! # Example
+//!
+//! ```
+//! use shmd_fixed::Q16;
+//!
+//! let a = Q16::from_f64(1.5);
+//! let b = Q16::from_f64(-2.0);
+//! assert_eq!((a * b).to_f64(), -3.0);
+//!
+//! // The raw product is what a fault injector corrupts:
+//! let raw = Q16::raw_product(a, b);
+//! assert_eq!(Q16::from_raw_product(raw), a * b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of fractional bits in a [`Q16`] value.
+pub const FRAC_BITS: u32 = 16;
+
+/// Number of fractional bits in a raw Q32.32 product.
+pub const PRODUCT_FRAC_BITS: u32 = 32;
+
+/// A signed Q16.16 fixed-point number stored in an `i32`.
+///
+/// The representable range is roughly `[-32768, 32768)` with a resolution of
+/// `2^-16 ≈ 1.5e-5`, which comfortably covers neural-network weights and
+/// activations after input normalisation.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Q16(i32);
+
+impl Q16 {
+    /// The value `0.0`.
+    pub const ZERO: Q16 = Q16(0);
+    /// The value `1.0`.
+    pub const ONE: Q16 = Q16(1 << FRAC_BITS);
+    /// The most positive representable value.
+    pub const MAX: Q16 = Q16(i32::MAX);
+    /// The most negative representable value.
+    pub const MIN: Q16 = Q16(i32::MIN);
+
+    /// Creates a value from its raw `i32` bit pattern (Q16.16).
+    #[inline]
+    pub const fn from_bits(bits: i32) -> Q16 {
+        Q16(bits)
+    }
+
+    /// Returns the raw `i32` bit pattern (Q16.16).
+    #[inline]
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from an `f64`, saturating at the representable range.
+    #[inline]
+    pub fn from_f64(value: f64) -> Q16 {
+        let scaled = value * f64::from(1i32 << FRAC_BITS);
+        if scaled >= i32::MAX as f64 {
+            Q16::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Q16::MIN
+        } else {
+            Q16(scaled.round() as i32)
+        }
+    }
+
+    /// Converts from an `f32`, saturating at the representable range.
+    #[inline]
+    pub fn from_f32(value: f32) -> Q16 {
+        Q16::from_f64(f64::from(value))
+    }
+
+    /// Converts to an `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(1i32 << FRAC_BITS)
+    }
+
+    /// Converts to an `f32` (may round).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Q16) -> Q16 {
+        Q16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Q16) -> Q16 {
+        Q16(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The raw 64-bit Q32.32 product of two Q16.16 values.
+    ///
+    /// This is the multiplier output that undervolting corrupts; feed it to a
+    /// fault injector and reconstruct the Q16.16 result with
+    /// [`Q16::from_raw_product`].
+    #[inline]
+    pub fn raw_product(a: Q16, b: Q16) -> i64 {
+        i64::from(a.0) * i64::from(b.0)
+    }
+
+    /// Converts a raw Q32.32 product back to Q16.16, saturating.
+    #[inline]
+    pub fn from_raw_product(product: i64) -> Q16 {
+        let shifted = product >> (PRODUCT_FRAC_BITS - FRAC_BITS);
+        if shifted > i64::from(i32::MAX) {
+            Q16::MAX
+        } else if shifted < i64::from(i32::MIN) {
+            Q16::MIN
+        } else {
+            Q16(shifted as i32)
+        }
+    }
+
+    /// Multiplies through a caller-supplied 64-bit product transformation.
+    ///
+    /// `corrupt` receives the exact Q32.32 product and returns the (possibly
+    /// faulty) product actually latched by the datapath. Passing the identity
+    /// function makes this equivalent to `a * b`.
+    #[inline]
+    pub fn mul_with(a: Q16, b: Q16, corrupt: impl FnOnce(i64) -> i64) -> Q16 {
+        Q16::from_raw_product(corrupt(Q16::raw_product(a, b)))
+    }
+
+    /// Returns the absolute value, saturating on `MIN`.
+    #[inline]
+    pub fn abs(self) -> Q16 {
+        Q16(self.0.saturating_abs())
+    }
+
+    /// Returns `true` if the value is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Clamps the value into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Q16, hi: Q16) -> Q16 {
+        assert!(lo <= hi, "Q16::clamp: lo must not exceed hi");
+        Q16(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl fmt::Debug for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q16({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Q16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl From<i16> for Q16 {
+    fn from(value: i16) -> Q16 {
+        Q16(i32::from(value) << FRAC_BITS)
+    }
+}
+
+impl Add for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn add(self, rhs: Q16) -> Q16 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Q16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn sub(self, rhs: Q16) -> Q16 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Q16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q16) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn mul(self, rhs: Q16) -> Q16 {
+        Q16::from_raw_product(Q16::raw_product(self, rhs))
+    }
+}
+
+impl Div for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn div(self, rhs: Q16) -> Q16 {
+        if rhs.0 == 0 {
+            return if self.0 >= 0 { Q16::MAX } else { Q16::MIN };
+        }
+        let wide = (i64::from(self.0) << FRAC_BITS) / i64::from(rhs.0);
+        if wide > i64::from(i32::MAX) {
+            Q16::MAX
+        } else if wide < i64::from(i32::MIN) {
+            Q16::MIN
+        } else {
+            Q16(wide as i32)
+        }
+    }
+}
+
+impl Neg for Q16 {
+    type Output = Q16;
+    #[inline]
+    fn neg(self) -> Q16 {
+        Q16(self.0.saturating_neg())
+    }
+}
+
+impl Sum for Q16 {
+    fn sum<I: Iterator<Item = Q16>>(iter: I) -> Q16 {
+        iter.fold(Q16::ZERO, Q16::saturating_add)
+    }
+}
+
+/// A Q32.32 accumulator for dot products.
+///
+/// Dot products accumulate raw products in 64 bits to avoid intermediate
+/// rounding; convert back with [`Accumulator::to_q16`].
+///
+/// # Example
+///
+/// ```
+/// use shmd_fixed::{Accumulator, Q16};
+///
+/// let mut acc = Accumulator::new();
+/// acc.mac(Q16::from_f64(0.5), Q16::from_f64(4.0), |p| p);
+/// acc.mac(Q16::from_f64(1.0), Q16::from_f64(1.0), |p| p);
+/// assert_eq!(acc.to_q16().to_f64(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    sum: i64,
+}
+
+impl Accumulator {
+    /// Creates an empty (zero) accumulator.
+    #[inline]
+    pub fn new() -> Accumulator {
+        Accumulator::default()
+    }
+
+    /// Adds the product of `a` and `b`, routing the raw Q32.32 product
+    /// through `corrupt` (identity for an exact datapath).
+    #[inline]
+    pub fn mac(&mut self, a: Q16, b: Q16, corrupt: impl FnOnce(i64) -> i64) {
+        self.sum = self.sum.saturating_add(corrupt(Q16::raw_product(a, b)));
+    }
+
+    /// Adds a Q16.16 value directly (e.g. a bias term).
+    #[inline]
+    pub fn add_q16(&mut self, value: Q16) {
+        self.sum = self
+            .sum
+            .saturating_add(i64::from(value.to_bits()) << (PRODUCT_FRAC_BITS - FRAC_BITS));
+    }
+
+    /// Converts the Q32.32 sum back to Q16.16, saturating.
+    #[inline]
+    pub fn to_q16(self) -> Q16 {
+        Q16::from_raw_product(self.sum)
+    }
+
+    /// Returns the raw Q32.32 running sum.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_round_trip() {
+        assert_eq!(Q16::ZERO.to_f64(), 0.0);
+        assert_eq!(Q16::ONE.to_f64(), 1.0);
+        assert_eq!(Q16::from_f64(1.0), Q16::ONE);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q16::from_f64(1e9), Q16::MAX);
+        assert_eq!(Q16::from_f64(-1e9), Q16::MIN);
+    }
+
+    #[test]
+    fn exact_small_arithmetic() {
+        let a = Q16::from_f64(2.25);
+        let b = Q16::from_f64(0.5);
+        assert_eq!((a + b).to_f64(), 2.75);
+        assert_eq!((a - b).to_f64(), 1.75);
+        assert_eq!((a * b).to_f64(), 1.125);
+        assert_eq!((a / b).to_f64(), 4.5);
+        assert_eq!((-a).to_f64(), -2.25);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Q16::ONE / Q16::ZERO, Q16::MAX);
+        assert_eq!(-Q16::ONE / Q16::ZERO, Q16::MIN);
+    }
+
+    #[test]
+    fn raw_product_is_q32_32() {
+        let a = Q16::from_f64(1.0);
+        let b = Q16::from_f64(1.0);
+        assert_eq!(Q16::raw_product(a, b), 1i64 << 32);
+    }
+
+    #[test]
+    fn mul_with_identity_matches_mul() {
+        let a = Q16::from_f64(-3.5);
+        let b = Q16::from_f64(1.25);
+        assert_eq!(Q16::mul_with(a, b, |p| p), a * b);
+    }
+
+    #[test]
+    fn mul_with_fault_changes_result() {
+        let a = Q16::from_f64(1.0);
+        let b = Q16::from_f64(1.0);
+        // Flip product bit 40 => adds 2^(40-32) = 256 to the result.
+        let faulty = Q16::mul_with(a, b, |p| p ^ (1 << 40));
+        assert_eq!(faulty.to_f64(), 257.0);
+    }
+
+    #[test]
+    fn lsb_fault_is_invisible_after_truncation() {
+        // Flips in the 8 LSBs of the product are far below Q16.16 resolution
+        // (the >>16 shift discards bits 0..16 entirely).
+        let a = Q16::from_f64(1.0);
+        let b = Q16::from_f64(1.0);
+        let faulty = Q16::mul_with(a, b, |p| p ^ 0b1111_1111);
+        assert_eq!(faulty, a * b);
+    }
+
+    #[test]
+    fn accumulator_dot_product() {
+        let mut acc = Accumulator::new();
+        for i in 1..=4i16 {
+            acc.mac(Q16::from(i), Q16::from(i), |p| p);
+        }
+        assert_eq!(acc.to_q16().to_f64(), 30.0);
+    }
+
+    #[test]
+    fn accumulator_bias() {
+        let mut acc = Accumulator::new();
+        acc.add_q16(Q16::from_f64(-1.5));
+        assert_eq!(acc.to_q16().to_f64(), -1.5);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let v = Q16::from_f64(0.25);
+        assert_eq!(format!("{v}"), "0.25");
+        assert_eq!(format!("{v:?}"), "Q16(0.25)");
+    }
+
+    #[test]
+    fn clamp_works() {
+        let v = Q16::from_f64(5.0);
+        assert_eq!(v.clamp(Q16::ZERO, Q16::ONE), Q16::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Q16::ONE.clamp(Q16::ONE, Q16::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_error_is_below_resolution(x in -30000.0f64..30000.0) {
+            let q = Q16::from_f64(x);
+            prop_assert!((q.to_f64() - x).abs() <= 1.0 / f64::from(1 << 15));
+        }
+
+        #[test]
+        fn addition_is_commutative(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+            let (qa, qb) = (Q16::from_f64(a), Q16::from_f64(b));
+            prop_assert_eq!(qa + qb, qb + qa);
+        }
+
+        #[test]
+        fn multiplication_matches_float_within_tolerance(
+            a in -100.0f64..100.0, b in -100.0f64..100.0
+        ) {
+            let q = Q16::from_f64(a) * Q16::from_f64(b);
+            // Max error: operand rounding (|b|+|a|)*2^-17 plus product truncation.
+            let tol = (a.abs() + b.abs() + 2.0) / f64::from(1 << 16);
+            prop_assert!((q.to_f64() - a * b).abs() <= tol,
+                "{} * {} = {} (expected {})", a, b, q.to_f64(), a * b);
+        }
+
+        #[test]
+        fn negation_is_involutive(a in -30000.0f64..30000.0) {
+            let q = Q16::from_f64(a);
+            prop_assert_eq!(-(-q), q);
+        }
+
+        #[test]
+        fn accumulator_matches_sequential_mul(
+            xs in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..20)
+        ) {
+            let mut acc = Accumulator::new();
+            let mut expected = 0.0f64;
+            for &(a, b) in &xs {
+                let (qa, qb) = (Q16::from_f64(a), Q16::from_f64(b));
+                acc.mac(qa, qb, |p| p);
+                expected += qa.to_f64() * qb.to_f64();
+            }
+            prop_assert!((acc.to_q16().to_f64() - expected).abs() < 1e-3);
+        }
+
+        #[test]
+        fn product_sign_bit_matches_sign(a in -30000.0f64..30000.0, b in -30000.0f64..30000.0) {
+            let p = Q16::raw_product(Q16::from_f64(a), Q16::from_f64(b));
+            if p != 0 {
+                prop_assert_eq!(p < 0, (p >> 63) & 1 == 1);
+            }
+        }
+    }
+}

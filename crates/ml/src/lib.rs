@@ -1,0 +1,129 @@
+//! Classical machine-learning models and classification metrics.
+//!
+//! The paper's attacker reverse-engineers the victim HMD with three model
+//! families: a Multi-Layer Perceptron (provided by `shmd-ann`), Logistic
+//! Regression "for its simplicity", and a Decision Tree "for its
+//! non-differentiability". This crate provides the latter two, plus the
+//! confusion-matrix metrics (accuracy, FPR, FNR) reported throughout the
+//! paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use shmd_ml::logistic::{LogisticConfig, LogisticRegression};
+//!
+//! let inputs = vec![vec![0.0f32], vec![0.2], vec![0.8], vec![1.0]];
+//! let labels = vec![false, false, true, true];
+//! let model = LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default())?;
+//! assert!(model.predict_proba(&[0.9]) > 0.5);
+//! # Ok::<(), shmd_ml::FitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod logistic;
+pub mod metrics;
+pub mod scaler;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use logistic::{LogisticConfig, LogisticRegression};
+pub use metrics::{mean_std, ConfusionMatrix};
+pub use scaler::{FitScalerError, StandardScaler};
+pub use tree::{DecisionTree, TreeConfig};
+
+use std::fmt;
+
+/// Error fitting a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// Inputs and labels have different lengths.
+    LengthMismatch {
+        /// Number of input rows.
+        inputs: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// An input row's width differs from the first row's.
+    RaggedRow(usize),
+    /// All labels belong to one class; a discriminative model cannot fit.
+    SingleClass,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => f.write_str("training set is empty"),
+            FitError::LengthMismatch { inputs, labels } => {
+                write!(f, "{inputs} input rows but {labels} labels")
+            }
+            FitError::RaggedRow(i) => write!(f, "input row {i} has inconsistent width"),
+            FitError::SingleClass => f.write_str("all labels belong to a single class"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+pub(crate) fn validate(inputs: &[Vec<f32>], labels: &[bool]) -> Result<usize, FitError> {
+    if inputs.is_empty() {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if inputs.len() != labels.len() {
+        return Err(FitError::LengthMismatch {
+            inputs: inputs.len(),
+            labels: labels.len(),
+        });
+    }
+    let width = inputs[0].len();
+    for (i, row) in inputs.iter().enumerate() {
+        if row.len() != width {
+            return Err(FitError::RaggedRow(i));
+        }
+    }
+    if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+        return Err(FitError::SingleClass);
+    }
+    Ok(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_good_data() {
+        let inputs = vec![vec![1.0], vec![2.0]];
+        assert_eq!(validate(&inputs, &[true, false]), Ok(1));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(validate(&[], &[]), Err(FitError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn validate_rejects_mismatch() {
+        let inputs = vec![vec![1.0]];
+        assert_eq!(
+            validate(&inputs, &[true, false]),
+            Err(FitError::LengthMismatch { inputs: 1, labels: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_ragged() {
+        let inputs = vec![vec![1.0], vec![1.0, 2.0]];
+        assert_eq!(validate(&inputs, &[true, false]), Err(FitError::RaggedRow(1)));
+    }
+
+    #[test]
+    fn validate_rejects_single_class() {
+        let inputs = vec![vec![1.0], vec![2.0]];
+        assert_eq!(validate(&inputs, &[true, true]), Err(FitError::SingleClass));
+    }
+}

@@ -1,0 +1,130 @@
+//! Battery-life impact for mobile/edge/IoT deployments.
+//!
+//! The paper motivates undervolting's by-product power saving "specifically
+//! for mobile, edge, and IoT devices" (its §III even cites the Apple Watch
+//! as a dual-core deployment target). This model converts the power figures
+//! into the quantity a product team asks about: how much battery does
+//! always-on detection cost, and how much does the Stochastic-HMD's
+//! undervolting give back?
+
+use crate::cmos::{CmosPowerModel, PowerScope};
+use crate::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+use shmd_volt::voltage::Volts;
+
+/// An always-on detection duty cycle on a battery-powered device.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectionDutyCycle {
+    /// Detections per second while the device is awake.
+    pub detections_per_second: f64,
+    /// MACs per detection (model size).
+    pub macs: usize,
+}
+
+impl Default for DetectionDutyCycle {
+    fn default() -> DetectionDutyCycle {
+        DetectionDutyCycle {
+            detections_per_second: 100.0,
+            macs: LatencyModel::paper_detector_macs(),
+        }
+    }
+}
+
+/// Battery-life model around the calibrated power/latency figures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatteryModel {
+    /// Battery capacity in joules (e.g. a 1.1 Wh watch battery ≈ 4000 J).
+    pub capacity_j: f64,
+    /// Power model of the detection core.
+    pub power: CmosPowerModel,
+    /// Latency model (detection duration).
+    pub latency: LatencyModel,
+}
+
+impl BatteryModel {
+    /// A small wearable-class battery with the paper-calibrated models.
+    pub fn wearable() -> BatteryModel {
+        BatteryModel {
+            capacity_j: 4000.0,
+            power: CmosPowerModel::i7_5557u(),
+            latency: LatencyModel::i7_5557u(),
+        }
+    }
+
+    /// Energy of one detection at the given core voltage, in joules.
+    pub fn energy_per_detection_j(&self, duty: &DetectionDutyCycle, vdd: Volts) -> f64 {
+        let seconds = self.latency.hmd_us(duty.macs) * 1e-6;
+        self.power.power_w(vdd, PowerScope::Core) * seconds
+    }
+
+    /// Fraction of the battery per day that always-on detection costs at
+    /// the given voltage.
+    pub fn battery_per_day(&self, duty: &DetectionDutyCycle, vdd: Volts) -> f64 {
+        let per_second = self.energy_per_detection_j(duty, vdd) * duty.detections_per_second;
+        per_second * 86_400.0 / self.capacity_j
+    }
+
+    /// Detections per joule at the given voltage.
+    pub fn detections_per_joule(&self, duty: &DetectionDutyCycle, vdd: Volts) -> f64 {
+        1.0 / self.energy_per_detection_j(duty, vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
+
+    fn setup() -> (BatteryModel, DetectionDutyCycle) {
+        (BatteryModel::wearable(), DetectionDutyCycle::default())
+    }
+
+    #[test]
+    fn undervolting_extends_battery() {
+        let (battery, duty) = setup();
+        let nominal = battery.battery_per_day(&duty, NOMINAL_CORE_VOLTAGE);
+        let undervolted = battery.battery_per_day(
+            &duty,
+            NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-134)),
+        );
+        assert!(undervolted < nominal);
+        let saving = 1.0 - undervolted / nominal;
+        assert!(
+            (0.15..=0.40).contains(&saving),
+            "core-scope saving at the operating point: {saving}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_model_size() {
+        let (battery, duty) = setup();
+        let half = DetectionDutyCycle {
+            macs: duty.macs / 2,
+            ..duty
+        };
+        let full_e = battery.energy_per_detection_j(&duty, NOMINAL_CORE_VOLTAGE);
+        let half_e = battery.energy_per_detection_j(&half, NOMINAL_CORE_VOLTAGE);
+        assert!(half_e < full_e);
+    }
+
+    #[test]
+    fn detections_per_joule_is_consistent() {
+        let (battery, duty) = setup();
+        let v = NOMINAL_CORE_VOLTAGE;
+        let per_j = battery.detections_per_joule(&duty, v);
+        let e = battery.energy_per_detection_j(&duty, v);
+        assert!((per_j * e - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_on_detection_is_affordable() {
+        // Sanity: 100 detections/s of a 71 KB model must not drain a watch
+        // battery in a day.
+        let (battery, duty) = setup();
+        let fraction = battery.battery_per_day(&duty, NOMINAL_CORE_VOLTAGE);
+        assert!(
+            fraction < 1.0,
+            "always-on detection uses {fraction} batteries/day"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Power, latency, memory, and RNG-cost models for HMD deployments.
+//!
+//! This crate reproduces the paper's §VIII performance evaluation:
+//!
+//! - [`cmos`] — supply-voltage-dependent core power (dynamic `∝ C·V²·f`
+//!   plus exponential leakage), the source of Figure 7's power-savings
+//!   curves and the "~15% power savings" headline;
+//! - [`latency`] — the inference-time model behind the 7 µs / 7.7 µs /
+//!   7.8 µs comparison (Stochastic-HMD vs RHMD-2F vs RHMD-2F2P), including
+//!   the observation that undervolting does not change latency because the
+//!   clock frequency is untouched;
+//! - [`memory`] — model storage and Equation (1)'s storage savings;
+//! - [`rng_cost`] — the overheads of the software alternative (injecting
+//!   noise from a TRNG/PRNG after every MAC): ≈62×/4× time and
+//!   ≈112×/5.7× energy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod cmos;
+pub mod dvfs;
+pub mod latency;
+pub mod memory;
+pub mod rng_cost;
+
+pub use battery::{BatteryModel, DetectionDutyCycle};
+pub use cmos::{CmosPowerModel, PowerScope};
+pub use dvfs::{DvfsComparison, OperatingPoint, StrategyOutcome};
+pub use latency::LatencyModel;
+pub use memory::{storage_savings, MemoryModel};
+pub use rng_cost::{NoiseSource, RngCostModel};

@@ -1,0 +1,712 @@
+//! The stochastic fault model and injector.
+//!
+//! This is the Rust counterpart of the paper's "stochastic fault injection
+//! tool that emulates timing violations at the output of arithmetic
+//! operations, based on the error distribution model detailed in §II".
+//!
+//! A [`FaultModel`] holds per-bit flip probabilities for the 64-bit product,
+//! constructed either from the abstract error-rate knob `er` (the quantity
+//! swept by the paper's space exploration, Figs. 2 & 8) or from a physical
+//! supply voltage through [`MultiplierTimingModel`]. A [`FaultInjector`]
+//! samples from the model with a seeded RNG and keeps [`FaultStats`] that
+//! regenerate Figure 1.
+
+use crate::multiplier::{BitErrorProfile, MultiplierTimingModel, OUTPUT_BITS};
+use crate::voltage::Volts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default fraction of faults that land in the carry-ripple zone *above*
+/// the product's most-significant bit.
+///
+/// The multiplier's final carry-propagate adder spans the full 64 bits; when
+/// the intermediate sum contains a long run of ones, its carry chain ripples
+/// far past the product MSB, so a timing violation occasionally corrupts a
+/// bit of much higher significance than the product itself. These rare
+/// catastrophic faults are what visibly moves the detector's decision
+/// boundary; the frequent in-width faults only dither it.
+pub const DEFAULT_RIPPLE_FRACTION: f64 = 0.03;
+
+/// Default number of bits above the product MSB a carry-ripple fault can
+/// reach.
+pub const DEFAULT_RIPPLE_SPAN: u32 = 14;
+
+/// Error rate used internally when `1.0` is requested.
+///
+/// A literal rate of 1 would make every weighted bit flip *deterministically*
+/// (probability 1), destroying the stochasticity the defense relies on; the
+/// physical system never reaches that regime either (it freezes first).
+const MAX_EFFECTIVE_RATE: f64 = 0.9999;
+
+/// Error building a [`FaultModel`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultModelError {
+    /// The requested error rate is outside `[0, 1]` or not finite.
+    InvalidErrorRate(f64),
+}
+
+impl fmt::Display for FaultModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModelError::InvalidErrorRate(er) => {
+                write!(f, "error rate {er} is outside the valid range [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultModelError {}
+
+/// Per-bit flip probabilities for a 64-bit multiplier product.
+///
+/// The model guarantees `P(at least one bit flips) == error_rate` exactly:
+/// each weighted bit flips independently with probability
+/// `pᵢ = 1 − (1 − er)^{qᵢ}` where `qᵢ` are the normalised location weights,
+/// so `∏(1 − pᵢ) = (1 − er)^{Σqᵢ} = 1 − er`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    error_rate: f64,
+    /// `(bit index, flip probability)` for bits with non-zero weight.
+    flips: Vec<(u8, f64)>,
+    /// CDF over which weighted bit is the *first* to flip, conditioned on at
+    /// least one flip (enables O(1) fast-path sampling).
+    first_flip_cdf: Vec<f64>,
+    /// Fraction of flips diverted to the carry-ripple zone.
+    ripple_fraction: f64,
+    /// Reach of the carry-ripple zone above the product MSB, in bits.
+    ripple_span: u32,
+}
+
+impl FaultModel {
+    /// A fault-free model (nominal voltage).
+    pub fn exact() -> FaultModel {
+        FaultModel {
+            error_rate: 0.0,
+            flips: Vec::new(),
+            first_flip_cdf: Vec::new(),
+            ripple_fraction: DEFAULT_RIPPLE_FRACTION,
+            ripple_span: DEFAULT_RIPPLE_SPAN,
+        }
+    }
+
+    /// Builds a model with the given probability that a multiplication
+    /// result is faulty, using the Figure-1 fault-location distribution.
+    ///
+    /// This is the knob the paper's space exploration sweeps (`er` in
+    /// Figs. 2 and 8); `er = 0.1` is the paper's selected operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is not in
+    /// `[0, 1]`.
+    pub fn from_error_rate(er: f64) -> Result<FaultModel, FaultModelError> {
+        FaultModel::from_error_rate_with_profile(er, &BitErrorProfile::fig1())
+    }
+
+    /// Like [`FaultModel::from_error_rate`] but with a custom fault-location
+    /// profile (e.g. one measured on a different device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is not in
+    /// `[0, 1]`.
+    pub fn from_error_rate_with_profile(
+        er: f64,
+        profile: &BitErrorProfile,
+    ) -> Result<FaultModel, FaultModelError> {
+        if !er.is_finite() || !(0.0..=1.0).contains(&er) {
+            return Err(FaultModelError::InvalidErrorRate(er));
+        }
+        if er == 0.0 {
+            return Ok(FaultModel::exact());
+        }
+        let er_eff = er.min(MAX_EFFECTIVE_RATE);
+        let q = profile.normalized();
+        let mut flips = Vec::new();
+        for (bit, &qi) in q.iter().enumerate() {
+            if qi > 0.0 {
+                let p = 1.0 - (1.0 - er_eff).powf(qi);
+                flips.push((bit as u8, p));
+            }
+        }
+        // P(first flip is flips[k] | >=1 flip) = p_k * prod_{j<k}(1-p_j) / er
+        let mut cdf = Vec::with_capacity(flips.len());
+        let mut none_so_far = 1.0;
+        let mut cum = 0.0;
+        for &(_, p) in &flips {
+            cum += p * none_so_far / er_eff;
+            none_so_far *= 1.0 - p;
+            cdf.push(cum);
+        }
+        // Guard against rounding: force the last entry to 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(FaultModel {
+            error_rate: er_eff,
+            flips,
+            first_flip_cdf: cdf,
+            ripple_fraction: DEFAULT_RIPPLE_FRACTION,
+            ripple_span: DEFAULT_RIPPLE_SPAN,
+        })
+    }
+
+    /// Overrides the carry-ripple parameters (the catastrophic-fault tail).
+    ///
+    /// Exposed for ablation studies; the defaults are calibrated to the
+    /// paper's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_ripple(mut self, fraction: f64, span: u32) -> FaultModel {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "ripple fraction must be a probability"
+        );
+        self.ripple_fraction = fraction;
+        self.ripple_span = span;
+        self
+    }
+
+    /// The fraction of flips diverted to the carry-ripple zone.
+    pub fn ripple_fraction(&self) -> f64 {
+        self.ripple_fraction
+    }
+
+    /// Builds a model for a physical supply voltage using the timing model's
+    /// mean error rate over random operands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultModelError::InvalidErrorRate`] (cannot occur for a
+    /// well-formed timing model, whose rates are probabilities).
+    pub fn at_voltage(
+        timing: &MultiplierTimingModel,
+        vdd: Volts,
+    ) -> Result<FaultModel, FaultModelError> {
+        FaultModel::from_error_rate_with_profile(timing.mean_error_rate(vdd), timing.profile())
+    }
+
+    /// Builds a model for a specific operand pair at a physical voltage
+    /// (used by the §II characterisation experiments, which repeatedly
+    /// multiply the *same* operands).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultModelError::InvalidErrorRate`] (cannot occur for a
+    /// well-formed timing model).
+    pub fn at_voltage_for_operands(
+        timing: &MultiplierTimingModel,
+        vdd: Volts,
+        a: u64,
+        b: u64,
+    ) -> Result<FaultModel, FaultModelError> {
+        let factor = timing.operand_factor(a, b);
+        let er = timing.violation_probability(vdd, factor);
+        FaultModel::from_error_rate_with_profile(er, timing.profile())
+    }
+
+    /// The probability that a multiplication result is faulty.
+    #[inline]
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// The flip probability of each of the 64 product bits.
+    pub fn per_bit_probabilities(&self) -> [f64; OUTPUT_BITS] {
+        let mut out = [0.0; OUTPUT_BITS];
+        for &(bit, p) in &self.flips {
+            out[bit as usize] = p;
+        }
+        out
+    }
+
+    /// `true` if the model never injects faults.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.error_rate == 0.0
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> FaultModel {
+        FaultModel::exact()
+    }
+}
+
+/// Statistics accumulated by a [`FaultInjector`], sufficient to regenerate
+/// the paper's Figure 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Total multiplications processed.
+    pub multiplies: u64,
+    /// Multiplications whose result was corrupted.
+    pub faulty: u64,
+    /// Per-bit flip counts.
+    pub bit_flips: Vec<u64>,
+}
+
+impl FaultStats {
+    fn new() -> FaultStats {
+        FaultStats {
+            multiplies: 0,
+            faulty: 0,
+            bit_flips: vec![0; OUTPUT_BITS],
+        }
+    }
+
+    /// Observed fraction of faulty multiplications.
+    pub fn observed_error_rate(&self) -> f64 {
+        if self.multiplies == 0 {
+            0.0
+        } else {
+            self.faulty as f64 / self.multiplies as f64
+        }
+    }
+
+    /// Per-bit error rates (flips per multiplication), the quantity plotted
+    /// in Figure 1.
+    pub fn bitwise_error_rates(&self) -> Vec<f64> {
+        let n = self.multiplies.max(1) as f64;
+        self.bit_flips.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Merges counts from another statistics record.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.multiplies += other.multiplies;
+        self.faulty += other.faulty;
+        if self.bit_flips.len() < other.bit_flips.len() {
+            self.bit_flips.resize(other.bit_flips.len(), 0);
+        }
+        for (a, b) in self.bit_flips.iter_mut().zip(&other.bit_flips) {
+            *a += b;
+        }
+    }
+}
+
+/// Anything that can transform a raw 64-bit product — the integration point
+/// between the fault model and the fixed-point inference datapath.
+pub trait ProductCorruptor {
+    /// Transforms the exact product into the (possibly faulty) product the
+    /// datapath latches.
+    fn corrupt(&mut self, product: i64) -> i64;
+}
+
+/// The identity datapath: never faults (nominal voltage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExactDatapath;
+
+impl ProductCorruptor for ExactDatapath {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        product
+    }
+}
+
+/// A seeded stochastic fault injector.
+///
+/// # Example
+///
+/// ```
+/// use shmd_volt::fault::{FaultInjector, FaultModel, ProductCorruptor};
+///
+/// let mut injector = FaultInjector::new(FaultModel::from_error_rate(0.5)?, 7);
+/// let mut corrupted = 0;
+/// for _ in 0..1000 {
+///     if injector.corrupt(1 << 40) != 1 << 40 {
+///         corrupted += 1;
+///     }
+/// }
+/// assert!(corrupted > 400 && corrupted < 600);
+/// # Ok::<(), shmd_volt::fault::FaultModelError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    model: FaultModel,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(model: FaultModel, seed: u64) -> FaultInjector {
+        FaultInjector {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            stats: FaultStats::new(),
+        }
+    }
+
+    /// The fault model in use.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Replaces the fault model (e.g. when re-calibrating for temperature).
+    pub fn set_model(&mut self, model: FaultModel) {
+        self.model = model;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::new();
+    }
+
+    /// Corrupts a raw 64-bit product, updating statistics.
+    ///
+    /// With probability `1 − error_rate` the product is returned unchanged
+    /// (a single RNG draw — the hot path). Otherwise the first flipped bit
+    /// is drawn from the conditional first-flip distribution and later bits
+    /// flip independently, which reproduces exact independent per-bit
+    /// Bernoulli sampling.
+    ///
+    /// Fault *locations* are activity-scaled: a timing violation can only
+    /// corrupt a column whose partial products actually switch, so the
+    /// sampled bit position (calibrated on full-width random operands, §II)
+    /// is compressed into the product's active bit-width. Consequences
+    /// faithfully mirror the paper: most faults are small *relative* errors,
+    /// occasionally one lands near the product's MSB, and values very close
+    /// to zero are not perturbed at all (the paper's stated limitation:
+    /// "models that operate on numbers that are very close to zero are not
+    /// protected").
+    pub fn corrupt_product(&mut self, product: i64) -> i64 {
+        self.stats.multiplies += 1;
+        if self.model.is_exact() {
+            return product;
+        }
+        let u: f64 = self.rng.gen();
+        if u >= self.model.error_rate || self.model.flips.is_empty() {
+            // The empty-flips case cannot arise from the constructors but
+            // can from a hand-crafted deserialized model; treat it as exact
+            // rather than underflowing below.
+            return product;
+        }
+        // Active width: highest switching column, plus one for carry-out.
+        // Never the sign bit (structurally an XOR off the critical path).
+        let width = 64 - product.unsigned_abs().leading_zeros();
+        let top = (width + 1).min(OUTPUT_BITS as u32 - 2);
+        if top <= (crate::multiplier::IMMUNE_LSBS as u32) + 1 {
+            // Near-zero product: no carry chains long enough to violate.
+            return product;
+        }
+        let ripple_top = (width + self.model.ripple_span).min(OUTPUT_BITS as u32 - 2);
+        let ripple_fraction = self.model.ripple_fraction;
+        let place = |rng: &mut StdRng, bit: u8| -> u64 {
+            if ripple_top > top && rng.gen::<f64>() < ripple_fraction {
+                // Carry-propagate-adder ripple past the product MSB.
+                u64::from(rng.gen_range(top + 1..=ripple_top))
+            } else {
+                let pos = (u32::from(bit) * top) / (OUTPUT_BITS as u32 - 2);
+                u64::from(pos.clamp(crate::multiplier::IMMUNE_LSBS as u32 + 1, top))
+            }
+        };
+        let mut mask = 0u64;
+        // First flipped bit, conditioned on at least one flip.
+        let v: f64 = self.rng.gen();
+        let k = self
+            .model
+            .first_flip_cdf
+            .partition_point(|&c| c < v)
+            .min(self.model.flips.len() - 1);
+        let (first_bit, _) = self.model.flips[k];
+        mask ^= 1u64 << place(&mut self.rng, first_bit);
+        // Remaining bits flip independently.
+        let rest = k + 1..self.model.flips.len();
+        for idx in rest {
+            let (bit, p) = self.model.flips[idx];
+            if self.rng.gen::<f64>() < p {
+                mask ^= 1u64 << place(&mut self.rng, bit);
+            }
+        }
+        if mask == 0 {
+            // Scaled positions collided pairwise and cancelled.
+            return product;
+        }
+        self.stats.faulty += 1;
+        let mut remaining = mask;
+        while remaining != 0 {
+            let bit = remaining.trailing_zeros() as usize;
+            self.stats.bit_flips[bit] += 1;
+            remaining &= remaining - 1;
+        }
+        product ^ (mask as i64)
+    }
+
+    /// Corrupts an unsigned product (convenience for characterisation code).
+    pub fn corrupt_unsigned(&mut self, product: u64) -> u64 {
+        self.corrupt_product(product as i64) as u64
+    }
+}
+
+impl ProductCorruptor for FaultInjector {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        self.corrupt_product(product)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::{IMMUNE_LSBS, SIGN_BIT};
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_model_is_identity() {
+        let mut inj = FaultInjector::new(FaultModel::exact(), 1);
+        for p in [0i64, -1, i64::MAX, i64::MIN, 12345] {
+            assert_eq!(inj.corrupt_product(p), p);
+        }
+        assert_eq!(inj.stats().faulty, 0);
+        assert_eq!(inj.stats().multiplies, 5);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(FaultModel::from_error_rate(-0.1).is_err());
+        assert!(FaultModel::from_error_rate(1.5).is_err());
+        assert!(FaultModel::from_error_rate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rate_one_is_clamped_but_always_faulty() {
+        let m = FaultModel::from_error_rate(1.0).expect("valid");
+        assert!((m.error_rate() - MAX_EFFECTIVE_RATE).abs() < 1e-12);
+        let mut inj = FaultInjector::new(m, 3);
+        // Full-width product: fault positions map one-to-one.
+        let product = 3i64 << 60;
+        let mut faulty = 0;
+        for _ in 0..2000 {
+            if inj.corrupt_product(product) != product {
+                faulty += 1;
+            }
+        }
+        assert!(faulty >= 1990, "expected ~all faulty, got {faulty}/2000");
+    }
+
+    #[test]
+    fn observed_rate_matches_requested_rate() {
+        for &er in &[0.01, 0.1, 0.5, 0.9] {
+            let mut inj =
+                FaultInjector::new(FaultModel::from_error_rate(er).expect("valid"), 99);
+            for _ in 0..20_000 {
+                // Full-width product: observed rate matches the knob exactly.
+                inj.corrupt_product(0x7123_4567_89ab_cdef);
+            }
+            let observed = inj.stats().observed_error_rate();
+            assert!(
+                (observed - er).abs() < 0.02,
+                "er = {er}, observed = {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sign_bit_never_flips() {
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.9).expect("valid"), 5);
+        for i in 0..20_000i64 {
+            let p = i * 31_415_926;
+            let c = inj.corrupt_product(p);
+            assert_eq!(c < 0, p < 0, "sign changed: {p:#x} -> {c:#x}");
+        }
+        assert_eq!(inj.stats().bit_flips[SIGN_BIT], 0);
+    }
+
+    #[test]
+    fn immune_lsbs_never_flip() {
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.9).expect("valid"), 6);
+        for i in 0..20_000i64 {
+            let p = i * 2_718_281;
+            let c = inj.corrupt_product(p);
+            assert_eq!(
+                (c ^ p) & 0xff,
+                0,
+                "an immune LSB flipped: {p:#x} -> {c:#x}"
+            );
+        }
+        for bit in 0..IMMUNE_LSBS {
+            assert_eq!(inj.stats().bit_flips[bit], 0);
+        }
+    }
+
+    #[test]
+    fn fault_locations_are_stochastic() {
+        // The same operands must not always fault in the same place —
+        // the paper's core §II observation.
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(1.0).expect("valid"), 8);
+        let product = 0x00ff_00ff_00ff_00ffi64;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..200 {
+            distinct.insert(inj.corrupt_product(product));
+        }
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct faulty outputs",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_fault_sequence() {
+        let model = FaultModel::from_error_rate(0.3).expect("valid");
+        let mut a = FaultInjector::new(model.clone(), 42);
+        let mut b = FaultInjector::new(model, 42);
+        for i in 0..5000 {
+            assert_eq!(a.corrupt_product(i * 7919), b.corrupt_product(i * 7919));
+        }
+    }
+
+    #[test]
+    fn bitwise_rates_follow_fig1_shape() {
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.5).expect("valid"), 11);
+        for _ in 0..100_000 {
+            inj.corrupt_product(0x0f0f_0f0f_0f0f_0f0f);
+        }
+        let rates = inj.stats().bitwise_error_rates();
+        let peak = BitErrorProfile::fig1().peak_bit();
+        assert!(rates[peak] > rates[15], "peak bit should dominate low bits");
+        assert!(rates[peak] > rates[60], "peak bit should dominate top bits");
+        assert_eq!(rates[SIGN_BIT], 0.0);
+    }
+
+    #[test]
+    fn at_voltage_uses_timing_model() {
+        use crate::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
+        let timing = MultiplierTimingModel::broadwell_2_2ghz();
+        let nominal = FaultModel::at_voltage(&timing, NOMINAL_CORE_VOLTAGE).expect("valid");
+        assert!(nominal.error_rate() < 1e-9, "no faults at nominal voltage");
+        let deep = FaultModel::at_voltage(
+            &timing,
+            NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-140)),
+        )
+        .expect("valid");
+        assert!(deep.error_rate() > nominal.error_rate());
+    }
+
+    #[test]
+    fn operand_specific_models_differ() {
+        use crate::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
+        let timing = MultiplierTimingModel::broadwell_2_2ghz();
+        let v = NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-120));
+        let dense =
+            FaultModel::at_voltage_for_operands(&timing, v, u64::MAX, u64::MAX).expect("valid");
+        let sparse = FaultModel::at_voltage_for_operands(&timing, v, 1, 1).expect("valid");
+        assert!(
+            dense.error_rate() > sparse.error_rate(),
+            "dense operands must fault more: {} vs {}",
+            dense.error_rate(),
+            sparse.error_rate()
+        );
+    }
+
+    #[test]
+    fn near_zero_products_are_unprotected() {
+        // Paper §IX "Limitations": since LSBs cannot flip, values very
+        // close to zero are not protected.
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(1.0).expect("valid"), 13);
+        for p in [0i64, 1, -1, 37, -200, 255] {
+            for _ in 0..50 {
+                assert_eq!(inj.corrupt_product(p), p, "tiny product {p} faulted");
+            }
+        }
+    }
+
+    #[test]
+    fn faults_stay_within_active_width_plus_ripple() {
+        // No switching activity above the product's top column ⇒ faults
+        // stay within the active width, except rare carry-ripple faults
+        // that reach at most DEFAULT_RIPPLE_SPAN bits higher.
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(1.0).expect("valid"), 14);
+        let product = 1i64 << 20; // active width 21
+        let mut in_width = 0u32;
+        let mut rippled = 0u32;
+        for _ in 0..2000 {
+            let c = inj.corrupt_product(product);
+            let diff = (c ^ product) as u64;
+            assert_eq!(
+                diff >> (21 + DEFAULT_RIPPLE_SPAN + 1),
+                0,
+                "fault too high: {diff:#x}"
+            );
+            if diff >> 23 != 0 {
+                rippled += 1;
+            } else if diff != 0 {
+                in_width += 1;
+            }
+        }
+        assert!(in_width > rippled, "in-width faults must dominate");
+        assert!(rippled > 0, "the catastrophic tail must exist");
+    }
+
+    #[test]
+    fn most_faults_are_small_relative_errors() {
+        // The paper's FANN-integrated tool mostly perturbs low-significance
+        // mantissa bits; verify the median faulty deviation is small at the
+        // paper's er = 0.1 operating point (where faults are single flips).
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.1).expect("valid"), 15);
+        let product = 1i64 << 40;
+        let mut rel_errors: Vec<f64> = (0..40_000)
+            .filter_map(|_| {
+                let c = inj.corrupt_product(product);
+                if c == product {
+                    None
+                } else {
+                    Some(((c - product).abs() as f64) / (product as f64))
+                }
+            })
+            .collect();
+        rel_errors.sort_by(f64::total_cmp);
+        let median = rel_errors[rel_errors.len() / 2];
+        assert!(median < 0.05, "median relative error {median} too large");
+        // ... but the tail must contain significant deviations, or the
+        // defense would never move the decision boundary.
+        let p95 = rel_errors[rel_errors.len() * 95 / 100];
+        assert!(p95 > 1e-4, "p95 relative error {p95} too small");
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = FaultStats::new();
+        a.multiplies = 10;
+        a.faulty = 2;
+        a.bit_flips[40] = 2;
+        let mut b = FaultStats::new();
+        b.multiplies = 5;
+        b.faulty = 1;
+        b.bit_flips[40] = 1;
+        a.merge(&b);
+        assert_eq!(a.multiplies, 15);
+        assert_eq!(a.faulty, 3);
+        assert_eq!(a.bit_flips[40], 3);
+    }
+
+    proptest! {
+        #[test]
+        fn per_bit_probabilities_compose_to_error_rate(er in 0.001f64..0.999) {
+            let m = FaultModel::from_error_rate(er).unwrap();
+            let p_none: f64 = m.per_bit_probabilities().iter().map(|p| 1.0 - p).product();
+            prop_assert!((1.0 - p_none - er).abs() < 1e-9,
+                "P(any flip) = {} for er = {}", 1.0 - p_none, er);
+        }
+
+        #[test]
+        fn corruption_never_touches_immune_bits(
+            product in any::<i64>(), er in 0.01f64..1.0, seed in any::<u64>()
+        ) {
+            let mut inj = FaultInjector::new(FaultModel::from_error_rate(er).unwrap(), seed);
+            let c = inj.corrupt_product(product);
+            let diff = (c ^ product) as u64;
+            prop_assert_eq!(diff & 0xff, 0, "immune LSB flipped");
+            prop_assert_eq!(diff >> 63, 0, "sign bit flipped");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! CSV export/import of extracted features.
+//!
+//! Deployments and external ML tooling exchange HMD training data as
+//! feature tables. The format is one header row (`f0..f{n-1},label`) and
+//! one row per sample; labels are `malware`/`benign`.
+
+use crate::dataset::LabeledFeatures;
+use std::fmt;
+use std::io::{BufReader, Read, Write};
+
+/// Error importing a feature CSV.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseCsvError {
+    /// Missing or malformed header row.
+    BadHeader(String),
+    /// A data row has the wrong number of columns.
+    BadRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCsvError::BadHeader(h) => write!(f, "bad header: {h}"),
+            ParseCsvError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+            ParseCsvError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+/// Serializes features to CSV text.
+pub fn to_csv(features: &LabeledFeatures) -> String {
+    let width = features.inputs.first().map_or(0, Vec::len);
+    let mut out = String::new();
+    for i in 0..width {
+        out.push_str(&format!("f{i},"));
+    }
+    out.push_str("label\n");
+    for (x, &y) in features.inputs.iter().zip(&features.labels) {
+        for v in x {
+            out.push_str(&format!("{v:e},"));
+        }
+        out.push_str(if y { "malware" } else { "benign" });
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes features as CSV to any [`Write`] (pass `&mut file` to keep it).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(features: &LabeledFeatures, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(to_csv(features).as_bytes())
+}
+
+/// Parses features from CSV text.
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] describing the first malformed line.
+pub fn from_csv(text: &str) -> Result<LabeledFeatures, ParseCsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseCsvError::BadHeader("empty input".to_string()))?;
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.last() != Some(&"label") || columns.len() < 2 {
+        return Err(ParseCsvError::BadHeader(header.to_string()));
+    }
+    let width = columns.len() - 1;
+
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for (idx, line) in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != width + 1 {
+            return Err(ParseCsvError::BadRow {
+                line: idx + 1,
+                reason: format!("expected {} columns, found {}", width + 1, cells.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(width);
+        for cell in &cells[..width] {
+            row.push(cell.parse::<f32>().map_err(|_| ParseCsvError::BadRow {
+                line: idx + 1,
+                reason: format!("not a number: {cell}"),
+            })?);
+        }
+        let label = match cells[width] {
+            "malware" => true,
+            "benign" => false,
+            other => {
+                return Err(ParseCsvError::BadRow {
+                    line: idx + 1,
+                    reason: format!("unknown label: {other}"),
+                })
+            }
+        };
+        inputs.push(row);
+        labels.push(label);
+    }
+    Ok(LabeledFeatures { inputs, labels })
+}
+
+/// Reads features from any [`Read`] (pass `&mut file` to keep it).
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError::Io`] for reader failures, parse errors
+/// otherwise.
+pub fn read_csv<R: Read>(reader: R) -> Result<LabeledFeatures, ParseCsvError> {
+    let mut text = String::new();
+    BufReader::new(reader)
+        .read_to_string(&mut text)
+        .map_err(|e| ParseCsvError::Io(e.to_string()))?;
+    from_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+    use crate::features::FeatureSpec;
+
+    fn sample() -> LabeledFeatures {
+        let d = Dataset::generate(&DatasetConfig::small(20), 3);
+        let all: Vec<usize> = (0..d.len()).collect();
+        d.labeled_features(&all, FeatureSpec::frequency())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let features = sample();
+        let loaded = from_csv(&to_csv(&features)).expect("parses");
+        assert_eq!(features, loaded);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let features = sample();
+        let mut buffer = Vec::new();
+        write_csv(&features, &mut buffer).expect("writes");
+        let loaded = read_csv(buffer.as_slice()).expect("reads");
+        assert_eq!(features, loaded);
+    }
+
+    #[test]
+    fn header_names_features() {
+        let features = sample();
+        let text = to_csv(&features);
+        let header = text.lines().next().expect("header");
+        assert!(header.starts_with("f0,f1,"));
+        assert!(header.ends_with(",label"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_csv("a,b,c\n1,2,3\n"),
+            Err(ParseCsvError::BadHeader(_))
+        ));
+        assert!(matches!(from_csv(""), Err(ParseCsvError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_short_rows() {
+        let err = from_csv("f0,f1,label\n0.5,malware\n").expect_err("short row");
+        assert!(matches!(err, ParseCsvError::BadRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_labels() {
+        assert!(matches!(
+            from_csv("f0,label\nxyz,malware\n"),
+            Err(ParseCsvError::BadRow { .. })
+        ));
+        assert!(matches!(
+            from_csv("f0,label\n0.5,suspicious\n"),
+            Err(ParseCsvError::BadRow { .. })
+        ));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn arbitrary_input_never_panics(text in proptest::string::string_regex(".{0,300}").unwrap()) {
+            let _ = from_csv(&text); // must return Err, never panic
+        }
+    }
+
+    #[test]
+    fn errors_display_line_numbers() {
+        let err = from_csv("f0,label\n0.5,nope\n").expect_err("bad label");
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-device calibration (§IX "Calibration"): faults vary across chips and
+//! with temperature, so each device must be swept individually, and the
+//! controller must re-adjust when the die heats up.
+//!
+//! ```text
+//! cargo run --release --example device_calibration
+//! ```
+
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+use shmd_volt::voltage::{MsrVoltageCommand, VoltagePlane};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let calibrator = Calibrator::new();
+
+    // Three chips of the same SKU: process variation shifts the window.
+    println!("process variation across devices (49 degC):");
+    println!(
+        "{:>10} {:>13} {:>10} {:>14}",
+        "device", "first fault", "freeze", "er=0.1 offset"
+    );
+    for seed in 0..3u64 {
+        let device = if seed == 0 {
+            DeviceProfile::reference()
+        } else {
+            DeviceProfile::sampled(format!("unit-{seed}"), seed)
+        };
+        let curve = calibrator.calibrate(&device);
+        let op = curve
+            .offset_for_error_rate(0.1)
+            .map(|o| o.to_string())
+            .unwrap_or_else(|e| format!("({e})"));
+        println!(
+            "{:>10} {:>13} {:>10} {:>14}",
+            device.name,
+            curve.first_fault_offset().to_string(),
+            curve.freeze_offset().to_string(),
+            op
+        );
+    }
+
+    // Temperature: the controller must track the die temperature and
+    // re-derive the offset, or the error rate drifts.
+    println!("\ntemperature drift on the reference device:");
+    println!("{:>8} {:>14} {:>16}", "temp", "er=0.1 offset", "er at cold offset");
+    let cold = {
+        let mut d = DeviceProfile::reference();
+        d.temp_c = 35.0;
+        d
+    };
+    let cold_curve = calibrator.calibrate(&cold);
+    let cold_offset = cold_curve.offset_for_error_rate(0.1)?;
+    for temp in [35.0, 49.0, 65.0, 80.0] {
+        let mut d = DeviceProfile::reference();
+        d.temp_c = temp;
+        let curve = calibrator.calibrate(&d);
+        let op = curve
+            .offset_for_error_rate(0.1)
+            .map(|o| o.to_string())
+            .unwrap_or_else(|e| format!("({e})"));
+        println!(
+            "{:>6}C {:>14} {:>16.4}",
+            temp,
+            op,
+            curve.error_rate_at(cold_offset)
+        );
+    }
+
+    // The command a trusted controller would issue on the reference chip.
+    let curve = calibrator.calibrate(&DeviceProfile::reference());
+    let offset = curve.offset_for_error_rate(0.1)?;
+    let cmd = MsrVoltageCommand::new(VoltagePlane::CpuCore, offset)?;
+    println!("\ndeployment command for the reference device:\n  {cmd}");
+    println!("(decoded back: offset {})", MsrVoltageCommand::decode(cmd.encode())?.offset());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: train an HMD, protect it with undervolting, detect malware.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::detector::Detector;
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{evaluate, train_baseline, HmdTrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A dataset of synthetic malware and benign program traces
+    //    (5:1 class mix, like the paper's 3000 + 600 corpus).
+    let dataset = Dataset::generate(&DatasetConfig::small(300), 42);
+    let split = dataset.three_fold_split(0);
+    println!(
+        "dataset: {} programs, folds of ~{}",
+        dataset.len(),
+        split.testing().len()
+    );
+
+    // 2. Train the baseline HMD (a FANN-style MLP over instruction-category
+    //    frequencies) on the victim fold.
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::paper(),
+    )?;
+
+    // 3. Protect it: same model, undervolted datapath, 10% multiplication
+    //    error rate — the paper's operating point. No retraining.
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.1, 7)?;
+
+    // 4. Detect.
+    let baseline_acc = {
+        let mut b = baseline.clone();
+        evaluate(&mut b, &dataset, split.testing()).accuracy()
+    };
+    let protected_matrix = evaluate(&mut protected, &dataset, split.testing());
+    println!("baseline accuracy:   {:.1}%", baseline_acc * 100.0);
+    println!("protected accuracy:  {:.1}%", protected_matrix.accuracy() * 100.0);
+    println!(
+        "accuracy cost of the defense: {:.2} points (paper: <2)",
+        (baseline_acc - protected_matrix.accuracy()) * 100.0
+    );
+
+    // 5. The moving-target property: the same trace, scored repeatedly,
+    //    yields varying confidence. Pick the most boundary-adjacent test
+    //    sample, where the stochastic boundary is most visible.
+    let near_boundary = split
+        .testing()
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let spec = baseline.spec();
+            let da = (baseline.score_features(&spec.extract(dataset.trace(a))) - 0.5).abs();
+            let db = (baseline.score_features(&spec.extract(dataset.trace(b))) - 0.5).abs();
+            da.total_cmp(&db)
+        })
+        .expect("non-empty fold");
+    let trace = dataset.trace(near_boundary);
+    let scores: Vec<String> = (0..6)
+        .map(|_| format!("{:.4}", protected.score(trace)))
+        .collect();
+    println!("six stochastic detections of one trace: {}", scores.join(", "));
+    println!(
+        "faults injected so far: {} of {} multiplications",
+        protected.fault_stats().faulty,
+        protected.fault_stats().multiplies
+    );
+    Ok(())
+}

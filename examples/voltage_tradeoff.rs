@@ -1,0 +1,68 @@
+//! Sweep the undervolt level of a calibrated device and report the full
+//! deployment trade-off: error rate, detection accuracy, and power savings
+//! (the paper's §IX discussion in one table).
+//!
+//! ```text
+//! cargo run --release --example voltage_tradeoff
+//! ```
+
+use shmd_power::cmos::{CmosPowerModel, PowerScope};
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{evaluate, train_baseline, HmdTrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::generate(&DatasetConfig::small(300), 42);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::paper(),
+    )?;
+
+    let device = DeviceProfile::reference();
+    let curve = Calibrator::new().calibrate(&device);
+    let power = CmosPowerModel::i7_5557u();
+    println!(
+        "device {}: first faults at {}, freeze at {}",
+        curve.device(),
+        curve.first_fault_offset(),
+        curve.freeze_offset()
+    );
+    println!();
+    println!(
+        "{:>10} {:>12} {:>10} {:>12} {:>12}",
+        "offset", "error rate", "accuracy", "core save", "pkg save"
+    );
+
+    let first = curve.first_fault_offset().get();
+    let freeze = curve.freeze_offset().get();
+    let mut mv = 0i32;
+    while mv >= freeze {
+        let offset = Millivolts::new(mv);
+        let er = curve.error_rate_at(offset);
+        let mut hmd = StochasticHmd::at_offset(&baseline, &curve, offset, 3)?;
+        let acc = evaluate(&mut hmd, &dataset, split.testing()).accuracy();
+        let vdd = NOMINAL_CORE_VOLTAGE.with_offset(offset);
+        println!(
+            "{:>10} {:>12.4} {:>9.1}% {:>11.1}% {:>11.1}%",
+            offset.to_string(),
+            er,
+            acc * 100.0,
+            power.savings_over_baseline(vdd, PowerScope::Core) * 100.0,
+            power.savings_over_baseline(vdd, PowerScope::Package) * 100.0
+        );
+        // Finer steps once the next coarse step would enter the fault window.
+        mv -= if mv - 20 > first { 20 } else { 2 };
+    }
+    println!();
+    match curve.offset_for_error_rate(0.1) {
+        Ok(op) => println!("operating point for er = 0.1 on this device: {op}"),
+        Err(e) => println!("er = 0.1 unreachable: {e}"),
+    }
+    Ok(())
+}

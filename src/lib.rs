@@ -1,0 +1,20 @@
+//! Meta-crate re-exporting the Stochastic-HMD reproduction workspace.
+//!
+//! See the individual crates for functionality:
+//! - [`shmd_volt`] — undervolting fault model
+//! - [`shmd_fixed`] — fixed-point arithmetic
+//! - [`shmd_ann`] — FANN-like neural network
+//! - [`shmd_ml`] — logistic regression / decision tree
+//! - [`shmd_workload`] — synthetic program traces and dataset
+//! - [`stochastic_hmd`] — detectors (baseline, stochastic, RHMD)
+//! - [`shmd_attack`] — reverse engineering / evasion / transferability
+//! - [`shmd_power`] — power, latency, memory, RNG-cost models
+
+pub use shmd_ann as ann;
+pub use shmd_attack as attack;
+pub use shmd_fixed as fixed;
+pub use shmd_ml as ml;
+pub use shmd_power as power;
+pub use shmd_volt as volt;
+pub use shmd_workload as workload;
+pub use stochastic_hmd as hmd;

@@ -1,0 +1,112 @@
+//! The deployment chain: characterize a device → calibrate → pick the
+//! undervolt offset → run the protected detector → encode the MSR command.
+
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+use shmd_volt::voltage::{MsrVoltageCommand, VoltagePlane};
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{evaluate, train_baseline, HmdTrainConfig};
+
+#[test]
+fn calibrate_then_deploy_then_detect() {
+    let device = DeviceProfile::reference();
+    let curve = Calibrator::new().with_step(2).calibrate(&device);
+
+    // The paper's fault window: first faults around −103…−145 mV.
+    assert!((-150..=-90).contains(&curve.first_fault_offset().get()));
+    assert!(curve.freeze_offset().get() < curve.first_fault_offset().get());
+
+    // Pick the er = 0.1 operating point.
+    let offset = curve.offset_for_error_rate(0.1).expect("reachable");
+    assert!(offset.get() < curve.first_fault_offset().get() + 5);
+    assert!(offset.get() > curve.freeze_offset().get());
+
+    // Deploy a detector at that physical offset.
+    let dataset = Dataset::generate(&DatasetConfig::small(100), 77);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    let mut deployed =
+        StochasticHmd::at_offset(&baseline, &curve, offset, 1).expect("deployable");
+    assert!((deployed.error_rate() - 0.1).abs() < 0.1);
+    let m = evaluate(&mut deployed, &dataset, split.testing());
+    assert!(m.accuracy() > 0.85, "deployed accuracy {m}");
+
+    // The voltage command a trusted controller writes.
+    let cmd = MsrVoltageCommand::new(VoltagePlane::CpuCore, offset).expect("encodable");
+    let decoded = MsrVoltageCommand::decode(cmd.encode()).expect("decodable");
+    assert_eq!(decoded.plane(), VoltagePlane::CpuCore);
+    assert!((decoded.offset().get() - offset.get()).abs() <= 1);
+}
+
+#[test]
+fn hotter_devices_need_deeper_offsets() {
+    // §IX: the controller "needs to dynamically adjust the undervolting
+    // level based on the current temperature".
+    let calibrator = Calibrator::new().with_step(2);
+    let mut cold = DeviceProfile::reference();
+    cold.temp_c = 35.0;
+    let mut hot = DeviceProfile::reference();
+    hot.temp_c = 80.0;
+    let cold_offset = calibrator
+        .calibrate(&cold)
+        .offset_for_error_rate(0.1)
+        .expect("reachable");
+    let hot_offset = calibrator
+        .calibrate(&hot)
+        .offset_for_error_rate(0.1)
+        .expect("reachable");
+    assert!(
+        hot_offset.get() < cold_offset.get(),
+        "hot die is faster, needs deeper undervolt: {hot_offset} vs {cold_offset}"
+    );
+}
+
+#[test]
+fn stale_calibration_drifts_the_error_rate() {
+    let calibrator = Calibrator::new().with_step(2);
+    let mut cold = DeviceProfile::reference();
+    cold.temp_c = 35.0;
+    let cold_offset = calibrator
+        .calibrate(&cold)
+        .offset_for_error_rate(0.1)
+        .expect("reachable");
+    let mut hot = DeviceProfile::reference();
+    hot.temp_c = 80.0;
+    let drifted = calibrator.calibrate(&hot).error_rate_at(cold_offset);
+    assert!(
+        (drifted - 0.1).abs() > 0.02,
+        "temperature change must drift the error rate: {drifted}"
+    );
+}
+
+#[test]
+fn detection_still_works_across_devices_after_recalibration() {
+    let dataset = Dataset::generate(&DatasetConfig::small(100), 78);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    for seed in 1..4u64 {
+        let device = DeviceProfile::sampled(format!("unit-{seed}"), seed);
+        let curve = Calibrator::new().with_step(2).calibrate(&device);
+        let offset = curve.offset_for_error_rate(0.05).expect("reachable");
+        let mut deployed =
+            StochasticHmd::at_offset(&baseline, &curve, offset, seed).expect("deployable");
+        let m = evaluate(&mut deployed, &dataset, split.testing());
+        assert!(
+            m.accuracy() > 0.85,
+            "unit-{seed} deployed accuracy {m} at {offset}"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: dataset → training → protection → attack.
+
+use shmd_attack::campaign::{AttackCampaign, AttackTrainingSet};
+use shmd_attack::reverse::ReverseConfig;
+use shmd_attack::ProxyKind;
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::detector::Detector;
+use stochastic_hmd::rhmd::{Rhmd, RhmdConstruction};
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{evaluate, train_baseline, HmdTrainConfig};
+
+fn setup() -> (Dataset, stochastic_hmd::BaselineHmd) {
+    let dataset = Dataset::generate(&DatasetConfig::small(120), 2024);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("training succeeds");
+    (dataset, baseline)
+}
+
+#[test]
+fn full_pipeline_runs_and_preserves_the_papers_shape() {
+    let (dataset, baseline) = setup();
+    let split = dataset.three_fold_split(0);
+
+    // Baseline detects well.
+    let mut unprotected = baseline.clone();
+    let base_acc = evaluate(&mut unprotected, &dataset, split.testing()).accuracy();
+    assert!(base_acc > 0.9, "baseline accuracy {base_acc}");
+
+    // Protection costs little accuracy.
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.1, 7).expect("valid er");
+    let prot_acc = evaluate(&mut protected, &dataset, split.testing()).accuracy();
+    assert!(
+        base_acc - prot_acc < 0.08,
+        "protection cost too high: {base_acc} -> {prot_acc}"
+    );
+
+    // An attack campaign completes against both victims.
+    let campaign = AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp))
+        .with_training_set(AttackTrainingSet::AttackerTraining);
+    let base_report = campaign
+        .run(&mut unprotected, &dataset, 0)
+        .expect("baseline campaign");
+    let prot_report = campaign
+        .run(&mut protected, &dataset, 0)
+        .expect("stochastic campaign");
+
+    // Reverse engineering is at least as hard against the stochastic HMD.
+    assert!(
+        prot_report.re_effectiveness <= base_report.re_effectiveness + 0.05,
+        "stochasticity must not make RE easier: {prot_report:?} vs {base_report:?}"
+    );
+    assert!(base_report.re_effectiveness > 0.9);
+}
+
+#[test]
+fn rhmd_and_stochastic_hmd_are_both_attackable() {
+    let (dataset, baseline) = setup();
+    let split = dataset.three_fold_split(0);
+    let mut rhmd = Rhmd::train(
+        &dataset,
+        split.victim_training(),
+        RhmdConstruction::TwoFeatures,
+        &HmdTrainConfig::fast(),
+        1,
+    )
+    .expect("rhmd trains");
+    let campaign = AttackCampaign::new(
+        ReverseConfig::new(ProxyKind::Mlp).with_specs(RhmdConstruction::TwoFeatures.specs()),
+    );
+    let report = campaign.run(&mut rhmd, &dataset, 0).expect("rhmd campaign");
+    assert!(report.transfer.attempted > 0);
+
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.1, 3).expect("valid er");
+    let campaign = AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp));
+    let report = campaign
+        .run(&mut protected, &dataset, 0)
+        .expect("stochastic campaign");
+    assert!(report.transfer.attempted > 0);
+}
+
+#[test]
+fn moving_target_defense_varies_boundary_scores() {
+    let (dataset, baseline) = setup();
+    let split = dataset.three_fold_split(0);
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.5, 9).expect("valid er");
+    let varies = split.testing().iter().any(|&i| {
+        let scores: std::collections::HashSet<u64> = (0..30)
+            .map(|_| protected.score(dataset.trace(i)).to_bits())
+            .collect();
+        scores.len() > 2
+    });
+    assert!(varies, "some test trace must show a moving boundary");
+}
+
+#[test]
+fn zero_error_rate_reduces_to_the_baseline_everywhere() {
+    let (dataset, baseline) = setup();
+    let split = dataset.three_fold_split(0);
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.0, 1).expect("valid er");
+    for &i in split.testing().iter().take(30) {
+        let t = dataset.trace(i);
+        let expected = baseline.score_features(&baseline.spec().extract(t));
+        assert_eq!(protected.score(t), expected);
+    }
+}

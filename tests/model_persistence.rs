@@ -1,0 +1,99 @@
+//! Model persistence across the full deployment chain: train → save as a
+//! FANN-style text model → reload → redeploy (baseline and undervolted) →
+//! identical behaviour.
+
+use shmd_ann::io::{from_text, load, save, to_text};
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::export::{from_csv, to_csv};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::detector::Detector;
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+use stochastic_hmd::BaselineHmd;
+
+fn setup() -> (Dataset, BaselineHmd) {
+    let dataset = Dataset::generate(&DatasetConfig::small(80), 2025);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    (dataset, baseline)
+}
+
+#[test]
+fn saved_and_reloaded_detector_scores_identically() {
+    let (dataset, original) = setup();
+    let text = to_text(original.network());
+    let reloaded_net = from_text(&text).expect("parses");
+    let reloaded = BaselineHmd::new("reloaded", original.spec(), reloaded_net);
+    for i in 0..dataset.len() {
+        let f = original.spec().extract(dataset.trace(i));
+        assert_eq!(
+            original.score_features(&f),
+            reloaded.score_features(&f),
+            "trace {i} scores must match after reload"
+        );
+    }
+}
+
+#[test]
+fn reloaded_model_protected_with_same_seed_is_identical() {
+    let (dataset, original) = setup();
+    let reloaded_net = load(to_text(original.network()).as_bytes()).expect("loads");
+    let reloaded = BaselineHmd::new("reloaded", original.spec(), reloaded_net);
+    let mut a = StochasticHmd::from_baseline(&original, 0.2, 99).expect("valid");
+    let mut b = StochasticHmd::from_baseline(&reloaded, 0.2, 99).expect("valid");
+    for i in 0..20 {
+        assert_eq!(a.score(dataset.trace(i)), b.score(dataset.trace(i)));
+    }
+}
+
+#[test]
+fn save_load_through_writers_and_readers() {
+    let (_, original) = setup();
+    let mut buffer = Vec::new();
+    save(original.network(), &mut buffer).expect("writes");
+    let reloaded = load(buffer.as_slice()).expect("reads");
+    assert_eq!(original.network(), &reloaded);
+}
+
+#[test]
+fn features_round_trip_as_csv_and_retrain_identically() {
+    // Export the training table, re-import it, train again: identical
+    // detector (training is deterministic given identical data).
+    let dataset = Dataset::generate(&DatasetConfig::small(80), 2026);
+    let split = dataset.three_fold_split(0);
+    let features = dataset.labeled_features(split.victim_training(), FeatureSpec::frequency());
+    let reloaded = from_csv(&to_csv(&features)).expect("parses");
+    assert_eq!(features, reloaded);
+
+    let original = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    // Retrain from the re-imported table via the ann crate directly.
+    use shmd_ann::builder::NetworkBuilder;
+    use shmd_ann::train::{RpropTrainer, TrainData};
+    let targets: Vec<Vec<f32>> = reloaded
+        .labels
+        .iter()
+        .map(|&m| vec![if m { 1.0 } else { 0.0 }])
+        .collect();
+    let data = TrainData::new(reloaded.inputs, targets).expect("valid");
+    let cfg = HmdTrainConfig::fast();
+    let mut net = NetworkBuilder::new(16)
+        .hidden(cfg.hidden)
+        .output(1)
+        .seed(cfg.seed)
+        .build()
+        .expect("builds");
+    RpropTrainer::new().epochs(cfg.epochs).train(&mut net, &data);
+    assert_eq!(original.network(), &net, "CSV round trip must not change training");
+}

@@ -1,0 +1,146 @@
+//! Threat-model boundary tests: what the defense does and does not cover.
+//!
+//! §III "Trusted control": "Trusted control of voltage is an important
+//! component of the proposed defense (otherwise the defense can be simply
+//! disabled by the adversary)." These tests demonstrate that boundary — an
+//! adversary with voltage-regulator access strips the defense entirely —
+//! plus the adaptive-attacker and ensemble-proxy extensions.
+
+use shmd_attack::adaptive::denoised_reverse_engineer;
+use shmd_attack::reverse::{effectiveness, reverse_engineer, ReverseConfig};
+use shmd_attack::ProxyKind;
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::detector::Detector;
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+use stochastic_hmd::BaselineHmd;
+
+fn setup() -> (Dataset, BaselineHmd) {
+    let dataset = Dataset::generate(&DatasetConfig::small(150), 1337);
+    let split = dataset.three_fold_split(0);
+    let victim = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    (dataset, victim)
+}
+
+#[test]
+fn adversary_controlled_voltage_strips_the_defense() {
+    // If the adversary can write the voltage MSR, they restore nominal
+    // voltage (error rate 0) and the "stochastic" HMD degenerates to the
+    // deterministic baseline — fully reverse-engineerable again.
+    let (dataset, victim) = setup();
+    let split = dataset.three_fold_split(0);
+
+    // Defense active.
+    let mut protected = StochasticHmd::from_baseline(&victim, 0.4, 3).expect("valid");
+    let proxy = reverse_engineer(
+        &mut protected,
+        &dataset,
+        split.attacker_training(),
+        &ReverseConfig::new(ProxyKind::Mlp),
+    )
+    .expect("RE");
+    let protected_eff = effectiveness(&proxy, &mut protected, &dataset, split.testing());
+
+    // Adversary resets the regulator: er = 0.
+    let mut disabled = StochasticHmd::from_baseline(&victim, 0.0, 3).expect("valid");
+    let proxy = reverse_engineer(
+        &mut disabled,
+        &dataset,
+        split.attacker_training(),
+        &ReverseConfig::new(ProxyKind::Mlp),
+    )
+    .expect("RE");
+    let disabled_eff = effectiveness(&proxy, &mut disabled, &dataset, split.testing());
+
+    assert!(
+        disabled_eff > protected_eff,
+        "voltage control must matter: disabled {disabled_eff} vs protected {protected_eff}"
+    );
+    assert!(disabled_eff > 0.95, "with the defense off, RE is near-perfect");
+}
+
+#[test]
+fn random_forest_proxy_attacks_all_victims() {
+    // The ensemble extension: an RF proxy reverse-engineers both victim
+    // kinds; it is at least as noise-robust as a single tree.
+    let (dataset, victim) = setup();
+    let split = dataset.three_fold_split(0);
+    let rf_cfg = ReverseConfig::new(ProxyKind::RandomForest);
+    let dt_cfg = ReverseConfig::new(ProxyKind::DecisionTree);
+
+    let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 5).expect("valid");
+    let rf = reverse_engineer(&mut sto, &dataset, split.attacker_training(), &rf_cfg)
+        .expect("RF RE");
+    let rf_eff = effectiveness(&rf, &mut sto, &dataset, split.testing());
+
+    let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 5).expect("valid");
+    let dt = reverse_engineer(&mut sto, &dataset, split.attacker_training(), &dt_cfg)
+        .expect("DT RE");
+    let dt_eff = effectiveness(&dt, &mut sto, &dataset, split.testing());
+
+    assert!(rf_eff > 0.7, "RF proxy works at all: {rf_eff}");
+    assert!(
+        rf_eff >= dt_eff - 0.08,
+        "the ensemble should not be meaningfully worse than a single tree: {rf_eff} vs {dt_eff}"
+    );
+}
+
+#[test]
+fn denoising_beyond_query_budget_has_diminishing_returns() {
+    let (dataset, victim) = setup();
+    let split = dataset.three_fold_split(0);
+    let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
+    let mut effs = Vec::new();
+    for k in [1usize, 5, 25] {
+        let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 9).expect("valid");
+        let proxy =
+            denoised_reverse_engineer(&mut sto, &dataset, split.attacker_training(), &cfg, k)
+                .expect("RE");
+        effs.push(effectiveness(&proxy, &mut sto, &dataset, split.testing()));
+    }
+    // 5→25 queries buys less than 1→5 does (noise is already voted away).
+    let first_gain = effs[1] - effs[0];
+    let second_gain = effs[2] - effs[1];
+    assert!(
+        second_gain <= first_gain + 0.05,
+        "denoising returns must diminish: {effs:?}"
+    );
+}
+
+#[test]
+fn near_zero_values_are_unprotected_end_to_end() {
+    // §IX "Limitations": "models that operate on numbers that are very
+    // close to zero are not protected". A detector whose weights and inputs
+    // are tiny sees almost no effective noise.
+    use shmd_ann::builder::NetworkBuilder;
+    use shmd_workload::features::FeatureSpec;
+
+    let tiny_net = {
+        let mut net = NetworkBuilder::new(16).hidden(4).output(1).seed(1).build().unwrap();
+        for layer in net.layers_mut() {
+            for w in layer.weights_mut() {
+                *w *= 1e-4; // push every product towards the immune LSBs
+            }
+        }
+        net
+    };
+    let baseline = BaselineHmd::new("tiny", FeatureSpec::frequency(), tiny_net);
+    let mut protected = StochasticHmd::from_baseline(&baseline, 0.9, 2).expect("valid");
+    let dataset = Dataset::generate(&DatasetConfig::small(20), 3);
+    for i in 0..dataset.len() {
+        let trace = dataset.trace(i);
+        let exact = baseline.score_features(&baseline.spec().extract(trace));
+        let noisy = protected.score(trace);
+        assert!(
+            (exact - noisy).abs() < 1e-3,
+            "tiny-valued model should see (almost) no noise: {exact} vs {noisy}"
+        );
+    }
+}
