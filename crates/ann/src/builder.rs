@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn zero_width_is_error() {
         assert_eq!(
-            NetworkBuilder::new(4).hidden(0).output(1).build().unwrap_err(),
+            NetworkBuilder::new(4)
+                .hidden(0)
+                .output(1)
+                .build()
+                .unwrap_err(),
             BuildNetworkError::ZeroWidth
         );
         assert_eq!(
@@ -181,15 +185,35 @@ mod tests {
 
     #[test]
     fn same_seed_same_weights() {
-        let a = NetworkBuilder::new(4).hidden(4).output(1).seed(9).build().unwrap();
-        let b = NetworkBuilder::new(4).hidden(4).output(1).seed(9).build().unwrap();
+        let a = NetworkBuilder::new(4)
+            .hidden(4)
+            .output(1)
+            .seed(9)
+            .build()
+            .unwrap();
+        let b = NetworkBuilder::new(4)
+            .hidden(4)
+            .output(1)
+            .seed(9)
+            .build()
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = NetworkBuilder::new(4).hidden(4).output(1).seed(1).build().unwrap();
-        let b = NetworkBuilder::new(4).hidden(4).output(1).seed(2).build().unwrap();
+        let a = NetworkBuilder::new(4)
+            .hidden(4)
+            .output(1)
+            .seed(1)
+            .build()
+            .unwrap();
+        let b = NetworkBuilder::new(4)
+            .hidden(4)
+            .output(1)
+            .seed(2)
+            .build()
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -205,7 +229,12 @@ mod tests {
 
     #[test]
     fn weights_are_within_xavier_bound() {
-        let net = NetworkBuilder::new(10).hidden(10).output(1).seed(3).build().unwrap();
+        let net = NetworkBuilder::new(10)
+            .hidden(10)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
         for layer in net.layers() {
             let bound = (6.0 / (layer.in_dim() + layer.out_dim()) as f64).sqrt() as f32;
             for &w in layer.weights() {

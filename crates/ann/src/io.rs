@@ -186,7 +186,10 @@ pub fn from_text(text: &str) -> Result<Network, ParseNetworkError> {
         let mut layer = Layer::zeros(in_dim, out_dim, activation);
         let expected = layer.len();
         let mut parsed = 0usize;
-        for (slot, token) in layer.weights_mut().iter_mut().zip(weights_line.split_whitespace())
+        for (slot, token) in layer
+            .weights_mut()
+            .iter_mut()
+            .zip(weights_line.split_whitespace())
         {
             *slot = token
                 .parse()
@@ -286,7 +289,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_input() {
-        assert!(matches!(from_text(""), Err(ParseNetworkError::BadHeader(_))));
+        assert!(matches!(
+            from_text(""),
+            Err(ParseNetworkError::BadHeader(_))
+        ));
     }
 
     #[test]

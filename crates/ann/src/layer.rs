@@ -22,7 +22,10 @@ impl Layer {
     ///
     /// Panics if either dimension is zero.
     pub fn zeros(in_dim: usize, out_dim: usize, activation: Activation) -> Layer {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         Layer {
             in_dim,
             out_dim,

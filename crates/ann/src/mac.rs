@@ -138,7 +138,12 @@ mod tests {
     #[test]
     fn counting_mac_composes_with_network() {
         use crate::builder::NetworkBuilder;
-        let net = NetworkBuilder::new(3).hidden(5).output(1).seed(1).build().unwrap();
+        let net = NetworkBuilder::new(3)
+            .hidden(5)
+            .output(1)
+            .seed(1)
+            .build()
+            .unwrap();
         let q = net.quantized();
         let mut mac = CountingMac::new(ExactDatapath);
         q.infer(&[0.1, 0.2, 0.3], &mut mac);

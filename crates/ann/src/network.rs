@@ -62,10 +62,7 @@ impl Network {
 
     /// Number of multiply–accumulate operations per inference.
     pub fn mac_count(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.in_dim() * l.out_dim())
-            .sum()
+        self.layers.iter().map(|l| l.in_dim() * l.out_dim()).sum()
     }
 
     /// Exact floating-point forward pass.
@@ -239,7 +236,9 @@ mod tests {
         let net = small_net(3);
         let q = net.quantized();
         for trial in 0..20 {
-            let input: Vec<f32> = (0..4).map(|i| ((trial * 4 + i) as f32 * 0.07) % 1.0).collect();
+            let input: Vec<f32> = (0..4)
+                .map(|i| ((trial * 4 + i) as f32 * 0.07) % 1.0)
+                .collect();
             let float_out = net.forward(&input)[0];
             let q_out = q.infer(&input, &mut ExactDatapath)[0];
             assert!(

@@ -122,13 +122,22 @@ mod tests {
 
     #[test]
     fn empty_is_rejected() {
-        assert_eq!(TrainData::new(vec![], vec![]).unwrap_err(), TrainDataError::Empty);
+        assert_eq!(
+            TrainData::new(vec![], vec![]).unwrap_err(),
+            TrainDataError::Empty
+        );
     }
 
     #[test]
     fn length_mismatch_is_rejected() {
         let err = TrainData::new(vec![vec![1.]], vec![]).unwrap_err();
-        assert_eq!(err, TrainDataError::LengthMismatch { inputs: 1, targets: 0 });
+        assert_eq!(
+            err,
+            TrainDataError::LengthMismatch {
+                inputs: 1,
+                targets: 0
+            }
+        );
     }
 
     #[test]

@@ -28,11 +28,7 @@ pub(crate) fn gradients(net: &Network, input: &[f32], target: &[f32]) -> Vec<Vec
         })
         .collect();
 
-    let mut grads: Vec<Vec<f32>> = net
-        .layers()
-        .iter()
-        .map(|l| vec![0.0; l.len()])
-        .collect();
+    let mut grads: Vec<Vec<f32>> = net.layers().iter().map(|l| vec![0.0; l.len()]).collect();
 
     for l in (0..net.layers().len()).rev() {
         let layer = &net.layers()[l];
@@ -58,9 +54,7 @@ pub(crate) fn gradients(net: &Network, input: &[f32], target: &[f32]) -> Vec<Vec
                 }
             }
             for (nd, &a) in next_delta.iter_mut().zip(prev.iter()) {
-                *nd *= prev_layer
-                    .activation()
-                    .derivative_from_output(f64::from(a));
+                *nd *= prev_layer.activation().derivative_from_output(f64::from(a));
             }
             delta = next_delta;
         }
@@ -98,7 +92,12 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)] // lock-step indexing across arrays
     fn numeric_gradient_check() {
-        let mut net = NetworkBuilder::new(2).hidden(3).output(1).seed(11).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(3)
+            .output(1)
+            .seed(11)
+            .build()
+            .unwrap();
         let input = [0.4f32, -0.7];
         let target = [1.0f32];
         let analytic = gradients(&net, &input, &target);
@@ -127,7 +126,12 @@ mod tests {
 
     #[test]
     fn sgd_learns_xor() {
-        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(7).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(7)
+            .build()
+            .unwrap();
         let data = xor_data();
         SgdTrainer::new()
             .epochs(5000)
@@ -138,7 +142,12 @@ mod tests {
 
     #[test]
     fn rprop_learns_xor() {
-        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(5).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(5)
+            .build()
+            .unwrap();
         let data = xor_data();
         RpropTrainer::new().epochs(800).train(&mut net, &data);
         assert!(mse(&net, &data) < 0.05, "mse = {}", mse(&net, &data));
@@ -148,10 +157,18 @@ mod tests {
     fn rprop_converges_faster_than_sgd_per_epoch() {
         // Motivation for FANN's default choice on this tiny problem.
         let data = xor_data();
-        let mut a = NetworkBuilder::new(2).hidden(4).output(1).seed(5).build().unwrap();
+        let mut a = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(5)
+            .build()
+            .unwrap();
         let mut b = a.clone();
         RpropTrainer::new().epochs(300).train(&mut a, &data);
-        SgdTrainer::new().epochs(300).learning_rate(0.3).train(&mut b, &data);
+        SgdTrainer::new()
+            .epochs(300)
+            .learning_rate(0.3)
+            .train(&mut b, &data);
         assert!(mse(&a, &data) <= mse(&b, &data) + 0.05);
     }
 }

@@ -50,11 +50,7 @@ impl QatTrainer {
     /// precision weights. Returns the quantised-forward MSE after tuning.
     pub fn fine_tune(&self, net: &mut Network, data: &TrainData) -> f64 {
         // Keep full-precision "shadow" weights; gradients accumulate there.
-        let mut shadow: Vec<Vec<f32>> = net
-            .layers()
-            .iter()
-            .map(|l| l.weights().to_vec())
-            .collect();
+        let mut shadow: Vec<Vec<f32>> = net.layers().iter().map(|l| l.weights().to_vec()).collect();
         for _ in 0..self.epochs {
             // Snap the working network to the quantised grid.
             for (layer, sw) in net.layers_mut().iter_mut().zip(&shadow) {
@@ -114,7 +110,12 @@ mod tests {
 
     #[test]
     fn qat_leaves_weights_on_the_q16_grid() {
-        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(3).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
         let data = xor_data();
         RpropTrainer::new().epochs(400).train(&mut net, &data);
         QatTrainer::new().epochs(5).fine_tune(&mut net, &data);
@@ -131,7 +132,12 @@ mod tests {
 
     #[test]
     fn qat_does_not_destroy_a_trained_network() {
-        let mut net = NetworkBuilder::new(2).hidden(4).output(1).seed(3).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
         let data = xor_data();
         RpropTrainer::new().epochs(600).train(&mut net, &data);
         let before = mse(&net, &data);
@@ -141,7 +147,12 @@ mod tests {
 
     #[test]
     fn qat_shrinks_the_quantisation_gap() {
-        let mut plain = NetworkBuilder::new(2).hidden(4).output(1).seed(5).build().unwrap();
+        let mut plain = NetworkBuilder::new(2)
+            .hidden(4)
+            .output(1)
+            .seed(5)
+            .build()
+            .unwrap();
         let data = xor_data();
         RpropTrainer::new().epochs(600).train(&mut plain, &data);
         let mut tuned = plain.clone();

@@ -126,7 +126,12 @@ mod tests {
     #[test]
     fn is_deterministic() {
         let data = or_data();
-        let mut a = NetworkBuilder::new(2).hidden(3).output(1).seed(2).build().unwrap();
+        let mut a = NetworkBuilder::new(2)
+            .hidden(3)
+            .output(1)
+            .seed(2)
+            .build()
+            .unwrap();
         let mut b = a.clone();
         RpropTrainer::new().epochs(60).train(&mut a, &data);
         RpropTrainer::new().epochs(60).train(&mut b, &data);
@@ -147,7 +152,12 @@ mod tests {
     #[test]
     fn mse_decreases() {
         let data = or_data();
-        let mut net = NetworkBuilder::new(2).hidden(3).output(1).seed(4).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(3)
+            .output(1)
+            .seed(4)
+            .build()
+            .unwrap();
         let before = mse(&net, &data);
         RpropTrainer::new().epochs(100).train(&mut net, &data);
         assert!(mse(&net, &data) < before);

@@ -71,11 +71,7 @@ impl SgdTrainer {
     pub fn train(&self, net: &mut Network, data: &TrainData) -> f64 {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut velocity: Vec<Vec<f32>> = net
-            .layers()
-            .iter()
-            .map(|l| vec![0.0; l.len()])
-            .collect();
+        let mut velocity: Vec<Vec<f32>> = net.layers().iter().map(|l| vec![0.0; l.len()]).collect();
         let mut last_mse = f64::INFINITY;
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
@@ -83,12 +79,7 @@ impl SgdTrainer {
                 let (input, target) = data.sample(i);
                 let grads = gradients(net, input, target);
                 for (l, layer) in net.layers_mut().iter_mut().enumerate() {
-                    for (w, (wt, &g)) in layer
-                        .weights_mut()
-                        .iter_mut()
-                        .zip(&grads[l])
-                        .enumerate()
-                    {
+                    for (w, (wt, &g)) in layer.weights_mut().iter_mut().zip(&grads[l]).enumerate() {
                         let v = self.momentum * f64::from(velocity[l][w])
                             - self.learning_rate * f64::from(g);
                         velocity[l][w] = v as f32;
@@ -158,7 +149,12 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let data = and_data();
-        let mut a = NetworkBuilder::new(2).hidden(3).output(1).seed(3).build().unwrap();
+        let mut a = NetworkBuilder::new(2)
+            .hidden(3)
+            .output(1)
+            .seed(3)
+            .build()
+            .unwrap();
         let mut b = a.clone();
         SgdTrainer::new().seed(9).epochs(50).train(&mut a, &data);
         SgdTrainer::new().seed(9).epochs(50).train(&mut b, &data);
@@ -168,7 +164,12 @@ mod tests {
     #[test]
     fn mse_decreases_with_training() {
         let data = and_data();
-        let mut net = NetworkBuilder::new(2).hidden(3).output(1).seed(4).build().unwrap();
+        let mut net = NetworkBuilder::new(2)
+            .hidden(3)
+            .output(1)
+            .seed(4)
+            .build()
+            .unwrap();
         let before = mse(&net, &data);
         SgdTrainer::new().epochs(500).train(&mut net, &data);
         assert!(mse(&net, &data) < before);

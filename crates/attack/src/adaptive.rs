@@ -14,8 +14,8 @@ use crate::reverse::{Proxy, ReverseConfig, ReverseError};
 use crate::ProxyKind;
 use shmd_ann::builder::NetworkBuilder;
 use shmd_ann::train::{RpropTrainer, TrainData};
-use shmd_ml::logistic::LogisticRegression;
 use shmd_ml::forest::RandomForest;
+use shmd_ml::logistic::LogisticRegression;
 use shmd_ml::tree::DecisionTree;
 use shmd_workload::dataset::Dataset;
 use stochastic_hmd::detector::Detector;
@@ -106,11 +106,9 @@ impl Proxy {
             ProxyKind::DecisionTree => {
                 crate::reverse::ProxyModel::Dt(DecisionTree::fit(&inputs, &labels, &config.tree)?)
             }
-            ProxyKind::RandomForest => crate::reverse::ProxyModel::Rf(RandomForest::fit(
-                &inputs,
-                &labels,
-                &config.forest,
-            )?),
+            ProxyKind::RandomForest => {
+                crate::reverse::ProxyModel::Rf(RandomForest::fit(&inputs, &labels, &config.forest)?)
+            }
         };
         Ok(Proxy::from_parts(config.proxy, config.specs.clone(), model))
     }
@@ -144,8 +142,8 @@ mod tests {
         let split = dataset.three_fold_split(0);
         let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
         let mut v1 = victim.clone();
-        let plain = reverse_engineer(&mut v1, &dataset, split.attacker_training(), &cfg)
-            .expect("plain RE");
+        let plain =
+            reverse_engineer(&mut v1, &dataset, split.attacker_training(), &cfg).expect("plain RE");
         let mut v2 = victim.clone();
         let denoised =
             denoised_reverse_engineer(&mut v2, &dataset, split.attacker_training(), &cfg, 5)
@@ -175,14 +173,9 @@ mod tests {
             plain_sum += effectiveness(&plain, &mut sto, &dataset, split.testing());
 
             let mut sto = StochasticHmd::from_baseline(&victim, 0.4, seed).expect("valid");
-            let denoised = denoised_reverse_engineer(
-                &mut sto,
-                &dataset,
-                split.attacker_training(),
-                &cfg,
-                9,
-            )
-            .expect("denoised RE");
+            let denoised =
+                denoised_reverse_engineer(&mut sto, &dataset, split.attacker_training(), &cfg, 9)
+                    .expect("denoised RE");
             denoised_sum += effectiveness(&denoised, &mut sto, &dataset, split.testing());
         }
         assert!(

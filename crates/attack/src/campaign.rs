@@ -11,6 +11,7 @@ use crate::transfer::{transferability, TransferOutcome, DEFAULT_DETECTION_PERIOD
 use serde::{Deserialize, Serialize};
 use shmd_workload::dataset::Dataset;
 use stochastic_hmd::detector::Detector;
+use stochastic_hmd::exec::{parallel_map_n, ExecConfig};
 
 /// Which fold the attacker trains the proxy on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -96,14 +97,49 @@ impl AttackCampaign {
         let proxy = reverse_engineer(victim, dataset, train_fold, &self.reverse)?;
         let re_effectiveness = effectiveness(&proxy, victim, dataset, split.testing());
         let malware: Vec<usize> = dataset.malware_indices(split.testing()).collect();
-        let transfer =
-            transferability(victim, &proxy, dataset, &malware, &self.evasion, self.detections);
+        let transfer = transferability(
+            victim,
+            &proxy,
+            dataset,
+            &malware,
+            &self.evasion,
+            self.detections,
+        );
         Ok(AttackReport {
             proxy: proxy.kind().to_string(),
             training_set: self.training_set.to_string(),
             re_effectiveness,
             transfer,
         })
+    }
+
+    /// Runs the campaign against every fold rotation concurrently,
+    /// returning one report per rotation in rotation order.
+    ///
+    /// `build` constructs rotation `r`'s victim — derive any stochastic
+    /// seed from `r` (see [`stochastic_hmd::exec::derive_seed`]) so the
+    /// reports are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the earliest rotation's [`ReverseError`].
+    pub fn run_folds<D, F>(
+        &self,
+        dataset: &Dataset,
+        rotations: usize,
+        exec: &ExecConfig,
+        build: F,
+    ) -> Result<Vec<AttackReport>, ReverseError>
+    where
+        D: Detector,
+        F: Fn(usize) -> D + Sync,
+    {
+        parallel_map_n(exec, rotations, |rotation| {
+            let mut victim = build(rotation);
+            self.run(&mut victim, dataset, rotation)
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -132,6 +168,40 @@ mod tests {
         assert_eq!(report.proxy, "LR");
         assert!(report.re_effectiveness > 0.8);
         assert!(report.transfer.attempted > 0);
+    }
+
+    #[test]
+    fn run_folds_is_thread_count_invariant() {
+        let dataset = Dataset::generate(&DatasetConfig::small(120), 93);
+        let campaign = AttackCampaign::new(ReverseConfig::new(ProxyKind::LogisticRegression));
+        let build = |rotation: usize| {
+            let split = dataset.three_fold_split(rotation);
+            train_baseline(
+                &dataset,
+                split.victim_training(),
+                FeatureSpec::frequency(),
+                &HmdTrainConfig::fast(),
+            )
+            .expect("train")
+        };
+        let serial = campaign
+            .run_folds(
+                &dataset,
+                3,
+                &stochastic_hmd::exec::ExecConfig::serial(),
+                build,
+            )
+            .expect("serial");
+        let parallel = campaign
+            .run_folds(
+                &dataset,
+                3,
+                &stochastic_hmd::exec::ExecConfig::threads(4),
+                build,
+            )
+            .expect("parallel");
+        assert_eq!(serial.len(), 3);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

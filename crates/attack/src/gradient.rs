@@ -93,8 +93,7 @@ pub fn evade_by_gradient(
         }
         let before = injected;
         for (slot, w) in injected.iter_mut().zip(&weights) {
-            *slot =
-                slot.saturating_add(((w / total) * f64::from(step_total)).round() as u32);
+            *slot = slot.saturating_add(((w / total) * f64::from(step_total)).round() as u32);
         }
         if injected == before {
             // Every rounded component was zero (tiny traces make
@@ -216,15 +215,19 @@ mod tests {
             &HmdTrainConfig::fast(),
         )
         .expect("trains");
-        let idx = dataset.malware_indices(split.testing()).next().expect("malware");
+        let idx = dataset
+            .malware_indices(split.testing())
+            .next()
+            .expect("malware");
         let trace = dataset.trace(idx);
 
         // Deterministic surface: identical estimates.
         let exact = |t: &Trace| {
             f64::from(
-                victim
-                    .quantized()
-                    .infer(&victim.spec().extract(t), &mut shmd_volt::fault::ExactDatapath)[0],
+                victim.quantized().infer(
+                    &victim.spec().extract(t),
+                    &mut shmd_volt::fault::ExactDatapath,
+                )[0],
             )
         };
         let probe = |score_fn: &mut dyn FnMut(&Trace) -> f64| -> Vec<f64> {
@@ -238,7 +241,11 @@ mod tests {
                 .collect()
         };
         let mut f = |t: &Trace| exact(t);
-        assert_eq!(probe(&mut f), probe(&mut f), "deterministic surface is stable");
+        assert_eq!(
+            probe(&mut f),
+            probe(&mut f),
+            "deterministic surface is stable"
+        );
 
         // Stochastic surface: estimates disagree run to run.
         let mut sto = StochasticHmd::from_baseline(&victim, 0.5, 3).expect("valid");

@@ -2,8 +2,8 @@
 
 use crate::ProxyKind;
 use shmd_ann::network::Network;
-use shmd_ml::logistic::{LogisticConfig, LogisticRegression};
 use shmd_ml::forest::{ForestConfig, RandomForest};
+use shmd_ml::logistic::{LogisticConfig, LogisticRegression};
 use shmd_ml::tree::{DecisionTree, TreeConfig};
 use shmd_ml::FitError;
 use shmd_workload::dataset::Dataset;
@@ -282,9 +282,8 @@ mod tests {
         let (dataset, mut victim) = setup();
         let split = dataset.three_fold_split(0);
         let cfg = ReverseConfig::new(ProxyKind::Mlp);
-        let base_proxy =
-            reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg)
-                .expect("baseline RE");
+        let base_proxy = reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg)
+            .expect("baseline RE");
         let base_eff = effectiveness(&base_proxy, &mut victim, &dataset, split.testing());
 
         let mut stochastic = StochasticHmd::from_baseline(&victim, 0.5, 7).expect("protect");
@@ -345,14 +344,16 @@ mod tests {
             FeatureSpec::frequency(),
             FeatureSpec::new(FeatureKind::Burstiness, DetectionPeriod::EVERY_WINDOW),
         ]);
-        let proxy = reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg)
-            .expect("RE");
+        let proxy =
+            reverse_engineer(&mut victim, &dataset, split.attacker_training(), &cfg).expect("RE");
         assert_eq!(proxy.features(dataset.trace(0)).len(), 2 * FEATURE_DIM);
     }
 
     #[test]
     fn error_display_is_informative() {
         assert!(ReverseError::NoQueries.to_string().contains("no query"));
-        assert!(ReverseError::DegenerateOracle.to_string().contains("identically"));
+        assert!(ReverseError::DegenerateOracle
+            .to_string()
+            .contains("identically"));
     }
 }

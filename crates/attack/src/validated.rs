@@ -137,8 +137,8 @@ pub fn validated_outcome(
         outcome.validated += 1;
 
         // Deployment: fresh detections of the validated sample.
-        let caught = (0..deployment_detections.max(1))
-            .any(|_| victim.classify(&sample.trace).is_malware());
+        let caught =
+            (0..deployment_detections.max(1)).any(|_| victim.classify(&sample.trace).is_malware());
         if caught {
             outcome.caught_in_deployment += 1;
         }
@@ -152,8 +152,8 @@ mod tests {
     use crate::reverse::{reverse_engineer, ReverseConfig};
     use crate::ProxyKind;
     use shmd_workload::dataset::DatasetConfig;
-    use shmd_workload::isa::CATEGORY_COUNT;
     use shmd_workload::features::FeatureSpec;
+    use shmd_workload::isa::CATEGORY_COUNT;
     use stochastic_hmd::stochastic::StochasticHmd;
     use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
     use stochastic_hmd::BaselineHmd;

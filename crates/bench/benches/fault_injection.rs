@@ -11,8 +11,7 @@ fn bench_fault_injection(c: &mut Criterion) {
     let mut group = c.benchmark_group("corrupt_product");
     for er in [0.0, 0.01, 0.1, 0.5, 0.9] {
         group.bench_with_input(BenchmarkId::from_parameter(er), &er, |b, &er| {
-            let mut injector =
-                FaultInjector::new(FaultModel::from_error_rate(er).unwrap(), 11);
+            let mut injector = FaultInjector::new(FaultModel::from_error_rate(er).unwrap(), 11);
             let mut x = 0x0123_4567_89ab_cdefi64;
             b.iter(|| {
                 x = x.rotate_left(1);

@@ -53,10 +53,9 @@ pub fn ripple_ablation(dataset: &Dataset, args: &Args, fractions: &[f64]) -> Vec
                 .with_ripple(ripple, DEFAULT_RIPPLE_SPAN);
             let mut hmd = StochasticHmd::with_fault_model(&base, model, args.seed ^ s);
             acc += evaluate(&mut hmd, dataset, split.testing()).accuracy();
-            let campaign = AttackCampaign::new(
-                ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed),
-            )
-            .with_training_set(AttackTrainingSet::AttackerTraining);
+            let campaign =
+                AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed))
+                    .with_training_set(AttackTrainingSet::AttackerTraining);
             let report = campaign
                 .run(&mut hmd, dataset, rotation)
                 .expect("attack succeeds");
@@ -164,9 +163,8 @@ pub fn adaptive_ablation(
     for &k in query_counts {
         let mut eff = 0.0;
         for s in 0..seeds {
-            let mut hmd =
-                StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ s)
-                    .expect("valid rate");
+            let mut hmd = StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ s)
+                .expect("valid rate");
             let proxy = denoised_reverse_engineer(
                 &mut hmd,
                 dataset,

@@ -18,11 +18,7 @@ use stochastic_hmd::stochastic::StochasticHmd;
 
 const WARMUP_WINDOWS: usize = 4;
 
-fn report(
-    label: &str,
-    detector: &mut dyn Detector,
-    traces: &[(usize, &Trace)],
-) {
+fn report(label: &str, detector: &mut dyn Detector, traces: &[(usize, &Trace)]) {
     let r = monitor_all(detector, traces, WARMUP_WINDOWS);
     table::row(&[
         label.to_string(),
@@ -57,12 +53,9 @@ fn main() {
         .malware_indices(split.testing())
         .filter(|&i| proxy.predict_trace(dataset.trace(i)))
         .collect();
-    let evasive =
-        generate_evasive_malware(&proxy, &dataset, &targets, &EvasionConfig::default());
-    let evasive_traces: Vec<(usize, &Trace)> = evasive
-        .iter()
-        .map(|s| (s.program_idx, &s.trace))
-        .collect();
+    let evasive = generate_evasive_malware(&proxy, &dataset, &targets, &EvasionConfig::default());
+    let evasive_traces: Vec<(usize, &Trace)> =
+        evasive.iter().map(|s| (s.program_idx, &s.trace)).collect();
 
     table::title(&format!(
         "Continuous monitoring ({} natural, {} evasive malware; warm-up {} windows)",

@@ -21,7 +21,11 @@ fn main() {
         ("DVFS", cmp.dvfs(operating, macs)),
     ];
     for (name, o) in rows {
-        let v = if name == "nominal" { NOMINAL_CORE_VOLTAGE } else { operating };
+        let v = if name == "nominal" {
+            NOMINAL_CORE_VOLTAGE
+        } else {
+            operating
+        };
         table::row(&[
             name.to_string(),
             format!("{v}"),

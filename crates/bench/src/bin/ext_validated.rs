@@ -17,7 +17,12 @@ use stochastic_hmd::stochastic::StochasticHmd;
 
 const DEPLOYMENT_DETECTIONS: usize = 16;
 
-fn run(label: &str, victim: &mut dyn Detector, dataset: &shmd_workload::dataset::Dataset, seed: u64) {
+fn run(
+    label: &str,
+    victim: &mut dyn Detector,
+    dataset: &shmd_workload::dataset::Dataset,
+    seed: u64,
+) {
     let split = dataset.three_fold_split(0);
     let proxy = reverse_engineer(
         victim,

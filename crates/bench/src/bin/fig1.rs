@@ -13,7 +13,7 @@ fn main() {
         Scale::Medium => (20_000, 10),
         Scale::Paper => (100_000, 10), // the paper's 100k operand sets
     };
-    let data = characterize_fig1(sets, reps, args.seed);
+    let data = characterize_fig1(sets, reps, args.seed, &args.exec());
 
     table::title(&format!(
         "Figure 1: bit-wise fault rates at {} ({} operand sets x {} reps)",

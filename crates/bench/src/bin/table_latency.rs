@@ -15,9 +15,18 @@ fn main() {
 
     table::title("Inference time (paper-calibrated model, 71 KB detector)");
     table::header(&["detector", "time"]);
-    table::row(&["Stochastic-HMD".into(), format!("{:.1} us", model.hmd_us(macs))]);
-    table::row(&["RHMD-2F".into(), format!("{:.1} us", model.rhmd_us(macs, 2))]);
-    table::row(&["RHMD-2F2P".into(), format!("{:.1} us", model.rhmd_us(macs, 4))]);
+    table::row(&[
+        "Stochastic-HMD".into(),
+        format!("{:.1} us", model.hmd_us(macs)),
+    ]);
+    table::row(&[
+        "RHMD-2F".into(),
+        format!("{:.1} us", model.rhmd_us(macs, 2)),
+    ]);
+    table::row(&[
+        "RHMD-2F2P".into(),
+        format!("{:.1} us", model.rhmd_us(macs, 4)),
+    ]);
     println!("paper: 7 / 7.7 / 7.8 us; undervolting itself adds zero latency:");
     let deep = NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-140));
     println!(
@@ -49,7 +58,10 @@ fn main() {
     let faulty_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
 
     println!();
-    table::title(&format!("Live measurement ({} MACs/inference, {n} runs)", q.mac_count()));
+    table::title(&format!(
+        "Live measurement ({} MACs/inference, {n} runs)",
+        q.mac_count()
+    ));
     table::header(&["datapath", "time/inference"]);
     table::row(&["exact".into(), format!("{exact_ns:.0} ns")]);
     table::row(&["er=0.1 faulty".into(), format!("{faulty_ns:.0} ns")]);

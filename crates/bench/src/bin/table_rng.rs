@@ -13,7 +13,11 @@ fn main() {
 
     table::title("Noise-source overheads (paper-calibrated model)");
     table::header(&["source", "time overhead", "energy overhead"]);
-    for source in [NoiseSource::Undervolting, NoiseSource::Prng, NoiseSource::Trng] {
+    for source in [
+        NoiseSource::Undervolting,
+        NoiseSource::Prng,
+        NoiseSource::Trng,
+    ] {
         table::row(&[
             source.to_string(),
             format!("{:.1}x", model.time_overhead(source)),

@@ -1,5 +1,9 @@
 //! Minimal flag parsing shared by all experiment binaries.
 
+use stochastic_hmd::exec::ExecConfig;
+
+const USAGE: &str = "flags: --seed N  --reps N  --threads N  --paper  --fast";
+
 /// Dataset scale selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -18,6 +22,9 @@ pub struct Args {
     pub seed: u64,
     /// Stochastic repetitions (`None`: experiment default).
     pub reps: Option<usize>,
+    /// Worker threads (`None`: one per hardware thread). Results are
+    /// bit-identical at any thread count.
+    pub threads: Option<usize>,
     /// Dataset scale.
     pub scale: Scale,
 }
@@ -30,7 +37,7 @@ impl Args {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("flags: --seed N  --reps N  --paper  --fast");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -59,6 +66,7 @@ impl Args {
         let mut out = Args {
             seed: 42,
             reps: None,
+            threads: None,
             scale: Scale::Medium,
         };
         let mut it = args.into_iter();
@@ -77,16 +85,29 @@ impl Args {
                             .map_err(|_| format!("--reps expects an integer, got {v}"))?,
                     );
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = Some(
+                        v.parse()
+                            .map_err(|_| format!("--threads expects an integer, got {v}"))?,
+                    );
+                }
                 "--paper" => out.scale = Scale::Paper,
                 "--fast" => out.scale = Scale::Fast,
                 "--help" | "-h" => {
-                    println!("flags: --seed N  --reps N  --paper  --fast");
+                    println!("{USAGE}");
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
             }
         }
         Ok(out)
+    }
+
+    /// The execution configuration from `--threads` (auto-sized when the
+    /// flag is absent).
+    pub fn exec(&self) -> ExecConfig {
+        ExecConfig::from_flag(self.threads)
     }
 
     /// Repetitions to use, given an experiment default.
@@ -116,10 +137,19 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--seed", "7", "--reps", "3", "--paper"]);
+        let a = parse(&["--seed", "7", "--reps", "3", "--threads", "2", "--paper"]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.reps, Some(3));
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.exec().thread_count(), 2);
         assert_eq!(a.scale, Scale::Paper);
+    }
+
+    #[test]
+    fn threads_default_to_auto() {
+        let a = parse(&[]);
+        assert_eq!(a.threads, None);
+        assert!(a.exec().thread_count() >= 1);
     }
 
     #[test]
@@ -140,8 +170,7 @@ mod tests {
     fn try_from_iter_reports_errors_without_panicking() {
         let err = Args::try_from_iter(["--seed".to_string()]).unwrap_err();
         assert!(err.contains("--seed needs a value"));
-        let err =
-            Args::try_from_iter(["--reps".to_string(), "abc".to_string()]).unwrap_err();
+        let err = Args::try_from_iter(["--reps".to_string(), "abc".to_string()]).unwrap_err();
         assert!(err.contains("expects an integer"));
         let err = Args::try_from_iter(["--bogus".to_string()]).unwrap_err();
         assert!(err.contains("unknown flag"));

@@ -5,6 +5,8 @@
 
 use crate::cli::Args;
 use crate::setup::{train_config, victim, OPERATING_ERROR_RATE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use shmd_attack::campaign::{AttackCampaign, AttackTrainingSet};
 use shmd_attack::reverse::ReverseConfig;
 use shmd_attack::ProxyKind;
@@ -14,11 +16,17 @@ use shmd_volt::multiplier::MultiplierTimingModel;
 use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
 use shmd_workload::dataset::Dataset;
 use shmd_workload::features::FeatureSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use stochastic_hmd::exec::{derive_seed, parallel_map_n};
 use stochastic_hmd::rhmd::{Rhmd, RhmdConstruction};
 use stochastic_hmd::stochastic::StochasticHmd;
 use stochastic_hmd::train::evaluate;
+
+/// Seed-derivation tags separating the figures' RNG streams under one
+/// master seed (each tag is its figure number).
+const TAG_FIG1: u64 = 0x01;
+const TAG_SECURITY: u64 = 0x03;
+const TAG_RHMD: u64 = 0x05;
+const TAG_TRADEOFF: u64 = 0x08;
 
 /// Figure 1 data: bit-wise fault rates of the undervolted multiplier.
 #[derive(Clone, Debug)]
@@ -35,24 +43,29 @@ pub struct Fig1Data {
 
 /// Reproduces §II's characterisation: repeatedly multiply random operand
 /// sets on the undervolted timing model and record where faults land.
-pub fn characterize_fig1(operand_sets: usize, reps_per_set: usize, seed: u64) -> Fig1Data {
+///
+/// Each operand set is an independent task whose operands and injector
+/// seed are derived from the master seed and the set's index, so the
+/// result is bit-identical at any thread count; fault locations are
+/// concatenated in set order before the ApEn computation.
+pub fn characterize_fig1(
+    operand_sets: usize,
+    reps_per_set: usize,
+    seed: u64,
+    exec: &stochastic_hmd::exec::ExecConfig,
+) -> Fig1Data {
     let offset = Millivolts::new(-130);
     let timing = MultiplierTimingModel::broadwell_2_2ghz();
     let vdd = NOMINAL_CORE_VOLTAGE.with_offset(offset);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut stats = FaultStats {
-        multiplies: 0,
-        faulty: 0,
-        bit_flips: vec![0; 64],
-    };
-    let mut locations: Vec<u8> = Vec::new();
-    for _ in 0..operand_sets {
+    let per_set = parallel_map_n(exec, operand_sets, |si| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, &[TAG_FIG1, si as u64]));
         let a: u64 = rng.gen();
         let b: u64 = rng.gen();
         let model = FaultModel::at_voltage_for_operands(&timing, vdd, a, b)
             .expect("timing probabilities are valid");
         let mut injector = FaultInjector::new(model, rng.gen());
         let product = a.wrapping_mul(b);
+        let mut locations: Vec<u8> = Vec::new();
         for _ in 0..reps_per_set {
             let corrupted = injector.corrupt_unsigned(product);
             if corrupted != product {
@@ -60,7 +73,17 @@ pub fn characterize_fig1(operand_sets: usize, reps_per_set: usize, seed: u64) ->
                 locations.push(diff.trailing_zeros() as u8);
             }
         }
-        stats.merge(injector.stats());
+        (injector.stats().clone(), locations)
+    });
+    let mut stats = FaultStats {
+        multiplies: 0,
+        faulty: 0,
+        bit_flips: vec![0; 64],
+    };
+    let mut locations: Vec<u8> = Vec::new();
+    for (set_stats, set_locations) in per_set {
+        stats.merge(&set_stats);
+        locations.extend(set_locations);
     }
     Fig1Data {
         bitwise_rates: stats.bitwise_error_rates(),
@@ -91,56 +114,90 @@ pub struct SecurityRow {
 /// set, against the baseline and the er = 0.1 Stochastic-HMD, averaged over
 /// `rotations` cross-validation rotations.
 pub fn security_matrix(dataset: &Dataset, args: &Args, rotations: usize) -> Vec<SecurityRow> {
-    let mut rows = Vec::new();
-    for &proxy in &ProxyKind::ALL {
-        for training_set in [
-            AttackTrainingSet::VictimTraining,
-            AttackTrainingSet::AttackerTraining,
-        ] {
-            let seeds = args.reps_or(3) as u64;
+    const TRAINING_SETS: [AttackTrainingSet; 2] = [
+        AttackTrainingSet::VictimTraining,
+        AttackTrainingSet::AttackerTraining,
+    ];
+    let exec = args.exec();
+    let seeds = args.reps_or(3) as u64;
+    // Train each rotation's victim once (it is deterministic per rotation),
+    // not once per proxy × training-set cell.
+    let victims = parallel_map_n(&exec, rotations, |rotation| victim(dataset, rotation, args));
+
+    let combos: Vec<(usize, ProxyKind, usize, AttackTrainingSet)> = ProxyKind::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &proxy)| {
+            TRAINING_SETS
+                .into_iter()
+                .enumerate()
+                .map(move |(ti, training_set)| (pi, proxy, ti, training_set))
+        })
+        .collect();
+
+    // One task per (proxy, training set, rotation): a baseline campaign and
+    // `seeds` stochastic campaigns, every seed derived from the cell's
+    // coordinates.
+    let cells = parallel_map_n(&exec, combos.len() * rotations, |cell| {
+        let (pi, proxy, ti, training_set) = combos[cell / rotations];
+        let rotation = cell % rotations;
+        let coords = [TAG_SECURITY, pi as u64, ti as u64, rotation as u64];
+        let base = &victims[rotation];
+        let campaign = AttackCampaign::new(
+            ReverseConfig::new(proxy).with_seed(derive_seed(args.seed, &coords)),
+        )
+        .with_training_set(training_set);
+
+        let mut acc = [0.0f64; 4];
+        let mut baseline = base.clone();
+        let report = campaign
+            .run(&mut baseline, dataset, rotation)
+            .expect("attack on generated data succeeds");
+        acc[0] = report.re_effectiveness;
+        acc[2] = report.transfer.success_rate();
+
+        // The stochastic victim's outcome depends on its fault draws;
+        // average several injector seeds per rotation.
+        for s in 0..seeds {
+            let mut protected = StochasticHmd::from_baseline(
+                base,
+                OPERATING_ERROR_RATE,
+                derive_seed(
+                    args.seed,
+                    &[TAG_SECURITY, pi as u64, ti as u64, rotation as u64, s],
+                ),
+            )
+            .expect("valid error rate");
+            let report = campaign
+                .run(&mut protected, dataset, rotation)
+                .expect("attack on generated data succeeds");
+            acc[1] += report.re_effectiveness / seeds as f64;
+            acc[3] += report.transfer.success_rate() / seeds as f64;
+        }
+        acc
+    });
+
+    let n = rotations as f64;
+    combos
+        .iter()
+        .enumerate()
+        .map(|(ci, &(_, proxy, _, training_set))| {
             let mut acc = [0.0f64; 4];
-            for rotation in 0..rotations {
-                let base = victim(dataset, rotation, args);
-                let campaign = AttackCampaign::new(
-                    ReverseConfig::new(proxy).with_seed(args.seed + rotation as u64),
-                )
-                .with_training_set(training_set);
-
-                let mut baseline = base.clone();
-                let report = campaign
-                    .run(&mut baseline, dataset, rotation)
-                    .expect("attack on generated data succeeds");
-                acc[0] += report.re_effectiveness;
-                acc[2] += report.transfer.success_rate();
-
-                // The stochastic victim's outcome depends on its fault
-                // draws; average several injector seeds per rotation.
-                for s in 0..seeds {
-                    let mut protected = StochasticHmd::from_baseline(
-                        &base,
-                        OPERATING_ERROR_RATE,
-                        args.seed ^ 0xabcd ^ (rotation as u64) << 8 ^ s,
-                    )
-                    .expect("valid error rate");
-                    let report = campaign
-                        .run(&mut protected, dataset, rotation)
-                        .expect("attack on generated data succeeds");
-                    acc[1] += report.re_effectiveness / seeds as f64;
-                    acc[3] += report.transfer.success_rate() / seeds as f64;
+            for rotation_acc in &cells[ci * rotations..(ci + 1) * rotations] {
+                for (total, part) in acc.iter_mut().zip(rotation_acc) {
+                    *total += part;
                 }
             }
-            let n = rotations as f64;
-            rows.push(SecurityRow {
+            SecurityRow {
                 proxy,
                 training_set,
                 baseline_effectiveness: acc[0] / n,
                 stochastic_effectiveness: acc[1] / n,
                 baseline_transfer_success: acc[2] / n,
                 stochastic_transfer_success: acc[3] / n,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// One bar group of Figures 5 & 6.
@@ -161,20 +218,26 @@ pub fn rhmd_comparison(dataset: &Dataset, args: &Args) -> Vec<RhmdRow> {
     let rotation = 0;
     let split = dataset.three_fold_split(rotation);
     let cfg = train_config(args);
+    let exec = args.exec();
     let seeds = args.reps_or(3) as u64;
-    let mut rows = Vec::new();
-    for construction in RhmdConstruction::ALL {
-        let (mut detected, mut accuracy) = (0.0, 0.0);
-        for s in 0..seeds {
+    // Defender index `di`: the four RHMD constructions, then the
+    // Stochastic-HMD. One task per (defender, seed) cell.
+    let defenders = RhmdConstruction::ALL.len() + 1;
+    let base = victim(dataset, rotation, args);
+    let cells = parallel_map_n(&exec, defenders * seeds as usize, |cell| {
+        let di = cell / seeds as usize;
+        let s = (cell % seeds as usize) as u64;
+        let cell_seed = derive_seed(args.seed, &[TAG_RHMD, di as u64, s]);
+        if let Some(&construction) = RhmdConstruction::ALL.get(di) {
             let mut rhmd = Rhmd::train(
                 dataset,
                 split.victim_training(),
                 construction,
                 &cfg,
-                args.seed ^ 0x7177 ^ s,
+                cell_seed,
             )
             .expect("training succeeds");
-            accuracy += evaluate(&mut rhmd, dataset, split.testing()).accuracy();
+            let accuracy = evaluate(&mut rhmd, dataset, split.testing()).accuracy();
             // "We reverse-engineer each RHMD construction using all the
             // feature vectors used in the construction."
             let campaign = AttackCampaign::new(
@@ -185,35 +248,35 @@ pub fn rhmd_comparison(dataset: &Dataset, args: &Args) -> Vec<RhmdRow> {
             let report = campaign
                 .run(&mut rhmd, dataset, rotation)
                 .expect("attack succeeds");
-            detected += report.transfer.detection_rate();
+            (report.transfer.detection_rate(), accuracy)
+        } else {
+            let mut protected =
+                StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, cell_seed)
+                    .expect("valid error rate");
+            let accuracy = evaluate(&mut protected, dataset, split.testing()).accuracy();
+            let campaign =
+                AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
+            let report = campaign
+                .run(&mut protected, dataset, rotation)
+                .expect("attack succeeds");
+            (report.transfer.detection_rate(), accuracy)
         }
-        rows.push(RhmdRow {
-            name: construction.to_string(),
-            evasive_detected: detected / seeds as f64,
-            accuracy: accuracy / seeds as f64,
-        });
-    }
-
-    let base = victim(dataset, rotation, args);
-    let (mut detected, mut accuracy) = (0.0, 0.0);
-    for s in 0..seeds {
-        let mut protected =
-            StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, args.seed ^ 0x57 ^ s)
-                .expect("valid error rate");
-        accuracy += evaluate(&mut protected, dataset, split.testing()).accuracy();
-        let campaign =
-            AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
-        let report = campaign
-            .run(&mut protected, dataset, rotation)
-            .expect("attack succeeds");
-        detected += report.transfer.detection_rate();
-    }
-    rows.push(RhmdRow {
-        name: "Stochastic-HMD".to_string(),
-        evasive_detected: detected / seeds as f64,
-        accuracy: accuracy / seeds as f64,
     });
-    rows
+
+    (0..defenders)
+        .map(|di| {
+            let per_seed = &cells[di * seeds as usize..(di + 1) * seeds as usize];
+            let detected: f64 = per_seed.iter().map(|c| c.0).sum();
+            let accuracy: f64 = per_seed.iter().map(|c| c.1).sum();
+            RhmdRow {
+                name: RhmdConstruction::ALL
+                    .get(di)
+                    .map_or_else(|| "Stochastic-HMD".to_string(), ToString::to_string),
+                evasive_detected: detected / seeds as f64,
+                accuracy: accuracy / seeds as f64,
+            }
+        })
+        .collect()
 }
 
 /// One point of the Figure 8 trade-off curves.
@@ -235,25 +298,26 @@ pub fn tradeoff_sweep(dataset: &Dataset, args: &Args, er_grid: &[f64]) -> Vec<Tr
     let rotation = 0;
     let split = dataset.three_fold_split(rotation);
     let base = victim(dataset, rotation, args);
-    let mut rows = Vec::with_capacity(er_grid.len());
-    for (i, &er) in er_grid.iter().enumerate() {
-        let mut protected =
-            StochasticHmd::from_baseline(&base, er, args.seed ^ (0x100 + i as u64))
-                .expect("valid error rate");
+    parallel_map_n(&args.exec(), er_grid.len(), |i| {
+        let er = er_grid[i];
+        let mut protected = StochasticHmd::from_baseline(
+            &base,
+            er,
+            derive_seed(args.seed, &[TAG_TRADEOFF, i as u64]),
+        )
+        .expect("valid error rate");
         let accuracy = evaluate(&mut protected, dataset, split.testing()).accuracy();
-        let campaign =
-            AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
+        let campaign = AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
         let report = campaign
             .run(&mut protected, dataset, rotation)
             .expect("attack succeeds");
-        rows.push(TradeoffRow {
+        TradeoffRow {
             error_rate: er,
             accuracy,
             transfer_robustness: report.transfer.detection_rate(),
             re_robustness: 1.0 - report.re_effectiveness,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// The er values Figure 2(b) plots confidence distributions for.
@@ -277,7 +341,7 @@ mod tests {
     fn fig1_characterisation_has_paper_properties() {
         // −130 mV faults are rare (~0.1% of multiplies), so the ApEn series
         // needs many operand sets to fill up.
-        let data = characterize_fig1(30_000, 10, 9);
+        let data = characterize_fig1(30_000, 10, 9, &stochastic_hmd::exec::ExecConfig::auto());
         assert_eq!(data.bitwise_rates.len(), 64);
         assert_eq!(data.bitwise_rates[63], 0.0, "sign bit never flips");
         for bit in 0..8 {

@@ -19,10 +19,12 @@ pub struct BaselineHmd {
     spec: FeatureSpec,
     network: Network,
     quantized: QuantizedNetwork,
+    threshold: f64,
 }
 
 impl BaselineHmd {
-    /// Wraps a trained network as a detector.
+    /// Wraps a trained network as a detector with the default `0.5`
+    /// decision threshold.
     ///
     /// # Panics
     ///
@@ -35,7 +37,27 @@ impl BaselineHmd {
             spec,
             network,
             quantized,
+            threshold: 0.5,
         }
+    }
+
+    /// Sets the decision threshold (e.g. one tuned with
+    /// [`crate::roc::RocCurve::threshold_for_fpr`] to meet a deployment
+    /// FPR budget). Every consumer — [`Detector::classify`], the §VI
+    /// sweeps, and any [`crate::stochastic::StochasticHmd`] protecting
+    /// this model — uses it, so exploration and deployment numbers agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not a probability.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> BaselineHmd {
+        assert!(
+            threshold.is_finite() && (0.0..=1.0).contains(&threshold),
+            "threshold {threshold} must be a probability"
+        );
+        self.threshold = threshold;
+        self
     }
 
     /// The feature specification this detector consumes.
@@ -62,13 +84,14 @@ impl BaselineHmd {
         f64::from(self.quantized.infer(features, &mut ExactDatapath)[0])
     }
 
-    /// Deterministic classification of a feature vector.
+    /// Deterministic classification of a feature vector against this
+    /// detector's threshold.
     ///
     /// # Panics
     ///
     /// Panics if the feature width mismatches the network input.
     pub fn classify_features(&self, features: &[f32]) -> Label {
-        Label::from_bool(self.score_features(features) >= 0.5)
+        Label::from_bool(self.score_features(features) >= self.threshold)
     }
 }
 
@@ -80,6 +103,10 @@ impl Detector for BaselineHmd {
     fn score(&mut self, trace: &Trace) -> f64 {
         let features = self.spec.extract(trace);
         self.score_features(&features)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
     }
 }
 
@@ -140,6 +167,30 @@ mod tests {
         let t = dataset.trace(2);
         let f = hmd.spec().extract(t);
         assert_eq!(hmd.score(t), hmd.score_features(&f));
+    }
+
+    #[test]
+    fn tuned_threshold_drives_classification() {
+        let (dataset, hmd) = trained();
+        let t = dataset.trace(0);
+        let f = hmd.spec().extract(t);
+        let score = hmd.score_features(&f);
+        let strict = hmd
+            .clone()
+            .with_threshold((score + 1.0).min(1.0) / 2.0 + 0.49);
+        let lenient = hmd.clone().with_threshold(0.0);
+        assert_eq!(Detector::threshold(&lenient), 0.0);
+        assert!(lenient.classify_features(&f).is_malware());
+        if score < Detector::threshold(&strict) {
+            assert!(!strict.classify_features(&f).is_malware());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn non_probability_threshold_is_rejected() {
+        let (_, hmd) = trained();
+        let _ = hmd.with_threshold(1.5);
     }
 
     #[test]

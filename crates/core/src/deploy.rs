@@ -200,10 +200,8 @@ mod tests {
     #[test]
     fn majority_suppresses_minority_positives() {
         // 1 positive in 3 → benign under majority.
-        let mut d = PolicyDetector::new(
-            Periodic { n: 3, count: 0 },
-            DetectionPolicy::MajorityOf(3),
-        );
+        let mut d =
+            PolicyDetector::new(Periodic { n: 3, count: 0 }, DetectionPolicy::MajorityOf(3));
         assert_eq!(d.classify(&dummy_trace()), Label::Benign);
     }
 
@@ -253,7 +251,10 @@ mod tests {
         let fpr_single = evaluate(&mut single, &dataset, split.testing()).false_positive_rate();
         let fpr_any = evaluate(&mut any4, &dataset, split.testing()).false_positive_rate();
         let fpr_maj = evaluate(&mut maj5, &dataset, split.testing()).false_positive_rate();
-        assert!(fpr_any >= fpr_single, "any-of amplifies FPR: {fpr_any} vs {fpr_single}");
+        assert!(
+            fpr_any >= fpr_single,
+            "any-of amplifies FPR: {fpr_any} vs {fpr_single}"
+        );
         assert!(
             fpr_maj <= fpr_any,
             "majority contains FPR: {fpr_maj} vs {fpr_any}"

@@ -191,12 +191,13 @@ impl DetectionEnclave {
     /// (even if a detection panics, via the RAII guard).
     pub fn detect(&mut self, trace: &Trace) -> Label {
         let guard = UndervoltGuard::enter(&self.voltage, self.controller.offset());
-        debug_assert!(!self.voltage.is_nominal(), "undervolt applied during detection");
+        debug_assert!(
+            !self.voltage.is_nominal(),
+            "undervolt applied during detection"
+        );
         self.detections += 1;
         let detector = &mut self.detector;
-        let verdict = self
-            .policy
-            .decide(|| detector.classify(trace));
+        let verdict = self.policy.decide(|| detector.classify(trace));
         drop(guard);
         verdict
     }

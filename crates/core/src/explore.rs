@@ -7,14 +7,21 @@
 //! regenerates Figure 2(b): the distribution of output scores per class at
 //! a given error rate.
 
+use crate::detector::Detector;
+use crate::exec::{derive_seed, parallel_map_n, ExecConfig};
 use crate::stochastic::StochasticHmd;
 use crate::train::{train_baseline, HmdTrainConfig, TrainHmdError};
 use serde::{Deserialize, Serialize};
 use shmd_ml::metrics::{mean_std, ConfusionMatrix};
-use shmd_volt::fault::FaultModelError;
+use shmd_volt::fault::{FaultModel, FaultModelError};
 use shmd_workload::dataset::Dataset;
 use shmd_workload::features::FeatureSpec;
 use std::fmt;
+
+/// Seed-derivation tags separating this module's experiments under one
+/// master seed.
+const TAG_SWEEP: u64 = 0x2a;
+const TAG_CONFIDENCE: u64 = 0x2b;
 
 /// Error running a space-exploration sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,11 +75,10 @@ pub struct SweepPoint {
     pub fnr_std: f64,
 }
 
-/// Runs the Figure 2(a) sweep.
+/// Runs the Figure 2(a) sweep on an automatically sized thread pool.
 ///
-/// For each of the three cross-validation rotations, a baseline is trained
-/// once; each grid error rate is then evaluated `reps` times over the
-/// held-out fold with fresh fault-injector seeds.
+/// Equivalent to [`accuracy_sweep_with`] under [`ExecConfig::auto`]; the
+/// result is bit-identical at any thread count.
 ///
 /// # Errors
 ///
@@ -84,54 +90,106 @@ pub fn accuracy_sweep(
     config: &HmdTrainConfig,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ExploreError> {
+    accuracy_sweep_with(dataset, er_grid, reps, config, seed, &ExecConfig::auto())
+}
+
+/// Runs the Figure 2(a) sweep.
+///
+/// For each of the three cross-validation rotations, a baseline is trained
+/// once and its held-out fold's feature vectors are extracted once; each
+/// `(error rate, fold, repetition)` cell then becomes an independent task
+/// whose fault-injector seed is [derived](derive_seed) from the master
+/// seed and the cell's grid coordinates. Classification uses each
+/// detector's own threshold, so sweep and deployment numbers agree.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if training fails or a grid rate is invalid.
+pub fn accuracy_sweep_with(
+    dataset: &Dataset,
+    er_grid: &[f64],
+    reps: usize,
+    config: &HmdTrainConfig,
+    seed: u64,
+    exec: &ExecConfig,
+) -> Result<Vec<SweepPoint>, ExploreError> {
+    // Validate the whole grid up front so the fan-out below is infallible.
+    for &er in er_grid {
+        FaultModel::from_error_rate(er)?;
+    }
     let spec = FeatureSpec::frequency();
-    // Train one baseline per rotation.
-    let mut folds = Vec::new();
-    for rotation in 0..3 {
+    // Train one baseline per rotation (concurrently — training is itself
+    // seed-deterministic) and extract its test fold's features once,
+    // instead of |grid| × reps times per sample.
+    let folds = parallel_map_n(exec, 3, |rotation| -> Result<Fold, TrainHmdError> {
         let split = dataset.three_fold_split(rotation);
         let baseline = train_baseline(dataset, split.victim_training(), spec, config)?;
-        folds.push((baseline, split));
-    }
+        let testing = split
+            .testing()
+            .iter()
+            .map(|&i| {
+                (
+                    spec.extract(dataset.trace(i)),
+                    dataset.program(i).is_malware(),
+                )
+            })
+            .collect();
+        Ok(Fold { baseline, testing })
+    })
+    .into_iter()
+    .collect::<Result<Vec<Fold>, TrainHmdError>>()?;
 
-    let mut points = Vec::with_capacity(er_grid.len());
-    for (gi, &er) in er_grid.iter().enumerate() {
-        let mut accs = Vec::new();
-        let mut fprs = Vec::new();
-        let mut fnrs = Vec::new();
-        for (fi, (baseline, split)) in folds.iter().enumerate() {
-            for rep in 0..reps {
-                let inj_seed = seed
-                    .wrapping_add(0x1000 * gi as u64)
-                    .wrapping_add(0x100 * fi as u64)
-                    .wrapping_add(rep as u64);
-                let mut hmd = StochasticHmd::from_baseline(baseline, er, inj_seed)?;
-                let mut m = ConfusionMatrix::new();
-                for &i in split.testing() {
-                    let f = spec.extract(dataset.trace(i));
-                    m.record(
-                        hmd.score_features(&f) >= 0.5,
-                        dataset.program(i).is_malware(),
-                    );
-                }
-                accs.push(m.accuracy());
-                fprs.push(m.false_positive_rate());
-                fnrs.push(m.false_negative_rate());
-            }
+    let reps = reps.max(1);
+    let cells = er_grid.len() * folds.len() * reps;
+    let evaluations = parallel_map_n(exec, cells, |cell| {
+        let gi = cell / (folds.len() * reps);
+        let fi = (cell / reps) % folds.len();
+        let rep = cell % reps;
+        let fold = &folds[fi];
+        let inj_seed = derive_seed(seed, &[TAG_SWEEP, gi as u64, fi as u64, rep as u64]);
+        let mut hmd = StochasticHmd::from_baseline(&fold.baseline, er_grid[gi], inj_seed)
+            .expect("grid was validated above");
+        let threshold = Detector::threshold(&hmd);
+        let mut m = ConfusionMatrix::new();
+        for (features, is_malware) in &fold.testing {
+            m.record(hmd.score_features(features) >= threshold, *is_malware);
         }
-        let (accuracy_mean, accuracy_std) = mean_std(&accs);
-        let (fpr_mean, fpr_std) = mean_std(&fprs);
-        let (fnr_mean, fnr_std) = mean_std(&fnrs);
-        points.push(SweepPoint {
-            error_rate: er,
-            accuracy_mean,
-            accuracy_std,
-            fpr_mean,
-            fpr_std,
-            fnr_mean,
-            fnr_std,
-        });
-    }
+        (
+            m.accuracy(),
+            m.false_positive_rate(),
+            m.false_negative_rate(),
+        )
+    });
+
+    let points = er_grid
+        .iter()
+        .enumerate()
+        .map(|(gi, &er)| {
+            let cells = &evaluations[gi * folds.len() * reps..(gi + 1) * folds.len() * reps];
+            let accs: Vec<f64> = cells.iter().map(|c| c.0).collect();
+            let fprs: Vec<f64> = cells.iter().map(|c| c.1).collect();
+            let fnrs: Vec<f64> = cells.iter().map(|c| c.2).collect();
+            let (accuracy_mean, accuracy_std) = mean_std(&accs);
+            let (fpr_mean, fpr_std) = mean_std(&fprs);
+            let (fnr_mean, fnr_std) = mean_std(&fnrs);
+            SweepPoint {
+                error_rate: er,
+                accuracy_mean,
+                accuracy_std,
+                fpr_mean,
+                fpr_std,
+                fnr_mean,
+                fnr_std,
+            }
+        })
+        .collect();
     Ok(points)
+}
+
+/// One trained rotation with its pre-extracted test fold.
+struct Fold {
+    baseline: crate::baseline::BaselineHmd,
+    testing: Vec<(Vec<f32>, bool)>,
 }
 
 /// The Figure 2(b) data: output-score samples per true class at one error
@@ -159,7 +217,8 @@ impl ConfidenceDistribution {
 }
 
 /// Collects the Figure 2(b) confidence distribution at one error rate
-/// (rotation 0, `reps` stochastic detections per test sample).
+/// (rotation 0, `reps` stochastic detections per test sample) on an
+/// automatically sized thread pool.
 ///
 /// # Errors
 ///
@@ -171,21 +230,51 @@ pub fn confidence_distribution(
     config: &HmdTrainConfig,
     seed: u64,
 ) -> Result<ConfidenceDistribution, ExploreError> {
+    confidence_distribution_with(dataset, er, reps, config, seed, &ExecConfig::auto())
+}
+
+/// Collects the Figure 2(b) confidence distribution at one error rate.
+///
+/// Each test sample is an independent task scoring `reps` stochastic
+/// detections with a seed [derived](derive_seed) from the master seed and
+/// the sample's index, so the distribution is bit-identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if training fails or the rate is invalid.
+pub fn confidence_distribution_with(
+    dataset: &Dataset,
+    er: f64,
+    reps: usize,
+    config: &HmdTrainConfig,
+    seed: u64,
+    exec: &ExecConfig,
+) -> Result<ConfidenceDistribution, ExploreError> {
+    FaultModel::from_error_rate(er)?;
     let spec = FeatureSpec::frequency();
     let split = dataset.three_fold_split(0);
     let baseline = train_baseline(dataset, split.victim_training(), spec, config)?;
-    let mut hmd = StochasticHmd::from_baseline(&baseline, er, seed)?;
+    let testing = split.testing();
+    let per_sample = parallel_map_n(exec, testing.len(), |si| {
+        let i = testing[si];
+        let f = spec.extract(dataset.trace(i));
+        let mut hmd = StochasticHmd::from_baseline(
+            &baseline,
+            er,
+            derive_seed(seed, &[TAG_CONFIDENCE, si as u64]),
+        )
+        .expect("rate was validated above");
+        let scores: Vec<f64> = (0..reps).map(|_| hmd.score_features(&f)).collect();
+        (scores, dataset.program(i).is_malware())
+    });
     let mut benign_scores = Vec::new();
     let mut malware_scores = Vec::new();
-    for &i in split.testing() {
-        let f = spec.extract(dataset.trace(i));
-        for _ in 0..reps {
-            let s = hmd.score_features(&f);
-            if dataset.program(i).is_malware() {
-                malware_scores.push(s);
-            } else {
-                benign_scores.push(s);
-            }
+    for (scores, is_malware) in per_sample {
+        if is_malware {
+            malware_scores.extend(scores);
+        } else {
+            benign_scores.extend(scores);
         }
     }
     Ok(ConfidenceDistribution {
@@ -208,8 +297,7 @@ mod tests {
     fn sweep_shapes_match_fig2a() {
         let d = dataset();
         let grid = [0.0, 0.1, 0.9];
-        let points =
-            accuracy_sweep(&d, &grid, 3, &HmdTrainConfig::fast(), 7).expect("sweep");
+        let points = accuracy_sweep(&d, &grid, 3, &HmdTrainConfig::fast(), 7).expect("sweep");
         assert_eq!(points.len(), 3);
         // Accuracy at er = 0 is the (good) baseline.
         assert!(points[0].accuracy_mean > 0.88, "{:?}", points[0]);
@@ -229,7 +317,7 @@ mod tests {
     }
 
     #[test]
-    fn confidence_spread_grows_with_error_rate(){
+    fn confidence_spread_grows_with_error_rate() {
         let d = dataset();
         let cfg = HmdTrainConfig::fast();
         let low = confidence_distribution(&d, 0.1, 3, &cfg, 1).expect("low");
@@ -245,8 +333,7 @@ mod tests {
     #[test]
     fn zero_rate_distribution_is_degenerate_per_sample() {
         let d = dataset();
-        let dist =
-            confidence_distribution(&d, 0.0, 2, &HmdTrainConfig::fast(), 1).expect("dist");
+        let dist = confidence_distribution(&d, 0.0, 2, &HmdTrainConfig::fast(), 1).expect("dist");
         // With two deterministic reps per sample, consecutive scores pair up.
         for pair in dist.malware_scores.chunks(2) {
             assert_eq!(pair[0], pair[1]);
@@ -256,8 +343,7 @@ mod tests {
     #[test]
     fn invalid_rate_is_an_error() {
         let d = dataset();
-        let err = accuracy_sweep(&d, &[2.0], 1, &HmdTrainConfig::fast(), 1)
-            .expect_err("invalid");
+        let err = accuracy_sweep(&d, &[2.0], 1, &HmdTrainConfig::fast(), 1).expect_err("invalid");
         assert!(matches!(err, ExploreError::Fault(_)));
     }
 }

@@ -16,7 +16,10 @@
 //! - [`train`] — training pipelines and the 3-fold cross-validation
 //!   harness;
 //! - [`explore`] — the §VI space exploration: accuracy and
-//!   confidence-distribution sweeps over the error rate.
+//!   confidence-distribution sweeps over the error rate;
+//! - [`exec`] — the deterministic parallel experiment engine: fans task
+//!   grids across threads with per-task derived seeds, so results are
+//!   bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod baseline;
 pub mod deploy;
 pub mod detector;
 pub mod enclave;
+pub mod exec;
 pub mod explore;
 pub mod monitor;
 pub mod rhmd;
@@ -59,8 +63,9 @@ pub mod xval;
 
 pub use baseline::BaselineHmd;
 pub use deploy::{DetectionPolicy, PolicyDetector};
-pub use enclave::{DetectionEnclave, EnclaveError};
 pub use detector::{Detector, Label};
+pub use enclave::{DetectionEnclave, EnclaveError};
+pub use exec::{derive_seed, mix_seed, parallel_map, parallel_map_n, ExecConfig};
 pub use monitor::{monitor_all, monitor_trace, MonitorOutcome, MonitorReport};
 pub use rhmd::{Rhmd, RhmdConstruction};
 pub use roc::{RocCurve, RocError, RocPoint};

@@ -57,10 +57,7 @@ impl MonitorReport {
         if self.detected.is_empty() {
             return None;
         }
-        Some(
-            self.detected.iter().map(|&(_, w)| w as f64).sum::<f64>()
-                / self.detected.len() as f64,
-        )
+        Some(self.detected.iter().map(|&(_, w)| w as f64).sum::<f64>() / self.detected.len() as f64)
     }
 }
 
@@ -70,11 +67,7 @@ impl MonitorReport {
 ///
 /// `warmup` windows execute before the first detection (a detector needs a
 /// minimal observation to extract features from).
-pub fn monitor_trace(
-    detector: &mut dyn Detector,
-    trace: &Trace,
-    warmup: usize,
-) -> MonitorOutcome {
+pub fn monitor_trace(detector: &mut dyn Detector, trace: &Trace, warmup: usize) -> MonitorOutcome {
     let windows = trace.windows();
     let start = warmup.clamp(1, windows.len());
     for executed in start..=windows.len() {
@@ -179,7 +172,11 @@ mod tests {
             .map(|i| (i, dataset.trace(i)))
             .collect();
         let report = monitor_all(&mut protected, &malware, 4);
-        assert!(report.detection_rate() > 0.85, "rate {}", report.detection_rate());
+        assert!(
+            report.detection_rate() > 0.85,
+            "rate {}",
+            report.detection_rate()
+        );
         let ttd = report.mean_time_to_detection().expect("something detected");
         assert!(
             ttd < 10.0,

@@ -57,8 +57,7 @@ impl RhmdConstruction {
             RhmdConstruction::TwoFeatures | RhmdConstruction::ThreeFeatures => {
                 &[DetectionPeriod::EVERY_WINDOW]
             }
-            RhmdConstruction::TwoFeaturesTwoPeriods
-            | RhmdConstruction::ThreeFeaturesTwoPeriods => {
+            RhmdConstruction::TwoFeaturesTwoPeriods | RhmdConstruction::ThreeFeaturesTwoPeriods => {
                 &[DetectionPeriod::EVERY_WINDOW, DetectionPeriod::EVERY_OTHER]
             }
         };
@@ -169,7 +168,10 @@ mod tests {
         assert_eq!(RhmdConstruction::TwoFeatures.detector_count(), 2);
         assert_eq!(RhmdConstruction::ThreeFeatures.detector_count(), 3);
         assert_eq!(RhmdConstruction::TwoFeaturesTwoPeriods.detector_count(), 4);
-        assert_eq!(RhmdConstruction::ThreeFeaturesTwoPeriods.detector_count(), 6);
+        assert_eq!(
+            RhmdConstruction::ThreeFeaturesTwoPeriods.detector_count(),
+            6
+        );
     }
 
     #[test]

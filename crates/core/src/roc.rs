@@ -32,9 +32,7 @@ pub enum RocError {
 impl fmt::Display for RocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RocError::MissingClass => {
-                f.write_str("ROC needs at least one sample of each class")
-            }
+            RocError::MissingClass => f.write_str("ROC needs at least one sample of each class"),
         }
     }
 }
@@ -218,8 +216,8 @@ mod tests {
         )
         .expect("trains");
         let mut protected = StochasticHmd::from_baseline(&baseline, 0.1, 3).expect("valid");
-        let roc = RocCurve::from_detector(&mut protected, &dataset, split.testing())
-            .expect("computes");
+        let roc =
+            RocCurve::from_detector(&mut protected, &dataset, split.testing()).expect("computes");
         assert!(roc.auc() > 0.9, "stochastic AUC {}", roc.auc());
     }
 }

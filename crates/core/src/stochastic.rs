@@ -24,6 +24,28 @@ pub struct StochasticHmd {
     injector: FaultInjector,
     error_rate: f64,
     offset: Option<Millivolts>,
+    threshold: f64,
+}
+
+/// Near-zero immunity width for the Q16.16 inference datapath.
+///
+/// The injector sees raw Q32.32 products, but the datapath only latches the
+/// upper 32-bit Q16.16 word: faults below [`shmd_fixed::FRAC_BITS`] are
+/// discarded by the normalising shift, and the immune-LSB zone of the §II
+/// characterisation (the bottom 8 of 64 output columns, whose carry chains
+/// are too short to violate timing) scales to the bottom 4 columns of the
+/// 32-bit latched word. Products narrower than `16 + 4` raw bits — latched
+/// magnitude below 2⁻¹² of unit scale — therefore never fault, which is how
+/// the paper's stated limitation manifests end-to-end (§IX: "models that
+/// operate on numbers that are very close to zero are not protected").
+const DATAPATH_NEAR_ZERO_WIDTH: u32 =
+    shmd_fixed::FRAC_BITS + (shmd_volt::multiplier::IMMUNE_LSBS as u32) / 2;
+
+/// Adapts a fault model to the Q16.16 datapath's latch: immunity is judged
+/// on latched bits, never below the raw-integer default.
+fn for_datapath(model: FaultModel) -> FaultModel {
+    let width = model.near_zero_width().max(DATAPATH_NEAR_ZERO_WIDTH);
+    model.with_near_zero_width(width)
 }
 
 impl StochasticHmd {
@@ -40,7 +62,7 @@ impl StochasticHmd {
         er: f64,
         seed: u64,
     ) -> Result<StochasticHmd, FaultModelError> {
-        let model = FaultModel::from_error_rate(er)?;
+        let model = for_datapath(FaultModel::from_error_rate(er)?);
         Ok(StochasticHmd {
             name: format!("stochastic({}, er={er})", Detector::name(base)),
             spec: base.spec(),
@@ -48,12 +70,14 @@ impl StochasticHmd {
             injector: FaultInjector::new(model, seed),
             error_rate: er,
             offset: None,
+            threshold: Detector::threshold(base),
         })
     }
 
     /// Protects a baseline HMD with an explicit fault model (for ablation
     /// studies — e.g. varying the carry-ripple tail).
     pub fn with_fault_model(base: &BaselineHmd, model: FaultModel, seed: u64) -> StochasticHmd {
+        let model = for_datapath(model);
         let er = model.error_rate();
         StochasticHmd {
             name: format!("stochastic({}, custom er={er})", Detector::name(base)),
@@ -62,6 +86,7 @@ impl StochasticHmd {
             injector: FaultInjector::new(model, seed),
             error_rate: er,
             offset: None,
+            threshold: Detector::threshold(base),
         }
     }
 
@@ -78,7 +103,7 @@ impl StochasticHmd {
         offset: Millivolts,
         seed: u64,
     ) -> Result<StochasticHmd, FaultModelError> {
-        let model = curve.fault_model_at(offset)?;
+        let model = for_datapath(curve.fault_model_at(offset)?);
         let er = model.error_rate();
         Ok(StochasticHmd {
             name: format!(
@@ -91,6 +116,7 @@ impl StochasticHmd {
             injector: FaultInjector::new(model, seed),
             error_rate: er,
             offset: Some(offset),
+            threshold: Detector::threshold(base),
         })
     }
 
@@ -135,6 +161,10 @@ impl Detector for StochasticHmd {
         let features = self.spec.extract(trace);
         self.score_features(&features)
     }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +200,10 @@ mod tests {
         let mut protected = StochasticHmd::from_baseline(&base, 0.0, 0).expect("valid");
         for i in 0..20 {
             let t = dataset.trace(i);
-            assert_eq!(protected.score(t), base.score_features(&base.spec().extract(t)));
+            assert_eq!(
+                protected.score(t),
+                base.score_features(&base.spec().extract(t))
+            );
         }
     }
 
@@ -234,12 +267,19 @@ mod tests {
             .with_step(2)
             .calibrate(&DeviceProfile::reference());
         let offset = curve.offset_for_error_rate(0.1).expect("reachable");
-        let mut protected =
-            StochasticHmd::at_offset(&base, &curve, offset, 1).expect("valid");
+        let mut protected = StochasticHmd::at_offset(&base, &curve, offset, 1).expect("valid");
         assert_eq!(protected.offset(), Some(offset));
         assert!(protected.error_rate() > 0.05);
         let s = protected.score(dataset.trace(0));
         assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn protection_inherits_the_baseline_threshold() {
+        let (_, base) = setup();
+        let tuned = base.clone().with_threshold(0.7);
+        let protected = StochasticHmd::from_baseline(&tuned, 0.1, 4).expect("valid");
+        assert_eq!(Detector::threshold(&protected), 0.7);
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub fn train_baseline(
         .output(1)
         .seed(config.seed)
         .build()?;
-    RpropTrainer::new().epochs(config.epochs).train(&mut network, &data);
+    RpropTrainer::new()
+        .epochs(config.epochs)
+        .train(&mut network, &data);
     Ok(BaselineHmd::new(format!("hmd[{spec}]"), spec, network))
 }
 
@@ -171,9 +173,8 @@ mod tests {
     #[test]
     fn cross_validation_runs_three_rotations() {
         let d = dataset();
-        let folds =
-            cross_validate_baseline(&d, FeatureSpec::frequency(), &HmdTrainConfig::fast())
-                .expect("cv");
+        let folds = cross_validate_baseline(&d, FeatureSpec::frequency(), &HmdTrainConfig::fast())
+            .expect("cv");
         assert_eq!(folds.len(), 3);
         for m in &folds {
             assert!(m.accuracy() > 0.85, "{m}");
@@ -183,13 +184,8 @@ mod tests {
     #[test]
     fn empty_fold_is_an_error() {
         let d = dataset();
-        let err = train_baseline(
-            &d,
-            &[],
-            FeatureSpec::frequency(),
-            &HmdTrainConfig::fast(),
-        )
-        .expect_err("empty fold");
+        let err = train_baseline(&d, &[], FeatureSpec::frequency(), &HmdTrainConfig::fast())
+            .expect_err("empty fold");
         assert!(matches!(err, TrainHmdError::BadTrainingData(_)));
     }
 
@@ -220,8 +216,8 @@ mod tests {
         let d = dataset();
         let split = d.three_fold_split(0);
         let cfg = HmdTrainConfig::fast();
-        let a = train_baseline(&d, split.victim_training(), FeatureSpec::frequency(), &cfg)
-            .unwrap();
+        let a =
+            train_baseline(&d, split.victim_training(), FeatureSpec::frequency(), &cfg).unwrap();
         let b = train_baseline(
             &d,
             split.victim_training(),

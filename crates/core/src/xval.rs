@@ -6,6 +6,7 @@
 //! get paper-style evaluation for free.
 
 use crate::detector::Detector;
+use crate::exec::{parallel_map_n, ExecConfig};
 use crate::train::TrainHmdError;
 use serde::{Deserialize, Serialize};
 use shmd_ml::metrics::{mean_std, ConfusionMatrix};
@@ -56,39 +57,65 @@ impl XvalSummary {
     }
 }
 
-/// Cross-validates an arbitrary detector construction.
-///
-/// `build` is called once per `(rotation, rep)` with the fold split and the
-/// repetition index (use it to seed stochastic components); the returned
-/// detector is evaluated on the rotation's test fold.
+/// Cross-validates an arbitrary detector construction on an automatically
+/// sized thread pool. See [`cross_validate_with`].
 ///
 /// # Errors
 ///
-/// Propagates the first construction error.
+/// Propagates the construction error of the earliest failing
+/// `(rotation, rep)` cell.
 pub fn cross_validate<D, F>(
     dataset: &Dataset,
     reps: usize,
-    mut build: F,
+    build: F,
 ) -> Result<XvalSummary, TrainHmdError>
 where
     D: Detector,
-    F: FnMut(&ThreeFoldSplit, usize, usize) -> Result<D, TrainHmdError>,
+    F: Fn(&ThreeFoldSplit, usize, usize) -> Result<D, TrainHmdError> + Sync,
 {
-    let mut matrices = Vec::with_capacity(3 * reps.max(1));
-    for rotation in 0..3 {
-        let split = dataset.three_fold_split(rotation);
-        for rep in 0..reps.max(1) {
-            let mut detector = build(&split, rotation, rep)?;
-            let mut m = ConfusionMatrix::new();
-            for &i in split.testing() {
-                m.record(
-                    detector.classify(dataset.trace(i)).is_malware(),
-                    dataset.program(i).is_malware(),
-                );
-            }
-            matrices.push(m);
+    cross_validate_with(dataset, reps, &ExecConfig::auto(), build)
+}
+
+/// Cross-validates an arbitrary detector construction.
+///
+/// `build` is called once per `(rotation, rep)` with the fold split and the
+/// repetition index (use them to *derive* seeds for stochastic components —
+/// see [`crate::exec::derive_seed`]); the returned detector is evaluated on
+/// the rotation's test fold. Cells run concurrently under `exec`, and the
+/// summary is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates the construction error of the earliest failing
+/// `(rotation, rep)` cell.
+pub fn cross_validate_with<D, F>(
+    dataset: &Dataset,
+    reps: usize,
+    exec: &ExecConfig,
+    build: F,
+) -> Result<XvalSummary, TrainHmdError>
+where
+    D: Detector,
+    F: Fn(&ThreeFoldSplit, usize, usize) -> Result<D, TrainHmdError> + Sync,
+{
+    let reps = reps.max(1);
+    let splits: Vec<ThreeFoldSplit> = (0..3).map(|r| dataset.three_fold_split(r)).collect();
+    let matrices = parallel_map_n(exec, splits.len() * reps, |cell| {
+        let rotation = cell / reps;
+        let rep = cell % reps;
+        let split = &splits[rotation];
+        let mut detector = build(split, rotation, rep)?;
+        let mut m = ConfusionMatrix::new();
+        for &i in split.testing() {
+            m.record(
+                detector.classify(dataset.trace(i)).is_malware(),
+                dataset.program(i).is_malware(),
+            );
         }
-    }
+        Ok(m)
+    })
+    .into_iter()
+    .collect::<Result<Vec<ConfusionMatrix>, TrainHmdError>>()?;
     Ok(XvalSummary::from_matrices(&matrices))
 }
 
@@ -132,16 +159,40 @@ mod tests {
                 FeatureSpec::frequency(),
                 &HmdTrainConfig::fast(),
             )?;
-            Ok(StochasticHmd::from_baseline(
-                &base,
-                0.3,
-                (rotation * 100 + rep) as u64,
+            Ok(
+                StochasticHmd::from_baseline(&base, 0.3, (rotation * 100 + rep) as u64)
+                    .expect("valid rate"),
             )
-            .expect("valid rate"))
         })
         .expect("builds");
         assert_eq!(summary.samples, 9);
-        assert!(summary.accuracy_std > 0.0, "reps must add spread: {summary:?}");
+        assert!(
+            summary.accuracy_std > 0.0,
+            "reps must add spread: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn summary_is_thread_count_invariant() {
+        let d = dataset();
+        let build = |split: &ThreeFoldSplit, rotation: usize, rep: usize| {
+            let base = train_baseline(
+                &d,
+                split.victim_training(),
+                FeatureSpec::frequency(),
+                &HmdTrainConfig::fast(),
+            )?;
+            Ok(StochasticHmd::from_baseline(
+                &base,
+                0.3,
+                crate::exec::derive_seed(9, &[rotation as u64, rep as u64]),
+            )
+            .expect("valid rate"))
+        };
+        let serial = cross_validate_with(&d, 2, &ExecConfig::serial(), build).expect("serial");
+        let parallel =
+            cross_validate_with(&d, 2, &ExecConfig::threads(4), build).expect("parallel");
+        assert_eq!(serial, parallel);
     }
 
     #[test]

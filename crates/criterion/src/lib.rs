@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! median-of-batches wall-clock measurement instead of criterion's full
+//! statistical machinery. Good enough to rank datapaths and spot order-of-
+//! magnitude regressions; not a replacement for real criterion numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET_BATCH: Duration = Duration::from_millis(40);
+/// Batches measured; the median is reported.
+const BATCHES: usize = 5;
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub use std::hint::black_box;
+
+/// Times a closure over many iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, set by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count to fill the target batch
+    /// time, then reports the median over several batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill one batch?
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_BATCH / 4 || n >= 1 << 24 {
+                let scale = TARGET_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                n = ((n as f64 * scale) as u64).clamp(1, 1 << 26);
+                break;
+            }
+            n *= 8;
+        }
+        let mut samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / n as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A parameterised benchmark name.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the display form of the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (stats are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        if ns >= 1e6 {
+            println!("{name:<48} {:>12.3} ms/iter", ns / 1e6);
+        } else if ns >= 1e3 {
+            println!("{name:<48} {:>12.3} µs/iter", ns / 1e3);
+        } else {
+            println!("{name:<48} {ns:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("a", |b| {
+                ran += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(0.5).label, "0.5");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

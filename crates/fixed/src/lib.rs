@@ -42,9 +42,7 @@ pub const PRODUCT_FRAC_BITS: u32 = 32;
 /// The representable range is roughly `[-32768, 32768)` with a resolution of
 /// `2^-16 ≈ 1.5e-5`, which comfortably covers neural-network weights and
 /// activations after input normalisation.
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Q16(i32);
 
 impl Q16 {

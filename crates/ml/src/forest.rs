@@ -67,13 +67,13 @@ impl RandomForest {
     ) -> Result<RandomForest, FitError> {
         let width = validate(inputs, labels)?;
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xf0e5_7000);
-        let per_tree = ((width as f64 * config.feature_fraction).ceil() as usize)
-            .clamp(1, width);
+        let per_tree = ((width as f64 * config.feature_fraction).ceil() as usize).clamp(1, width);
         let mut members = Vec::with_capacity(config.trees.max(1));
         for _ in 0..config.trees.max(1) {
             // Bootstrap sample (with replacement).
-            let sample: Vec<usize> =
-                (0..inputs.len()).map(|_| rng.gen_range(0..inputs.len())).collect();
+            let sample: Vec<usize> = (0..inputs.len())
+                .map(|_| rng.gen_range(0..inputs.len()))
+                .collect();
             // Random feature subset (without replacement).
             let mut features: Vec<usize> = (0..width).collect();
             for i in (1..features.len()).rev() {
@@ -162,7 +162,10 @@ mod tests {
         let (inputs, labels) = blobs(300, 1);
         let forest = RandomForest::fit(&inputs, &labels, &ForestConfig::default()).expect("fit");
         let m = ConfusionMatrix::from_pairs(
-            inputs.iter().zip(&labels).map(|(x, &y)| (forest.predict(x), y)),
+            inputs
+                .iter()
+                .zip(&labels)
+                .map(|(x, &y)| (forest.predict(x), y)),
         );
         assert!(m.accuracy() > 0.9, "accuracy {}", m.accuracy());
         assert!(forest.tree_count() > 20);
@@ -202,10 +205,8 @@ mod tests {
         let tree = DecisionTree::fit(&inputs, &noisy, &TreeConfig::default()).unwrap();
         let forest = RandomForest::fit(&inputs, &noisy, &ForestConfig::default()).unwrap();
         let acc = |pred: &dyn Fn(&[f32]) -> bool| {
-            ConfusionMatrix::from_pairs(
-                inputs.iter().zip(&labels).map(|(x, &y)| (pred(x), y)),
-            )
-            .accuracy()
+            ConfusionMatrix::from_pairs(inputs.iter().zip(&labels).map(|(x, &y)| (pred(x), y)))
+                .accuracy()
         };
         let tree_acc = acc(&|x| tree.predict(x));
         let forest_acc = acc(&|x| forest.predict(x));

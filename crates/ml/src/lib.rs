@@ -111,14 +111,20 @@ mod tests {
         let inputs = vec![vec![1.0]];
         assert_eq!(
             validate(&inputs, &[true, false]),
-            Err(FitError::LengthMismatch { inputs: 1, labels: 2 })
+            Err(FitError::LengthMismatch {
+                inputs: 1,
+                labels: 2
+            })
         );
     }
 
     #[test]
     fn validate_rejects_ragged() {
         let inputs = vec![vec![1.0], vec![1.0, 2.0]];
-        assert_eq!(validate(&inputs, &[true, false]), Err(FitError::RaggedRow(1)));
+        assert_eq!(
+            validate(&inputs, &[true, false]),
+            Err(FitError::RaggedRow(1))
+        );
     }
 
     #[test]

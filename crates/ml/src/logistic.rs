@@ -53,8 +53,12 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0f64; width];
             let mut grad_b = 0.0f64;
             for (x, &y) in inputs.iter().zip(labels) {
-                let z: f64 =
-                    bias + weights.iter().zip(x).map(|(w, &v)| w * f64::from(v)).sum::<f64>();
+                let z: f64 = bias
+                    + weights
+                        .iter()
+                        .zip(x)
+                        .map(|(w, &v)| w * f64::from(v))
+                        .sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - f64::from(u8::from(y));
                 for (g, &v) in grad_w.iter_mut().zip(x) {
@@ -77,8 +81,13 @@ impl LogisticRegression {
     /// Panics if `x.len()` differs from the training width.
     pub fn predict_proba(&self, x: &[f32]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature width mismatch");
-        let z: f64 =
-            self.bias + self.weights.iter().zip(x).map(|(w, &v)| w * f64::from(v)).sum::<f64>();
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, &v)| w * f64::from(v))
+                .sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -131,7 +140,10 @@ mod tests {
         let model = LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default())
             .expect("fit succeeds");
         let m = ConfusionMatrix::from_pairs(
-            inputs.iter().zip(&labels).map(|(x, &y)| (model.predict(x), y)),
+            inputs
+                .iter()
+                .zip(&labels)
+                .map(|(x, &y)| (model.predict(x), y)),
         );
         assert!(m.accuracy() > 0.95, "accuracy {}", m.accuracy());
     }
@@ -139,8 +151,7 @@ mod tests {
     #[test]
     fn probabilities_are_probabilities() {
         let (inputs, labels) = separable_data(50, 2);
-        let model =
-            LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
+        let model = LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
         for x in &inputs {
             let p = model.predict_proba(x);
             assert!((0.0..=1.0).contains(&p));
@@ -150,8 +161,7 @@ mod tests {
     #[test]
     fn weights_point_towards_malware() {
         let (inputs, labels) = separable_data(200, 3);
-        let model =
-            LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
+        let model = LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
         // Malware has larger feature values, so weights must be positive.
         assert!(model.weights().iter().all(|&w| w > 0.0));
     }
@@ -169,8 +179,7 @@ mod tests {
     #[should_panic(expected = "feature width mismatch")]
     fn wrong_width_panics() {
         let (inputs, labels) = separable_data(20, 4);
-        let model =
-            LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
+        let model = LogisticRegression::fit(&inputs, &labels, &LogisticConfig::default()).unwrap();
         let _ = model.predict_proba(&[1.0]);
     }
 

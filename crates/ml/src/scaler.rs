@@ -137,7 +137,10 @@ mod tests {
     fn rejects_empty_and_ragged() {
         assert_eq!(StandardScaler::fit(&[]), Err(FitScalerError::Empty));
         let rows = vec![vec![1.0f32], vec![1.0, 2.0]];
-        assert_eq!(StandardScaler::fit(&rows), Err(FitScalerError::RaggedRow(1)));
+        assert_eq!(
+            StandardScaler::fit(&rows),
+            Err(FitScalerError::RaggedRow(1))
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -241,7 +245,10 @@ mod tests {
         let (inputs, labels) = blobs(300, 1);
         let tree = DecisionTree::fit(&inputs, &labels, &TreeConfig::default()).expect("fit");
         let m = ConfusionMatrix::from_pairs(
-            inputs.iter().zip(&labels).map(|(x, &y)| (tree.predict(x), y)),
+            inputs
+                .iter()
+                .zip(&labels)
+                .map(|(x, &y)| (tree.predict(x), y)),
         );
         assert!(m.accuracy() > 0.9, "accuracy {}", m.accuracy());
     }
@@ -348,4 +355,3 @@ mod tests {
         assert_eq!(a, b);
     }
 }
-

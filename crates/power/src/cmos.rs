@@ -114,7 +114,10 @@ mod tests {
     fn nominal_power_is_the_reference() {
         let m = CmosPowerModel::i7_5557u();
         assert!((m.core_power_w(NOMINAL_CORE_VOLTAGE) - 11.0).abs() < 1e-9);
-        assert_eq!(m.savings_over_baseline(NOMINAL_CORE_VOLTAGE, PowerScope::Core), 0.0);
+        assert_eq!(
+            m.savings_over_baseline(NOMINAL_CORE_VOLTAGE, PowerScope::Core),
+            0.0
+        );
     }
 
     #[test]

@@ -83,9 +83,18 @@ mod tests {
         let hmd = m.hmd_us(macs);
         let rhmd_2f = m.rhmd_us(macs, 2);
         let rhmd_2f2p = m.rhmd_us(macs, 4);
-        assert!((hmd - 7.0).abs() < 0.2, "Stochastic-HMD: {hmd} µs (paper 7)");
-        assert!((rhmd_2f - 7.7).abs() < 0.2, "RHMD-2F: {rhmd_2f} µs (paper 7.7)");
-        assert!((rhmd_2f2p - 7.8).abs() < 0.2, "RHMD-2F2P: {rhmd_2f2p} µs (paper 7.8)");
+        assert!(
+            (hmd - 7.0).abs() < 0.2,
+            "Stochastic-HMD: {hmd} µs (paper 7)"
+        );
+        assert!(
+            (rhmd_2f - 7.7).abs() < 0.2,
+            "RHMD-2F: {rhmd_2f} µs (paper 7.7)"
+        );
+        assert!(
+            (rhmd_2f2p - 7.8).abs() < 0.2,
+            "RHMD-2F2P: {rhmd_2f2p} µs (paper 7.8)"
+        );
     }
 
     #[test]
@@ -102,8 +111,10 @@ mod tests {
         let m = LatencyModel::i7_5557u();
         let macs = 1000;
         let nominal = m.stochastic_hmd_us(macs, NOMINAL_CORE_VOLTAGE);
-        let deep =
-            m.stochastic_hmd_us(macs, NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-140)));
+        let deep = m.stochastic_hmd_us(
+            macs,
+            NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-140)),
+        );
         assert_eq!(nominal, deep);
     }
 

@@ -20,7 +20,10 @@ pub const L1_DCACHE_BYTES: usize = 32 * 1024;
 ///
 /// Panics if `base_detectors == 0`.
 pub fn storage_savings(base_detectors: usize) -> f64 {
-    assert!(base_detectors > 0, "an RHMD needs at least one base detector");
+    assert!(
+        base_detectors > 0,
+        "an RHMD needs at least one base detector"
+    );
     (base_detectors as f64 - 1.0) / base_detectors as f64
 }
 

@@ -105,8 +105,14 @@ mod tests {
         let m = RngCostModel::i7_5557u();
         let t = m.time_overhead(NoiseSource::Trng);
         let e = m.energy_overhead(NoiseSource::Trng);
-        assert!((55.0..=70.0).contains(&t), "TRNG time overhead {t}× (paper ≈62×)");
-        assert!((100.0..=125.0).contains(&e), "TRNG energy overhead {e}× (paper ≈112×)");
+        assert!(
+            (55.0..=70.0).contains(&t),
+            "TRNG time overhead {t}× (paper ≈62×)"
+        );
+        assert!(
+            (100.0..=125.0).contains(&e),
+            "TRNG energy overhead {e}× (paper ≈112×)"
+        );
     }
 
     #[test]
@@ -116,8 +122,14 @@ mod tests {
         let m = RngCostModel::i7_5557u();
         let t = m.time_overhead(NoiseSource::Prng);
         let e = m.energy_overhead(NoiseSource::Prng);
-        assert!((3.0..=5.0).contains(&t), "PRNG time overhead {t}× (paper ≈4×)");
-        assert!((5.0..=6.5).contains(&e), "PRNG energy overhead {e}× (paper ≈5.7×)");
+        assert!(
+            (3.0..=5.0).contains(&t),
+            "PRNG time overhead {t}× (paper ≈4×)"
+        );
+        assert!(
+            (5.0..=6.5).contains(&e),
+            "PRNG energy overhead {e}× (paper ≈5.7×)"
+        );
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the small proptest surface the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / [`any`] / [`collection::vec`] /
+//! [`string::string_regex`] strategies, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! inputs but is not minimised), and a fixed deterministic case count
+//! ([`CASES`]) seeded from the test's module path, so failures reproduce
+//! exactly run-to-run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Number of cases each property runs.
+pub const CASES: usize = 128;
+
+/// Why a single property case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// The RNG driving strategy sampling.
+pub type TestRunner = StdRng;
+
+/// Builds the deterministic RNG for one property, seeded from its name.
+pub fn test_rng(name: &str) -> TestRunner {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRunner) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRunner) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRunner) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRunner) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut TestRunner) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRunner) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRunner) -> bool {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary(rng: &mut TestRunner) -> (A, B) {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRunner) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Bounds for a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `elem` samples.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRunner) -> Vec<S::Value> {
+            let len = if self.size.hi <= self.size.lo + 1 {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies.
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Character pool mixing benign ASCII with separators and multi-byte
+    /// code points — the corners parser fuzz tests care about.
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '1', '9', '.', '-', '+', '_', ' ', '\t', ',', ';', '"', '\'',
+        '\n', '\r', '\\', '/', '#', 'é', '☃', '\u{7f}', '\u{0}',
+    ];
+
+    /// A strategy producing strings of bounded length.
+    pub struct StringStrategy {
+        max_len: usize,
+    }
+
+    /// Error parsing the regex (the stand-in accepts every pattern).
+    #[derive(Clone, Copy, Debug)]
+    pub struct StringRegexError;
+
+    impl std::fmt::Display for StringRegexError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("unsupported string regex")
+        }
+    }
+
+    impl std::error::Error for StringRegexError {}
+
+    /// Strategy for strings matching a regex.
+    ///
+    /// The stand-in honours only the `.{lo,hi}` form (arbitrary characters
+    /// with a length bound) — the single form used in this workspace — and
+    /// treats anything else as "arbitrary string up to 64 chars".
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors the real proptest signature.
+    pub fn string_regex(pattern: &str) -> Result<StringStrategy, StringRegexError> {
+        let max_len = pattern
+            .strip_prefix(".{")
+            .and_then(|rest| rest.strip_suffix('}'))
+            .and_then(|bounds| bounds.split(',').nth(1))
+            .and_then(|hi| hi.trim().parse::<usize>().ok())
+            .unwrap_or(64);
+        Ok(StringStrategy { max_len })
+    }
+
+    impl Strategy for StringStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRunner) -> String {
+            let len = rng.gen_range(0..=self.max_len);
+            (0..len)
+                .map(|_| POOL[rng.gen_range(0..POOL.len())])
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  ",)+),
+                        $(&$arg,)+
+                    );
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {case}: {msg}\ninputs: {inputs}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "{} != {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} == {} ({:?})", stringify!($a), stringify!($b), a);
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -10i32..10, y in 0.0f64..1.0) {
+            prop_assert!((-10..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(xs in crate::collection::vec(0u8..10, 3..7)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u8..4, -1.0f32..1.0)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn string_regex_honours_length_bound() {
+        let strat = crate::string::string_regex(".{0,300}").unwrap();
+        let mut rng = crate::test_rng("string_regex_honours_length_bound");
+        for _ in 0..100 {
+            let s = crate::Strategy::sample(&strat, &mut rng);
+            assert!(s.chars().count() <= 300);
+        }
+    }
+
+    #[test]
+    fn any_produces_varied_values() {
+        let mut rng = crate::test_rng("any_produces_varied_values");
+        let vals: std::collections::HashSet<u64> = (0..50)
+            .map(|_| crate::Strategy::sample(&any::<u64>(), &mut rng))
+            .collect();
+        assert!(vals.len() > 40);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sample = |_: ()| {
+            let mut rng = crate::test_rng("determinism-probe");
+            (0..10)
+                .map(|_| crate::Strategy::sample(&(0u64..1000), &mut rng))
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(sample(()), sample(()));
+    }
+}

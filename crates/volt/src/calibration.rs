@@ -371,10 +371,7 @@ mod tests {
     fn unreachable_rates_error() {
         let curve = reference_curve();
         let err = curve.offset_for_error_rate(0.99).expect_err("unreachable");
-        assert!(matches!(
-            err,
-            CalibrationError::ErrorRateUnreachable { .. }
-        ));
+        assert!(matches!(err, CalibrationError::ErrorRateUnreachable { .. }));
     }
 
     #[test]

@@ -169,9 +169,7 @@ impl AdaptiveVoltageController {
     ///
     /// Never fails for calibrated offsets (they fit the 11-bit encoding);
     /// propagates the encoding error otherwise.
-    pub fn msr_command(
-        &self,
-    ) -> Result<MsrVoltageCommand, crate::voltage::ParseMsrCommandError> {
+    pub fn msr_command(&self) -> Result<MsrVoltageCommand, crate::voltage::ParseMsrCommandError> {
         MsrVoltageCommand::new(VoltagePlane::CpuCore, self.offset)
     }
 
@@ -240,7 +238,11 @@ mod tests {
         let initial = c.offset();
         c.observe_temperature(80.0).expect("heat");
         c.observe_temperature(49.0).expect("cool");
-        assert_eq!(c.offset(), initial, "returning to the calibration temp restores the offset");
+        assert_eq!(
+            c.offset(),
+            initial,
+            "returning to the calibration temp restores the offset"
+        );
     }
 
     #[test]
@@ -259,7 +261,9 @@ mod tests {
         // Not every device/temperature grid produces one, but the enum
         // variant must at least never be conflated with Unchanged after a
         // threshold-crossing observation.
-        let action = c.observe_temperature(c.calibrated_at_c() + 10.0).expect("ok");
+        let action = c
+            .observe_temperature(c.calibrated_at_c() + 10.0)
+            .expect("ok");
         assert!(!matches!(action, ControllerAction::Unchanged));
         let _ = refreshed_seen;
     }
@@ -276,8 +280,8 @@ mod tests {
             guard_band_mv: 10,
             ..config
         };
-        let c = AdaptiveVoltageController::new(DeviceProfile::reference(), config)
-            .expect("constructs");
+        let c =
+            AdaptiveVoltageController::new(DeviceProfile::reference(), config).expect("constructs");
         let freeze = {
             let curve = Calibrator::new().calibrate(&DeviceProfile::reference());
             curve.freeze_offset().get()

@@ -127,6 +127,9 @@ mod tests {
             })
             .collect();
         let apen = approximate_entropy(&series, 1);
-        assert!(apen > 1.0, "fault locations look deterministic: ApEn {apen}");
+        assert!(
+            apen > 1.0,
+            "fault locations look deterministic: ApEn {apen}"
+        );
     }
 }

@@ -77,6 +77,8 @@ pub struct FaultModel {
     ripple_fraction: f64,
     /// Reach of the carry-ripple zone above the product MSB, in bits.
     ripple_span: u32,
+    /// Products whose active width is at most this many bits never fault.
+    near_zero_width: u32,
 }
 
 impl FaultModel {
@@ -88,6 +90,7 @@ impl FaultModel {
             first_flip_cdf: Vec::new(),
             ripple_fraction: DEFAULT_RIPPLE_FRACTION,
             ripple_span: DEFAULT_RIPPLE_SPAN,
+            near_zero_width: crate::multiplier::IMMUNE_LSBS as u32,
         }
     }
 
@@ -150,6 +153,7 @@ impl FaultModel {
             first_flip_cdf: cdf,
             ripple_fraction: DEFAULT_RIPPLE_FRACTION,
             ripple_span: DEFAULT_RIPPLE_SPAN,
+            near_zero_width: crate::multiplier::IMMUNE_LSBS as u32,
         })
     }
 
@@ -175,6 +179,31 @@ impl FaultModel {
     /// The fraction of flips diverted to the carry-ripple zone.
     pub fn ripple_fraction(&self) -> f64 {
         self.ripple_fraction
+    }
+
+    /// Overrides the near-zero immunity width: products whose active width
+    /// is at most `bits` never fault.
+    ///
+    /// The default, [`crate::multiplier::IMMUNE_LSBS`], models the raw
+    /// 64-bit integer multiplier view used by the §II characterisation. A
+    /// fixed-point datapath should raise it so that immunity is judged on
+    /// the bits of the *latched* result: for Q16.16 (whose raw Q32.32
+    /// products sit 16 fractional bits below the latch), the paper's 8
+    /// immune result LSBs correspond to a raw active width of `8 + 16`.
+    /// This is how the paper's stated limitation — "models that operate on
+    /// numbers that are very close to zero are not protected" — manifests
+    /// end-to-end: products below ~2⁻⁸ of unit scale exercise only carry
+    /// chains far too short to violate timing.
+    #[must_use]
+    pub fn with_near_zero_width(mut self, bits: u32) -> FaultModel {
+        self.near_zero_width = bits;
+        self
+    }
+
+    /// The active width (in raw product bits) at or below which a product
+    /// is considered near-zero and never faults.
+    pub fn near_zero_width(&self) -> u32 {
+        self.near_zero_width
     }
 
     /// Builds a model for a physical supply voltage using the timing model's
@@ -393,11 +422,11 @@ impl FaultInjector {
         // Active width: highest switching column, plus one for carry-out.
         // Never the sign bit (structurally an XOR off the critical path).
         let width = 64 - product.unsigned_abs().leading_zeros();
-        let top = (width + 1).min(OUTPUT_BITS as u32 - 2);
-        if top <= (crate::multiplier::IMMUNE_LSBS as u32) + 1 {
+        if width <= self.model.near_zero_width {
             // Near-zero product: no carry chains long enough to violate.
             return product;
         }
+        let top = (width + 1).min(OUTPUT_BITS as u32 - 2);
         let ripple_top = (width + self.model.ripple_span).min(OUTPUT_BITS as u32 - 2);
         let ripple_fraction = self.model.ripple_fraction;
         let place = |rng: &mut StdRng, bit: u8| -> u64 {
@@ -496,8 +525,7 @@ mod tests {
     #[test]
     fn observed_rate_matches_requested_rate() {
         for &er in &[0.01, 0.1, 0.5, 0.9] {
-            let mut inj =
-                FaultInjector::new(FaultModel::from_error_rate(er).expect("valid"), 99);
+            let mut inj = FaultInjector::new(FaultModel::from_error_rate(er).expect("valid"), 99);
             for _ in 0..20_000 {
                 // Full-width product: observed rate matches the knob exactly.
                 inj.corrupt_product(0x7123_4567_89ab_cdef);
@@ -527,11 +555,7 @@ mod tests {
         for i in 0..20_000i64 {
             let p = i * 2_718_281;
             let c = inj.corrupt_product(p);
-            assert_eq!(
-                (c ^ p) & 0xff,
-                0,
-                "an immune LSB flipped: {p:#x} -> {c:#x}"
-            );
+            assert_eq!((c ^ p) & 0xff, 0, "an immune LSB flipped: {p:#x} -> {c:#x}");
         }
         for bit in 0..IMMUNE_LSBS {
             assert_eq!(inj.stats().bit_flips[bit], 0);

@@ -55,7 +55,9 @@ pub mod multiplier;
 pub mod voltage;
 
 pub use calibration::{CalibrationCurve, CalibrationError, Calibrator, DeviceProfile};
-pub use characterize::{sweep_all, sweep_instruction, InstructionKind, SweepConfig, SweepOutcome, SweepResult};
+pub use characterize::{
+    sweep_all, sweep_instruction, InstructionKind, SweepConfig, SweepOutcome, SweepResult,
+};
 pub use controller::{AdaptiveVoltageController, ControllerAction, ControllerConfig};
 pub use delay::DelayModel;
 pub use fault::{FaultInjector, FaultModel, FaultModelError, FaultStats, ProductCorruptor};

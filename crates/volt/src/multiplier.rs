@@ -229,8 +229,7 @@ impl MultiplierTimingModel {
             let z = -4.0 + 8.0 * (k as f64) / (POINTS as f64 - 1.0);
             let w = (-0.5 * z * z).exp();
             let activity = (0.5 + z * sigma_activity).clamp(0.0, 1.0);
-            let factor =
-                self.min_operand_factor + (1.0 - self.min_operand_factor) * activity;
+            let factor = self.min_operand_factor + (1.0 - self.min_operand_factor) * activity;
             total += w * self.violation_probability(vdd, factor);
             weight_sum += w;
         }

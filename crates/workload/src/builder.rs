@@ -100,14 +100,8 @@ impl DatasetBuilder {
         if total == 0 {
             return Err(BuildDatasetError::Empty);
         }
-        let has_malware = self
-            .groups
-            .iter()
-            .any(|&(c, n)| n > 0 && c.is_malware());
-        let has_benign = self
-            .groups
-            .iter()
-            .any(|&(c, n)| n > 0 && !c.is_malware());
+        let has_malware = self.groups.iter().any(|&(c, n)| n > 0 && c.is_malware());
+        let has_benign = self.groups.iter().any(|&(c, n)| n > 0 && !c.is_malware());
         if !has_malware || !has_benign {
             return Err(BuildDatasetError::SingleClass);
         }

@@ -327,7 +327,11 @@ mod tests {
     fn folds_are_stratified() {
         let d = Dataset::generate(&DatasetConfig::small(60), 2);
         let split = d.three_fold_split(0);
-        for fold in [split.victim_training(), split.attacker_training(), split.testing()] {
+        for fold in [
+            split.victim_training(),
+            split.attacker_training(),
+            split.testing(),
+        ] {
             let malware = fold.iter().filter(|&&i| d.program(i).is_malware()).count();
             let ratio = malware as f64 / fold.len() as f64;
             assert!(

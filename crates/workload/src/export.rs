@@ -69,7 +69,10 @@ pub fn write_csv<W: Write>(features: &LabeledFeatures, mut writer: W) -> std::io
 ///
 /// Returns [`ParseCsvError`] describing the first malformed line.
 pub fn from_csv(text: &str) -> Result<LabeledFeatures, ParseCsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines
         .next()
         .ok_or_else(|| ParseCsvError::BadHeader("empty input".to_string()))?;

@@ -179,8 +179,10 @@ mod tests {
     use super::*;
 
     fn all_classes() -> Vec<ProgramClass> {
-        let mut v: Vec<ProgramClass> =
-            BenignFamily::ALL.iter().map(|&b| ProgramClass::Benign(b)).collect();
+        let mut v: Vec<ProgramClass> = BenignFamily::ALL
+            .iter()
+            .map(|&b| ProgramClass::Benign(b))
+            .collect();
         v.extend(MalwareFamily::ALL.iter().map(|&m| ProgramClass::Malware(m)));
         v
     }
@@ -239,8 +241,7 @@ mod tests {
         for &m in &MalwareFamily::ALL {
             for &b in &BenignFamily::ALL {
                 assert!(
-                    ProgramClass::Malware(m).burstiness()
-                        > ProgramClass::Benign(b).burstiness()
+                    ProgramClass::Malware(m).burstiness() > ProgramClass::Benign(b).burstiness()
                 );
             }
         }

@@ -253,8 +253,8 @@ mod tests {
     #[test]
     fn transition_on_single_window_is_zero() {
         let t = Trace::from_windows(vec![[5u32; CATEGORY_COUNT]]);
-        let f = FeatureSpec::new(FeatureKind::Transition, DetectionPeriod::EVERY_WINDOW)
-            .extract(&t);
+        let f =
+            FeatureSpec::new(FeatureKind::Transition, DetectionPeriod::EVERY_WINDOW).extract(&t);
         assert!(f.iter().all(|&v| v == 0.0));
     }
 

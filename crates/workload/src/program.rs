@@ -120,8 +120,9 @@ impl Program {
     /// collection ("we get the exact same trace in every run when we supply
     /// the same input").
     pub fn trace(&self, config: &TraceConfig) -> Trace {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ u64::from(self.id).wrapping_mul(0xd134_2543_de82_ef95));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ u64::from(self.id).wrapping_mul(0xd134_2543_de82_ef95),
+        );
         let startup_windows =
             ((config.windows as f64 * STARTUP_FRACTION).ceil() as usize).min(config.windows);
         let burst = self.class.burstiness();
@@ -195,7 +196,11 @@ mod tests {
     fn traces_are_deterministic() {
         let p = trojan(5);
         let cfg = TraceConfig::default();
-        assert_eq!(p.trace(&cfg), p.trace(&cfg), "paper §IV: deterministic traces");
+        assert_eq!(
+            p.trace(&cfg),
+            p.trace(&cfg),
+            "paper §IV: deterministic traces"
+        );
     }
 
     #[test]

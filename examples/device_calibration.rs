@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Temperature: the controller must track the die temperature and
     // re-derive the offset, or the error rate drifts.
     println!("\ntemperature drift on the reference device:");
-    println!("{:>8} {:>14} {:>16}", "temp", "er=0.1 offset", "er at cold offset");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "temp", "er=0.1 offset", "er at cold offset"
+    );
     let cold = {
         let mut d = DeviceProfile::reference();
         d.temp_c = 35.0;
@@ -70,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offset = curve.offset_for_error_rate(0.1)?;
     let cmd = MsrVoltageCommand::new(VoltagePlane::CpuCore, offset)?;
     println!("\ndeployment command for the reference device:\n  {cmd}");
-    println!("(decoded back: offset {})", MsrVoltageCommand::decode(cmd.encode())?.offset());
+    println!(
+        "(decoded back: offset {})",
+        MsrVoltageCommand::decode(cmd.encode())?.offset()
+    );
     Ok(())
 }

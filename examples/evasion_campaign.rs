@@ -24,9 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &HmdTrainConfig::paper(),
     )?;
 
-    println!("victim: {} weights, {} MACs/inference", baseline.network().num_weights(), baseline.network().mac_count());
+    println!(
+        "victim: {} weights, {} MACs/inference",
+        baseline.network().num_weights(),
+        baseline.network().mac_count()
+    );
     println!();
-    println!("{:>6} {:>18} {:>14} {:>14} {:>16}", "proxy", "victim", "RE eff.", "evasive", "transfer succ.");
+    println!(
+        "{:>6} {:>18} {:>14} {:>14} {:>16}",
+        "proxy", "victim", "RE eff.", "evasive", "transfer succ."
+    );
 
     for proxy in ProxyKind::ALL {
         let campaign = AttackCampaign::new(ReverseConfig::new(proxy))

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let protected_matrix = evaluate(&mut protected, &dataset, split.testing());
     println!("baseline accuracy:   {:.1}%", baseline_acc * 100.0);
-    println!("protected accuracy:  {:.1}%", protected_matrix.accuracy() * 100.0);
+    println!(
+        "protected accuracy:  {:.1}%",
+        protected_matrix.accuracy() * 100.0
+    );
     println!(
         "accuracy cost of the defense: {:.2} points (paper: <2)",
         (baseline_acc - protected_matrix.accuracy()) * 100.0
@@ -65,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scores: Vec<String> = (0..6)
         .map(|_| format!("{:.4}", protected.score(trace)))
         .collect();
-    println!("six stochastic detections of one trace: {}", scores.join(", "));
+    println!(
+        "six stochastic detections of one trace: {}",
+        scores.join(", ")
+    );
     println!(
         "faults injected so far: {} of {} multiplications",
         protected.fault_stats().faulty,

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enclave.controller().delivered_error_rate()
     );
     println!("apply command:   {}", enclave.controller().msr_command()?);
-    println!("restore command: {}", enclave.controller().restore_command()?);
+    println!(
+        "restore command: {}",
+        enclave.controller().restore_command()?
+    );
 
     // A monitoring day: detections interleaved with temperature drift.
     let mut correct = 0usize;
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let temp = 49.0 + 25.0 * (step as f64 / split.testing().len() as f64);
         enclave.observe_temperature(temp)?;
         let verdict = enclave.detect(dataset.trace(i));
-        assert!(voltage.is_nominal(), "undervolting must not leak out of detection");
+        assert!(
+            voltage.is_nominal(),
+            "undervolting must not leak out of detection"
+        );
         total += 1;
         if verdict.is_malware() == dataset.program(i).is_malware() {
             correct += 1;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_guidelines-ae9dfc316fa288a3.d: tests/api_guidelines.rs
+
+/root/repo/target/debug/deps/api_guidelines-ae9dfc316fa288a3: tests/api_guidelines.rs
+
+tests/api_guidelines.rs:

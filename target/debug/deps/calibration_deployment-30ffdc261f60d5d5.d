@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_deployment-30ffdc261f60d5d5.d: tests/calibration_deployment.rs
+
+/root/repo/target/debug/deps/calibration_deployment-30ffdc261f60d5d5: tests/calibration_deployment.rs
+
+tests/calibration_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a4829125b1a65216.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a4829125b1a65216: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f3f56bc4515d42d5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f3f56bc4515d42d5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_persistence-6a0f162117c2b648.d: tests/model_persistence.rs
+
+/root/repo/target/debug/deps/model_persistence-6a0f162117c2b648: tests/model_persistence.rs
+
+tests/model_persistence.rs:

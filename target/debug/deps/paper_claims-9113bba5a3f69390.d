@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9113bba5a3f69390.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9113bba5a3f69390: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e12c4c0a767ba14e.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e12c4c0a767ba14e.so: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shmd_attack-4f230426392e25b6.d: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+/root/repo/target/debug/deps/libshmd_attack-4f230426392e25b6.rlib: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+/root/repo/target/debug/deps/libshmd_attack-4f230426392e25b6.rmeta: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/adaptive.rs:
+crates/attack/src/campaign.rs:
+crates/attack/src/evasion.rs:
+crates/attack/src/gradient.rs:
+crates/attack/src/reverse.rs:
+crates/attack/src/transfer.rs:
+crates/attack/src/validated.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shmd_fixed-436f0386f481294c.d: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/libshmd_fixed-436f0386f481294c.rlib: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/libshmd_fixed-436f0386f481294c.rmeta: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

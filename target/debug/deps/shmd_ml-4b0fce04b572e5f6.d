@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shmd_ml-4b0fce04b572e5f6.d: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libshmd_ml-4b0fce04b572e5f6.rlib: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libshmd_ml-4b0fce04b572e5f6.rmeta: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/logistic.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shmd_power-03e7954b60b70bf5.d: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/debug/deps/libshmd_power-03e7954b60b70bf5.rlib: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/debug/deps/libshmd_power-03e7954b60b70bf5.rmeta: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+crates/power/src/lib.rs:
+crates/power/src/battery.rs:
+crates/power/src/cmos.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/latency.rs:
+crates/power/src/memory.rs:
+crates/power/src/rng_cost.rs:

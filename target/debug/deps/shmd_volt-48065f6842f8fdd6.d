@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shmd_volt-48065f6842f8fdd6.d: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+/root/repo/target/debug/deps/libshmd_volt-48065f6842f8fdd6.rlib: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+/root/repo/target/debug/deps/libshmd_volt-48065f6842f8fdd6.rmeta: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+crates/volt/src/lib.rs:
+crates/volt/src/calibration.rs:
+crates/volt/src/characterize.rs:
+crates/volt/src/controller.rs:
+crates/volt/src/delay.rs:
+crates/volt/src/entropy.rs:
+crates/volt/src/fault.rs:
+crates/volt/src/math.rs:
+crates/volt/src/multiplier.rs:
+crates/volt/src/voltage.rs:

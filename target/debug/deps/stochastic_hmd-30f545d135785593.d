@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/stochastic_hmd-30f545d135785593.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+/root/repo/target/debug/deps/libstochastic_hmd-30f545d135785593.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+/root/repo/target/debug/deps/libstochastic_hmd-30f545d135785593.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/deploy.rs:
+crates/core/src/detector.rs:
+crates/core/src/enclave.rs:
+crates/core/src/exec.rs:
+crates/core/src/explore.rs:
+crates/core/src/monitor.rs:
+crates/core/src/rhmd.rs:
+crates/core/src/roc.rs:
+crates/core/src/stochastic.rs:
+crates/core/src/train.rs:
+crates/core/src/xval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stochastic_hmds-0d33054da1c2da9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/stochastic_hmds-0d33054da1c2da9e: src/lib.rs
+
+src/lib.rs:

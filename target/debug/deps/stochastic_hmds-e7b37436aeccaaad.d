@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stochastic_hmds-e7b37436aeccaaad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstochastic_hmds-e7b37436aeccaaad.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstochastic_hmds-e7b37436aeccaaad.rmeta: src/lib.rs
+
+src/lib.rs:

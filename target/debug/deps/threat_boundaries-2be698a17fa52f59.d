@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_boundaries-2be698a17fa52f59.d: tests/threat_boundaries.rs
+
+/root/repo/target/debug/deps/threat_boundaries-2be698a17fa52f59: tests/threat_boundaries.rs
+
+tests/threat_boundaries.rs:

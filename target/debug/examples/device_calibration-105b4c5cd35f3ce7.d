@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/device_calibration-105b4c5cd35f3ce7.d: examples/device_calibration.rs
+
+/root/repo/target/debug/examples/device_calibration-105b4c5cd35f3ce7: examples/device_calibration.rs
+
+examples/device_calibration.rs:

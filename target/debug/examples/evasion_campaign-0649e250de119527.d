@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/evasion_campaign-0649e250de119527.d: examples/evasion_campaign.rs
+
+/root/repo/target/debug/examples/evasion_campaign-0649e250de119527: examples/evasion_campaign.rs
+
+examples/evasion_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5ff722c3a4d08337.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5ff722c3a4d08337: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tee_deployment-0d0836ac5a65d0dd.d: examples/tee_deployment.rs
+
+/root/repo/target/debug/examples/tee_deployment-0d0836ac5a65d0dd: examples/tee_deployment.rs
+
+examples/tee_deployment.rs:

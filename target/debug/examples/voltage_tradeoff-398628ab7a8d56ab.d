@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/voltage_tradeoff-398628ab7a8d56ab.d: examples/voltage_tradeoff.rs
+
+/root/repo/target/debug/examples/voltage_tradeoff-398628ab7a8d56ab: examples/voltage_tradeoff.rs
+
+examples/voltage_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-15df79644dbde0dc.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-15df79644dbde0dc: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-870badf918a774dc.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-870badf918a774dc: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

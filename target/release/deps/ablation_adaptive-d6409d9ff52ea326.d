@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_adaptive-d6409d9ff52ea326.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_adaptive-d6409d9ff52ea326.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-a717e047bf34f511.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-a717e047bf34f511: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-c0ee77dbd248563b.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-c0ee77dbd248563b: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_policy-e5af4fcfcc817057.d: crates/bench/src/bin/ablation_policy.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_policy-e5af4fcfcc817057.rmeta: crates/bench/src/bin/ablation_policy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

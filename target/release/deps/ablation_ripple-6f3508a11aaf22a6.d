@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ripple-6f3508a11aaf22a6.d: crates/bench/src/bin/ablation_ripple.rs
+
+/root/repo/target/release/deps/ablation_ripple-6f3508a11aaf22a6: crates/bench/src/bin/ablation_ripple.rs
+
+crates/bench/src/bin/ablation_ripple.rs:

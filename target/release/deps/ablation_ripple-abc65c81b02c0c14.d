@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ripple-abc65c81b02c0c14.d: crates/bench/src/bin/ablation_ripple.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ripple-abc65c81b02c0c14.rmeta: crates/bench/src/bin/ablation_ripple.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ripple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ripple-e1d6378bc50babf0.d: crates/bench/src/bin/ablation_ripple.rs
+
+/root/repo/target/release/deps/ablation_ripple-e1d6378bc50babf0: crates/bench/src/bin/ablation_ripple.rs
+
+crates/bench/src/bin/ablation_ripple.rs:

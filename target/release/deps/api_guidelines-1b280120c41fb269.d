@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/api_guidelines-1b280120c41fb269.d: tests/api_guidelines.rs Cargo.toml
+
+/root/repo/target/release/deps/libapi_guidelines-1b280120c41fb269.rmeta: tests/api_guidelines.rs Cargo.toml
+
+tests/api_guidelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/api_guidelines-58cae074bc024a2c.d: tests/api_guidelines.rs
+
+/root/repo/target/release/deps/api_guidelines-58cae074bc024a2c: tests/api_guidelines.rs
+
+tests/api_guidelines.rs:

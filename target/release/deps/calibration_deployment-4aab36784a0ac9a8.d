@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_deployment-4aab36784a0ac9a8.d: tests/calibration_deployment.rs
+
+/root/repo/target/release/deps/calibration_deployment-4aab36784a0ac9a8: tests/calibration_deployment.rs
+
+tests/calibration_deployment.rs:

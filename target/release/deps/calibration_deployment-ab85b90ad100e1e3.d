@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibration_deployment-ab85b90ad100e1e3.d: tests/calibration_deployment.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibration_deployment-ab85b90ad100e1e3.rmeta: tests/calibration_deployment.rs Cargo.toml
+
+tests/calibration_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

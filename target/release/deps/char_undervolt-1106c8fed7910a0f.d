@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/char_undervolt-1106c8fed7910a0f.d: crates/bench/src/bin/char_undervolt.rs
+
+/root/repo/target/release/deps/char_undervolt-1106c8fed7910a0f: crates/bench/src/bin/char_undervolt.rs
+
+crates/bench/src/bin/char_undervolt.rs:

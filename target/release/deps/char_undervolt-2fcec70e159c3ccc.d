@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/char_undervolt-2fcec70e159c3ccc.d: crates/bench/src/bin/char_undervolt.rs
+
+/root/repo/target/release/deps/char_undervolt-2fcec70e159c3ccc: crates/bench/src/bin/char_undervolt.rs
+
+crates/bench/src/bin/char_undervolt.rs:

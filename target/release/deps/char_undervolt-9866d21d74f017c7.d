@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/char_undervolt-9866d21d74f017c7.d: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+/root/repo/target/release/deps/libchar_undervolt-9866d21d74f017c7.rmeta: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+crates/bench/src/bin/char_undervolt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

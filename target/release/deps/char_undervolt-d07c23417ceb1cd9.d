@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/char_undervolt-d07c23417ceb1cd9.d: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+/root/repo/target/release/deps/libchar_undervolt-d07c23417ceb1cd9.rmeta: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+crates/bench/src/bin/char_undervolt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

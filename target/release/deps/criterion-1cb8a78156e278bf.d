@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1cb8a78156e278bf.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1cb8a78156e278bf: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-424ba54491c09115.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-424ba54491c09115.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-8153e0f3cc2a7638.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-8153e0f3cc2a7638.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dataset_stats-6a277db9f94b81b3.d: crates/bench/src/bin/dataset_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libdataset_stats-6a277db9f94b81b3.rmeta: crates/bench/src/bin/dataset_stats.rs Cargo.toml
+
+crates/bench/src/bin/dataset_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

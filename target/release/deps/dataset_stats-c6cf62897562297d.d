@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_stats-c6cf62897562297d.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/release/deps/dataset_stats-c6cf62897562297d: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

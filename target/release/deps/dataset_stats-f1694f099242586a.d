@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dataset_stats-f1694f099242586a.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/release/deps/dataset_stats-f1694f099242586a: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

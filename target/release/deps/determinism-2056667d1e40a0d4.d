@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-2056667d1e40a0d4.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-2056667d1e40a0d4.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5a29cbc22013727d.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5a29cbc22013727d: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-67e5db83de366f71.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-67e5db83de366f71: tests/end_to_end.rs
+
+tests/end_to_end.rs:

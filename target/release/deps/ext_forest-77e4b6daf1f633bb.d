@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_forest-77e4b6daf1f633bb.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/release/deps/ext_forest-77e4b6daf1f633bb: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ext_forest-ed44334443bb2558.d: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+/root/repo/target/release/deps/libext_forest-ed44334443bb2558.rmeta: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+crates/bench/src/bin/ext_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

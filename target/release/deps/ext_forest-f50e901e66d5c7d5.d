@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_forest-f50e901e66d5c7d5.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/release/deps/ext_forest-f50e901e66d5c7d5: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

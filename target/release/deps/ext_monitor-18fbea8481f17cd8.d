@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ext_monitor-18fbea8481f17cd8.d: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+/root/repo/target/release/deps/libext_monitor-18fbea8481f17cd8.rmeta: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+crates/bench/src/bin/ext_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

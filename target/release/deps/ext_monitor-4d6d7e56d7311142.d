@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_monitor-4d6d7e56d7311142.d: crates/bench/src/bin/ext_monitor.rs
+
+/root/repo/target/release/deps/ext_monitor-4d6d7e56d7311142: crates/bench/src/bin/ext_monitor.rs
+
+crates/bench/src/bin/ext_monitor.rs:

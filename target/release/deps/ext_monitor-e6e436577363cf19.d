@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_monitor-e6e436577363cf19.d: crates/bench/src/bin/ext_monitor.rs
+
+/root/repo/target/release/deps/ext_monitor-e6e436577363cf19: crates/bench/src/bin/ext_monitor.rs
+
+crates/bench/src/bin/ext_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_power_modes-0f858b933534b93a.d: crates/bench/src/bin/ext_power_modes.rs
+
+/root/repo/target/release/deps/ext_power_modes-0f858b933534b93a: crates/bench/src/bin/ext_power_modes.rs
+
+crates/bench/src/bin/ext_power_modes.rs:

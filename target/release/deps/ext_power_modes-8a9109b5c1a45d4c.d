@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_power_modes-8a9109b5c1a45d4c.d: crates/bench/src/bin/ext_power_modes.rs
+
+/root/repo/target/release/deps/ext_power_modes-8a9109b5c1a45d4c: crates/bench/src/bin/ext_power_modes.rs
+
+crates/bench/src/bin/ext_power_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ext_validated-38bc96102e8f2038.d: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+/root/repo/target/release/deps/libext_validated-38bc96102e8f2038.rmeta: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+crates/bench/src/bin/ext_validated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

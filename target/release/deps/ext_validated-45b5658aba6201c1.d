@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ext_validated-45b5658aba6201c1.d: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+/root/repo/target/release/deps/libext_validated-45b5658aba6201c1.rmeta: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+crates/bench/src/bin/ext_validated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_validated-7597b9db11b9398e.d: crates/bench/src/bin/ext_validated.rs
+
+/root/repo/target/release/deps/ext_validated-7597b9db11b9398e: crates/bench/src/bin/ext_validated.rs
+
+crates/bench/src/bin/ext_validated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_validated-9a152d91b7b1f7b0.d: crates/bench/src/bin/ext_validated.rs
+
+/root/repo/target/release/deps/ext_validated-9a152d91b7b1f7b0: crates/bench/src/bin/ext_validated.rs
+
+crates/bench/src/bin/ext_validated.rs:

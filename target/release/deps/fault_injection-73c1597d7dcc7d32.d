@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_injection-73c1597d7dcc7d32.d: crates/bench/benches/fault_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_injection-73c1597d7dcc7d32.rmeta: crates/bench/benches/fault_injection.rs Cargo.toml
+
+crates/bench/benches/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1-278ad116222f1882.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1-278ad116222f1882.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

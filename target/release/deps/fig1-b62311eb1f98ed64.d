@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-b62311eb1f98ed64.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-b62311eb1f98ed64: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2a-1e910d0dc3a4e521.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/release/deps/fig2a-1e910d0dc3a4e521: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

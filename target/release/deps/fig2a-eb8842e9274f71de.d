@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2a-eb8842e9274f71de.d: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2a-eb8842e9274f71de.rmeta: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+crates/bench/src/bin/fig2a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2a-f59ec6256ca2e89c.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/release/deps/fig2a-f59ec6256ca2e89c: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2b-2be56df6f390506e.d: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2b-2be56df6f390506e.rmeta: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+crates/bench/src/bin/fig2b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2b-92022fed5e111a11.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/release/deps/fig2b-92022fed5e111a11: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2b-c315eaac09616d7a.d: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2b-c315eaac09616d7a.rmeta: crates/bench/src/bin/fig2b.rs Cargo.toml
+
+crates/bench/src/bin/fig2b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

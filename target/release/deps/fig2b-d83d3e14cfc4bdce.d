@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2b-d83d3e14cfc4bdce.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/release/deps/fig2b-d83d3e14cfc4bdce: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

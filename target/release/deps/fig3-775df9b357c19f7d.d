@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-775df9b357c19f7d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-775df9b357c19f7d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-df7ee1a42503e50a.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-df7ee1a42503e50a: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-c3bdab29ace0cceb.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-c3bdab29ace0cceb: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-4243a48bc35200ee.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-4243a48bc35200ee: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-98142ebef19c5af3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-98142ebef19c5af3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

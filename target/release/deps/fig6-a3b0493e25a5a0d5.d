@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-a3b0493e25a5a0d5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-a3b0493e25a5a0d5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-576c07abc0dd9cfa.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-576c07abc0dd9cfa: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

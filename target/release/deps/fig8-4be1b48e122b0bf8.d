@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-4be1b48e122b0bf8.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-4be1b48e122b0bf8: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

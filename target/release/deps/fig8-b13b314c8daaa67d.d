@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8-b13b314c8daaa67d.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8-b13b314c8daaa67d.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

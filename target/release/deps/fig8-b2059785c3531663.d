@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-b2059785c3531663.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-b2059785c3531663: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

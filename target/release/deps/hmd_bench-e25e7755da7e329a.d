@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmd_bench-e25e7755da7e329a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/hmd_bench-e25e7755da7e329a: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:

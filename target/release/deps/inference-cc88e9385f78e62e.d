@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/inference-cc88e9385f78e62e.d: crates/bench/benches/inference.rs Cargo.toml
+
+/root/repo/target/release/deps/libinference-cc88e9385f78e62e.rmeta: crates/bench/benches/inference.rs Cargo.toml
+
+crates/bench/benches/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

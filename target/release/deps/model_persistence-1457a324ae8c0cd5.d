@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model_persistence-1457a324ae8c0cd5.d: tests/model_persistence.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel_persistence-1457a324ae8c0cd5.rmeta: tests/model_persistence.rs Cargo.toml
+
+tests/model_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

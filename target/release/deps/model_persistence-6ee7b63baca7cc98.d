@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_persistence-6ee7b63baca7cc98.d: tests/model_persistence.rs
+
+/root/repo/target/release/deps/model_persistence-6ee7b63baca7cc98: tests/model_persistence.rs
+
+tests/model_persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-24100028b8878ce9.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-24100028b8878ce9: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-a1854f294a498516.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-a1854f294a498516.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

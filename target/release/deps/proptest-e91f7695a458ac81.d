@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-e91f7695a458ac81.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-e91f7695a458ac81.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

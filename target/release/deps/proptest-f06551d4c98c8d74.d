@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-f06551d4c98c8d74.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-f06551d4c98c8d74: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-3712666853f0f54a.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-3712666853f0f54a.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-5881b8ddbde55287.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-5881b8ddbde55287: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rng_overhead-9cdad69a591072c9.d: crates/bench/benches/rng_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/librng_overhead-9cdad69a591072c9.rmeta: crates/bench/benches/rng_overhead.rs Cargo.toml
+
+crates/bench/benches/rng_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_width_probe-0e410329da68b330.d: tests/scratch_width_probe.rs
+
+/root/repo/target/release/deps/scratch_width_probe-0e410329da68b330: tests/scratch_width_probe.rs
+
+tests/scratch_width_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-0400f8433e18864a.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-0400f8433e18864a.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-1ce966b47017014e.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-1ce966b47017014e.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

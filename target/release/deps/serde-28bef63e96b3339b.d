@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-28bef63e96b3339b.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-28bef63e96b3339b: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-325c89fb167c8ad5.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-325c89fb167c8ad5.so: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

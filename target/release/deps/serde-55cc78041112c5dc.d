@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-55cc78041112c5dc.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-55cc78041112c5dc.so: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

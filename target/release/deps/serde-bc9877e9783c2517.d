@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-bc9877e9783c2517.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-bc9877e9783c2517.so: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/shmd_ann-7b5f6ecb2045b0c0.d: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+/root/repo/target/release/deps/shmd_ann-7b5f6ecb2045b0c0: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+crates/ann/src/lib.rs:
+crates/ann/src/activation.rs:
+crates/ann/src/builder.rs:
+crates/ann/src/io.rs:
+crates/ann/src/layer.rs:
+crates/ann/src/mac.rs:
+crates/ann/src/network.rs:
+crates/ann/src/train/mod.rs:
+crates/ann/src/train/data.rs:
+crates/ann/src/train/quantaware.rs:
+crates/ann/src/train/rprop.rs:
+crates/ann/src/train/sgd.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/shmd_ann-86513f5839a5d11d.d: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+/root/repo/target/release/deps/libshmd_ann-86513f5839a5d11d.rlib: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+/root/repo/target/release/deps/libshmd_ann-86513f5839a5d11d.rmeta: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+crates/ann/src/lib.rs:
+crates/ann/src/activation.rs:
+crates/ann/src/builder.rs:
+crates/ann/src/io.rs:
+crates/ann/src/layer.rs:
+crates/ann/src/mac.rs:
+crates/ann/src/network.rs:
+crates/ann/src/train/mod.rs:
+crates/ann/src/train/data.rs:
+crates/ann/src/train/quantaware.rs:
+crates/ann/src/train/rprop.rs:
+crates/ann/src/train/sgd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/shmd_attack-e285bfc5568ac93f.d: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+/root/repo/target/release/deps/libshmd_attack-e285bfc5568ac93f.rlib: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+/root/repo/target/release/deps/libshmd_attack-e285bfc5568ac93f.rmeta: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/adaptive.rs:
+crates/attack/src/campaign.rs:
+crates/attack/src/evasion.rs:
+crates/attack/src/gradient.rs:
+crates/attack/src/reverse.rs:
+crates/attack/src/transfer.rs:
+crates/attack/src/validated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shmd_fixed-28c632bf7f196b34.d: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/shmd_fixed-28c632bf7f196b34: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shmd_fixed-5ecb0465bfa9471d.d: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/libshmd_fixed-5ecb0465bfa9471d.rlib: crates/fixed/src/lib.rs
+
+/root/repo/target/release/deps/libshmd_fixed-5ecb0465bfa9471d.rmeta: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

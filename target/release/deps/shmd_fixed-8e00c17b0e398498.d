@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shmd_fixed-8e00c17b0e398498.d: crates/fixed/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libshmd_fixed-8e00c17b0e398498.rmeta: crates/fixed/src/lib.rs Cargo.toml
+
+crates/fixed/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shmd_ml-569bfc5c01688089.d: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/shmd_ml-569bfc5c01688089: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/logistic.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shmd_ml-75eff2f260958ccd.d: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libshmd_ml-75eff2f260958ccd.rlib: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libshmd_ml-75eff2f260958ccd.rmeta: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/logistic.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/tree.rs:

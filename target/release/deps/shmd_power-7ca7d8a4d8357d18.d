@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shmd_power-7ca7d8a4d8357d18.d: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/release/deps/libshmd_power-7ca7d8a4d8357d18.rlib: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/release/deps/libshmd_power-7ca7d8a4d8357d18.rmeta: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+crates/power/src/lib.rs:
+crates/power/src/battery.rs:
+crates/power/src/cmos.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/latency.rs:
+crates/power/src/memory.rs:
+crates/power/src/rng_cost.rs:

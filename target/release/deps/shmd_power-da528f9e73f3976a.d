@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shmd_power-da528f9e73f3976a.d: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/release/deps/shmd_power-da528f9e73f3976a: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+crates/power/src/lib.rs:
+crates/power/src/battery.rs:
+crates/power/src/cmos.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/latency.rs:
+crates/power/src/memory.rs:
+crates/power/src/rng_cost.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/shmd_volt-aace586dd1142edf.d: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+/root/repo/target/release/deps/shmd_volt-aace586dd1142edf: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+crates/volt/src/lib.rs:
+crates/volt/src/calibration.rs:
+crates/volt/src/characterize.rs:
+crates/volt/src/controller.rs:
+crates/volt/src/delay.rs:
+crates/volt/src/entropy.rs:
+crates/volt/src/fault.rs:
+crates/volt/src/math.rs:
+crates/volt/src/multiplier.rs:
+crates/volt/src/voltage.rs:

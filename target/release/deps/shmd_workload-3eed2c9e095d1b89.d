@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shmd_workload-3eed2c9e095d1b89.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/shmd_workload-3eed2c9e095d1b89: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/export.rs:
+crates/workload/src/families.rs:
+crates/workload/src/features.rs:
+crates/workload/src/isa.rs:
+crates/workload/src/program.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/stochastic_hmd-fd9d95c2ee8b02a3.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+/root/repo/target/release/deps/libstochastic_hmd-fd9d95c2ee8b02a3.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+/root/repo/target/release/deps/libstochastic_hmd-fd9d95c2ee8b02a3.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/deploy.rs:
+crates/core/src/detector.rs:
+crates/core/src/enclave.rs:
+crates/core/src/exec.rs:
+crates/core/src/explore.rs:
+crates/core/src/monitor.rs:
+crates/core/src/rhmd.rs:
+crates/core/src/roc.rs:
+crates/core/src/stochastic.rs:
+crates/core/src/train.rs:
+crates/core/src/xval.rs:

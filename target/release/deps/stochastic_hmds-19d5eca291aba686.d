@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stochastic_hmds-19d5eca291aba686.d: src/lib.rs
+
+/root/repo/target/release/deps/libstochastic_hmds-19d5eca291aba686.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstochastic_hmds-19d5eca291aba686.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stochastic_hmds-30b1c3497a8a0b4a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libstochastic_hmds-30b1c3497a8a0b4a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stochastic_hmds-8af9331d79442776.d: src/lib.rs
+
+/root/repo/target/release/deps/stochastic_hmds-8af9331d79442776: src/lib.rs
+
+src/lib.rs:

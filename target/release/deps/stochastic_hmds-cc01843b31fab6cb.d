@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stochastic_hmds-cc01843b31fab6cb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libstochastic_hmds-cc01843b31fab6cb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_latency-0cc89ac6452c08d7.d: crates/bench/src/bin/table_latency.rs
+
+/root/repo/target/release/deps/table_latency-0cc89ac6452c08d7: crates/bench/src/bin/table_latency.rs
+
+crates/bench/src/bin/table_latency.rs:

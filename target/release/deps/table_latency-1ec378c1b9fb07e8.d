@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_latency-1ec378c1b9fb07e8.d: crates/bench/src/bin/table_latency.rs
+
+/root/repo/target/release/deps/table_latency-1ec378c1b9fb07e8: crates/bench/src/bin/table_latency.rs
+
+crates/bench/src/bin/table_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_latency-1f9e465fd2807870.d: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_latency-1f9e465fd2807870.rmeta: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+crates/bench/src/bin/table_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_latency-cd74cd296350bb97.d: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_latency-cd74cd296350bb97.rmeta: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+crates/bench/src/bin/table_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

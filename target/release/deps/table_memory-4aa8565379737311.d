@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_memory-4aa8565379737311.d: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_memory-4aa8565379737311.rmeta: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

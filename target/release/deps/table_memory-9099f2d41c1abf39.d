@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_memory-9099f2d41c1abf39.d: crates/bench/src/bin/table_memory.rs
+
+/root/repo/target/release/deps/table_memory-9099f2d41c1abf39: crates/bench/src/bin/table_memory.rs
+
+crates/bench/src/bin/table_memory.rs:

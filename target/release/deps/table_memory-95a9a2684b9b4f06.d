@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_memory-95a9a2684b9b4f06.d: crates/bench/src/bin/table_memory.rs
+
+/root/repo/target/release/deps/table_memory-95a9a2684b9b4f06: crates/bench/src/bin/table_memory.rs
+
+crates/bench/src/bin/table_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_memory-d69d939d8b00743e.d: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_memory-d69d939d8b00743e.rmeta: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

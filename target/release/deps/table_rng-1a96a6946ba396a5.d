@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_rng-1a96a6946ba396a5.d: crates/bench/src/bin/table_rng.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_rng-1a96a6946ba396a5.rmeta: crates/bench/src/bin/table_rng.rs Cargo.toml
+
+crates/bench/src/bin/table_rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

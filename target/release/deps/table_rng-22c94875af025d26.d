@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_rng-22c94875af025d26.d: crates/bench/src/bin/table_rng.rs
+
+/root/repo/target/release/deps/table_rng-22c94875af025d26: crates/bench/src/bin/table_rng.rs
+
+crates/bench/src/bin/table_rng.rs:

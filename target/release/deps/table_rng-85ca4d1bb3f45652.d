@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_rng-85ca4d1bb3f45652.d: crates/bench/src/bin/table_rng.rs
+
+/root/repo/target/release/deps/table_rng-85ca4d1bb3f45652: crates/bench/src/bin/table_rng.rs
+
+crates/bench/src/bin/table_rng.rs:

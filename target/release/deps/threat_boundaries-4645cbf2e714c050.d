@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threat_boundaries-4645cbf2e714c050.d: tests/threat_boundaries.rs
+
+/root/repo/target/release/deps/threat_boundaries-4645cbf2e714c050: tests/threat_boundaries.rs
+
+tests/threat_boundaries.rs:

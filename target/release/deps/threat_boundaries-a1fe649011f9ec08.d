@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/threat_boundaries-a1fe649011f9ec08.d: tests/threat_boundaries.rs Cargo.toml
+
+/root/repo/target/release/deps/libthreat_boundaries-a1fe649011f9ec08.rmeta: tests/threat_boundaries.rs Cargo.toml
+
+tests/threat_boundaries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/device_calibration-0b491cb47d521c1e.d: examples/device_calibration.rs
+
+/root/repo/target/release/examples/device_calibration-0b491cb47d521c1e: examples/device_calibration.rs
+
+examples/device_calibration.rs:

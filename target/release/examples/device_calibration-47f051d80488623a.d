@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/device_calibration-47f051d80488623a.d: examples/device_calibration.rs Cargo.toml
+
+/root/repo/target/release/examples/libdevice_calibration-47f051d80488623a.rmeta: examples/device_calibration.rs Cargo.toml
+
+examples/device_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

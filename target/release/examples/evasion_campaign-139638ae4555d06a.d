@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/evasion_campaign-139638ae4555d06a.d: examples/evasion_campaign.rs
+
+/root/repo/target/release/examples/evasion_campaign-139638ae4555d06a: examples/evasion_campaign.rs
+
+examples/evasion_campaign.rs:

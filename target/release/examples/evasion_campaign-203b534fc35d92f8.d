@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/evasion_campaign-203b534fc35d92f8.d: examples/evasion_campaign.rs Cargo.toml
+
+/root/repo/target/release/examples/libevasion_campaign-203b534fc35d92f8.rmeta: examples/evasion_campaign.rs Cargo.toml
+
+examples/evasion_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

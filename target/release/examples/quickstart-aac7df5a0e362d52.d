@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aac7df5a0e362d52.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aac7df5a0e362d52: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tee_deployment-5bae35bb4485be35.d: examples/tee_deployment.rs Cargo.toml
+
+/root/repo/target/release/examples/libtee_deployment-5bae35bb4485be35.rmeta: examples/tee_deployment.rs Cargo.toml
+
+examples/tee_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tee_deployment-689d89b1c41d50e5.d: examples/tee_deployment.rs
+
+/root/repo/target/release/examples/tee_deployment-689d89b1c41d50e5: examples/tee_deployment.rs
+
+examples/tee_deployment.rs:

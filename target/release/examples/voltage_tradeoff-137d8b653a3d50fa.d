@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/voltage_tradeoff-137d8b653a3d50fa.d: examples/voltage_tradeoff.rs Cargo.toml
+
+/root/repo/target/release/examples/libvoltage_tradeoff-137d8b653a3d50fa.rmeta: examples/voltage_tradeoff.rs Cargo.toml
+
+examples/voltage_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/voltage_tradeoff-dce7cd3a9a60fc75.d: examples/voltage_tradeoff.rs
+
+/root/repo/target/release/examples/voltage_tradeoff-dce7cd3a9a60fc75: examples/voltage_tradeoff.rs
+
+examples/voltage_tradeoff.rs:

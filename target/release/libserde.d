@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.so: /root/repo/crates/serde/src/lib.rs

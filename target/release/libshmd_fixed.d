@@ -1,0 +1,1 @@
+/root/repo/target/release/libshmd_fixed.rlib: /root/repo/crates/fixed/src/lib.rs /root/repo/crates/serde/src/lib.rs

@@ -32,8 +32,7 @@ fn calibrate_then_deploy_then_detect() {
         &HmdTrainConfig::fast(),
     )
     .expect("trains");
-    let mut deployed =
-        StochasticHmd::at_offset(&baseline, &curve, offset, 1).expect("deployable");
+    let mut deployed = StochasticHmd::at_offset(&baseline, &curve, offset, 1).expect("deployable");
     assert!((deployed.error_rate() - 0.1).abs() < 0.1);
     let m = evaluate(&mut deployed, &dataset, split.testing());
     assert!(m.accuracy() > 0.85, "deployed accuracy {m}");

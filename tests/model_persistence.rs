@@ -94,6 +94,12 @@ fn features_round_trip_as_csv_and_retrain_identically() {
         .seed(cfg.seed)
         .build()
         .expect("builds");
-    RpropTrainer::new().epochs(cfg.epochs).train(&mut net, &data);
-    assert_eq!(original.network(), &net, "CSV round trip must not change training");
+    RpropTrainer::new()
+        .epochs(cfg.epochs)
+        .train(&mut net, &data);
+    assert_eq!(
+        original.network(),
+        &net,
+        "CSV round trip must not change training"
+    );
 }

@@ -41,8 +41,7 @@ fn claim_degradation_diverges_as_error_rate_approaches_one() {
 fn claim_faults_are_stochastic_not_deterministic() {
     // §II: the fault *pattern* over repeated identical multiplications
     // passes an approximate-entropy check.
-    let mut injector =
-        FaultInjector::new(FaultModel::from_error_rate(0.5).expect("valid"), 4);
+    let mut injector = FaultInjector::new(FaultModel::from_error_rate(0.5).expect("valid"), 4);
     let product = 0x7a5a_5a5a_5a5a_5a5ai64;
     let series: Vec<bool> = (0..600)
         .map(|_| injector.corrupt_product(product) != product)

@@ -63,7 +63,10 @@ fn adversary_controlled_voltage_strips_the_defense() {
         disabled_eff > protected_eff,
         "voltage control must matter: disabled {disabled_eff} vs protected {protected_eff}"
     );
-    assert!(disabled_eff > 0.95, "with the defense off, RE is near-perfect");
+    assert!(
+        disabled_eff > 0.95,
+        "with the defense off, RE is near-perfect"
+    );
 }
 
 #[test]
@@ -76,13 +79,13 @@ fn random_forest_proxy_attacks_all_victims() {
     let dt_cfg = ReverseConfig::new(ProxyKind::DecisionTree);
 
     let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 5).expect("valid");
-    let rf = reverse_engineer(&mut sto, &dataset, split.attacker_training(), &rf_cfg)
-        .expect("RF RE");
+    let rf =
+        reverse_engineer(&mut sto, &dataset, split.attacker_training(), &rf_cfg).expect("RF RE");
     let rf_eff = effectiveness(&rf, &mut sto, &dataset, split.testing());
 
     let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 5).expect("valid");
-    let dt = reverse_engineer(&mut sto, &dataset, split.attacker_training(), &dt_cfg)
-        .expect("DT RE");
+    let dt =
+        reverse_engineer(&mut sto, &dataset, split.attacker_training(), &dt_cfg).expect("DT RE");
     let dt_eff = effectiveness(&dt, &mut sto, &dataset, split.testing());
 
     assert!(rf_eff > 0.7, "RF proxy works at all: {rf_eff}");
@@ -123,7 +126,12 @@ fn near_zero_values_are_unprotected_end_to_end() {
     use shmd_workload::features::FeatureSpec;
 
     let tiny_net = {
-        let mut net = NetworkBuilder::new(16).hidden(4).output(1).seed(1).build().unwrap();
+        let mut net = NetworkBuilder::new(16)
+            .hidden(4)
+            .output(1)
+            .seed(1)
+            .build()
+            .unwrap();
         for layer in net.layers_mut() {
             for w in layer.weights_mut() {
                 *w *= 1e-4; // push every product towards the immune LSBs
