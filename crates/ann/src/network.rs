@@ -117,9 +117,19 @@ struct QuantizedLayer {
 }
 
 impl QuantizedLayer {
-    fn forward(&self, input: &[Q16], corruptor: &mut dyn ProductCorruptor) -> Vec<Q16> {
+    /// Writes the layer's activations into `out` (cleared first).
+    ///
+    /// Monomorphic over the corruptor so the per-MAC `corrupt` call inlines
+    /// into the accumulation loop instead of going through a vtable.
+    fn forward_into<C: ProductCorruptor + ?Sized>(
+        &self,
+        input: &[Q16],
+        out: &mut Vec<Q16>,
+        corruptor: &mut C,
+    ) {
         let stride = self.in_dim + 1;
-        let mut out = Vec::with_capacity(self.out_dim);
+        out.clear();
+        out.reserve(self.out_dim);
         for o in 0..self.out_dim {
             let row = &self.weights[o * stride..(o + 1) * stride];
             let mut acc = Accumulator::new();
@@ -132,8 +142,48 @@ impl QuantizedLayer {
             let activated = self.activation.apply(acc.to_q16().to_f64());
             out.push(Q16::from_f64(activated));
         }
-        out
     }
+}
+
+/// Reusable activation buffers for the allocation-free inference path.
+///
+/// One scratch serves any number of inferences (and any network): each
+/// [`QuantizedNetwork::infer_into`] / [`QuantizedNetwork::forward_into`]
+/// call clears and refills the buffers, so the steady-state query path
+/// performs zero heap allocations once the buffers have grown to the
+/// largest layer width seen.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceScratch {
+    /// Quantised copy of the `f32` input.
+    qin: Vec<Q16>,
+    /// Ping-pong activation buffers.
+    ping: Vec<Q16>,
+    pong: Vec<Q16>,
+}
+
+impl InferenceScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> InferenceScratch {
+        InferenceScratch::default()
+    }
+}
+
+/// Runs `input` through `layers`, ping-ponging activations between the two
+/// scratch buffers, and returns a borrow of the buffer holding the output.
+fn forward_loop<'s, C: ProductCorruptor + ?Sized>(
+    layers: &[QuantizedLayer],
+    input: &[Q16],
+    ping: &'s mut Vec<Q16>,
+    pong: &'s mut Vec<Q16>,
+    corruptor: &mut C,
+) -> &'s [Q16] {
+    let (mut cur, mut next) = (ping, pong);
+    layers[0].forward_into(input, cur, corruptor);
+    for layer in &layers[1..] {
+        layer.forward_into(cur, next, corruptor);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
 }
 
 /// A network quantised to Q16.16 whose multiplications run through a
@@ -168,32 +218,99 @@ impl QuantizedNetwork {
         self.layers.iter().map(|l| l.weights.len() * 4).sum()
     }
 
-    /// Forward pass over Q16.16 inputs.
+    /// Forward pass over Q16.16 inputs (object-safe entry point; thin
+    /// wrapper over [`QuantizedNetwork::forward_with`]).
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
     pub fn forward(&self, input: &[Q16], corruptor: &mut dyn ProductCorruptor) -> Vec<Q16> {
+        self.forward_with(input, corruptor)
+    }
+
+    /// Monomorphic forward pass over Q16.16 inputs: identical results to
+    /// [`QuantizedNetwork::forward`], with the corruptor statically
+    /// dispatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn forward_with<C: ProductCorruptor + ?Sized>(
+        &self,
+        input: &[Q16],
+        corruptor: &mut C,
+    ) -> Vec<Q16> {
+        let mut scratch = InferenceScratch::new();
+        self.forward_into(input, corruptor, &mut scratch).to_vec()
+    }
+
+    /// Allocation-free forward pass: activations ping-pong through
+    /// `scratch`, and the returned slice borrows the buffer holding the
+    /// output layer. Bit-identical to [`QuantizedNetwork::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn forward_into<'s, C: ProductCorruptor + ?Sized>(
+        &self,
+        input: &[Q16],
+        corruptor: &mut C,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [Q16] {
         assert_eq!(input.len(), self.input_dim(), "input width mismatch");
-        let mut x = input.to_vec();
-        for layer in &self.layers {
-            x = layer.forward(&x, corruptor);
-        }
-        x
+        let InferenceScratch { ping, pong, .. } = scratch;
+        forward_loop(&self.layers, input, ping, pong, corruptor)
     }
 
     /// Convenience: quantises an `f32` input, runs the forward pass, and
-    /// returns `f32` outputs.
+    /// returns `f32` outputs (object-safe entry point; thin wrapper over
+    /// [`QuantizedNetwork::infer_with`]).
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
     pub fn infer(&self, input: &[f32], corruptor: &mut dyn ProductCorruptor) -> Vec<f32> {
-        let q: Vec<Q16> = input.iter().map(|&v| Q16::from_f32(v)).collect();
-        self.forward(&q, corruptor)
-            .into_iter()
-            .map(Q16::to_f32)
+        self.infer_with(input, corruptor)
+    }
+
+    /// Monomorphic [`QuantizedNetwork::infer`]: identical results, with the
+    /// corruptor statically dispatched so the per-MAC fault hook inlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn infer_with<C: ProductCorruptor + ?Sized>(
+        &self,
+        input: &[f32],
+        corruptor: &mut C,
+    ) -> Vec<f32> {
+        let mut scratch = InferenceScratch::new();
+        self.infer_into(input, corruptor, &mut scratch)
+            .iter()
+            .map(|q| q.to_f32())
             .collect()
+    }
+
+    /// The steady-state query path: quantises the input and runs the
+    /// forward pass entirely inside `scratch`, performing no heap
+    /// allocation once the scratch buffers have warmed up. The returned
+    /// Q16.16 slice borrows `scratch`; convert with [`Q16::to_f32`] as
+    /// needed. Bit-identical to [`QuantizedNetwork::infer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`QuantizedNetwork::input_dim`].
+    pub fn infer_into<'s, C: ProductCorruptor + ?Sized>(
+        &self,
+        input: &[f32],
+        corruptor: &mut C,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [Q16] {
+        assert_eq!(input.len(), self.input_dim(), "input width mismatch");
+        let InferenceScratch { qin, ping, pong } = scratch;
+        qin.clear();
+        qin.extend(input.iter().map(|&v| Q16::from_f32(v)));
+        forward_loop(&self.layers, qin, ping, pong, corruptor)
     }
 }
 
@@ -289,6 +406,89 @@ mod tests {
         let exact = q.infer(&input, &mut ExactDatapath)[0];
         let mut inj = FaultInjector::new(FaultModel::exact(), 11);
         assert_eq!(q.infer(&input, &mut inj)[0], exact);
+    }
+
+    #[test]
+    fn infer_with_and_infer_into_are_bit_identical_to_infer() {
+        // The monomorphic and allocation-free entry points must be exact
+        // drop-in replacements for the dyn path, faulty or not.
+        let net = small_net(8);
+        let q = net.quantized();
+        let model = FaultModel::from_error_rate(0.4).unwrap();
+        let mut scratch = InferenceScratch::new();
+        for trial in 0..40i64 {
+            let input: Vec<f32> = (0..4)
+                .map(|i| ((trial * 4 + i) as f32 * 0.13).sin())
+                .collect();
+            // Same-seeded injectors: identical RNG streams per path.
+            let mut a = FaultInjector::new(model.clone(), trial as u64);
+            let mut b = FaultInjector::new(model.clone(), trial as u64);
+            let mut c = FaultInjector::new(model.clone(), trial as u64);
+            let via_dyn = q.infer(&input, &mut a);
+            let via_generic = q.infer_with(&input, &mut b);
+            let via_scratch: Vec<f32> = q
+                .infer_into(&input, &mut c, &mut scratch)
+                .iter()
+                .map(|v| v.to_f32())
+                .collect();
+            assert_eq!(via_dyn, via_generic, "infer_with diverged on {input:?}");
+            assert_eq!(via_dyn, via_scratch, "infer_into diverged on {input:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_networks() {
+        // A single scratch serves differently-shaped networks back to back.
+        let small = small_net(9).quantized();
+        let wide = NetworkBuilder::new(4)
+            .hidden(11)
+            .hidden(5)
+            .output(2)
+            .seed(10)
+            .build()
+            .expect("valid network")
+            .quantized();
+        let input = [0.2, -0.4, 0.6, 0.8];
+        let mut scratch = InferenceScratch::new();
+        let expect_small = small.infer(&input, &mut ExactDatapath);
+        let expect_wide = wide.infer(&input, &mut ExactDatapath);
+        for _ in 0..3 {
+            let s: Vec<f32> = small
+                .infer_into(&input, &mut ExactDatapath, &mut scratch)
+                .iter()
+                .map(|v| v.to_f32())
+                .collect();
+            assert_eq!(s, expect_small);
+            let w: Vec<f32> = wide
+                .infer_into(&input, &mut ExactDatapath, &mut scratch)
+                .iter()
+                .map(|v| v.to_f32())
+                .collect();
+            assert_eq!(w, expect_wide);
+        }
+    }
+
+    #[test]
+    fn new_path_preserves_sign_and_immune_lsb_invariants() {
+        // The paper's structural immunities must survive the hot-path
+        // rewrite: across many faulty inferences, the sign bit and the 8
+        // immune LSBs of the raw product never flip.
+        use shmd_volt::multiplier::{IMMUNE_LSBS, SIGN_BIT};
+        let q = small_net(13).quantized();
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.9).unwrap(), 14);
+        let mut scratch = InferenceScratch::new();
+        for trial in 0..200i64 {
+            let input: Vec<f32> = (0..4)
+                .map(|i| ((trial * 4 + i) as f32 * 0.31).cos())
+                .collect();
+            let _ = q.infer_into(&input, &mut inj, &mut scratch);
+        }
+        let stats = inj.stats();
+        assert!(stats.faulty > 0, "the workload must actually fault");
+        assert_eq!(stats.bit_flips[SIGN_BIT], 0, "sign bit flipped");
+        for bit in 0..IMMUNE_LSBS {
+            assert_eq!(stats.bit_flips[bit], 0, "immune LSB {bit} flipped");
+        }
     }
 
     #[test]

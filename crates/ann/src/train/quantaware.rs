@@ -161,9 +161,11 @@ mod tests {
         // Measure quantised-path MSE for both.
         let q_mse = |net: &Network| {
             let q = net.quantized();
+            let mut scratch = crate::network::InferenceScratch::new();
             let mut total = 0.0;
             for (input, target) in data.iter() {
-                let y = f64::from(q.infer(input, &mut ExactDatapath)[0]);
+                let y =
+                    f64::from(q.infer_into(input, &mut ExactDatapath, &mut scratch)[0].to_f32());
                 total += (y - f64::from(target[0])).powi(2);
             }
             total / data.len() as f64

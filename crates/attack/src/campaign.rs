@@ -118,7 +118,10 @@ impl AttackCampaign {
     ///
     /// `build` constructs rotation `r`'s victim — derive any stochastic
     /// seed from `r` (see [`stochastic_hmd::exec::derive_seed`]) so the
-    /// reports are bit-identical at any thread count.
+    /// reports are bit-identical at any thread count. Each rotation's
+    /// victim answers every probe of its campaign, so its internal
+    /// inference scratch amortises across the thousands of queries the
+    /// reverse-engineering and transfer stages issue.
     ///
     /// # Errors
     ///

@@ -224,7 +224,7 @@ mod tests {
         // Deterministic surface: identical estimates.
         let exact = |t: &Trace| {
             f64::from(
-                victim.quantized().infer(
+                victim.quantized().infer_with(
                     &victim.spec().extract(t),
                     &mut shmd_volt::fault::ExactDatapath,
                 )[0],

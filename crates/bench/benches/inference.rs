@@ -6,6 +6,7 @@
 //! does.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use shmd_ann::network::InferenceScratch;
 use shmd_volt::fault::{ExactDatapath, FaultInjector, FaultModel};
 use shmd_workload::dataset::{Dataset, DatasetConfig};
 use shmd_workload::features::FeatureSpec;
@@ -42,6 +43,22 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("quantized_er_0_9", |b| {
         let mut mac = FaultInjector::new(FaultModel::from_error_rate(0.9).unwrap(), 3);
         b.iter(|| black_box(q.infer(black_box(&features), &mut mac)))
+    });
+    // The deployed hot path: monomorphised corruptor + reusable scratch,
+    // no per-inference allocation.
+    group.bench_function("quantized_exact_scratch", |b| {
+        let mut mac = ExactDatapath;
+        let mut scratch = InferenceScratch::new();
+        b.iter(|| {
+            black_box(q.infer_into(black_box(&features), &mut mac, &mut scratch));
+        })
+    });
+    group.bench_function("quantized_er_0_1_scratch", |b| {
+        let mut mac = FaultInjector::new(FaultModel::from_error_rate(0.1).unwrap(), 3);
+        let mut scratch = InferenceScratch::new();
+        b.iter(|| {
+            black_box(q.infer_into(black_box(&features), &mut mac, &mut scratch));
+        })
     });
     group.finish();
 

@@ -3,6 +3,7 @@
 //! quantised datapath.
 
 use hmd_bench::{setup, table, Args};
+use shmd_ann::network::InferenceScratch;
 use shmd_power::latency::LatencyModel;
 use shmd_volt::fault::{ExactDatapath, FaultInjector, FaultModel};
 use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
@@ -42,10 +43,11 @@ fn main() {
     let features = victim.spec().extract(dataset.trace(0));
     let n = 20_000;
 
+    let mut scratch = InferenceScratch::new();
     let start = Instant::now();
     let mut exact = ExactDatapath;
     for _ in 0..n {
-        std::hint::black_box(q.infer(&features, &mut exact));
+        std::hint::black_box(q.infer_into(&features, &mut exact, &mut scratch));
     }
     let exact_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
 
@@ -53,13 +55,13 @@ fn main() {
         FaultInjector::new(FaultModel::from_error_rate(0.1).expect("valid"), args.seed);
     let start = Instant::now();
     for _ in 0..n {
-        std::hint::black_box(q.infer(&features, &mut injector));
+        std::hint::black_box(q.infer_into(&features, &mut injector, &mut scratch));
     }
     let faulty_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
 
     println!();
     table::title(&format!(
-        "Live measurement ({} MACs/inference, {n} runs)",
+        "Live measurement ({} MACs/inference, {n} runs, scratch hot path)",
         q.mac_count()
     ));
     table::header(&["datapath", "time/inference"]);

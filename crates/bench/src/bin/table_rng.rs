@@ -33,17 +33,18 @@ fn main() {
     let features = victim.spec().extract(dataset.trace(0));
     let n = 20_000;
 
+    let mut scratch = shmd_ann::network::InferenceScratch::new();
     let start = Instant::now();
     let mut exact = ExactDatapath;
     for _ in 0..n {
-        std::hint::black_box(q.infer(&features, &mut exact));
+        std::hint::black_box(q.infer_into(&features, &mut exact, &mut scratch));
     }
     let exact_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
 
     let mut noisy = NoisyMac::new(1 << 16, args.seed);
     let start = Instant::now();
     for _ in 0..n {
-        std::hint::black_box(q.infer(&features, &mut noisy));
+        std::hint::black_box(q.infer_into(&features, &mut noisy, &mut scratch));
     }
     let noisy_ns = start.elapsed().as_nanos() as f64 / f64::from(n);
 

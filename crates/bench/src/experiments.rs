@@ -73,7 +73,7 @@ pub fn characterize_fig1(
                 locations.push(diff.trailing_zeros() as u8);
             }
         }
-        (injector.stats().clone(), locations)
+        (injector.stats(), locations)
     });
     let mut stats = FaultStats {
         multiplies: 0,

@@ -20,6 +20,7 @@
 pub mod ablation;
 pub mod cli;
 pub mod experiments;
+pub mod perf;
 pub mod setup;
 pub mod table;
 

@@ -1,0 +1,280 @@
+//! Detector-throughput measurement: geometric-skip + scratch hot path vs
+//! the legacy per-draw, allocating path.
+//!
+//! PR 2 rebuilt the inference hot path twice over: the fault injector
+//! samples the gap to the next faulty multiplication from a geometric
+//! distribution instead of drawing one Bernoulli per product, and the
+//! quantised network runs monomorphised over the corruptor with reusable
+//! [`InferenceScratch`] buffers instead of boxing through `dyn` and
+//! allocating per layer. This module times both generations of the path on
+//! the same trained detector so the speedup is recorded next to the code
+//! that produced it (`BENCH_2.json` at the repository root, written by the
+//! `bench_throughput` binary).
+//!
+//! Timing varies run to run; the *outputs* must not. Each measurement
+//! folds the hot path's scores into a checksum that is bit-identical at
+//! any thread count (per-task seeds are derived, never shared), so the
+//! benchmark doubles as an end-to-end determinism check.
+
+use shmd_ann::network::{InferenceScratch, QuantizedNetwork};
+use shmd_volt::fault::{FaultInjector, FaultModel, PerDrawInjector};
+use std::time::Instant;
+use stochastic_hmd::exec::{derive_seed, parallel_map_n, ExecConfig};
+
+/// Error rates the throughput benchmark sweeps: the exact datapath, two
+/// practical operating points around the paper's selected er = 0.1, and a
+/// deep-undervolt point where faults stop being rare.
+pub const BENCH_ERROR_RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.3];
+
+/// One error rate's before/after measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputPoint {
+    /// Multiplication error rate the injectors were configured for.
+    pub error_rate: f64,
+    /// Queries timed per path.
+    pub queries: usize,
+    /// Legacy path: one Bernoulli draw per product, `dyn` dispatch,
+    /// per-layer allocation. Queries per second.
+    pub before_qps: f64,
+    /// Hot path: geometric gap sampling, monomorphised corruptor,
+    /// reusable scratch. Queries per second.
+    pub after_qps: f64,
+    /// Output checksum of the hot path, serial execution.
+    pub checksum: u64,
+    /// Hot-path queries per second when fanned across the worker pool.
+    pub threaded_qps: f64,
+    /// Whether the threaded checksum matched the serial one.
+    pub thread_invariant: bool,
+}
+
+impl ThroughputPoint {
+    /// `after_qps / before_qps`.
+    pub fn speedup(&self) -> f64 {
+        self.after_qps / self.before_qps
+    }
+}
+
+fn fold_scores(acc: u64, out: &[shmd_fixed::Q16]) -> u64 {
+    out.iter()
+        .fold(acc, |a, q| a.rotate_left(7) ^ u64::from(q.to_bits() as u32))
+}
+
+/// Times `queries` inferences through the legacy per-draw, allocating
+/// path. Returns queries per second.
+fn time_before(q: &QuantizedNetwork, features: &[f32], er: f64, seed: u64, queries: usize) -> f64 {
+    let model = FaultModel::from_error_rate(er).expect("valid benchmark error rate");
+    let mut injector = PerDrawInjector::new(model, seed);
+    for _ in 0..queries.min(64) {
+        std::hint::black_box(q.infer(features, &mut injector));
+    }
+    let start = Instant::now();
+    for _ in 0..queries {
+        std::hint::black_box(q.infer(features, &mut injector));
+    }
+    queries as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Times `queries` inferences through the geometric + scratch hot path.
+/// Returns `(queries per second, output checksum)`.
+fn time_after(
+    q: &QuantizedNetwork,
+    features: &[f32],
+    er: f64,
+    seed: u64,
+    queries: usize,
+) -> (f64, u64) {
+    let model = FaultModel::from_error_rate(er).expect("valid benchmark error rate");
+    let mut injector = FaultInjector::new(model, seed);
+    let mut scratch = InferenceScratch::new();
+    for _ in 0..queries.min(64) {
+        std::hint::black_box(q.infer_into(features, &mut injector, &mut scratch));
+    }
+    // Re-seed so the checksum covers a known stream, independent of warmup.
+    injector = FaultInjector::new(
+        FaultModel::from_error_rate(er).expect("valid benchmark error rate"),
+        seed,
+    );
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..queries {
+        let out = q.infer_into(features, &mut injector, &mut scratch);
+        checksum = fold_scores(checksum, std::hint::black_box(out));
+    }
+    (queries as f64 / start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Runs the hot path fanned over `exec`'s worker pool, one task per chunk
+/// of queries with a derived seed, and returns `(qps, checksum)`. The
+/// checksum folds per-task checksums in task order, so it is bit-identical
+/// at any thread count.
+fn time_threaded(
+    q: &QuantizedNetwork,
+    features: &[f32],
+    er: f64,
+    seed: u64,
+    queries: usize,
+    exec: &ExecConfig,
+) -> (f64, u64) {
+    // A fixed task count (not a multiple of the worker count) keeps the
+    // per-task seeds — and therefore the checksum — identical whatever
+    // pool executes the schedule.
+    let tasks = 16;
+    let per_task = queries.div_ceil(tasks);
+    let start = Instant::now();
+    let sums = parallel_map_n(exec, tasks, |task| {
+        let model = FaultModel::from_error_rate(er).expect("valid benchmark error rate");
+        let mut injector = FaultInjector::new(model, derive_seed(seed, &[task as u64]));
+        let mut scratch = InferenceScratch::new();
+        let mut checksum = 0u64;
+        for _ in 0..per_task {
+            let out = q.infer_into(features, &mut injector, &mut scratch);
+            checksum = fold_scores(checksum, std::hint::black_box(out));
+        }
+        checksum
+    });
+    let qps = (per_task * tasks) as f64 / start.elapsed().as_secs_f64();
+    let combined = sums.iter().fold(0u64, |a, &s| a.rotate_left(13) ^ s);
+    (qps, combined)
+}
+
+/// Measures one error rate: legacy path, hot path, and the hot path under
+/// `exec`, including the thread-invariance verdict on the checksums.
+pub fn measure_point(
+    q: &QuantizedNetwork,
+    features: &[f32],
+    er: f64,
+    seed: u64,
+    queries: usize,
+    exec: &ExecConfig,
+) -> ThroughputPoint {
+    let before_qps = time_before(q, features, er, seed, queries);
+    let (after_qps, checksum) = time_after(q, features, er, seed, queries);
+    let (threaded_qps, threaded_sum) = time_threaded(q, features, er, seed, queries, exec);
+    // The serial reference for the fan-out is the same chunked schedule on
+    // one worker — identical seeds, identical order.
+    let (_, serial_sum) = time_threaded(q, features, er, seed, queries, &ExecConfig::serial());
+    ThroughputPoint {
+        error_rate: er,
+        queries,
+        before_qps,
+        after_qps,
+        checksum,
+        threaded_qps,
+        thread_invariant: threaded_sum == serial_sum,
+    }
+}
+
+/// Sweeps [`BENCH_ERROR_RATES`].
+pub fn measure_sweep(
+    q: &QuantizedNetwork,
+    features: &[f32],
+    seed: u64,
+    queries: usize,
+    exec: &ExecConfig,
+) -> Vec<ThroughputPoint> {
+    BENCH_ERROR_RATES
+        .iter()
+        .map(|&er| measure_point(q, features, er, seed, queries, exec))
+        .collect()
+}
+
+/// Renders the sweep as the hand-built JSON written to `BENCH_2.json`.
+///
+/// The vendored `serde` is a no-op shim, so the document is formatted
+/// here; all fields are plain numbers/booleans and the checksums are
+/// decimal strings to stay integer-exact in any reader.
+pub fn render_json(
+    points: &[ThroughputPoint],
+    seed: u64,
+    scale: &str,
+    threads: usize,
+    mac_count: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"detector_throughput\",\n");
+    out.push_str("  \"unit\": \"queries_per_second\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"mac_count\": {mac_count},\n"));
+    out.push_str("  \"before\": \"per-draw Bernoulli RNG, dyn dispatch, per-layer allocation\",\n");
+    out.push_str("  \"after\": \"geometric fault-gap sampling, monomorphised corruptor, reusable scratch\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"error_rate\": {}, \"queries\": {}, \"before_qps\": {:.1}, \
+             \"after_qps\": {:.1}, \"speedup\": {:.3}, \"threaded_qps\": {:.1}, \
+             \"checksum\": \"{}\", \"thread_invariant\": {}}}{}\n",
+            p.error_rate,
+            p.queries,
+            p.before_qps,
+            p.after_qps,
+            p.speedup(),
+            p.threaded_qps,
+            p.checksum,
+            p.thread_invariant,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmd_workload::dataset::{Dataset, DatasetConfig};
+    use shmd_workload::features::FeatureSpec;
+    use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+
+    fn fixture() -> (QuantizedNetwork, Vec<f32>) {
+        let dataset = Dataset::generate(&DatasetConfig::small(60), 17);
+        let split = dataset.three_fold_split(0);
+        let victim = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("train");
+        let features = victim.spec().extract(dataset.trace(0));
+        (victim.quantized().clone(), features)
+    }
+
+    #[test]
+    fn measurement_yields_finite_rates_and_thread_invariant_checksums() {
+        let (q, features) = fixture();
+        let p = measure_point(&q, &features, 0.1, 7, 300, &ExecConfig::threads(4));
+        assert!(p.before_qps.is_finite() && p.before_qps > 0.0);
+        assert!(p.after_qps.is_finite() && p.after_qps > 0.0);
+        assert!(p.thread_invariant, "fan-out changed the detector output");
+    }
+
+    #[test]
+    fn checksum_is_seed_deterministic() {
+        let (q, features) = fixture();
+        let (_, a) = time_after(&q, &features, 0.3, 5, 200);
+        let (_, b) = time_after(&q, &features, 0.3, 5, 200);
+        assert_eq!(a, b, "same seed must reproduce the same score stream");
+        let (_, c) = time_after(&q, &features, 0.3, 6, 200);
+        assert_ne!(a, c, "different seed must change the stream");
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough_to_grep() {
+        let p = ThroughputPoint {
+            error_rate: 0.1,
+            queries: 100,
+            before_qps: 1000.0,
+            after_qps: 2500.0,
+            checksum: 42,
+            threaded_qps: 2400.0,
+            thread_invariant: true,
+        };
+        let doc = render_json(&[p], 42, "fast", 1, 66);
+        assert!(doc.contains("\"speedup\": 2.500"));
+        assert!(doc.contains("\"thread_invariant\": true"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

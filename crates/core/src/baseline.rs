@@ -2,7 +2,7 @@
 
 use crate::detector::{Detector, Label};
 use serde::{Deserialize, Serialize};
-use shmd_ann::network::{Network, QuantizedNetwork};
+use shmd_ann::network::{InferenceScratch, Network, QuantizedNetwork};
 use shmd_volt::fault::ExactDatapath;
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
@@ -13,13 +13,26 @@ use shmd_workload::trace::Trace;
 /// datapath — the very same datapath a [`crate::stochastic::StochasticHmd`]
 /// undervolts, so baseline and protected detector differ *only* in supply
 /// voltage, exactly as the paper deploys them.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BaselineHmd {
     name: String,
     spec: FeatureSpec,
     network: Network,
     quantized: QuantizedNetwork,
     threshold: f64,
+    /// Reusable activation buffers for the `&mut self` scoring path; pure
+    /// scratch state, excluded from equality.
+    scratch: InferenceScratch,
+}
+
+impl PartialEq for BaselineHmd {
+    fn eq(&self, other: &BaselineHmd) -> bool {
+        self.name == other.name
+            && self.spec == other.spec
+            && self.network == other.network
+            && self.quantized == other.quantized
+            && self.threshold == other.threshold
+    }
 }
 
 impl BaselineHmd {
@@ -38,6 +51,7 @@ impl BaselineHmd {
             network,
             quantized,
             threshold: 0.5,
+            scratch: InferenceScratch::new(),
         }
     }
 
@@ -77,11 +91,28 @@ impl BaselineHmd {
 
     /// Scores an already-extracted feature vector (deterministic).
     ///
+    /// Allocates per call; callers holding a scratch (or `&mut self` — see
+    /// [`Detector::score`]) get the allocation-free path via
+    /// [`BaselineHmd::score_features_with`].
+    ///
     /// # Panics
     ///
     /// Panics if the feature width mismatches the network input.
     pub fn score_features(&self, features: &[f32]) -> f64 {
-        f64::from(self.quantized.infer(features, &mut ExactDatapath)[0])
+        f64::from(self.quantized.infer_with(features, &mut ExactDatapath)[0])
+    }
+
+    /// Like [`BaselineHmd::score_features`] but reusing caller-provided
+    /// activation buffers: zero heap allocation on the steady path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the network input.
+    pub fn score_features_with(&self, features: &[f32], scratch: &mut InferenceScratch) -> f64 {
+        let out = self
+            .quantized
+            .infer_into(features, &mut ExactDatapath, scratch);
+        f64::from(out[0].to_f32())
     }
 
     /// Deterministic classification of a feature vector against this
@@ -102,7 +133,10 @@ impl Detector for BaselineHmd {
 
     fn score(&mut self, trace: &Trace) -> f64 {
         let features = self.spec.extract(trace);
-        self.score_features(&features)
+        let out = self
+            .quantized
+            .infer_into(&features, &mut ExactDatapath, &mut self.scratch);
+        f64::from(out[0].to_f32())
     }
 
     fn threshold(&self) -> f64 {
@@ -184,6 +218,27 @@ mod tests {
         if score < Detector::threshold(&strict) {
             assert!(!strict.classify_features(&f).is_malware());
         }
+    }
+
+    #[test]
+    fn scratch_scoring_matches_allocating_path() {
+        let (dataset, mut hmd) = trained();
+        let mut scratch = InferenceScratch::new();
+        for i in 0..10 {
+            let t = dataset.trace(i);
+            let f = hmd.spec().extract(t);
+            let plain = hmd.score_features(&f);
+            assert_eq!(plain, hmd.score_features_with(&f, &mut scratch));
+            assert_eq!(plain, hmd.score(t));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_scratch_state() {
+        let (dataset, mut hmd) = trained();
+        let pristine = hmd.clone();
+        hmd.score(dataset.trace(0)); // warms the internal scratch
+        assert_eq!(hmd, pristine, "scratch buffers must not affect equality");
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub fn accuracy_sweep_with(
             .expect("grid was validated above");
         let threshold = Detector::threshold(&hmd);
         let mut m = ConfusionMatrix::new();
+        // One detector scores the whole test fold: its inference scratch and
+        // geometric fault-gap state amortise across every sample, so the
+        // inner loop neither allocates nor draws per-MAC randomness.
         for (features, is_malware) in &fold.testing {
             m.record(hmd.score_features(features) >= threshold, *is_malware);
         }
@@ -265,6 +268,7 @@ pub fn confidence_distribution_with(
             derive_seed(seed, &[TAG_CONFIDENCE, si as u64]),
         )
         .expect("rate was validated above");
+        // All reps reuse one detector (and thus one inference scratch).
         let scores: Vec<f64> = (0..reps).map(|_| hmd.score_features(&f)).collect();
         (scores, dataset.program(i).is_malware())
     });

@@ -2,7 +2,7 @@
 
 use crate::baseline::BaselineHmd;
 use crate::detector::Detector;
-use shmd_ann::network::QuantizedNetwork;
+use shmd_ann::network::{InferenceScratch, QuantizedNetwork};
 use shmd_volt::calibration::CalibrationCurve;
 use shmd_volt::fault::{FaultInjector, FaultModel, FaultModelError};
 use shmd_volt::voltage::Millivolts;
@@ -25,6 +25,9 @@ pub struct StochasticHmd {
     error_rate: f64,
     offset: Option<Millivolts>,
     threshold: f64,
+    /// Reusable activation buffers: the steady-state query path allocates
+    /// nothing (see [`InferenceScratch`]).
+    scratch: InferenceScratch,
 }
 
 /// Near-zero immunity width for the Q16.16 inference datapath.
@@ -71,6 +74,7 @@ impl StochasticHmd {
             error_rate: er,
             offset: None,
             threshold: Detector::threshold(base),
+            scratch: InferenceScratch::new(),
         })
     }
 
@@ -87,6 +91,7 @@ impl StochasticHmd {
             error_rate: er,
             offset: None,
             threshold: Detector::threshold(base),
+            scratch: InferenceScratch::new(),
         }
     }
 
@@ -117,6 +122,7 @@ impl StochasticHmd {
             error_rate: er,
             offset: Some(offset),
             threshold: Detector::threshold(base),
+            scratch: InferenceScratch::new(),
         })
     }
 
@@ -137,18 +143,27 @@ impl StochasticHmd {
     }
 
     /// Accumulated fault statistics of the injector.
-    pub fn fault_stats(&self) -> &shmd_volt::fault::FaultStats {
+    pub fn fault_stats(&self) -> shmd_volt::fault::FaultStats {
         self.injector.stats()
     }
 
     /// Scores an already-extracted feature vector (one stochastic
     /// detection).
     ///
+    /// This is the deployment hot path: the injector is statically
+    /// dispatched into the MAC loop and the activations live in the
+    /// detector's [`InferenceScratch`], so a steady stream of queries
+    /// performs no heap allocation and no per-MAC RNG draws (geometric gap
+    /// sampling inside [`FaultInjector`]).
+    ///
     /// # Panics
     ///
     /// Panics if the feature width mismatches the network input.
     pub fn score_features(&mut self, features: &[f32]) -> f64 {
-        f64::from(self.quantized.infer(features, &mut self.injector)[0])
+        let out = self
+            .quantized
+            .infer_into(features, &mut self.injector, &mut self.scratch);
+        f64::from(out[0].to_f32())
     }
 }
 

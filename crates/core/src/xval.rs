@@ -104,6 +104,9 @@ where
         let rotation = cell / reps;
         let rep = cell % reps;
         let split = &splits[rotation];
+        // The cell's detector classifies its entire test fold, so
+        // detector-internal state (inference scratch buffers, the fault
+        // injector's geometric gap counter) amortises across samples.
         let mut detector = build(split, rotation, rep)?;
         let mut m = ConfusionMatrix::new();
         for &i in split.testing() {

@@ -138,7 +138,7 @@ pub fn sweep_instruction(kind: InstructionKind, config: &SweepConfig) -> SweepRe
                         faulted = true;
                     }
                 }
-                stats.merge(injector.stats());
+                stats.merge(&injector.stats());
                 if faulted {
                     return SweepResult {
                         kind,

@@ -79,6 +79,44 @@ pub struct FaultModel {
     ripple_span: u32,
     /// Products whose active width is at most this many bits never fault.
     near_zero_width: u32,
+    /// Precomputed geometric CDF of the gap to the next fault event:
+    /// `gap_cdf[k] = P(gap ≤ k) = 1 − (1 − er)^{k+1}`, truncated once it
+    /// covers ~99.9% of the mass (see [`FaultInjector::corrupt_product`]).
+    gap_cdf: Vec<f64>,
+    /// Suffix no-flip probabilities over `flips`:
+    /// `tail_none[j] = ∏_{i ≥ j} (1 − pᵢ)`, with `tail_none[len] = 1`.
+    /// Drives the draw-per-flip tail sampler in [`apply_fault_event`].
+    tail_none: Vec<f64>,
+    /// Guide table over `gap_cdf` (see [`build_guide`]).
+    gap_guide: Vec<u16>,
+    /// Guide table over `first_flip_cdf` (see [`build_guide`]).
+    first_flip_guide: Vec<u16>,
+}
+
+/// Bucket count for the inverse-CDF guide tables.
+const GUIDE_BUCKETS: usize = 256;
+
+/// Builds a guide table accelerating inverse-CDF sampling: `guide[b]` is a
+/// lower bound on the inversion result for any uniform draw in
+/// `[b/256, (b+1)/256)`, so a lookup is one table load plus a short
+/// forward scan instead of a binary search. The search itself is cheap in
+/// isolation, but inside a fault event its data-dependent branches form a
+/// serial latency chain that dominates the event cost; the guided scan
+/// returns the *same index for the same draw* in a fraction of the
+/// latency. `strict` selects the comparison the scan will use
+/// (`cdf[k] < u` vs `cdf[k] <= u`) so the bound matches exactly.
+fn build_guide(cdf: &[f64], strict: bool) -> Vec<u16> {
+    (0..=GUIDE_BUCKETS)
+        .map(|b| {
+            let u = b as f64 / GUIDE_BUCKETS as f64;
+            let k = if strict {
+                cdf.partition_point(|&c| c < u)
+            } else {
+                cdf.partition_point(|&c| c <= u)
+            };
+            k.min(usize::from(u16::MAX)) as u16
+        })
+        .collect()
 }
 
 impl FaultModel {
@@ -91,6 +129,10 @@ impl FaultModel {
             ripple_fraction: DEFAULT_RIPPLE_FRACTION,
             ripple_span: DEFAULT_RIPPLE_SPAN,
             near_zero_width: crate::multiplier::IMMUNE_LSBS as u32,
+            gap_cdf: Vec::new(),
+            tail_none: Vec::new(),
+            gap_guide: Vec::new(),
+            first_flip_guide: Vec::new(),
         }
     }
 
@@ -105,7 +147,9 @@ impl FaultModel {
     /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is not in
     /// `[0, 1]`.
     pub fn from_error_rate(er: f64) -> Result<FaultModel, FaultModelError> {
-        FaultModel::from_error_rate_with_profile(er, &BitErrorProfile::fig1())
+        // The Figure-1 profile is a process-wide singleton: sweep loops
+        // build thousands of models and must not renormalise it each time.
+        FaultModel::from_normalized_weights(er, BitErrorProfile::fig1_normalized())
     }
 
     /// Like [`FaultModel::from_error_rate`] but with a custom fault-location
@@ -119,6 +163,19 @@ impl FaultModel {
         er: f64,
         profile: &BitErrorProfile,
     ) -> Result<FaultModel, FaultModelError> {
+        FaultModel::from_normalized_weights(er, &profile.normalized())
+    }
+
+    /// Like [`FaultModel::from_error_rate_with_profile`] but borrowing
+    /// already-normalised location weights, so callers constructing many
+    /// models from one profile (voltage sweeps, per-operand characterisation)
+    /// normalise once up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is not in
+    /// `[0, 1]`.
+    pub fn from_normalized_weights(er: f64, q: &[f64]) -> Result<FaultModel, FaultModelError> {
         if !er.is_finite() || !(0.0..=1.0).contains(&er) {
             return Err(FaultModelError::InvalidErrorRate(er));
         }
@@ -126,7 +183,6 @@ impl FaultModel {
             return Ok(FaultModel::exact());
         }
         let er_eff = er.min(MAX_EFFECTIVE_RATE);
-        let q = profile.normalized();
         let mut flips = Vec::new();
         for (bit, &qi) in q.iter().enumerate() {
             if qi > 0.0 {
@@ -147,6 +203,25 @@ impl FaultModel {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
+        // Geometric gap CDF, truncated at 99.9% coverage (the remaining
+        // mass is sampled by the exact memoryless fallback). Bounded so a
+        // minuscule error rate cannot allocate an unbounded table.
+        let mut gap_cdf = Vec::new();
+        let mut f = er_eff;
+        while gap_cdf.len() < 1024 {
+            gap_cdf.push(f);
+            if f >= 0.999 {
+                break;
+            }
+            f = 1.0 - (1.0 - f) * (1.0 - er_eff);
+        }
+        // Suffix products of the per-bit no-flip probabilities.
+        let mut tail_none = vec![1.0; flips.len() + 1];
+        for i in (0..flips.len()).rev() {
+            tail_none[i] = tail_none[i + 1] * (1.0 - flips[i].1);
+        }
+        let gap_guide = build_guide(&gap_cdf, false);
+        let first_flip_guide = build_guide(&cdf, true);
         Ok(FaultModel {
             error_rate: er_eff,
             flips,
@@ -154,6 +229,10 @@ impl FaultModel {
             ripple_fraction: DEFAULT_RIPPLE_FRACTION,
             ripple_span: DEFAULT_RIPPLE_SPAN,
             near_zero_width: crate::multiplier::IMMUNE_LSBS as u32,
+            gap_cdf,
+            tail_none,
+            gap_guide,
+            first_flip_guide,
         })
     }
 
@@ -217,7 +296,10 @@ impl FaultModel {
         timing: &MultiplierTimingModel,
         vdd: Volts,
     ) -> Result<FaultModel, FaultModelError> {
-        FaultModel::from_error_rate_with_profile(timing.mean_error_rate(vdd), timing.profile())
+        FaultModel::from_normalized_weights(
+            timing.mean_error_rate(vdd),
+            timing.profile_normalized(),
+        )
     }
 
     /// Builds a model for a specific operand pair at a physical voltage
@@ -236,7 +318,7 @@ impl FaultModel {
     ) -> Result<FaultModel, FaultModelError> {
         let factor = timing.operand_factor(a, b);
         let er = timing.violation_probability(vdd, factor);
-        FaultModel::from_error_rate_with_profile(er, timing.profile())
+        FaultModel::from_normalized_weights(er, timing.profile_normalized())
     }
 
     /// The probability that a multiplication result is faulty.
@@ -325,6 +407,15 @@ pub trait ProductCorruptor {
     fn corrupt(&mut self, product: i64) -> i64;
 }
 
+/// Forwarding impl so monomorphic `infer_with`-style entry points accept
+/// both owned corruptors and `&mut dyn ProductCorruptor` trait objects.
+impl<C: ProductCorruptor + ?Sized> ProductCorruptor for &mut C {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        (**self).corrupt(product)
+    }
+}
+
 /// The identity datapath: never faults (nominal voltage).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExactDatapath;
@@ -334,6 +425,195 @@ impl ProductCorruptor for ExactDatapath {
     fn corrupt(&mut self, product: i64) -> i64 {
         product
     }
+}
+
+/// Logarithm-based geometric sampler: with `u` uniform on `(0, 1]`,
+/// `⌊ln u / ln(1 − er)⌋` satisfies `P(gap ≥ k) = P(u ≤ (1−er)^k) = (1−er)^k`,
+/// which is exactly the geometric tail. Used to seed the first gap and for
+/// the rare mass past the precomputed CDF table.
+fn sample_gap_ln(rng: &mut StdRng, er: f64) -> u64 {
+    // The standard f64 draw is uniform on [0, 1); flip it onto (0, 1] so the
+    // logarithm is finite.
+    let u = 1.0 - rng.gen::<f64>();
+    let denom = (1.0 - er).ln();
+    if denom == 0.0 {
+        // er below ~2⁻⁵³: 1 − er rounds to 1. The gap is astronomically
+        // large; saturate rather than divide by zero.
+        return u64::MAX;
+    }
+    let gap = u.ln() / denom;
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+/// Samples the number of fault-free multiplications before the next fault
+/// event from `Geom(er)`: `P(gap = k) = (1 − er)^k · er`.
+///
+/// The common case is a table lookup: `gap = k` exactly when
+/// `F(k−1) ≤ u < F(k)` for the precomputed CDF `F`, located by a
+/// [`build_guide`] table plus a short forward scan, with no
+/// transcendental call. A draw past the truncated table lands in the
+/// geometric's memoryless tail, so the exact remainder is
+/// `table length + Geom(er)` via the logarithm sampler. Either way the
+/// fault/no-fault sequence keeps the same law as one Bernoulli(er) draw
+/// per multiplication, at one draw per *fault* instead of per *product*.
+#[inline]
+fn sample_gap(rng: &mut StdRng, model: &FaultModel) -> u64 {
+    let cdf = &model.gap_cdf;
+    match cdf.last() {
+        Some(&last) => {
+            let u: f64 = rng.gen();
+            if u < last {
+                // Same index `partition_point(|&c| c <= u)` would find:
+                // the guide gives a lower bound for u's bucket and
+                // `u < last` guarantees the scan terminates in range.
+                let mut k = if model.gap_guide.len() == GUIDE_BUCKETS + 1 {
+                    model.gap_guide[(u * GUIDE_BUCKETS as f64) as usize] as usize
+                } else {
+                    0
+                };
+                while cdf[k] <= u {
+                    k += 1;
+                }
+                k as u64
+            } else {
+                (cdf.len() as u64).saturating_add(sample_gap_ln(rng, model.error_rate))
+            }
+        }
+        // Hand-built model with no table (e.g. deserialized): exact path.
+        None => sample_gap_ln(rng, model.error_rate),
+    }
+}
+
+/// Applies one fault *event* to `product` (the event itself has already been
+/// decided), updating `stats`. Shared between the geometric-skip
+/// [`FaultInjector`] and the per-draw [`PerDrawInjector`] oracle so the two
+/// samplers differ only in *when* a fault happens and how the independent
+/// tail is walked.
+///
+/// After the first flipped bit, the remaining weighted bits flip
+/// independently with their (small) per-bit probabilities. `thin_tail`
+/// selects how that tail is sampled:
+///
+/// - `false` — the reference scan: one uniform draw per remaining bit
+///   (~50 draws per event for the Figure-1 profile). [`PerDrawInjector`]
+///   keeps this path, preserving the seed implementation as the
+///   statistical oracle and benchmark baseline.
+/// - `true` — survival inversion over the precomputed suffix no-flip
+///   products `tail_none`: one uniform per *flip* locates the next
+///   flipping index by binary search, using
+///   `P(next flip ≥ m | walking from j) = tail_none[j] / tail_none[m]`,
+///   so bit `i` still flips with exactly `pᵢ`, independently. Expected
+///   cost is `1 + E[#tail flips]` draws per event and no transcendental
+///   calls.
+///
+/// Fault *locations* are activity-scaled: a timing violation can only
+/// corrupt a column whose partial products actually switch, so the sampled
+/// bit position (calibrated on full-width random operands, §II) is
+/// compressed into the product's active bit-width. Events that land on a
+/// near-zero product are absorbed — the product returns unchanged and
+/// `stats.faulty` is not incremented, exactly as a per-draw sampler that
+/// draws the event before inspecting the operand would behave.
+#[inline]
+fn apply_fault_event(
+    model: &FaultModel,
+    rng: &mut StdRng,
+    stats: &mut FaultStats,
+    product: i64,
+    thin_tail: bool,
+) -> i64 {
+    if model.flips.is_empty() {
+        // Cannot arise from the constructors but can from a hand-crafted
+        // deserialized model; treat it as exact rather than underflowing
+        // below.
+        return product;
+    }
+    // Active width: highest switching column, plus one for carry-out.
+    // Never the sign bit (structurally an XOR off the critical path).
+    let width = 64 - product.unsigned_abs().leading_zeros();
+    if width <= model.near_zero_width {
+        // Near-zero product: no carry chains long enough to violate.
+        return product;
+    }
+    let top = (width + 1).min(OUTPUT_BITS as u32 - 2);
+    let ripple_top = (width + model.ripple_span).min(OUTPUT_BITS as u32 - 2);
+    let ripple_fraction = model.ripple_fraction;
+    let place = |rng: &mut StdRng, bit: u8| -> u64 {
+        if ripple_top > top && rng.gen::<f64>() < ripple_fraction {
+            // Carry-propagate-adder ripple past the product MSB.
+            u64::from(rng.gen_range(top + 1..=ripple_top))
+        } else {
+            let pos = (u32::from(bit) * top) / (OUTPUT_BITS as u32 - 2);
+            u64::from(pos.clamp(crate::multiplier::IMMUNE_LSBS as u32 + 1, top))
+        }
+    };
+    let mut mask = 0u64;
+    // First flipped bit, conditioned on at least one flip. The guided
+    // scan finds the same index as the binary search for the same draw;
+    // the oracle/baseline path keeps the legacy binary search verbatim.
+    let v: f64 = rng.gen();
+    let k = if thin_tail && model.first_flip_guide.len() == GUIDE_BUCKETS + 1 {
+        let cdf = &model.first_flip_cdf;
+        let mut k = model.first_flip_guide[(v * GUIDE_BUCKETS as f64) as usize] as usize;
+        while k < cdf.len() && cdf[k] < v {
+            k += 1;
+        }
+        k.min(model.flips.len() - 1)
+    } else {
+        model
+            .first_flip_cdf
+            .partition_point(|&c| c < v)
+            .min(model.flips.len() - 1)
+    };
+    let (first_bit, _) = model.flips[k];
+    mask ^= 1u64 << place(rng, first_bit);
+    // Remaining bits flip independently.
+    if thin_tail && model.tail_none.len() == model.flips.len() + 1 {
+        let tn = &model.tail_none;
+        let mut j = k + 1;
+        while j < model.flips.len() {
+            let u: f64 = rng.gen();
+            // Inverse-transform the survival function: the next flipping
+            // index is the largest m with `u·tail_none[m] ≤ tail_none[j]`
+            // (the predicate holds on a prefix because tail_none is
+            // non-decreasing). m == flips.len() means no further flip —
+            // equivalently `u ≤ tail_none[j]` (the whole suffix survives);
+            // that ~(1 − er) common case is tested first so it skips the
+            // search's latency chain. Same draw, same outcome.
+            if u <= tn[j] {
+                break;
+            }
+            let m = j + tn[j..].partition_point(|&t| u * t <= tn[j]) - 1;
+            if m >= model.flips.len() {
+                break;
+            }
+            let (bit, _) = model.flips[m];
+            mask ^= 1u64 << place(rng, bit);
+            j = m + 1;
+        }
+    } else {
+        for idx in k + 1..model.flips.len() {
+            let (bit, p) = model.flips[idx];
+            if rng.gen::<f64>() < p {
+                mask ^= 1u64 << place(rng, bit);
+            }
+        }
+    }
+    if mask == 0 {
+        // Scaled positions collided pairwise and cancelled.
+        return product;
+    }
+    stats.faulty += 1;
+    let mut remaining = mask;
+    while remaining != 0 {
+        let bit = remaining.trailing_zeros() as usize;
+        stats.bit_flips[bit] += 1;
+        remaining &= remaining - 1;
+    }
+    product ^ (mask as i64)
 }
 
 /// A seeded stochastic fault injector.
@@ -358,15 +638,33 @@ pub struct FaultInjector {
     model: FaultModel,
     rng: StdRng,
     stats: FaultStats,
+    /// Fault-free multiplications remaining before the next fault event
+    /// (geometric gap sampling — see [`sample_gap`]). An exact model is
+    /// represented as a gap that never drains (`u64::MAX`), so the hot
+    /// path needs no separate exactness branch.
+    skip: u64,
+    /// The value `skip` was last (re)sampled to. `gap_len - skip` is the
+    /// number of fault-free multiplications since the last event, which
+    /// [`FaultInjector::stats`] folds into the multiply count on demand —
+    /// the fault-free path never touches memory for bookkeeping.
+    gap_len: u64,
 }
 
 impl FaultInjector {
     /// Creates an injector with a deterministic seed.
     pub fn new(model: FaultModel, seed: u64) -> FaultInjector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skip = if model.is_exact() {
+            u64::MAX
+        } else {
+            sample_gap(&mut rng, &model)
+        };
         FaultInjector {
             model,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             stats: FaultStats::new(),
+            skip,
+            gap_len: skip,
         }
     }
 
@@ -376,8 +674,115 @@ impl FaultInjector {
     }
 
     /// Replaces the fault model (e.g. when re-calibrating for temperature).
+    ///
+    /// The gap to the next fault is resampled under the new error rate.
     pub fn set_model(&mut self, model: FaultModel) {
+        // Multiplications run under the outgoing model still count.
+        self.stats.multiplies += self.gap_len - self.skip;
         self.model = model;
+        self.skip = if self.model.is_exact() {
+            u64::MAX
+        } else {
+            sample_gap(&mut self.rng, &self.model)
+        };
+        self.gap_len = self.skip;
+    }
+
+    /// Accumulated statistics.
+    ///
+    /// Computed on demand: the multiply count folds in the fault-free
+    /// calls made since the last fault event, which the hot path tracks
+    /// only through the draining gap counter.
+    pub fn stats(&self) -> FaultStats {
+        let mut stats = self.stats.clone();
+        stats.multiplies += self.gap_len - self.skip;
+        stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::new();
+        self.gap_len = self.skip;
+    }
+
+    /// Corrupts a raw 64-bit product, updating statistics.
+    ///
+    /// Fault timing uses geometric gap sampling: the number of fault-free
+    /// multiplications before the next fault event is drawn from `Geom(er)`
+    /// and counted down, so the hot path is a decrement with *no* RNG draw
+    /// — O(#faults) RNG cost instead of O(#multiplications), while the
+    /// fault/no-fault sequence keeps the exact per-multiplication
+    /// Bernoulli(er) law (see [`sample_gap`]; [`PerDrawInjector`] is the
+    /// retained per-draw oracle). When the counter reaches a fault event,
+    /// the first flipped bit is drawn from the conditional first-flip
+    /// distribution and later bits flip independently, which reproduces
+    /// exact independent per-bit Bernoulli sampling.
+    ///
+    /// Consequences faithfully mirror the paper: most faults are small
+    /// *relative* errors, occasionally one lands near the product's MSB,
+    /// and values very close to zero are not perturbed at all (the paper's
+    /// stated limitation: "models that operate on numbers that are very
+    /// close to zero are not protected"). A fault event that lands on a
+    /// near-zero product is *absorbed* — exactly as the per-draw sampler
+    /// absorbed it after its Bernoulli draw — so `observed_error_rate`
+    /// still reflects only products wide enough to fault.
+    #[inline]
+    pub fn corrupt_product(&mut self, product: i64) -> i64 {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return product;
+        }
+        // Fault event: settle the multiply count for the drained gap plus
+        // this call, then arm the next gap.
+        self.stats.multiplies += self.gap_len + 1;
+        self.skip = sample_gap(&mut self.rng, &self.model);
+        self.gap_len = self.skip;
+        apply_fault_event(&self.model, &mut self.rng, &mut self.stats, product, true)
+    }
+
+    /// Corrupts an unsigned product (convenience for characterisation code).
+    pub fn corrupt_unsigned(&mut self, product: u64) -> u64 {
+        self.corrupt_product(product as i64) as u64
+    }
+}
+
+impl ProductCorruptor for FaultInjector {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        self.corrupt_product(product)
+    }
+}
+
+/// The pre-geometric reference sampler: one uniform Bernoulli draw per
+/// multiplication, one uniform per weighted bit inside each fault event.
+///
+/// Statistically interchangeable with [`FaultInjector`] — the same
+/// per-multiplication fault law and the same per-bit flip law — but
+/// implemented the straightforward way the seed revision did, without
+/// geometric gap sampling or tail thinning. Retained as the statistical
+/// oracle for the sampling property tests (two independent implementations
+/// of one law must agree) and as the honest "before" baseline in the
+/// throughput benchmarks; deployment code should use [`FaultInjector`].
+#[derive(Clone, Debug)]
+pub struct PerDrawInjector {
+    model: FaultModel,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl PerDrawInjector {
+    /// Creates a per-draw injector with a deterministic seed.
+    pub fn new(model: FaultModel, seed: u64) -> PerDrawInjector {
+        PerDrawInjector {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            stats: FaultStats::new(),
+        }
+    }
+
+    /// The fault model in use.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
     }
 
     /// Accumulated statistics.
@@ -390,93 +795,22 @@ impl FaultInjector {
         self.stats = FaultStats::new();
     }
 
-    /// Corrupts a raw 64-bit product, updating statistics.
-    ///
-    /// With probability `1 − error_rate` the product is returned unchanged
-    /// (a single RNG draw — the hot path). Otherwise the first flipped bit
-    /// is drawn from the conditional first-flip distribution and later bits
-    /// flip independently, which reproduces exact independent per-bit
-    /// Bernoulli sampling.
-    ///
-    /// Fault *locations* are activity-scaled: a timing violation can only
-    /// corrupt a column whose partial products actually switch, so the
-    /// sampled bit position (calibrated on full-width random operands, §II)
-    /// is compressed into the product's active bit-width. Consequences
-    /// faithfully mirror the paper: most faults are small *relative* errors,
-    /// occasionally one lands near the product's MSB, and values very close
-    /// to zero are not perturbed at all (the paper's stated limitation:
-    /// "models that operate on numbers that are very close to zero are not
-    /// protected").
+    /// Corrupts a raw 64-bit product with one Bernoulli draw, updating
+    /// statistics.
     pub fn corrupt_product(&mut self, product: i64) -> i64 {
         self.stats.multiplies += 1;
         if self.model.is_exact() {
             return product;
         }
         let u: f64 = self.rng.gen();
-        if u >= self.model.error_rate || self.model.flips.is_empty() {
-            // The empty-flips case cannot arise from the constructors but
-            // can from a hand-crafted deserialized model; treat it as exact
-            // rather than underflowing below.
+        if u >= self.model.error_rate {
             return product;
         }
-        // Active width: highest switching column, plus one for carry-out.
-        // Never the sign bit (structurally an XOR off the critical path).
-        let width = 64 - product.unsigned_abs().leading_zeros();
-        if width <= self.model.near_zero_width {
-            // Near-zero product: no carry chains long enough to violate.
-            return product;
-        }
-        let top = (width + 1).min(OUTPUT_BITS as u32 - 2);
-        let ripple_top = (width + self.model.ripple_span).min(OUTPUT_BITS as u32 - 2);
-        let ripple_fraction = self.model.ripple_fraction;
-        let place = |rng: &mut StdRng, bit: u8| -> u64 {
-            if ripple_top > top && rng.gen::<f64>() < ripple_fraction {
-                // Carry-propagate-adder ripple past the product MSB.
-                u64::from(rng.gen_range(top + 1..=ripple_top))
-            } else {
-                let pos = (u32::from(bit) * top) / (OUTPUT_BITS as u32 - 2);
-                u64::from(pos.clamp(crate::multiplier::IMMUNE_LSBS as u32 + 1, top))
-            }
-        };
-        let mut mask = 0u64;
-        // First flipped bit, conditioned on at least one flip.
-        let v: f64 = self.rng.gen();
-        let k = self
-            .model
-            .first_flip_cdf
-            .partition_point(|&c| c < v)
-            .min(self.model.flips.len() - 1);
-        let (first_bit, _) = self.model.flips[k];
-        mask ^= 1u64 << place(&mut self.rng, first_bit);
-        // Remaining bits flip independently.
-        let rest = k + 1..self.model.flips.len();
-        for idx in rest {
-            let (bit, p) = self.model.flips[idx];
-            if self.rng.gen::<f64>() < p {
-                mask ^= 1u64 << place(&mut self.rng, bit);
-            }
-        }
-        if mask == 0 {
-            // Scaled positions collided pairwise and cancelled.
-            return product;
-        }
-        self.stats.faulty += 1;
-        let mut remaining = mask;
-        while remaining != 0 {
-            let bit = remaining.trailing_zeros() as usize;
-            self.stats.bit_flips[bit] += 1;
-            remaining &= remaining - 1;
-        }
-        product ^ (mask as i64)
-    }
-
-    /// Corrupts an unsigned product (convenience for characterisation code).
-    pub fn corrupt_unsigned(&mut self, product: u64) -> u64 {
-        self.corrupt_product(product as i64) as u64
+        apply_fault_event(&self.model, &mut self.rng, &mut self.stats, product, false)
     }
 }
 
-impl ProductCorruptor for FaultInjector {
+impl ProductCorruptor for PerDrawInjector {
     #[inline]
     fn corrupt(&mut self, product: i64) -> i64 {
         self.corrupt_product(product)
@@ -698,6 +1032,122 @@ mod tests {
     }
 
     #[test]
+    fn gap_sampler_matches_per_draw_oracle() {
+        // The ISSUE's statistical bar: the geometric-skip sampler and the
+        // per-draw Bernoulli oracle must agree on the observed error rate to
+        // within ±0.02 over 20k draws at each probed rate.
+        for &er in &[0.01, 0.1, 0.5] {
+            let model = FaultModel::from_error_rate(er).expect("valid");
+            let mut geo = FaultInjector::new(model.clone(), 99);
+            let mut oracle = PerDrawInjector::new(model, 99);
+            for _ in 0..20_000 {
+                // Full-width product: observed rate matches the knob exactly.
+                geo.corrupt_product(0x7123_4567_89ab_cdef);
+                oracle.corrupt_product(0x7123_4567_89ab_cdef);
+            }
+            let g = geo.stats().observed_error_rate();
+            let o = oracle.stats().observed_error_rate();
+            assert!((g - er).abs() < 0.02, "er = {er}, geometric observed {g}");
+            assert!((o - er).abs() < 0.02, "er = {er}, per-draw observed {o}");
+            assert!((g - o).abs() < 0.02, "samplers disagree: {g} vs {o}");
+        }
+    }
+
+    #[test]
+    fn gap_sampler_absorbs_near_zero_like_per_draw() {
+        // Interleave wide and near-zero products: fault events that land on
+        // a near-zero product are absorbed by both samplers, so the observed
+        // (wide-product) fault counts must still agree.
+        let er = 0.3;
+        let model = FaultModel::from_error_rate(er).expect("valid");
+        let mut geo = FaultInjector::new(model.clone(), 7);
+        let mut oracle = PerDrawInjector::new(model, 7);
+        for i in 0..40_000i64 {
+            let p = if i % 2 == 0 { 0x7123_4567_89ab_cdef } else { 3 };
+            assert_eq!(geo.corrupt_product(3), 3, "near-zero product faulted");
+            geo.corrupt_product(p);
+            oracle.corrupt_product(3);
+            oracle.corrupt_product(p);
+        }
+        let g = geo.stats().observed_error_rate();
+        let o = oracle.stats().observed_error_rate();
+        // Half the events are absorbed twice over (¾ of products are
+        // near-zero), so the observed rate sits near er/4 for both.
+        assert!((g - o).abs() < 0.01, "samplers disagree: {g} vs {o}");
+        assert!((g - er / 4.0).abs() < 0.01, "geometric observed {g}");
+    }
+
+    #[test]
+    fn gap_sampler_fig1_shape_matches_per_draw() {
+        // Where the faults land must be untouched by how fault timing is
+        // sampled: the geometric sampler (thinned tail) and the per-draw
+        // oracle (full tail scan) implement one per-bit law, so their
+        // bitwise rate profiles over the same workload stay close.
+        let model = FaultModel::from_error_rate(0.2).expect("valid");
+        let mut geo = FaultInjector::new(model.clone(), 21);
+        let mut oracle = PerDrawInjector::new(model, 21);
+        for _ in 0..50_000 {
+            geo.corrupt_product(0x0f0f_0f0f_0f0f_0f0f);
+            oracle.corrupt_product(0x0f0f_0f0f_0f0f_0f0f);
+        }
+        let g = geo.stats().bitwise_error_rates();
+        let o = oracle.stats().bitwise_error_rates();
+        for bit in 0..OUTPUT_BITS {
+            assert!(
+                (g[bit] - o[bit]).abs() < 0.01,
+                "bit {bit} rates diverge: {} vs {}",
+                g[bit],
+                o[bit]
+            );
+        }
+    }
+
+    #[test]
+    fn thinned_tail_matches_full_scan_on_multi_flip_events() {
+        // At a deep-undervolt rate most events happen and the independent
+        // tail fires often, so the *number* of flips per faulty product is
+        // sensitive to how the tail is walked. The thinned walk (geometric
+        // skips under the max-probability envelope) must reproduce the full
+        // scan's mean flip multiplicity, not just the event rate.
+        let model = FaultModel::from_error_rate(0.9).expect("valid");
+        let mut geo = FaultInjector::new(model.clone(), 33);
+        let mut oracle = PerDrawInjector::new(model, 33);
+        let product = 0x7fff_ffff_ffff_fff0i64;
+        for _ in 0..50_000 {
+            geo.corrupt_product(product);
+            oracle.corrupt_product(product);
+        }
+        let flips_per_fault =
+            |s: &FaultStats| s.bit_flips.iter().map(|&c| c as f64).sum::<f64>() / s.faulty as f64;
+        let g = flips_per_fault(&geo.stats());
+        let o = flips_per_fault(oracle.stats());
+        assert!(
+            g > 1.0,
+            "deep undervolt must produce multi-flip events: {g}"
+        );
+        assert!(
+            (g - o).abs() < 0.05,
+            "flip multiplicity diverges between tail samplers: {g} vs {o}"
+        );
+    }
+
+    #[test]
+    fn set_model_resamples_the_gap() {
+        // Raising the rate must take effect immediately, not after the stale
+        // (long) gap for the old rate has drained.
+        let mut inj = FaultInjector::new(FaultModel::from_error_rate(0.001).expect("valid"), 17);
+        inj.set_model(FaultModel::from_error_rate(1.0).expect("valid"));
+        let product = 3i64 << 60;
+        let mut faulty = 0;
+        for _ in 0..100 {
+            if inj.corrupt_product(product) != product {
+                faulty += 1;
+            }
+        }
+        assert!(faulty >= 95, "stale gap survived set_model: {faulty}/100");
+    }
+
+    #[test]
     fn stats_merge_accumulates() {
         let mut a = FaultStats::new();
         a.multiplies = 10;
@@ -720,6 +1170,22 @@ mod tests {
             let p_none: f64 = m.per_bit_probabilities().iter().map(|p| 1.0 - p).product();
             prop_assert!((1.0 - p_none - er).abs() < 1e-9,
                 "P(any flip) = {} for er = {}", 1.0 - p_none, er);
+        }
+
+        #[test]
+        fn gap_sampling_matches_bernoulli_rate(er in 0.01f64..0.6, seed in any::<u64>()) {
+            // Property form of the oracle test: for any seed and rate, the
+            // geometric-skip sampler's observed rate stays within a 5σ
+            // binomial band of the requested Bernoulli rate.
+            let n = 6000;
+            let mut inj = FaultInjector::new(FaultModel::from_error_rate(er).unwrap(), seed);
+            for _ in 0..n {
+                inj.corrupt_product(0x7123_4567_89ab_cdef);
+            }
+            let observed = inj.stats().observed_error_rate();
+            let tol = 5.0 * (er * (1.0 - er) / f64::from(n)).sqrt() + 0.002;
+            prop_assert!((observed - er).abs() < tol,
+                "er = {}, observed = {}, tol = {}", er, observed, tol);
         }
 
         #[test]

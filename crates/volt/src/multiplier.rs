@@ -34,6 +34,7 @@ use crate::delay::DelayModel;
 use crate::math::normal_cdf;
 use crate::voltage::{Millivolts, Volts, NOMINAL_CORE_VOLTAGE};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Width of the modelled multiplier output in bits.
 pub const OUTPUT_BITS: usize = 64;
@@ -67,19 +68,39 @@ impl BitErrorProfile {
     /// and upper product bits peaking near bit 38, zero at the sign bit and
     /// the 8 LSBs.
     pub fn fig1() -> BitErrorProfile {
-        let mut weights = vec![0.0; OUTPUT_BITS];
-        let (centre, spread) = (38.0, 11.0);
-        #[allow(clippy::needless_range_loop)]
-        for i in (IMMUNE_LSBS + 1)..SIGN_BIT {
-            let z = (i as f64 - centre) / spread;
-            // Gaussian bump with a mild high-bit skew, matching the measured
-            // asymmetry (upper bits retain non-negligible rates).
-            weights[i] = (-0.5 * z * z).exp() * (1.0 + 0.1 * (i as f64 - centre) / spread);
-            if weights[i] < 0.0 {
-                weights[i] = 0.0;
+        BitErrorProfile::fig1_static().clone()
+    }
+
+    /// The Figure-1 profile as a process-wide singleton.
+    ///
+    /// Sweep loops construct thousands of [`crate::fault::FaultModel`]s; the
+    /// profile (and its normalisation, [`BitErrorProfile::fig1_normalized`])
+    /// never changes, so it is computed once and borrowed thereafter.
+    pub fn fig1_static() -> &'static BitErrorProfile {
+        static FIG1: OnceLock<BitErrorProfile> = OnceLock::new();
+        FIG1.get_or_init(|| {
+            let mut weights = vec![0.0; OUTPUT_BITS];
+            let (centre, spread) = (38.0, 11.0);
+            #[allow(clippy::needless_range_loop)]
+            for i in (IMMUNE_LSBS + 1)..SIGN_BIT {
+                let z = (i as f64 - centre) / spread;
+                // Gaussian bump with a mild high-bit skew, matching the
+                // measured asymmetry (upper bits retain non-negligible
+                // rates).
+                weights[i] = (-0.5 * z * z).exp() * (1.0 + 0.1 * (i as f64 - centre) / spread);
+                if weights[i] < 0.0 {
+                    weights[i] = 0.0;
+                }
             }
-        }
-        BitErrorProfile { weights }
+            BitErrorProfile { weights }
+        })
+    }
+
+    /// The normalised Figure-1 weights as a process-wide singleton (the
+    /// borrow-only counterpart of `fig1().normalized()`).
+    pub fn fig1_normalized() -> &'static [f64] {
+        static FIG1_NORM: OnceLock<Vec<f64>> = OnceLock::new();
+        FIG1_NORM.get_or_init(|| BitErrorProfile::fig1_static().normalized())
     }
 
     /// Builds a profile from explicit per-bit weights.
@@ -121,8 +142,15 @@ impl BitErrorProfile {
     }
 
     /// Weights normalised to sum to 1.
+    ///
+    /// The all-zero case (unreachable through [`BitErrorProfile::from_weights`]
+    /// but representable by a deserialized value) normalises to all zeros
+    /// rather than dividing by zero and producing NaNs.
     pub fn normalized(&self) -> Vec<f64> {
         let total: f64 = self.weights.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.weights.len()];
+        }
         self.weights.iter().map(|w| w / total).collect()
     }
 
@@ -152,6 +180,10 @@ pub struct MultiplierTimingModel {
     jitter_sigma: f64,
     min_operand_factor: f64,
     profile: BitErrorProfile,
+    /// `profile.normalized()`, cached: the per-operand characterisation
+    /// builds one [`crate::fault::FaultModel`] per operand pair and must not
+    /// renormalise the (immutable) profile every time.
+    profile_normalized: Vec<f64>,
 }
 
 impl MultiplierTimingModel {
@@ -167,6 +199,7 @@ impl MultiplierTimingModel {
             jitter_sigma: 0.0033,
             min_operand_factor: 0.96414,
             profile: BitErrorProfile::fig1(),
+            profile_normalized: BitErrorProfile::fig1_normalized().to_vec(),
         }
     }
 
@@ -186,6 +219,11 @@ impl MultiplierTimingModel {
     /// The fault-location profile in use.
     pub fn profile(&self) -> &BitErrorProfile {
         &self.profile
+    }
+
+    /// The normalised fault-location weights (cached `profile.normalized()`).
+    pub fn profile_normalized(&self) -> &[f64] {
+        &self.profile_normalized
     }
 
     /// Clock frequency in GHz (the paper keeps it fixed at 2.2 GHz).
@@ -240,29 +278,25 @@ impl MultiplierTimingModel {
     /// (probability ≥ [`OBSERVABLE_P`]) for operands with the given
     /// criticality factor.
     ///
-    /// Scans in 1 mV steps, like the paper's characterisation methodology.
+    /// The result is identical to the paper's 1 mV characterisation sweep;
+    /// because the violation probability grows monotonically with undervolt
+    /// depth, the crossing is bracketed with a coarse stride first and only
+    /// the bracket is rescanned at 1 mV (~40 evaluations instead of 401).
     pub fn first_fault_offset(&self, operand_factor: f64) -> Millivolts {
-        for mv in 0..=400 {
-            let offset = Millivolts::new(-mv);
-            let v = NOMINAL_CORE_VOLTAGE.with_offset(offset);
-            if self.violation_probability(v, operand_factor) >= OBSERVABLE_P {
-                return offset;
-            }
-        }
-        Millivolts::new(-400)
+        let v = |mv: i32| NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-mv));
+        scan_first_crossing(|mv| self.violation_probability(v(mv), operand_factor) >= OBSERVABLE_P)
     }
 
     /// The undervolt offset at which the mean fault rate crosses
     /// [`FREEZE_ERROR_RATE`] and the modelled system freezes.
+    ///
+    /// Uses the same coarse-then-fine bracketing as
+    /// [`MultiplierTimingModel::first_fault_offset`], which matters here:
+    /// every probe runs the 33-point quadrature of
+    /// [`MultiplierTimingModel::mean_error_rate`].
     pub fn freeze_offset(&self) -> Millivolts {
-        for mv in 0..=400 {
-            let offset = Millivolts::new(-mv);
-            let v = NOMINAL_CORE_VOLTAGE.with_offset(offset);
-            if self.mean_error_rate(v) >= FREEZE_ERROR_RATE {
-                return offset;
-            }
-        }
-        Millivolts::new(-400)
+        let v = |mv: i32| NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-mv));
+        scan_first_crossing(|mv| self.mean_error_rate(v(mv)) >= FREEZE_ERROR_RATE)
     }
 }
 
@@ -270,6 +304,39 @@ impl Default for MultiplierTimingModel {
     fn default() -> MultiplierTimingModel {
         MultiplierTimingModel::broadwell_2_2ghz()
     }
+}
+
+/// Deepest undervolt offset (in mV below nominal) the characterisation
+/// sweeps probe before giving up.
+const SCAN_LIMIT_MV: i32 = 400;
+
+/// Coarse bracketing stride for the characterisation sweeps, in mV.
+const SCAN_STRIDE_MV: i32 = 16;
+
+/// First offset in `0..=SCAN_LIMIT_MV` (as a negative [`Millivolts`] offset)
+/// where the monotone predicate `crossed(mv)` holds, or −400 mV if it never
+/// does — bit-identical to a plain 1 mV scan, but the crossing is bracketed
+/// with a [`SCAN_STRIDE_MV`] stride first so only the final bracket pays the
+/// per-probe cost at 1 mV resolution.
+fn scan_first_crossing(crossed: impl Fn(i32) -> bool) -> Millivolts {
+    let mut below = 0; // deepest probe known NOT to have crossed
+    let mut mv = 0;
+    loop {
+        if crossed(mv) {
+            break;
+        }
+        if mv >= SCAN_LIMIT_MV {
+            return Millivolts::new(-SCAN_LIMIT_MV);
+        }
+        below = mv;
+        mv = (mv + SCAN_STRIDE_MV).min(SCAN_LIMIT_MV);
+    }
+    for fine in below + 1..mv {
+        if crossed(fine) {
+            return Millivolts::new(-fine);
+        }
+    }
+    Millivolts::new(-mv)
 }
 
 /// Timing model of the adder / logic datapath.
@@ -364,6 +431,46 @@ mod tests {
     #[test]
     fn profile_rejects_wrong_length() {
         assert!(BitErrorProfile::from_weights(vec![1.0; 10]).is_err());
+    }
+
+    #[test]
+    fn all_zero_profile_normalizes_without_nans() {
+        // Unreachable through from_weights, but representable by a
+        // deserialized value; normalisation must not divide by zero.
+        let p = BitErrorProfile {
+            weights: vec![0.0; OUTPUT_BITS],
+        };
+        let q = p.normalized();
+        assert_eq!(q.len(), OUTPUT_BITS);
+        assert!(q.iter().all(|&w| w == 0.0), "expected all zeros: {q:?}");
+    }
+
+    #[test]
+    fn fig1_singleton_matches_fresh_construction() {
+        assert_eq!(&BitErrorProfile::fig1(), BitErrorProfile::fig1_static());
+        let fresh = BitErrorProfile::fig1().normalized();
+        assert_eq!(BitErrorProfile::fig1_normalized(), fresh.as_slice());
+    }
+
+    #[test]
+    fn bracketed_scans_match_exhaustive_1mv_scan() {
+        // Regression for the coarse-then-fine rewrite: offsets must be
+        // bit-identical to the original exhaustive 1 mV sweep.
+        let m = MultiplierTimingModel::broadwell_2_2ghz();
+        let exhaustive = |crossed: &dyn Fn(i32) -> bool| -> i32 {
+            (0..=400).find(|&mv| crossed(mv)).unwrap_or(400)
+        };
+        for factor in [m.min_operand_factor, 0.97, 0.98, 0.99, 1.0] {
+            let expect =
+                exhaustive(&|mv| m.violation_probability(volts_at(-mv), factor) >= OBSERVABLE_P);
+            assert_eq!(
+                m.first_fault_offset(factor).get(),
+                -expect,
+                "first-fault offset diverged at factor {factor}"
+            );
+        }
+        let expect = exhaustive(&|mv| m.mean_error_rate(volts_at(-mv)) >= FREEZE_ERROR_RATE);
+        assert_eq!(m.freeze_offset().get(), -expect, "freeze offset diverged");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-a52dd745353b41c6.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-a52dd745353b41c6: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

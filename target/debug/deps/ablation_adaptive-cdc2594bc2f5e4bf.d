@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-cdc2594bc2f5e4bf.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-cdc2594bc2f5e4bf: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

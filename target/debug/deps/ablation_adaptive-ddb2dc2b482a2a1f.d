@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adaptive-ddb2dc2b482a2a1f.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adaptive-ddb2dc2b482a2a1f.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

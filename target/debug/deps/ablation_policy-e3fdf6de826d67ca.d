@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-e3fdf6de826d67ca.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-e3fdf6de826d67ca: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

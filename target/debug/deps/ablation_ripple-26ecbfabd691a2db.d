@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ripple-26ecbfabd691a2db.d: crates/bench/src/bin/ablation_ripple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ripple-26ecbfabd691a2db.rmeta: crates/bench/src/bin/ablation_ripple.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ripple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

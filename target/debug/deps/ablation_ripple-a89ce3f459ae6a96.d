@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ripple-a89ce3f459ae6a96.d: crates/bench/src/bin/ablation_ripple.rs
+
+/root/repo/target/debug/deps/ablation_ripple-a89ce3f459ae6a96: crates/bench/src/bin/ablation_ripple.rs
+
+crates/bench/src/bin/ablation_ripple.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ripple-a8f315e53fc33082.d: crates/bench/src/bin/ablation_ripple.rs
+
+/root/repo/target/debug/deps/ablation_ripple-a8f315e53fc33082: crates/bench/src/bin/ablation_ripple.rs
+
+crates/bench/src/bin/ablation_ripple.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_guidelines-02473545193f403c.d: tests/api_guidelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_guidelines-02473545193f403c.rmeta: tests/api_guidelines.rs Cargo.toml
+
+tests/api_guidelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_throughput-1f37af2033faa44a.d: crates/bench/src/bin/bench_throughput.rs
+
+/root/repo/target/debug/deps/bench_throughput-1f37af2033faa44a: crates/bench/src/bin/bench_throughput.rs
+
+crates/bench/src/bin/bench_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_throughput-b82308ee0ec1a882.d: crates/bench/src/bin/bench_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_throughput-b82308ee0ec1a882.rmeta: crates/bench/src/bin/bench_throughput.rs Cargo.toml
+
+crates/bench/src/bin/bench_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_throughput-d7abf222b88d2bd5.d: crates/bench/src/bin/bench_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_throughput-d7abf222b88d2bd5.rmeta: crates/bench/src/bin/bench_throughput.rs Cargo.toml
+
+crates/bench/src/bin/bench_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

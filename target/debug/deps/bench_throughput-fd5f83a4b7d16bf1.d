@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_throughput-fd5f83a4b7d16bf1.d: crates/bench/src/bin/bench_throughput.rs
+
+/root/repo/target/debug/deps/bench_throughput-fd5f83a4b7d16bf1: crates/bench/src/bin/bench_throughput.rs
+
+crates/bench/src/bin/bench_throughput.rs:

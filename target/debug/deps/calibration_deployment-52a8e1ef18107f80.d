@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration_deployment-52a8e1ef18107f80.d: tests/calibration_deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration_deployment-52a8e1ef18107f80.rmeta: tests/calibration_deployment.rs Cargo.toml
+
+tests/calibration_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/char_undervolt-20e299419433b34f.d: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchar_undervolt-20e299419433b34f.rmeta: crates/bench/src/bin/char_undervolt.rs Cargo.toml
+
+crates/bench/src/bin/char_undervolt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

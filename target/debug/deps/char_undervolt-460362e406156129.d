@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/char_undervolt-460362e406156129.d: crates/bench/src/bin/char_undervolt.rs
+
+/root/repo/target/debug/deps/char_undervolt-460362e406156129: crates/bench/src/bin/char_undervolt.rs
+
+crates/bench/src/bin/char_undervolt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/char_undervolt-87c7bb507dc4846a.d: crates/bench/src/bin/char_undervolt.rs
+
+/root/repo/target/debug/deps/char_undervolt-87c7bb507dc4846a: crates/bench/src/bin/char_undervolt.rs
+
+crates/bench/src/bin/char_undervolt.rs:

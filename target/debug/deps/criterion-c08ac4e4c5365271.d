@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c08ac4e4c5365271.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-c08ac4e4c5365271: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-edb971087ad29b59.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-edb971087ad29b59.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-edb971087ad29b59.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

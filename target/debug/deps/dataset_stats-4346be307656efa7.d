@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_stats-4346be307656efa7.d: crates/bench/src/bin/dataset_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_stats-4346be307656efa7.rmeta: crates/bench/src/bin/dataset_stats.rs Cargo.toml
+
+crates/bench/src/bin/dataset_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

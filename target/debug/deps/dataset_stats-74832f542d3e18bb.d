@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_stats-74832f542d3e18bb.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/debug/deps/dataset_stats-74832f542d3e18bb: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_stats-7fa8eb6a93800b92.d: crates/bench/src/bin/dataset_stats.rs
+
+/root/repo/target/debug/deps/dataset_stats-7fa8eb6a93800b92: crates/bench/src/bin/dataset_stats.rs
+
+crates/bench/src/bin/dataset_stats.rs:

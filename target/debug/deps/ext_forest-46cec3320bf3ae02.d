@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-46cec3320bf3ae02.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-46cec3320bf3ae02: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

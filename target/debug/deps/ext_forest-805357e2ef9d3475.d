@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_forest-805357e2ef9d3475.d: crates/bench/src/bin/ext_forest.rs
+
+/root/repo/target/debug/deps/ext_forest-805357e2ef9d3475: crates/bench/src/bin/ext_forest.rs
+
+crates/bench/src/bin/ext_forest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_forest-d7990e6e30695aa8.d: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_forest-d7990e6e30695aa8.rmeta: crates/bench/src/bin/ext_forest.rs Cargo.toml
+
+crates/bench/src/bin/ext_forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

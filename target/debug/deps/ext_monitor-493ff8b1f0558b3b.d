@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_monitor-493ff8b1f0558b3b.d: crates/bench/src/bin/ext_monitor.rs
+
+/root/repo/target/debug/deps/ext_monitor-493ff8b1f0558b3b: crates/bench/src/bin/ext_monitor.rs
+
+crates/bench/src/bin/ext_monitor.rs:

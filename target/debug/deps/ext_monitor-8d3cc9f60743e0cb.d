@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_monitor-8d3cc9f60743e0cb.d: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_monitor-8d3cc9f60743e0cb.rmeta: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+crates/bench/src/bin/ext_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

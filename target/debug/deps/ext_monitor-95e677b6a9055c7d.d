@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_monitor-95e677b6a9055c7d.d: crates/bench/src/bin/ext_monitor.rs
+
+/root/repo/target/debug/deps/ext_monitor-95e677b6a9055c7d: crates/bench/src/bin/ext_monitor.rs
+
+crates/bench/src/bin/ext_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_monitor-f709bce1f042ef0b.d: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_monitor-f709bce1f042ef0b.rmeta: crates/bench/src/bin/ext_monitor.rs Cargo.toml
+
+crates/bench/src/bin/ext_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_power_modes-081ab484b0aec884.d: crates/bench/src/bin/ext_power_modes.rs
+
+/root/repo/target/debug/deps/ext_power_modes-081ab484b0aec884: crates/bench/src/bin/ext_power_modes.rs
+
+crates/bench/src/bin/ext_power_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_power_modes-339f8248ede8da3e.d: crates/bench/src/bin/ext_power_modes.rs
+
+/root/repo/target/debug/deps/ext_power_modes-339f8248ede8da3e: crates/bench/src/bin/ext_power_modes.rs
+
+crates/bench/src/bin/ext_power_modes.rs:

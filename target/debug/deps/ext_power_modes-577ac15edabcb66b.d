@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_power_modes-577ac15edabcb66b.d: crates/bench/src/bin/ext_power_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_power_modes-577ac15edabcb66b.rmeta: crates/bench/src/bin/ext_power_modes.rs Cargo.toml
+
+crates/bench/src/bin/ext_power_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

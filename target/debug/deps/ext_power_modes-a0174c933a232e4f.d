@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_power_modes-a0174c933a232e4f.d: crates/bench/src/bin/ext_power_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_power_modes-a0174c933a232e4f.rmeta: crates/bench/src/bin/ext_power_modes.rs Cargo.toml
+
+crates/bench/src/bin/ext_power_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

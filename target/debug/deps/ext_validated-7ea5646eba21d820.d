@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_validated-7ea5646eba21d820.d: crates/bench/src/bin/ext_validated.rs
+
+/root/repo/target/debug/deps/ext_validated-7ea5646eba21d820: crates/bench/src/bin/ext_validated.rs
+
+crates/bench/src/bin/ext_validated.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_validated-922946f83de52be6.d: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_validated-922946f83de52be6.rmeta: crates/bench/src/bin/ext_validated.rs Cargo.toml
+
+crates/bench/src/bin/ext_validated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_validated-b4b5a7d163551fd9.d: crates/bench/src/bin/ext_validated.rs
+
+/root/repo/target/debug/deps/ext_validated-b4b5a7d163551fd9: crates/bench/src/bin/ext_validated.rs
+
+crates/bench/src/bin/ext_validated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-dc488af2ae8dc157.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-dc488af2ae8dc157: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

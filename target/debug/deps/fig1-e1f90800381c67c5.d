@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-e1f90800381c67c5.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-e1f90800381c67c5: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2a-532cc636d5a59612.d: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2a-532cc636d5a59612.rmeta: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+crates/bench/src/bin/fig2a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a-554f81119ca95cc5.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/debug/deps/fig2a-554f81119ca95cc5: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

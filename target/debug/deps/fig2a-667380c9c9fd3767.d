@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2a-667380c9c9fd3767.d: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2a-667380c9c9fd3767.rmeta: crates/bench/src/bin/fig2a.rs Cargo.toml
+
+crates/bench/src/bin/fig2a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

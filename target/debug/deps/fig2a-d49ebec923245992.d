@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a-d49ebec923245992.d: crates/bench/src/bin/fig2a.rs
+
+/root/repo/target/debug/deps/fig2a-d49ebec923245992: crates/bench/src/bin/fig2a.rs
+
+crates/bench/src/bin/fig2a.rs:

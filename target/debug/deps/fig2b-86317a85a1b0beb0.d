@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-86317a85a1b0beb0.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-86317a85a1b0beb0: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2b-b013ac3805e8336f.d: crates/bench/src/bin/fig2b.rs
+
+/root/repo/target/debug/deps/fig2b-b013ac3805e8336f: crates/bench/src/bin/fig2b.rs
+
+crates/bench/src/bin/fig2b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-48830e7d8982d77e.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-48830e7d8982d77e: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

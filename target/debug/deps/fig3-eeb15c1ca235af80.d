@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-eeb15c1ca235af80.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-eeb15c1ca235af80: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

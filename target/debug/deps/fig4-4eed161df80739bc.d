@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4eed161df80739bc.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4eed161df80739bc: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-54d87d30c9bf8dce.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-54d87d30c9bf8dce: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-63b7222586efaa01.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-63b7222586efaa01: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

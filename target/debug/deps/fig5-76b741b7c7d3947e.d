@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-76b741b7c7d3947e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-76b741b7c7d3947e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5a3f9107f22c3d89.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5a3f9107f22c3d89: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8b6a79d52281942e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-8b6a79d52281942e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d17ea1674e72fd63.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d17ea1674e72fd63: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

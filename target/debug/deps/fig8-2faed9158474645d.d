@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2faed9158474645d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2faed9158474645d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7d3117bf5586ee74.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7d3117bf5586ee74: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

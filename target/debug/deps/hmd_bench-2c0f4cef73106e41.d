@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hmd_bench-2c0f4cef73106e41.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmd_bench-2c0f4cef73106e41.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

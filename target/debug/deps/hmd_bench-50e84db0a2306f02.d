@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hmd_bench-50e84db0a2306f02.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libhmd_bench-50e84db0a2306f02.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libhmd_bench-50e84db0a2306f02.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:

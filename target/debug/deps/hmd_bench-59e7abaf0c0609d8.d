@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmd_bench-59e7abaf0c0609d8.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/hmd_bench-59e7abaf0c0609d8: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:

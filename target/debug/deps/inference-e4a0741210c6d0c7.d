@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference-e4a0741210c6d0c7.d: crates/bench/benches/inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference-e4a0741210c6d0c7.rmeta: crates/bench/benches/inference.rs Cargo.toml
+
+crates/bench/benches/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_persistence-c7536cede8abecef.d: tests/model_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_persistence-c7536cede8abecef.rmeta: tests/model_persistence.rs Cargo.toml
+
+tests/model_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

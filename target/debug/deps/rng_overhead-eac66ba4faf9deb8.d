@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rng_overhead-eac66ba4faf9deb8.d: crates/bench/benches/rng_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/librng_overhead-eac66ba4faf9deb8.rmeta: crates/bench/benches/rng_overhead.rs Cargo.toml
+
+crates/bench/benches/rng_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2835d6d803e6ab3b.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-2835d6d803e6ab3b: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shmd_ann-0bc32cdc9dde0ca3.d: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_ann-0bc32cdc9dde0ca3.rmeta: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs Cargo.toml
+
+crates/ann/src/lib.rs:
+crates/ann/src/activation.rs:
+crates/ann/src/builder.rs:
+crates/ann/src/io.rs:
+crates/ann/src/layer.rs:
+crates/ann/src/mac.rs:
+crates/ann/src/network.rs:
+crates/ann/src/train/mod.rs:
+crates/ann/src/train/data.rs:
+crates/ann/src/train/quantaware.rs:
+crates/ann/src/train/rprop.rs:
+crates/ann/src/train/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shmd_ann-a53fd39a675e12b3.d: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+/root/repo/target/debug/deps/shmd_ann-a53fd39a675e12b3: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs
+
+crates/ann/src/lib.rs:
+crates/ann/src/activation.rs:
+crates/ann/src/builder.rs:
+crates/ann/src/io.rs:
+crates/ann/src/layer.rs:
+crates/ann/src/mac.rs:
+crates/ann/src/network.rs:
+crates/ann/src/train/mod.rs:
+crates/ann/src/train/data.rs:
+crates/ann/src/train/quantaware.rs:
+crates/ann/src/train/rprop.rs:
+crates/ann/src/train/sgd.rs:

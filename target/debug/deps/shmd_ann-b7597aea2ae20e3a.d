@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shmd_ann-b7597aea2ae20e3a.d: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_ann-b7597aea2ae20e3a.rmeta: crates/ann/src/lib.rs crates/ann/src/activation.rs crates/ann/src/builder.rs crates/ann/src/io.rs crates/ann/src/layer.rs crates/ann/src/mac.rs crates/ann/src/network.rs crates/ann/src/train/mod.rs crates/ann/src/train/data.rs crates/ann/src/train/quantaware.rs crates/ann/src/train/rprop.rs crates/ann/src/train/sgd.rs Cargo.toml
+
+crates/ann/src/lib.rs:
+crates/ann/src/activation.rs:
+crates/ann/src/builder.rs:
+crates/ann/src/io.rs:
+crates/ann/src/layer.rs:
+crates/ann/src/mac.rs:
+crates/ann/src/network.rs:
+crates/ann/src/train/mod.rs:
+crates/ann/src/train/data.rs:
+crates/ann/src/train/quantaware.rs:
+crates/ann/src/train/rprop.rs:
+crates/ann/src/train/sgd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

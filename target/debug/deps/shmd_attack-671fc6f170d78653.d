@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shmd_attack-671fc6f170d78653.d: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_attack-671fc6f170d78653.rmeta: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/adaptive.rs:
+crates/attack/src/campaign.rs:
+crates/attack/src/evasion.rs:
+crates/attack/src/gradient.rs:
+crates/attack/src/reverse.rs:
+crates/attack/src/transfer.rs:
+crates/attack/src/validated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shmd_attack-cd9134cfe8391435.d: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+/root/repo/target/debug/deps/shmd_attack-cd9134cfe8391435: crates/attack/src/lib.rs crates/attack/src/adaptive.rs crates/attack/src/campaign.rs crates/attack/src/evasion.rs crates/attack/src/gradient.rs crates/attack/src/reverse.rs crates/attack/src/transfer.rs crates/attack/src/validated.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/adaptive.rs:
+crates/attack/src/campaign.rs:
+crates/attack/src/evasion.rs:
+crates/attack/src/gradient.rs:
+crates/attack/src/reverse.rs:
+crates/attack/src/transfer.rs:
+crates/attack/src/validated.rs:

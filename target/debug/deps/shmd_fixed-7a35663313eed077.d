@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shmd_fixed-7a35663313eed077.d: crates/fixed/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_fixed-7a35663313eed077.rmeta: crates/fixed/src/lib.rs Cargo.toml
+
+crates/fixed/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

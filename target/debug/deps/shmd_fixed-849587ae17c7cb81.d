@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shmd_fixed-849587ae17c7cb81.d: crates/fixed/src/lib.rs
+
+/root/repo/target/debug/deps/shmd_fixed-849587ae17c7cb81: crates/fixed/src/lib.rs
+
+crates/fixed/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shmd_ml-d3ca0fe9399ecc84.d: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_ml-d3ca0fe9399ecc84.rmeta: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/logistic.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

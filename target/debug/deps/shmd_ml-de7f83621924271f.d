@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shmd_ml-de7f83621924271f.d: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/shmd_ml-de7f83621924271f: crates/ml/src/lib.rs crates/ml/src/forest.rs crates/ml/src/logistic.rs crates/ml/src/metrics.rs crates/ml/src/scaler.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/logistic.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shmd_power-1049d4451000d722.d: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_power-1049d4451000d722.rmeta: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/battery.rs:
+crates/power/src/cmos.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/latency.rs:
+crates/power/src/memory.rs:
+crates/power/src/rng_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shmd_power-1f8a45dd02df9435.d: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+/root/repo/target/debug/deps/shmd_power-1f8a45dd02df9435: crates/power/src/lib.rs crates/power/src/battery.rs crates/power/src/cmos.rs crates/power/src/dvfs.rs crates/power/src/latency.rs crates/power/src/memory.rs crates/power/src/rng_cost.rs
+
+crates/power/src/lib.rs:
+crates/power/src/battery.rs:
+crates/power/src/cmos.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/latency.rs:
+crates/power/src/memory.rs:
+crates/power/src/rng_cost.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shmd_volt-aa1440713675b328.d: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_volt-aa1440713675b328.rmeta: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs Cargo.toml
+
+crates/volt/src/lib.rs:
+crates/volt/src/calibration.rs:
+crates/volt/src/characterize.rs:
+crates/volt/src/controller.rs:
+crates/volt/src/delay.rs:
+crates/volt/src/entropy.rs:
+crates/volt/src/fault.rs:
+crates/volt/src/math.rs:
+crates/volt/src/multiplier.rs:
+crates/volt/src/voltage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

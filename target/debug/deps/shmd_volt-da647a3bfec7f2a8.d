@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shmd_volt-da647a3bfec7f2a8.d: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+/root/repo/target/debug/deps/shmd_volt-da647a3bfec7f2a8: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs
+
+crates/volt/src/lib.rs:
+crates/volt/src/calibration.rs:
+crates/volt/src/characterize.rs:
+crates/volt/src/controller.rs:
+crates/volt/src/delay.rs:
+crates/volt/src/entropy.rs:
+crates/volt/src/fault.rs:
+crates/volt/src/math.rs:
+crates/volt/src/multiplier.rs:
+crates/volt/src/voltage.rs:

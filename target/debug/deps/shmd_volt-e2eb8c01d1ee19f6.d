@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shmd_volt-e2eb8c01d1ee19f6.d: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_volt-e2eb8c01d1ee19f6.rmeta: crates/volt/src/lib.rs crates/volt/src/calibration.rs crates/volt/src/characterize.rs crates/volt/src/controller.rs crates/volt/src/delay.rs crates/volt/src/entropy.rs crates/volt/src/fault.rs crates/volt/src/math.rs crates/volt/src/multiplier.rs crates/volt/src/voltage.rs Cargo.toml
+
+crates/volt/src/lib.rs:
+crates/volt/src/calibration.rs:
+crates/volt/src/characterize.rs:
+crates/volt/src/controller.rs:
+crates/volt/src/delay.rs:
+crates/volt/src/entropy.rs:
+crates/volt/src/fault.rs:
+crates/volt/src/math.rs:
+crates/volt/src/multiplier.rs:
+crates/volt/src/voltage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

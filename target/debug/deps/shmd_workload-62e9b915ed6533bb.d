@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shmd_workload-62e9b915ed6533bb.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/shmd_workload-62e9b915ed6533bb: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/export.rs:
+crates/workload/src/families.rs:
+crates/workload/src/features.rs:
+crates/workload/src/isa.rs:
+crates/workload/src/program.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/shmd_workload-9a692e093d424e13.d: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshmd_workload-9a692e093d424e13.rmeta: crates/workload/src/lib.rs crates/workload/src/builder.rs crates/workload/src/dataset.rs crates/workload/src/export.rs crates/workload/src/families.rs crates/workload/src/features.rs crates/workload/src/isa.rs crates/workload/src/program.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/builder.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/export.rs:
+crates/workload/src/families.rs:
+crates/workload/src/features.rs:
+crates/workload/src/isa.rs:
+crates/workload/src/program.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/stochastic_hmd-b53bead77f363594.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+/root/repo/target/debug/deps/stochastic_hmd-b53bead77f363594: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/deploy.rs:
+crates/core/src/detector.rs:
+crates/core/src/enclave.rs:
+crates/core/src/exec.rs:
+crates/core/src/explore.rs:
+crates/core/src/monitor.rs:
+crates/core/src/rhmd.rs:
+crates/core/src/roc.rs:
+crates/core/src/stochastic.rs:
+crates/core/src/train.rs:
+crates/core/src/xval.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/stochastic_hmd-c01c7c5ff748b76e.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstochastic_hmd-c01c7c5ff748b76e.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/deploy.rs crates/core/src/detector.rs crates/core/src/enclave.rs crates/core/src/exec.rs crates/core/src/explore.rs crates/core/src/monitor.rs crates/core/src/rhmd.rs crates/core/src/roc.rs crates/core/src/stochastic.rs crates/core/src/train.rs crates/core/src/xval.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/deploy.rs:
+crates/core/src/detector.rs:
+crates/core/src/enclave.rs:
+crates/core/src/exec.rs:
+crates/core/src/explore.rs:
+crates/core/src/monitor.rs:
+crates/core/src/rhmd.rs:
+crates/core/src/roc.rs:
+crates/core/src/stochastic.rs:
+crates/core/src/train.rs:
+crates/core/src/xval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

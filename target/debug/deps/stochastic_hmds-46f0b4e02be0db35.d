@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stochastic_hmds-46f0b4e02be0db35.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstochastic_hmds-46f0b4e02be0db35.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stochastic_hmds-f928d0d22a40eda6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstochastic_hmds-f928d0d22a40eda6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_latency-077b12a11dea78c1.d: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_latency-077b12a11dea78c1.rmeta: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+crates/bench/src/bin/table_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_latency-3c1a795e97f482aa.d: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_latency-3c1a795e97f482aa.rmeta: crates/bench/src/bin/table_latency.rs Cargo.toml
+
+crates/bench/src/bin/table_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_latency-4f8e0cb5919b4c3b.d: crates/bench/src/bin/table_latency.rs
+
+/root/repo/target/debug/deps/table_latency-4f8e0cb5919b4c3b: crates/bench/src/bin/table_latency.rs
+
+crates/bench/src/bin/table_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_latency-4fa468d53b050883.d: crates/bench/src/bin/table_latency.rs
+
+/root/repo/target/debug/deps/table_latency-4fa468d53b050883: crates/bench/src/bin/table_latency.rs
+
+crates/bench/src/bin/table_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_memory-149dfa657d527878.d: crates/bench/src/bin/table_memory.rs
+
+/root/repo/target/debug/deps/table_memory-149dfa657d527878: crates/bench/src/bin/table_memory.rs
+
+crates/bench/src/bin/table_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_memory-2f0421346dfc4a01.d: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_memory-2f0421346dfc4a01.rmeta: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_memory-3af47df9b216bd93.d: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_memory-3af47df9b216bd93.rmeta: crates/bench/src/bin/table_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_memory-a486c6ba9c2e41e1.d: crates/bench/src/bin/table_memory.rs
+
+/root/repo/target/debug/deps/table_memory-a486c6ba9c2e41e1: crates/bench/src/bin/table_memory.rs
+
+crates/bench/src/bin/table_memory.rs:

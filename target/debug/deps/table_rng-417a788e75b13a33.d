@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_rng-417a788e75b13a33.d: crates/bench/src/bin/table_rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_rng-417a788e75b13a33.rmeta: crates/bench/src/bin/table_rng.rs Cargo.toml
+
+crates/bench/src/bin/table_rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_rng-421a5bfe4975a89f.d: crates/bench/src/bin/table_rng.rs
+
+/root/repo/target/debug/deps/table_rng-421a5bfe4975a89f: crates/bench/src/bin/table_rng.rs
+
+crates/bench/src/bin/table_rng.rs:

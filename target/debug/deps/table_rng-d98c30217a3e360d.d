@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_rng-d98c30217a3e360d.d: crates/bench/src/bin/table_rng.rs
+
+/root/repo/target/debug/deps/table_rng-d98c30217a3e360d: crates/bench/src/bin/table_rng.rs
+
+crates/bench/src/bin/table_rng.rs:

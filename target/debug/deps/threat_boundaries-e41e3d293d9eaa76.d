@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threat_boundaries-e41e3d293d9eaa76.d: tests/threat_boundaries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreat_boundaries-e41e3d293d9eaa76.rmeta: tests/threat_boundaries.rs Cargo.toml
+
+tests/threat_boundaries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

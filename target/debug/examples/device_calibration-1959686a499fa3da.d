@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/device_calibration-1959686a499fa3da.d: examples/device_calibration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdevice_calibration-1959686a499fa3da.rmeta: examples/device_calibration.rs Cargo.toml
+
+examples/device_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

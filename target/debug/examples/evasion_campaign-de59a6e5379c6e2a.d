@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/evasion_campaign-de59a6e5379c6e2a.d: examples/evasion_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libevasion_campaign-de59a6e5379c6e2a.rmeta: examples/evasion_campaign.rs Cargo.toml
+
+examples/evasion_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_fault-33c511cb7e7cd51d.d: crates/volt/examples/profile_fault.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_fault-33c511cb7e7cd51d.rmeta: crates/volt/examples/profile_fault.rs Cargo.toml
+
+crates/volt/examples/profile_fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_fault-f5ea8ccd1daa171c.d: crates/volt/examples/profile_fault.rs
+
+/root/repo/target/debug/examples/profile_fault-f5ea8ccd1daa171c: crates/volt/examples/profile_fault.rs
+
+crates/volt/examples/profile_fault.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stage_profile-c9f39e851d209ae0.d: crates/volt/examples/stage_profile.rs
+
+/root/repo/target/debug/examples/stage_profile-c9f39e851d209ae0: crates/volt/examples/stage_profile.rs
+
+crates/volt/examples/stage_profile.rs:

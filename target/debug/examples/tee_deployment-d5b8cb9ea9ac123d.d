@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tee_deployment-d5b8cb9ea9ac123d.d: examples/tee_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtee_deployment-d5b8cb9ea9ac123d.rmeta: examples/tee_deployment.rs Cargo.toml
+
+examples/tee_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

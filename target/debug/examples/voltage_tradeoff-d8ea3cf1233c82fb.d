@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/voltage_tradeoff-d8ea3cf1233c82fb.d: examples/voltage_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvoltage_tradeoff-d8ea3cf1233c82fb.rmeta: examples/voltage_tradeoff.rs Cargo.toml
+
+examples/voltage_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_throughput-2ba1f24cdde0897e.d: crates/bench/src/bin/bench_throughput.rs
+
+/root/repo/target/release/deps/bench_throughput-2ba1f24cdde0897e: crates/bench/src/bin/bench_throughput.rs
+
+crates/bench/src/bin/bench_throughput.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/hmd_bench-5581af965f4a4e98.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/hmd_bench-5581af965f4a4e98.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libhmd_bench-5581af965f4a4e98.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libhmd_bench-5581af965f4a4e98.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/libhmd_bench-5581af965f4a4e98.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/libhmd_bench-5581af965f4a4e98.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/setup.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/cli.rs:
 crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
 crates/bench/src/setup.rs:
 crates/bench/src/table.rs:

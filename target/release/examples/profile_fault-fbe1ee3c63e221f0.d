@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_fault-fbe1ee3c63e221f0.d: crates/volt/examples/profile_fault.rs
+
+/root/repo/target/release/examples/profile_fault-fbe1ee3c63e221f0: crates/volt/examples/profile_fault.rs
+
+crates/volt/examples/profile_fault.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stage_profile-2f7aaec32adf415c.d: crates/volt/examples/stage_profile.rs
+
+/root/repo/target/release/examples/stage_profile-2f7aaec32adf415c: crates/volt/examples/stage_profile.rs
+
+crates/volt/examples/stage_profile.rs:
