@@ -1,0 +1,110 @@
+//! Serving-layer benchmark: the sharded continuous-monitoring engine
+//! replaying a generated trace stream, serial vs threaded, swept over pool
+//! sizes.
+//!
+//! Writes `BENCH_3.json` (override with `--out PATH`) and prints the same
+//! numbers as a table. `--check` exits non-zero if any pool size's
+//! threaded replay is not bit-identical to the serial one (verdict
+//! checksum *and* timing-stripped telemetry) or if any shard degraded at
+//! the paper's er = 0.1 operating point — that mode is what CI runs (with
+//! `--fast`) as a serving smoke test.
+
+use hmd_bench::cli::Scale;
+use hmd_bench::{serve, setup, table, Args};
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_3.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let (scale_name, queries) = match args.scale {
+        Scale::Fast => ("fast", 200),
+        Scale::Medium => ("medium", 2_000),
+        Scale::Paper => ("paper", 10_000),
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let curve = Calibrator::new().calibrate(&DeviceProfile::reference());
+    let exec = args.exec();
+
+    let points = serve::measure_sweep(&baseline, &curve, &dataset, args.seed, queries, &exec);
+
+    table::title(&format!(
+        "Monitoring service throughput, {queries} queries/pool ({scale_name})"
+    ));
+    table::header(&[
+        "shards",
+        "serial (q/s)",
+        "threaded (q/s)",
+        "scaling",
+        "degraded",
+        "deterministic",
+    ]);
+    for p in &points {
+        table::row(&[
+            format!("{}", p.shards),
+            format!("{:.0}", p.serial_qps),
+            format!("{:.0}", p.threaded_qps),
+            format!("{:.2}x", p.scaling()),
+            format!("{}", p.degraded_shards),
+            if p.thread_invariant { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("(same stream, same seeds; only the worker pool differs between the two replays)");
+
+    let doc = serve::render_json(&points, args.seed, scale_name, exec.thread_count());
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        for p in &points {
+            if !p.thread_invariant {
+                eprintln!(
+                    "FAIL: {} shards: threaded replay diverged from serial",
+                    p.shards
+                );
+                failed = true;
+            }
+            if p.degraded_shards != 0 {
+                eprintln!(
+                    "FAIL: {} shards: {} degraded at the reachable er = 0.1 target",
+                    p.shards, p.degraded_shards
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: serving output thread-invariant at every pool size, no degradation"
+        );
+    }
+}

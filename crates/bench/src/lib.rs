@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod cli;
 pub mod experiments;
 pub mod perf;
+pub mod serve;
 pub mod setup;
 pub mod table;
 

@@ -1,0 +1,227 @@
+//! Serving-layer measurement: the sharded continuous-monitoring engine
+//! replaying a query stream, timed serial vs fanned across the worker
+//! pool.
+//!
+//! PR 3 added [`stochastic_hmd::serve::MonitoringService`] — a pool of
+//! Stochastic-HMD replicas answering a trace stream with per-shard derived
+//! seeds and deterministic fan-out. This module replays the same generated
+//! stream through a serial and a threaded deployment of the same
+//! configuration and records throughput next to the determinism verdict
+//! (`BENCH_3.json` at the repository root, written by the `serve_bench`
+//! binary).
+//!
+//! As with the throughput benchmark, the timings vary run to run but the
+//! *outputs* must not: the service folds every verdict into a checksum, and
+//! a point only counts as thread-invariant when the serial and threaded
+//! checksums — and the full timing-stripped telemetry snapshots — are
+//! bit-identical.
+
+use shmd_volt::calibration::CalibrationCurve;
+use shmd_workload::dataset::Dataset;
+use shmd_workload::trace::Trace;
+use std::time::Instant;
+use stochastic_hmd::exec::ExecConfig;
+use stochastic_hmd::serve::{MonitoringService, ServeConfig};
+use stochastic_hmd::BaselineHmd;
+
+/// Shard-pool sizes the serving benchmark sweeps: a single replica (the
+/// paper's one-detector deployment) up to a modest multi-core pool.
+pub const BENCH_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One pool size's measurement.
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Detector replicas in the pool.
+    pub shards: usize,
+    /// Queries replayed per deployment.
+    pub queries: usize,
+    /// Queries per second with a serial worker pool.
+    pub serial_qps: f64,
+    /// Queries per second fanned across the configured worker pool.
+    pub threaded_qps: f64,
+    /// Verdict checksum of the serial replay.
+    pub checksum: u64,
+    /// Whether the threaded verdict checksum *and* the timing-stripped
+    /// telemetry snapshot matched the serial ones bit-for-bit.
+    pub thread_invariant: bool,
+    /// Shards serving the baseline fallback after deployment.
+    pub degraded_shards: usize,
+    /// Queries flagged as malware (identical in both replays when
+    /// `thread_invariant` holds).
+    pub flags: u64,
+}
+
+impl ServePoint {
+    /// `threaded_qps / serial_qps`.
+    pub fn scaling(&self) -> f64 {
+        self.threaded_qps / self.serial_qps
+    }
+}
+
+/// Replays `queries` through a fresh deployment and returns the finished
+/// service plus its queries-per-second.
+fn replay(
+    baseline: &BaselineHmd,
+    curve: &CalibrationCurve,
+    config: ServeConfig,
+    queries: &[&Trace],
+) -> (MonitoringService, f64) {
+    let mut service = MonitoringService::deploy(baseline, curve, config);
+    let start = Instant::now();
+    service.process_stream(queries);
+    let qps = queries.len() as f64 / start.elapsed().as_secs_f64();
+    (service, qps)
+}
+
+/// Measures one pool size: the same stream through a serial and a threaded
+/// deployment of the same configuration, including the thread-invariance
+/// verdict on verdict checksums and telemetry.
+pub fn measure_point(
+    baseline: &BaselineHmd,
+    curve: &CalibrationCurve,
+    queries: &[&Trace],
+    shards: usize,
+    seed: u64,
+    exec: &ExecConfig,
+) -> ServePoint {
+    let config = ServeConfig::new(shards).with_seed(seed);
+    let (serial, serial_qps) = replay(
+        baseline,
+        curve,
+        config.with_exec(ExecConfig::serial()),
+        queries,
+    );
+    let (threaded, threaded_qps) = replay(baseline, curve, config.with_exec(*exec), queries);
+    let serial_snapshot = serial.snapshot().without_timing();
+    let threaded_snapshot = threaded.snapshot().without_timing();
+    ServePoint {
+        shards,
+        queries: queries.len(),
+        serial_qps,
+        threaded_qps,
+        checksum: serial_snapshot.verdict_checksum,
+        thread_invariant: serial_snapshot == threaded_snapshot,
+        degraded_shards: serial_snapshot.degraded_shards(),
+        flags: serial_snapshot.flags,
+    }
+}
+
+/// Sweeps [`BENCH_SHARD_COUNTS`] over a stream drawn from `dataset`
+/// (queries cycle through the whole dataset).
+pub fn measure_sweep(
+    baseline: &BaselineHmd,
+    curve: &CalibrationCurve,
+    dataset: &Dataset,
+    seed: u64,
+    queries: usize,
+    exec: &ExecConfig,
+) -> Vec<ServePoint> {
+    let stream: Vec<&Trace> = (0..queries)
+        .map(|i| dataset.trace(i % dataset.len()))
+        .collect();
+    BENCH_SHARD_COUNTS
+        .iter()
+        .map(|&shards| measure_point(baseline, curve, &stream, shards, seed, exec))
+        .collect()
+}
+
+/// Renders the sweep as the hand-built JSON written to `BENCH_3.json`.
+///
+/// The vendored `serde` is a no-op shim, so the document is formatted
+/// here; checksums are decimal strings to stay integer-exact in any
+/// reader (they exceed 2^53).
+pub fn render_json(points: &[ServePoint], seed: u64, scale: &str, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"monitoring_service\",\n");
+    out.push_str("  \"unit\": \"queries_per_second\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(
+        "  \"engine\": \"sharded Stochastic-HMD pool, per-shard derived seeds, \
+         deterministic fan-out\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"queries\": {}, \"serial_qps\": {:.1}, \
+             \"threaded_qps\": {:.1}, \"scaling\": {:.3}, \"checksum\": \"{}\", \
+             \"thread_invariant\": {}, \"degraded_shards\": {}, \"flags\": {}}}{}\n",
+            p.shards,
+            p.queries,
+            p.serial_qps,
+            p.threaded_qps,
+            p.scaling(),
+            p.checksum,
+            p.thread_invariant,
+            p.degraded_shards,
+            p.flags,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+    use crate::Args;
+    use shmd_volt::calibration::{Calibrator, DeviceProfile};
+
+    fn fixture() -> (Dataset, BaselineHmd, CalibrationCurve) {
+        let args = Args::parse_from(["--fast".to_string()]);
+        let dataset = setup::dataset(&args);
+        let baseline = setup::victim(&dataset, 0, &args);
+        let curve = Calibrator::new()
+            .with_step(2)
+            .calibrate(&DeviceProfile::reference());
+        (dataset, baseline, curve)
+    }
+
+    #[test]
+    fn measurement_is_finite_and_thread_invariant() {
+        let (dataset, baseline, curve) = fixture();
+        let stream: Vec<&Trace> = (0..60).map(|i| dataset.trace(i % dataset.len())).collect();
+        let p = measure_point(&baseline, &curve, &stream, 3, 7, &ExecConfig::threads(4));
+        assert!(p.serial_qps.is_finite() && p.serial_qps > 0.0);
+        assert!(p.threaded_qps.is_finite() && p.threaded_qps > 0.0);
+        assert!(p.thread_invariant, "fan-out changed the verdict stream");
+        assert_eq!(p.degraded_shards, 0);
+    }
+
+    #[test]
+    fn checksum_is_seed_deterministic() {
+        let (dataset, baseline, curve) = fixture();
+        let stream: Vec<&Trace> = (0..40).map(|i| dataset.trace(i % dataset.len())).collect();
+        let a = measure_point(&baseline, &curve, &stream, 2, 5, &ExecConfig::serial());
+        let b = measure_point(&baseline, &curve, &stream, 2, 5, &ExecConfig::serial());
+        assert_eq!(a.checksum, b.checksum, "same seed must replay identically");
+        let c = measure_point(&baseline, &curve, &stream, 2, 6, &ExecConfig::serial());
+        assert_ne!(
+            a.checksum, c.checksum,
+            "different seed must change the stream"
+        );
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough_to_grep() {
+        let p = ServePoint {
+            shards: 4,
+            queries: 100,
+            serial_qps: 1000.0,
+            threaded_qps: 3000.0,
+            checksum: 42,
+            thread_invariant: true,
+            degraded_shards: 0,
+            flags: 17,
+        };
+        let doc = render_json(&[p], 42, "fast", 8);
+        assert!(doc.contains("\"scaling\": 3.000"));
+        assert!(doc.contains("\"thread_invariant\": true"));
+        assert!(doc.contains("\"checksum\": \"42\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

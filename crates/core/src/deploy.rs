@@ -57,8 +57,22 @@ impl DetectionPolicy {
             }
             DetectionPolicy::MajorityOf(k) => {
                 let k = k.max(1);
-                let positives = (0..k).filter(|_| detect_once().is_malware()).count();
-                Label::from_bool(2 * positives > k)
+                let needed = k / 2 + 1;
+                let mut positives = 0;
+                for done in 0..k {
+                    if detect_once().is_malware() {
+                        positives += 1;
+                        if positives >= needed {
+                            // Majority reached: later draws cannot undo it.
+                            return Label::Malware;
+                        }
+                    } else if positives + (k - done - 1) < needed {
+                        // Majority out of reach even if every remaining
+                        // draw is positive.
+                        return Label::Benign;
+                    }
+                }
+                Label::Benign
             }
         }
     }
@@ -81,9 +95,10 @@ impl fmt::Display for DetectionPolicy {
 /// the threshold matches the policy verdict — the single score for
 /// [`DetectionPolicy::Single`], the maximum of k draws for
 /// [`DetectionPolicy::AnyOf`] (any draw over threshold ⇔ max over
-/// threshold), and the median of k draws for
-/// [`DetectionPolicy::MajorityOf`]. ROC curves and threshold tuning built
-/// on `score` therefore describe the deployed `classify`.
+/// threshold), and the (⌊k/2⌋+1)-th largest of k draws for
+/// [`DetectionPolicy::MajorityOf`] (a strict majority over threshold ⇔
+/// that order statistic over threshold). ROC curves and threshold tuning
+/// built on `score` therefore describe the deployed `classify`.
 #[derive(Clone, Debug)]
 pub struct PolicyDetector<D> {
     inner: D,
@@ -131,8 +146,12 @@ impl<D: Detector> Detector for PolicyDetector<D> {
             DetectionPolicy::Single => draws[0],
             // max ≥ t  ⇔  any draw ≥ t
             DetectionPolicy::AnyOf(_) => *draws.last().expect("k >= 1"),
-            // upper median ≥ t  ⇔  more than half the draws ≥ t
-            DetectionPolicy::MajorityOf(_) => draws[draws.len() / 2],
+            // (⌊k/2⌋+1)-th largest ≥ t  ⇔  more than half the draws ≥ t.
+            // For even k that is draws[k/2 - 1], not the upper median
+            // draws[k/2]: with exactly k/2 positives the verdict is benign,
+            // and the upper median (a positive draw) would clear the
+            // threshold anyway.
+            DetectionPolicy::MajorityOf(_) => draws[k.div_ceil(2) - 1],
         }
     }
 
@@ -166,6 +185,27 @@ mod tests {
         fn score(&mut self, _trace: &Trace) -> f64 {
             self.count += 1;
             if self.count.is_multiple_of(self.n) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    /// A detector whose first `positives` draws are positive, the rest
+    /// negative.
+    struct Burst {
+        positives: usize,
+        count: usize,
+    }
+
+    impl Detector for Burst {
+        fn name(&self) -> &str {
+            "burst"
+        }
+        fn score(&mut self, _trace: &Trace) -> f64 {
+            self.count += 1;
+            if self.count <= self.positives {
                 1.0
             } else {
                 0.0
@@ -216,6 +256,76 @@ mod tests {
     fn zero_k_behaves_as_one() {
         assert_eq!(DetectionPolicy::AnyOf(0).detections(), 1);
         assert_eq!(DetectionPolicy::MajorityOf(0).detections(), 1);
+    }
+
+    #[test]
+    fn even_k_majority_score_matches_classify() {
+        // Regression: with exactly k/2 positives among k draws there is no
+        // strict majority, so classify() says benign — and score() must
+        // not clear the threshold either. The old upper-median indexing
+        // (draws[k/2]) returned a positive draw here.
+        let mut d =
+            PolicyDetector::new(Periodic { n: 2, count: 0 }, DetectionPolicy::MajorityOf(4));
+        let s = d.score(&dummy_trace());
+        assert_eq!(s, 0.0, "2-of-4 is not a majority; score must stay low");
+        let mut d =
+            PolicyDetector::new(Periodic { n: 2, count: 0 }, DetectionPolicy::MajorityOf(4));
+        assert_eq!(d.classify(&dummy_trace()), Label::Benign);
+
+        // 3-of-4 is a majority: both views must flip together.
+        let mut d = PolicyDetector::new(
+            Burst {
+                positives: 3,
+                count: 0,
+            },
+            DetectionPolicy::MajorityOf(4),
+        );
+        let s = d.score(&dummy_trace());
+        assert_eq!(s, 1.0, "3-of-4 is a majority; score must surface it");
+        let mut d = PolicyDetector::new(
+            Burst {
+                positives: 3,
+                count: 0,
+            },
+            DetectionPolicy::MajorityOf(4),
+        );
+        assert_eq!(d.classify(&dummy_trace()), Label::Malware);
+    }
+
+    #[test]
+    fn majority_short_circuits_once_decided() {
+        // All positive: ⌊5/2⌋+1 = 3 draws settle majority-of-5.
+        let mut d = PolicyDetector::new(
+            Burst {
+                positives: usize::MAX,
+                count: 0,
+            },
+            DetectionPolicy::MajorityOf(5),
+        );
+        assert_eq!(d.classify(&dummy_trace()), Label::Malware);
+        assert_eq!(d.inner().count, 3, "stops once the majority is reached");
+
+        // All negative: after 3 misses a majority of 5 is out of reach.
+        let mut d = PolicyDetector::new(
+            Periodic {
+                n: usize::MAX,
+                count: 0,
+            },
+            DetectionPolicy::MajorityOf(5),
+        );
+        assert_eq!(d.classify(&dummy_trace()), Label::Benign);
+        assert_eq!(d.inner().count, 3, "stops once the majority is unreachable");
+
+        // Even k: after 2 misses a 3-of-4 majority is out of reach.
+        let mut d = PolicyDetector::new(
+            Periodic {
+                n: usize::MAX,
+                count: 0,
+            },
+            DetectionPolicy::MajorityOf(4),
+        );
+        assert_eq!(d.classify(&dummy_trace()), Label::Benign);
+        assert_eq!(d.inner().count, 2);
     }
 
     #[test]

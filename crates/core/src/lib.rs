@@ -19,7 +19,14 @@
 //!   confidence-distribution sweeps over the error rate;
 //! - [`exec`] — the deterministic parallel experiment engine: fans task
 //!   grids across threads with per-task derived seeds, so results are
-//!   bit-identical at any thread count.
+//!   bit-identical at any thread count;
+//! - [`serve`] — the sharded continuous-monitoring service: a pool of
+//!   Stochastic-HMD replicas answering a query stream with deterministic
+//!   fan-out and graceful degradation to the baseline when calibration
+//!   fails;
+//! - [`telemetry`] — the serving layer's export surface: per-shard
+//!   counters, score histograms, fault statistics, and a JSON-round-trip
+//!   snapshot.
 //!
 //! # Example
 //!
@@ -57,7 +64,9 @@ pub mod explore;
 pub mod monitor;
 pub mod rhmd;
 pub mod roc;
+pub mod serve;
 pub mod stochastic;
+pub mod telemetry;
 pub mod train;
 pub mod xval;
 
@@ -69,6 +78,10 @@ pub use exec::{derive_seed, mix_seed, parallel_map, parallel_map_n, ExecConfig};
 pub use monitor::{monitor_all, monitor_trace, MonitorOutcome, MonitorReport};
 pub use rhmd::{Rhmd, RhmdConstruction};
 pub use roc::{RocCurve, RocError, RocPoint};
+pub use serve::{MonitoringService, ServeConfig, Verdict};
 pub use stochastic::StochasticHmd;
+pub use telemetry::{
+    FaultCounters, ScoreHistogram, ShardReport, TelemetryParseError, TelemetrySnapshot,
+};
 pub use train::{train_baseline, HmdTrainConfig, TrainHmdError};
 pub use xval::{cross_validate, XvalSummary};

@@ -1,0 +1,675 @@
+//! Sharded continuous monitoring: serving a query stream at scale.
+//!
+//! The paper deploys a Stochastic-HMD as a *continuous* monitor — one
+//! detection per period, voltage control owned by the TEE (§IX). A single
+//! detector replica caps throughput at one inference at a time, so a
+//! production deployment shards the stream across a pool of
+//! [`StochasticHmd`] replicas, one per core the defender dedicates to
+//! monitoring. [`MonitoringService`] is that pool:
+//!
+//! - **per-shard seeds** come from [`crate::exec::derive_seed`] over the
+//!   master seed, the shard index and the calibration generation, so
+//!   replicas draw statistically independent fault streams and the whole
+//!   service replays bit-for-bit from one seed;
+//! - **deterministic fan-out**: queries are assigned to shards by their
+//!   position in the stream (`index mod shards`), workers claim *shards*
+//!   (never queries) from a [`std::thread::scope`] pool, and each batch's
+//!   verdicts are merged back into stream order — so serial and N-thread
+//!   execution produce bit-identical verdicts, scores, and telemetry, as
+//!   in [`crate::exec`];
+//! - **graceful degradation**: when calibration cannot deliver the target
+//!   error rate for a shard (device freezes first, re-calibration fails
+//!   mid-stream), the shard falls back to the *baseline* detector at
+//!   nominal voltage and the [`crate::telemetry`] layer records the
+//!   degradation — the service keeps answering instead of aborting, it
+//!   just loses the moving-target defense on that shard until a later
+//!   [`MonitoringService::recalibrate`] succeeds.
+//!
+//! The `serve_bench` binary replays a generated dataset through this
+//! engine and records throughput plus the thread-invariance checksum in
+//! `BENCH_3.json`; the `monitoring_service` example walks the API.
+
+use crate::baseline::BaselineHmd;
+use crate::deploy::DetectionPolicy;
+use crate::detector::{Detector, Label};
+use crate::exec::{derive_seed, parallel_map_n, ExecConfig};
+use crate::stochastic::StochasticHmd;
+use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
+use shmd_volt::calibration::CalibrationCurve;
+use shmd_workload::features::FeatureSpec;
+use shmd_workload::trace::Trace;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Experiment tag mixed into every shard-seed derivation, so a service and
+/// an experiment sharing a master seed never share RNG streams.
+const SERVE_TAG: u64 = 0x5e7e;
+
+/// Configuration of a [`MonitoringService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of detector replicas (shards). Clamped to at least 1.
+    pub shards: usize,
+    /// Maximum queries per batch when streaming. Clamped to at least 1.
+    pub batch_size: usize,
+    /// Multiplication error rate each shard's calibration targets.
+    pub target_error_rate: f64,
+    /// Per-query verdict aggregation policy.
+    pub policy: DetectionPolicy,
+    /// Master seed; every shard seed is derived from it.
+    pub seed: u64,
+    /// Worker pool for batch processing. Affects wall-clock only, never
+    /// results.
+    pub exec: ExecConfig,
+}
+
+impl ServeConfig {
+    /// A service of `shards` replicas at the paper's er = 0.1 operating
+    /// point: batches of 64, single-detection policy, seed 42, auto
+    /// thread count.
+    pub fn new(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            batch_size: 64,
+            target_error_rate: 0.1,
+            policy: DetectionPolicy::Single,
+            seed: 42,
+            exec: ExecConfig::auto(),
+        }
+    }
+
+    /// Sets the calibration target error rate.
+    #[must_use]
+    pub fn with_target_error_rate(mut self, er: f64) -> ServeConfig {
+        self.target_error_rate = er;
+        self
+    }
+
+    /// Sets the verdict aggregation policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DetectionPolicy) -> ServeConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ServeConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the streaming batch size.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> ServeConfig {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the worker pool configuration.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> ServeConfig {
+        self.exec = exec;
+        self
+    }
+}
+
+/// One answered query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Verdict {
+    /// Position of the query in the service's lifetime stream (0-based).
+    pub query: u64,
+    /// Shard that answered it.
+    pub shard: usize,
+    /// Policy-consistent score (the statistic whose thresholding matches
+    /// the verdict — see [`crate::deploy::PolicyDetector`]).
+    pub score: f64,
+    /// The verdict.
+    pub label: Label,
+}
+
+/// A shard's detector: the protected replica, or the baseline fallback
+/// when calibration could not deliver the target error rate.
+enum ShardBackend {
+    Stochastic(Box<StochasticHmd>),
+    /// Degraded: nominal voltage, no moving target — but still serving.
+    Baseline(BaselineHmd),
+}
+
+impl ShardBackend {
+    fn score_features(&mut self, features: &[f32]) -> f64 {
+        match self {
+            ShardBackend::Stochastic(hmd) => hmd.score_features(features),
+            ShardBackend::Baseline(hmd) => hmd.score_features(features),
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        match self {
+            ShardBackend::Stochastic(hmd) => Detector::threshold(hmd.as_ref()),
+            ShardBackend::Baseline(hmd) => Detector::threshold(hmd),
+        }
+    }
+}
+
+/// One detector replica plus its telemetry counters.
+struct Shard {
+    id: usize,
+    seed: u64,
+    backend: ShardBackend,
+    degraded_reason: Option<String>,
+    degradation_events: u64,
+    queries: u64,
+    flags: u64,
+    /// Fault counters folded from injector generations already replaced
+    /// by recalibration (the live injector's stats are folded on demand).
+    retired_faults: FaultCounters,
+    histogram: ScoreHistogram,
+    /// Reusable per-query draw buffer (k draws under the policy).
+    draws: Vec<f64>,
+}
+
+impl Shard {
+    /// Scores one query under the policy and records telemetry.
+    ///
+    /// All `k` detections are always performed so the score is the full
+    /// order statistic; the verdict is its thresholding, which by
+    /// policy-consistency equals the sequential `decide` outcome.
+    fn answer(&mut self, policy: DetectionPolicy, features: &[f32]) -> (f64, Label) {
+        let k = policy.detections();
+        self.draws.clear();
+        for _ in 0..k {
+            self.draws.push(self.backend.score_features(features));
+        }
+        self.draws.sort_by(f64::total_cmp);
+        let score = match policy {
+            DetectionPolicy::Single => self.draws[0],
+            DetectionPolicy::AnyOf(_) => self.draws[k - 1],
+            DetectionPolicy::MajorityOf(_) => self.draws[k.div_ceil(2) - 1],
+        };
+        let label = Label::from_bool(score >= self.backend.threshold());
+        self.queries += 1;
+        if label.is_malware() {
+            self.flags += 1;
+        }
+        self.histogram.record(score);
+        (score, label)
+    }
+
+    /// Current fault counters: retired generations plus the live injector.
+    fn fault_counters(&self) -> FaultCounters {
+        let mut counters = self.retired_faults;
+        if let ShardBackend::Stochastic(hmd) = &self.backend {
+            counters.fold(&hmd.fault_stats());
+        }
+        counters
+    }
+
+    /// Folds the live injector's stats into the retired counters (called
+    /// before the backend is replaced).
+    fn retire_backend(&mut self) {
+        if let ShardBackend::Stochastic(hmd) = &self.backend {
+            self.retired_faults.fold(&hmd.fault_stats());
+        }
+    }
+
+    fn report(&self) -> ShardReport {
+        ShardReport {
+            shard: self.id,
+            seed: self.seed,
+            degraded: matches!(self.backend, ShardBackend::Baseline(_)),
+            degraded_reason: self.degraded_reason.clone(),
+            queries: self.queries,
+            flags: self.flags,
+            faults: self.fault_counters(),
+            histogram: self.histogram.clone(),
+        }
+    }
+}
+
+/// A sharded continuous-monitoring service over Stochastic-HMD replicas.
+///
+/// See the [module docs](crate::serve) for the design; the short version:
+/// deterministic sharding by stream position, per-shard derived seeds,
+/// parallel batch processing with bit-identical output at any thread
+/// count, and per-shard degradation to the baseline detector when
+/// calibration fails.
+pub struct MonitoringService {
+    spec: FeatureSpec,
+    policy: DetectionPolicy,
+    target_error_rate: f64,
+    seed: u64,
+    batch_size: usize,
+    exec: ExecConfig,
+    /// Calibration generation: bumped by every [`MonitoringService::recalibrate`]
+    /// so rebuilt shards draw fresh fault streams.
+    generation: u64,
+    shards: Vec<Mutex<Shard>>,
+    served: u64,
+    batches: u64,
+    verdict_checksum: u64,
+    batch_latency_micros: Vec<u64>,
+}
+
+impl MonitoringService {
+    /// Deploys `config.shards` replicas of `baseline` protected at
+    /// `config.target_error_rate` on the device described by `curve`.
+    ///
+    /// Deployment is infallible by design: a shard whose calibration
+    /// cannot deliver the target error rate (e.g. the device freezes
+    /// before reaching it) degrades to the baseline detector and the
+    /// degradation is recorded in telemetry, instead of failing the whole
+    /// service.
+    pub fn deploy(
+        baseline: &BaselineHmd,
+        curve: &CalibrationCurve,
+        config: ServeConfig,
+    ) -> MonitoringService {
+        let mut service = MonitoringService {
+            spec: baseline.spec(),
+            policy: config.policy,
+            target_error_rate: config.target_error_rate,
+            seed: config.seed,
+            batch_size: config.batch_size.max(1),
+            exec: config.exec,
+            generation: 0,
+            shards: Vec::new(),
+            served: 0,
+            batches: 0,
+            verdict_checksum: 0,
+            batch_latency_micros: Vec::new(),
+        };
+        for id in 0..config.shards.max(1) {
+            let shard = service.build_shard(id, baseline, curve);
+            service.shards.push(Mutex::new(shard));
+        }
+        service
+    }
+
+    /// Builds one shard for the current generation, degrading to the
+    /// baseline on calibration failure.
+    fn build_shard(&self, id: usize, baseline: &BaselineHmd, curve: &CalibrationCurve) -> Shard {
+        let seed = derive_seed(self.seed, &[SERVE_TAG, id as u64, self.generation]);
+        let (backend, degraded_reason, degradation) =
+            match Self::protected_backend(baseline, curve, self.target_error_rate, seed) {
+                Ok(hmd) => (ShardBackend::Stochastic(Box::new(hmd)), None, 0),
+                Err(reason) => (ShardBackend::Baseline(baseline.clone()), Some(reason), 1),
+            };
+        Shard {
+            id,
+            seed,
+            backend,
+            degraded_reason,
+            degradation_events: degradation,
+            queries: 0,
+            flags: 0,
+            retired_faults: FaultCounters::default(),
+            histogram: ScoreHistogram::new(),
+            draws: Vec::new(),
+        }
+    }
+
+    /// Attempts the full calibration chain for one shard: target error
+    /// rate → undervolt offset → fault model → protected detector.
+    fn protected_backend(
+        baseline: &BaselineHmd,
+        curve: &CalibrationCurve,
+        target_er: f64,
+        seed: u64,
+    ) -> Result<StochasticHmd, String> {
+        let offset = curve
+            .offset_for_error_rate(target_er)
+            .map_err(|e| format!("calibration failed: {e}"))?;
+        StochasticHmd::at_offset(baseline, curve, offset, seed)
+            .map_err(|e| format!("fault model failed: {e}"))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queries served over the service's lifetime.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The deployed policy.
+    pub fn policy(&self) -> DetectionPolicy {
+        self.policy
+    }
+
+    /// Changes the calibration target for subsequent
+    /// [`MonitoringService::recalibrate`] calls (e.g. the operator trades
+    /// accuracy for robustness at runtime). Live shards keep their current
+    /// fault models until the next recalibration.
+    pub fn retarget(&mut self, target_error_rate: f64) {
+        self.target_error_rate = target_error_rate;
+    }
+
+    /// Rebuilds every shard's detector against `curve` (a fresh
+    /// calibration: temperature drifted, device aged, target changed).
+    ///
+    /// Each shard draws a new generation seed, so recalibration never
+    /// replays old fault streams. Shards whose calibration fails fall
+    /// back to the baseline detector — and previously degraded shards
+    /// recover when the new calibration succeeds. Returns the number of
+    /// shards left degraded.
+    pub fn recalibrate(&mut self, baseline: &BaselineHmd, curve: &CalibrationCurve) -> usize {
+        self.generation += 1;
+        let mut degraded = 0;
+        for slot in &mut self.shards {
+            let shard = slot.get_mut().expect("shard mutex poisoned");
+            shard.retire_backend();
+            shard.seed = derive_seed(self.seed, &[SERVE_TAG, shard.id as u64, self.generation]);
+            match Self::protected_backend(baseline, curve, self.target_error_rate, shard.seed) {
+                Ok(hmd) => {
+                    shard.backend = ShardBackend::Stochastic(Box::new(hmd));
+                    shard.degraded_reason = None;
+                }
+                Err(reason) => {
+                    shard.backend = ShardBackend::Baseline(baseline.clone());
+                    shard.degraded_reason = Some(reason);
+                    shard.degradation_events += 1;
+                    degraded += 1;
+                }
+            }
+        }
+        degraded
+    }
+
+    /// Scores one batch of queries across the shard pool, returning
+    /// verdicts in query order.
+    ///
+    /// Query `i` of the batch goes to shard `(served + i) mod shards` —
+    /// a function of the stream position only, never of scheduling — and
+    /// each worker claims whole shards, so every shard consumes its
+    /// queries in stream order and the output is bit-identical at any
+    /// thread count.
+    pub fn process_batch(&mut self, queries: &[&Trace]) -> Vec<Verdict> {
+        let start = Instant::now();
+        let features: Vec<Vec<f32>> = queries.iter().map(|t| self.spec.extract(t)).collect();
+        let n_shards = self.shards.len();
+        let base = self.served;
+        let policy = self.policy;
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for i in 0..queries.len() {
+            assignments[((base + i as u64) % n_shards as u64) as usize].push(i);
+        }
+        let shards = &self.shards;
+        let features_ref = &features;
+        let assignments_ref = &assignments;
+        let per_shard: Vec<Vec<(usize, f64, Label)>> = parallel_map_n(&self.exec, n_shards, |s| {
+            // Each shard is claimed by exactly one task, so the lock is
+            // uncontended; it exists to hand the worker `&mut` access.
+            let mut shard = shards[s].lock().expect("shard mutex poisoned");
+            assignments_ref[s]
+                .iter()
+                .map(|&i| {
+                    let (score, label) = shard.answer(policy, &features_ref[i]);
+                    (i, score, label)
+                })
+                .collect()
+        });
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; queries.len()];
+        for (s, answers) in per_shard.into_iter().enumerate() {
+            for (i, score, label) in answers {
+                verdicts[i] = Some(Verdict {
+                    query: base + i as u64,
+                    shard: s,
+                    score,
+                    label,
+                });
+            }
+        }
+        let verdicts: Vec<Verdict> = verdicts
+            .into_iter()
+            .map(|v| v.expect("every query is assigned to exactly one shard"))
+            .collect();
+        for v in &verdicts {
+            self.verdict_checksum = self.verdict_checksum.rotate_left(7)
+                ^ v.score.to_bits()
+                ^ u64::from(v.label.is_malware());
+        }
+        self.served += queries.len() as u64;
+        self.batches += 1;
+        self.batch_latency_micros
+            .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        verdicts
+    }
+
+    /// Replays a query stream in batches of the configured size.
+    pub fn process_stream(&mut self, queries: &[&Trace]) -> Vec<Verdict> {
+        let mut verdicts = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(self.batch_size) {
+            verdicts.extend(self.process_batch(chunk));
+        }
+        verdicts
+    }
+
+    /// Snapshots the service-wide telemetry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let shards: Vec<ShardReport> = self
+            .shards
+            .iter()
+            .map(|slot| slot.lock().expect("shard mutex poisoned").report())
+            .collect();
+        TelemetrySnapshot {
+            seed: self.seed,
+            policy: self.policy.to_string(),
+            batches: self.batches,
+            queries: self.served,
+            flags: shards.iter().map(|s| s.flags).sum(),
+            degradation_events: self
+                .shards
+                .iter()
+                .map(|slot| {
+                    slot.lock()
+                        .expect("shard mutex poisoned")
+                        .degradation_events
+                })
+                .sum(),
+            verdict_checksum: self.verdict_checksum,
+            shards,
+            batch_latency_micros: self.batch_latency_micros.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_baseline, HmdTrainConfig};
+    use shmd_volt::calibration::{Calibrator, DeviceProfile};
+    use shmd_workload::dataset::{Dataset, DatasetConfig};
+
+    fn setup() -> (Dataset, BaselineHmd, CalibrationCurve) {
+        let dataset = Dataset::generate(&DatasetConfig::small(100), 77);
+        let split = dataset.three_fold_split(0);
+        let baseline = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("trains");
+        let curve = Calibrator::new()
+            .with_step(2)
+            .calibrate(&DeviceProfile::reference());
+        (dataset, baseline, curve)
+    }
+
+    fn stream(dataset: &Dataset, n: usize) -> Vec<&Trace> {
+        (0..n).map(|i| dataset.trace(i % dataset.len())).collect()
+    }
+
+    #[test]
+    fn service_answers_every_query_in_order() {
+        let (dataset, baseline, curve) = setup();
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(1));
+        let queries = stream(&dataset, 50);
+        let verdicts = service.process_stream(&queries);
+        assert_eq!(verdicts.len(), 50);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.query, i as u64);
+            assert_eq!(v.shard, i % 3);
+        }
+        assert_eq!(service.served(), 50);
+    }
+
+    #[test]
+    fn serial_and_threaded_streams_are_bit_identical() {
+        let (dataset, baseline, curve) = setup();
+        let queries = stream(&dataset, 100);
+        let run = |threads: ExecConfig| {
+            let config = ServeConfig::new(4)
+                .with_seed(9)
+                .with_batch_size(16)
+                .with_exec(threads);
+            let mut service = MonitoringService::deploy(&baseline, &curve, config);
+            let verdicts = service.process_stream(&queries);
+            (verdicts, service.snapshot().without_timing())
+        };
+        let (serial_verdicts, serial_snapshot) = run(ExecConfig::serial());
+        for threads in [2, 4, 8] {
+            let (verdicts, snapshot) = run(ExecConfig::threads(threads));
+            assert_eq!(
+                verdicts, serial_verdicts,
+                "verdict stream differs at {threads} threads"
+            );
+            assert_eq!(
+                snapshot, serial_snapshot,
+                "telemetry differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn service_detects_malware_through_the_pool() {
+        let (dataset, baseline, curve) = setup();
+        let split = dataset.three_fold_split(0);
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(3));
+        let queries: Vec<&Trace> = split.testing().iter().map(|&i| dataset.trace(i)).collect();
+        let verdicts = service.process_stream(&queries);
+        let correct = verdicts
+            .iter()
+            .zip(split.testing())
+            .filter(|(v, &i)| v.label.is_malware() == dataset.program(i).is_malware())
+            .count();
+        let accuracy = correct as f64 / verdicts.len() as f64;
+        assert!(accuracy > 0.85, "pool accuracy {accuracy}");
+    }
+
+    #[test]
+    fn shards_draw_independent_fault_streams() {
+        let (dataset, baseline, curve) = setup();
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(5));
+        // Same trace to every shard: scores must not be a single repeated
+        // value across shards (each replica rolls its own boundary).
+        let queries: Vec<&Trace> = (0..40).map(|_| dataset.trace(0)).collect();
+        let verdicts = service.process_stream(&queries);
+        let distinct: std::collections::HashSet<u64> =
+            verdicts.iter().map(|v| v.score.to_bits()).collect();
+        assert!(
+            distinct.len() > 1,
+            "shard replicas produced one deterministic stream"
+        );
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.degraded_shards(), 0);
+        assert!(
+            snapshot.total_faults().multiplies > 0,
+            "telemetry must fold injector stats"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_degrades_to_baseline_and_keeps_serving() {
+        let (dataset, baseline, curve) = setup();
+        // FREEZE_ERROR_RATE = 0.5: no device reaches er = 0.9.
+        let config = ServeConfig::new(3).with_target_error_rate(0.9).with_seed(2);
+        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let queries = stream(&dataset, 30);
+        let verdicts = service.process_stream(&queries);
+        // Degraded shards serve the deterministic baseline.
+        for (i, v) in verdicts.iter().enumerate() {
+            let expected = baseline.score_features(&baseline.spec().extract(queries[i]));
+            assert_eq!(v.score, expected, "degraded shard must serve the baseline");
+        }
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.degraded_shards(), 3);
+        assert_eq!(snapshot.degradation_events, 3);
+        for shard in &snapshot.shards {
+            assert!(shard.degraded);
+            let reason = shard.degraded_reason.as_deref().expect("reason recorded");
+            assert!(reason.contains("unreachable"), "got {reason}");
+        }
+    }
+
+    #[test]
+    fn recalibration_recovers_and_degrades_shards() {
+        let (dataset, baseline, curve) = setup();
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(4));
+        assert_eq!(service.snapshot().degraded_shards(), 0);
+        let queries = stream(&dataset, 20);
+        service.process_stream(&queries);
+        let faults_before = service.snapshot().total_faults();
+
+        // Mid-stream the operator retargets to an unreachable rate: the
+        // next recalibration degrades every shard, but serving continues
+        // and the folded fault counters survive the backend swap.
+        service.retarget(0.95);
+        assert_eq!(service.recalibrate(&baseline, &curve), 2);
+        service.process_stream(&queries);
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.degraded_shards(), 2);
+        assert_eq!(snapshot.degradation_events, 2);
+        assert_eq!(
+            snapshot.total_faults(),
+            faults_before,
+            "retired injector stats must survive degradation"
+        );
+
+        // Back to a reachable target: the shards recover.
+        service.retarget(0.1);
+        assert_eq!(service.recalibrate(&baseline, &curve), 0);
+        let recovered = service.snapshot();
+        assert_eq!(recovered.degraded_shards(), 0);
+        assert_eq!(recovered.degradation_events, 2, "history is cumulative");
+        assert!(recovered.shards.iter().all(|s| s.degraded_reason.is_none()));
+    }
+
+    #[test]
+    fn policy_consistent_scores_match_verdicts() {
+        let (dataset, baseline, curve) = setup();
+        let config = ServeConfig::new(2)
+            .with_policy(DetectionPolicy::MajorityOf(4))
+            .with_seed(6);
+        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let queries = stream(&dataset, 40);
+        let threshold = Detector::threshold(&baseline);
+        for v in service.process_stream(&queries) {
+            assert_eq!(
+                v.label.is_malware(),
+                v.score >= threshold,
+                "score/verdict inconsistent under majority-of-4"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_from_a_live_service() {
+        let (dataset, baseline, curve) = setup();
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(8));
+        service.process_stream(&stream(&dataset, 25));
+        let snapshot = service.snapshot();
+        let back = TelemetrySnapshot::from_json(&snapshot.to_json()).expect("parses");
+        assert_eq!(back, snapshot);
+        assert_eq!(back.queries, 25);
+        assert_eq!(back.batch_latency_micros.len() as u64, back.batches);
+    }
+}

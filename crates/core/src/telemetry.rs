@@ -1,0 +1,743 @@
+//! Serving-layer telemetry: what a production monitor exports besides
+//! verdicts.
+//!
+//! Kumar et al. (DAC 2021) argue an HMD deployed as a service must export
+//! runtime confidence signals *alongside* its verdicts — a bare
+//! malware/benign bit gives the operator no way to notice drift, a stuck
+//! shard, or a defense that silently stopped injecting faults. This module
+//! is the [`crate::serve`] engine's export surface:
+//!
+//! - [`ScoreHistogram`] — the score distribution per shard, the §VI
+//!   confidence-distribution view taken continuously instead of offline;
+//! - [`ShardReport`] — one replica's counters: queries, flags, fault
+//!   counts folded from its injector, and its degradation state;
+//! - [`TelemetrySnapshot`] — the service-wide report, serialisable to
+//!   JSON and parseable back ([`TelemetrySnapshot::to_json`] /
+//!   [`TelemetrySnapshot::from_json`]).
+//!
+//! Everything in a snapshot except [`TelemetrySnapshot::batch_latency_micros`]
+//! is a deterministic function of the seed and the query stream;
+//! [`TelemetrySnapshot::without_timing`] strips the wall-clock part so two
+//! runs can be compared bit-for-bit (the `serve_bench` binary asserts this
+//! across thread counts).
+//!
+//! The vendored `serde` derives are no-op stand-ins (see DESIGN.md §8), so
+//! the JSON codec is implemented here by hand; 64-bit quantities that can
+//! exceed 2⁵³ (derived seeds, checksums) are emitted as decimal strings to
+//! stay integer-exact in any reader.
+
+use serde::{Deserialize, Serialize};
+use shmd_volt::fault::FaultStats;
+use std::fmt;
+
+/// Number of bins in a [`ScoreHistogram`] (scores span `[0, 1]`).
+pub const HISTOGRAM_BINS: usize = 20;
+
+/// A fixed-bin histogram of detection scores in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoreHistogram {
+    counts: [u64; HISTOGRAM_BINS],
+}
+
+impl ScoreHistogram {
+    /// An empty histogram.
+    pub fn new() -> ScoreHistogram {
+        ScoreHistogram {
+            counts: [0; HISTOGRAM_BINS],
+        }
+    }
+
+    /// Records one score. Out-of-range scores clamp into the edge bins.
+    pub fn record(&mut self, score: f64) {
+        let clamped = if score.is_finite() {
+            score.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let bin = ((clamped * HISTOGRAM_BINS as f64) as usize).min(HISTOGRAM_BINS - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Per-bin counts, lowest score bin first.
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BINS] {
+        &self.counts
+    }
+
+    /// Total scores recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &ScoreHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    fn from_counts(counts: [u64; HISTOGRAM_BINS]) -> ScoreHistogram {
+        ScoreHistogram { counts }
+    }
+}
+
+impl Default for ScoreHistogram {
+    fn default() -> ScoreHistogram {
+        ScoreHistogram::new()
+    }
+}
+
+/// Compact fault-injection counters, folded from [`FaultStats`].
+///
+/// The serving layer cares about rates, not the 64-entry per-bit profile,
+/// so only the totals travel in a snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Total multiplications processed.
+    pub multiplies: u64,
+    /// Multiplications whose result was corrupted.
+    pub faulty: u64,
+    /// Total product bits flipped.
+    pub bit_flips: u64,
+}
+
+impl FaultCounters {
+    /// Adds an injector's accumulated statistics into these counters.
+    pub fn fold(&mut self, stats: &FaultStats) {
+        self.multiplies += stats.multiplies;
+        self.faulty += stats.faulty;
+        self.bit_flips += stats.total_flips();
+    }
+
+    /// Observed fraction of faulty multiplications.
+    pub fn observed_error_rate(&self) -> f64 {
+        if self.multiplies == 0 {
+            0.0
+        } else {
+            self.faulty as f64 / self.multiplies as f64
+        }
+    }
+}
+
+/// One shard's telemetry: a replica's counters and degradation state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index within the service.
+    pub shard: usize,
+    /// The shard's derived RNG seed (current generation).
+    pub seed: u64,
+    /// `true` when the shard is currently serving from the baseline
+    /// fallback instead of its stochastic replica.
+    pub degraded: bool,
+    /// Why the shard degraded, when it did.
+    pub degraded_reason: Option<String>,
+    /// Queries this shard answered.
+    pub queries: u64,
+    /// Queries this shard flagged as malware.
+    pub flags: u64,
+    /// Fault-injection counters folded from the shard's injector(s),
+    /// including generations replaced by recalibration.
+    pub faults: FaultCounters,
+    /// Distribution of the shard's policy-aggregated scores.
+    pub histogram: ScoreHistogram,
+}
+
+/// A serialisable snapshot of the whole monitoring service.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// The service's master seed.
+    pub seed: u64,
+    /// Display form of the deployed [`crate::deploy::DetectionPolicy`].
+    pub policy: String,
+    /// Batches processed.
+    pub batches: u64,
+    /// Queries served across all shards.
+    pub queries: u64,
+    /// Queries flagged as malware across all shards.
+    pub flags: u64,
+    /// Cumulative shard degradations (a shard recalibrated back to
+    /// stochastic and degraded again counts twice).
+    pub degradation_events: u64,
+    /// Order-sensitive checksum over the verdict stream; bit-identical at
+    /// any worker-thread count.
+    pub verdict_checksum: u64,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Wall-clock per batch, microseconds. The only non-deterministic
+    /// field — see [`TelemetrySnapshot::without_timing`].
+    pub batch_latency_micros: Vec<u64>,
+}
+
+/// Error parsing a snapshot from JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryParseError(String);
+
+impl fmt::Display for TelemetryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed telemetry snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for TelemetryParseError {}
+
+impl From<String> for TelemetryParseError {
+    fn from(message: String) -> TelemetryParseError {
+        TelemetryParseError(message)
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Shards currently serving degraded (baseline fallback).
+    pub fn degraded_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Fault counters summed over all shards.
+    pub fn total_faults(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for s in &self.shards {
+            total.multiplies += s.faults.multiplies;
+            total.faulty += s.faults.faulty;
+            total.bit_flips += s.faults.bit_flips;
+        }
+        total
+    }
+
+    /// Mean batch latency in microseconds; `None` before the first batch.
+    pub fn mean_batch_latency_micros(&self) -> Option<f64> {
+        if self.batch_latency_micros.is_empty() {
+            return None;
+        }
+        Some(
+            self.batch_latency_micros.iter().sum::<u64>() as f64
+                / self.batch_latency_micros.len() as f64,
+        )
+    }
+
+    /// The snapshot with wall-clock timing stripped: every remaining field
+    /// is a deterministic function of the seed and the query stream, so
+    /// two runs of the same stream compare equal regardless of thread
+    /// count or machine load.
+    #[must_use]
+    pub fn without_timing(&self) -> TelemetrySnapshot {
+        let mut s = self.clone();
+        s.batch_latency_micros.clear();
+        s
+    }
+
+    /// Renders the snapshot as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"snapshot\": \"stochastic-hmd-serve\",\n");
+        out.push_str(&format!("  \"seed\": \"{}\",\n", self.seed));
+        out.push_str(&format!(
+            "  \"policy\": \"{}\",\n",
+            escape_json(&self.policy)
+        ));
+        out.push_str(&format!("  \"batches\": {},\n", self.batches));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"flags\": {},\n", self.flags));
+        out.push_str(&format!(
+            "  \"degradation_events\": {},\n",
+            self.degradation_events
+        ));
+        out.push_str(&format!(
+            "  \"verdict_checksum\": \"{}\",\n",
+            self.verdict_checksum
+        ));
+        out.push_str("  \"batch_latency_micros\": [");
+        for (i, l) in self.batch_latency_micros.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&l.to_string());
+        }
+        out.push_str("],\n");
+        out.push_str("  \"shards\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"shard\": {}, \"seed\": \"{}\", \"degraded\": {}, \
+                 \"degraded_reason\": {}, \"queries\": {}, \"flags\": {}, \
+                 \"multiplies\": {}, \"faulty\": {}, \"bit_flips\": {}, \
+                 \"histogram\": [{}]}}{}\n",
+                s.shard,
+                s.seed,
+                s.degraded,
+                match &s.degraded_reason {
+                    Some(r) => format!("\"{}\"", escape_json(r)),
+                    None => "null".to_string(),
+                },
+                s.queries,
+                s.flags,
+                s.faults.multiplies,
+                s.faults.faulty,
+                s.faults.bit_flips,
+                s.histogram
+                    .counts()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 == self.shards.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a snapshot previously rendered by
+    /// [`TelemetrySnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryParseError`] on malformed JSON or a schema
+    /// mismatch.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, TelemetryParseError> {
+        let value = json::parse(text).map_err(TelemetryParseError)?;
+        let top = value.as_object("snapshot")?;
+        let shards_value = top.field("shards")?;
+        let mut shards = Vec::new();
+        for (i, sv) in shards_value.as_array("shards")?.iter().enumerate() {
+            let obj = sv.as_object(&format!("shards[{i}]"))?;
+            let hist_values = obj.field("histogram")?.as_array("histogram")?;
+            if hist_values.len() != HISTOGRAM_BINS {
+                return Err(TelemetryParseError(format!(
+                    "histogram has {} bins, expected {HISTOGRAM_BINS}",
+                    hist_values.len()
+                )));
+            }
+            let mut counts = [0u64; HISTOGRAM_BINS];
+            for (slot, v) in counts.iter_mut().zip(hist_values) {
+                *slot = v.as_u64("histogram bin")?;
+            }
+            shards.push(ShardReport {
+                shard: obj.field("shard")?.as_u64("shard")? as usize,
+                seed: obj.field("seed")?.as_u64("seed")?,
+                degraded: obj.field("degraded")?.as_bool("degraded")?,
+                degraded_reason: match obj.field("degraded_reason")? {
+                    json::Value::Null => None,
+                    other => Some(other.as_str("degraded_reason")?.to_string()),
+                },
+                queries: obj.field("queries")?.as_u64("queries")?,
+                flags: obj.field("flags")?.as_u64("flags")?,
+                faults: FaultCounters {
+                    multiplies: obj.field("multiplies")?.as_u64("multiplies")?,
+                    faulty: obj.field("faulty")?.as_u64("faulty")?,
+                    bit_flips: obj.field("bit_flips")?.as_u64("bit_flips")?,
+                },
+                histogram: ScoreHistogram::from_counts(counts),
+            });
+        }
+        let latency = top
+            .field("batch_latency_micros")?
+            .as_array("batch_latency_micros")?
+            .iter()
+            .map(|v| v.as_u64("batch latency"))
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(TelemetrySnapshot {
+            seed: top.field("seed")?.as_u64("seed")?,
+            policy: top.field("policy")?.as_str("policy")?.to_string(),
+            batches: top.field("batches")?.as_u64("batches")?,
+            queries: top.field("queries")?.as_u64("queries")?,
+            flags: top.field("flags")?.as_u64("flags")?,
+            degradation_events: top
+                .field("degradation_events")?
+                .as_u64("degradation_events")?,
+            verdict_checksum: top.field("verdict_checksum")?.as_u64("verdict_checksum")?,
+            shards,
+            batch_latency_micros: latency,
+        })
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON reader for the snapshot schema: the vendored serde shim
+/// cannot deserialize, and the documents parsed here are the ones this
+/// module itself emits.
+mod json {
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Int(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    pub struct Object<'a>(&'a [(String, Value)]);
+
+    impl<'a> Object<'a> {
+        pub fn field(&self, name: &str) -> Result<&'a Value, String> {
+            self.0
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name}"))
+        }
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<Object<'_>, String> {
+            match self {
+                Value::Obj(fields) => Ok(Object(fields)),
+                _ => Err(format!("{what} is not an object")),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(format!("{what} is not an array")),
+            }
+        }
+
+        pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(format!("{what} is not a boolean")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("{what} is not a string")),
+            }
+        }
+
+        /// Accepts either a bare integer or a decimal string (the form
+        /// used for quantities that can exceed 2⁵³).
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Int(n) => Ok(*n),
+                Value::Str(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("{what} is not a u64: {s:?}")),
+                _ => Err(format!("{what} is not an integer")),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() => parse_int(bytes, pos),
+            _ => Err(format!("unexpected input at byte {}", *pos)),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word} at byte {}", *pos))
+        }
+    }
+
+    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Value::Int)
+            .ok_or_else(|| format!("bad integer at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| format!("bad code point at byte {}", *pos))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 character, not just one byte.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                    let c = rest.chars().next().expect("non-empty by match arm");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut histogram = ScoreHistogram::new();
+        histogram.record(0.03);
+        histogram.record(0.97);
+        histogram.record(0.97);
+        TelemetrySnapshot {
+            seed: 42,
+            policy: "majority-of-3".to_string(),
+            batches: 2,
+            queries: 3,
+            flags: 2,
+            degradation_events: 1,
+            verdict_checksum: u64::MAX - 7,
+            shards: vec![
+                ShardReport {
+                    shard: 0,
+                    seed: u64::MAX / 3,
+                    degraded: false,
+                    degraded_reason: None,
+                    queries: 2,
+                    flags: 1,
+                    faults: FaultCounters {
+                        multiplies: 408,
+                        faulty: 37,
+                        bit_flips: 41,
+                    },
+                    histogram: histogram.clone(),
+                },
+                ShardReport {
+                    shard: 1,
+                    seed: 7,
+                    degraded: true,
+                    degraded_reason: Some("error rate 0.99 unreachable \"before\" freeze".into()),
+                    queries: 1,
+                    flags: 1,
+                    faults: FaultCounters::default(),
+                    histogram: ScoreHistogram::new(),
+                },
+            ],
+            batch_latency_micros: vec![120, 95],
+        }
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = ScoreHistogram::new();
+        h.record(0.0);
+        h.record(0.049); // still bin 0
+        h.record(1.0); // clamps into the top bin
+        h.record(2.5); // out of range clamps too
+        h.record(f64::NAN); // non-finite lands in bin 0
+        assert_eq!(h.counts()[0], 3);
+        assert_eq!(h.counts()[HISTOGRAM_BINS - 1], 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_merges() {
+        let mut a = ScoreHistogram::new();
+        a.record(0.1);
+        let mut b = ScoreHistogram::new();
+        b.record(0.1);
+        b.record(0.9);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn fault_counters_fold_stats() {
+        let mut bit_flips = vec![0; 64];
+        bit_flips[40] = 8;
+        bit_flips[41] = 3;
+        let stats = FaultStats {
+            multiplies: 100,
+            faulty: 9,
+            bit_flips,
+        };
+        let mut c = FaultCounters::default();
+        c.fold(&stats);
+        c.fold(&stats);
+        assert_eq!(c.multiplies, 200);
+        assert_eq!(c.faulty, 18);
+        assert_eq!(c.bit_flips, 22);
+        assert!((c.observed_error_rate() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snapshot = sample_snapshot();
+        let json = snapshot.to_json();
+        let back = TelemetrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snapshot, "JSON round-trip must be lossless");
+    }
+
+    #[test]
+    fn round_trip_preserves_full_u64_range() {
+        let mut snapshot = sample_snapshot();
+        snapshot.verdict_checksum = u64::MAX;
+        snapshot.seed = u64::MAX - 1;
+        snapshot.shards[0].seed = 0x9e37_79b9_7f4a_7c15;
+        let back = TelemetrySnapshot::from_json(&snapshot.to_json()).expect("parses");
+        assert_eq!(back.verdict_checksum, u64::MAX);
+        assert_eq!(back.shards[0].seed, 0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[test]
+    fn without_timing_strips_only_latency() {
+        let snapshot = sample_snapshot();
+        let stripped = snapshot.without_timing();
+        assert!(stripped.batch_latency_micros.is_empty());
+        assert_eq!(stripped.shards, snapshot.shards);
+        assert_eq!(stripped.verdict_checksum, snapshot.verdict_checksum);
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let snapshot = sample_snapshot();
+        assert_eq!(snapshot.degraded_shards(), 1);
+        assert_eq!(snapshot.total_faults().multiplies, 408);
+        assert_eq!(snapshot.mean_batch_latency_micros(), Some(107.5));
+        assert_eq!(
+            sample_snapshot()
+                .without_timing()
+                .mean_batch_latency_micros(),
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "[1, 2",
+            "{\"snapshot\": \"x\"}",
+            "nonsense",
+            "{\"seed\": 1} trailing",
+        ] {
+            assert!(
+                TelemetrySnapshot::from_json(bad).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+        }
+    }
+}

@@ -386,6 +386,26 @@ impl FaultStats {
         self.bit_flips.iter().map(|&c| c as f64 / n).collect()
     }
 
+    /// Total product bits flipped across all faulty multiplications.
+    pub fn total_flips(&self) -> u64 {
+        self.bit_flips.iter().sum()
+    }
+
+    /// Mean flipped bits per faulty multiplication; 0 when nothing
+    /// faulted.
+    pub fn flips_per_fault(&self) -> f64 {
+        if self.faulty == 0 {
+            0.0
+        } else {
+            self.total_flips() as f64 / self.faulty as f64
+        }
+    }
+
+    /// `true` when no multiplication has been processed.
+    pub fn is_empty(&self) -> bool {
+        self.multiplies == 0
+    }
+
     /// Merges counts from another statistics record.
     pub fn merge(&mut self, other: &FaultStats) {
         self.multiplies += other.multiplies;
@@ -1161,6 +1181,21 @@ mod tests {
         assert_eq!(a.multiplies, 15);
         assert_eq!(a.faulty, 3);
         assert_eq!(a.bit_flips[40], 3);
+    }
+
+    #[test]
+    fn stats_accessors_summarise_flip_counts() {
+        let mut s = FaultStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_flips(), 0);
+        assert_eq!(s.flips_per_fault(), 0.0);
+        s.multiplies = 20;
+        s.faulty = 4;
+        s.bit_flips[30] = 5;
+        s.bit_flips[50] = 1;
+        assert!(!s.is_empty());
+        assert_eq!(s.total_flips(), 6);
+        assert!((s.flips_per_fault() - 1.5).abs() < 1e-12);
     }
 
     proptest! {
