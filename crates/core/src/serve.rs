@@ -38,12 +38,18 @@ use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnap
 use shmd_volt::calibration::CalibrationCurve;
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
+use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Experiment tag mixed into every shard-seed derivation, so a service and
 /// an experiment sharing a master seed never share RNG streams.
 const SERVE_TAG: u64 = 0x5e7e;
+
+/// Number of recent per-batch latencies retained for telemetry. A
+/// continuous monitor runs indefinitely, so latency history is a sliding
+/// window — older batches age out instead of growing without bound.
+pub const BATCH_LATENCY_WINDOW: usize = 1024;
 
 /// Configuration of a [`MonitoringService`].
 #[derive(Clone, Copy, Debug)]
@@ -248,7 +254,8 @@ pub struct MonitoringService {
     served: u64,
     batches: u64,
     verdict_checksum: u64,
-    batch_latency_micros: Vec<u64>,
+    /// Sliding window of the last [`BATCH_LATENCY_WINDOW`] batch latencies.
+    batch_latency_micros: VecDeque<u64>,
 }
 
 impl MonitoringService {
@@ -277,7 +284,7 @@ impl MonitoringService {
             served: 0,
             batches: 0,
             verdict_checksum: 0,
-            batch_latency_micros: Vec::new(),
+            batch_latency_micros: VecDeque::new(),
         };
         for id in 0..config.shards.max(1) {
             let shard = service.build_shard(id, baseline, curve);
@@ -433,8 +440,11 @@ impl MonitoringService {
         }
         self.served += queries.len() as u64;
         self.batches += 1;
+        if self.batch_latency_micros.len() == BATCH_LATENCY_WINDOW {
+            self.batch_latency_micros.pop_front();
+        }
         self.batch_latency_micros
-            .push(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            .push_back(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         verdicts
     }
 
@@ -471,7 +481,7 @@ impl MonitoringService {
                 .sum(),
             verdict_checksum: self.verdict_checksum,
             shards,
-            batch_latency_micros: self.batch_latency_micros.clone(),
+            batch_latency_micros: self.batch_latency_micros.iter().copied().collect(),
         }
     }
 }
@@ -671,5 +681,21 @@ mod tests {
         assert_eq!(back, snapshot);
         assert_eq!(back.queries, 25);
         assert_eq!(back.batch_latency_micros.len() as u64, back.batches);
+    }
+
+    #[test]
+    fn batch_latency_history_is_a_bounded_window() {
+        let (dataset, baseline, curve) = setup();
+        let config = ServeConfig::new(2).with_seed(11).with_batch_size(1);
+        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let queries = stream(&dataset, BATCH_LATENCY_WINDOW + 10);
+        service.process_stream(&queries);
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.batches, (BATCH_LATENCY_WINDOW + 10) as u64);
+        assert_eq!(
+            snapshot.batch_latency_micros.len(),
+            BATCH_LATENCY_WINDOW,
+            "latency history must age out instead of growing unboundedly"
+        );
     }
 }

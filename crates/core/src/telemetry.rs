@@ -47,12 +47,13 @@ impl ScoreHistogram {
         }
     }
 
-    /// Records one score. Out-of-range scores clamp into the edge bins.
+    /// Records one score. Out-of-range scores (including infinities) clamp
+    /// into the edge bins; `NaN` lands in bin 0.
     pub fn record(&mut self, score: f64) {
-        let clamped = if score.is_finite() {
-            score.clamp(0.0, 1.0)
-        } else {
+        let clamped = if score.is_nan() {
             0.0
+        } else {
+            score.clamp(0.0, 1.0)
         };
         let bin = ((clamped * HISTOGRAM_BINS as f64) as usize).min(HISTOGRAM_BINS - 1);
         self.counts[bin] += 1;
@@ -162,7 +163,10 @@ pub struct TelemetrySnapshot {
     pub verdict_checksum: u64,
     /// Per-shard reports, in shard order.
     pub shards: Vec<ShardReport>,
-    /// Wall-clock per batch, microseconds. The only non-deterministic
+    /// Wall-clock per batch, microseconds, for the most recent batches
+    /// only (the service keeps a sliding window of
+    /// [`crate::serve::BATCH_LATENCY_WINDOW`] entries so a long-lived
+    /// monitor's history stays bounded). The only non-deterministic
     /// field — see [`TelemetrySnapshot::without_timing`].
     pub batch_latency_micros: Vec<u64>,
 }
@@ -202,7 +206,8 @@ impl TelemetrySnapshot {
         total
     }
 
-    /// Mean batch latency in microseconds; `None` before the first batch.
+    /// Mean latency of the batches in the retained window, microseconds;
+    /// `None` before the first batch.
     pub fn mean_batch_latency_micros(&self) -> Option<f64> {
         if self.batch_latency_micros.is_empty() {
             return None;
@@ -512,18 +517,44 @@ mod json {
                     match bytes.get(*pos) {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
                         Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
                         Some(b'u') => {
-                            let hex = bytes
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            let read_hex = |at: usize| {
+                                bytes
+                                    .get(at..at + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            };
+                            let hex = read_hex(*pos + 1)
                                 .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            let (code, hex_len) = if (0xd800..=0xdbff).contains(&hex) {
+                                // High surrogate: standard JSON encodes
+                                // non-BMP characters as a \uXXXX\uXXXX
+                                // surrogate pair.
+                                if bytes.get(*pos + 5) != Some(&b'\\')
+                                    || bytes.get(*pos + 6) != Some(&b'u')
+                                {
+                                    return Err(format!("unpaired surrogate at byte {}", *pos));
+                                }
+                                let low = read_hex(*pos + 7)
+                                    .filter(|c| (0xdc00..=0xdfff).contains(c))
+                                    .ok_or_else(|| {
+                                        format!("unpaired surrogate at byte {}", *pos)
+                                    })?;
+                                (0x10000 + ((hex - 0xd800) << 10) + (low - 0xdc00), 10)
+                            } else {
+                                (hex, 4)
+                            };
                             out.push(
-                                char::from_u32(hex)
+                                char::from_u32(code)
                                     .ok_or_else(|| format!("bad code point at byte {}", *pos))?,
                             );
-                            *pos += 4;
+                            *pos += hex_len;
                         }
                         _ => return Err(format!("bad escape at byte {}", *pos)),
                     }
@@ -645,10 +676,12 @@ mod tests {
         h.record(0.049); // still bin 0
         h.record(1.0); // clamps into the top bin
         h.record(2.5); // out of range clamps too
-        h.record(f64::NAN); // non-finite lands in bin 0
-        assert_eq!(h.counts()[0], 3);
-        assert_eq!(h.counts()[HISTOGRAM_BINS - 1], 2);
-        assert_eq!(h.total(), 5);
+        h.record(f64::NAN); // NaN lands in bin 0
+        h.record(f64::NEG_INFINITY); // clamps into bin 0
+        h.record(f64::INFINITY); // clamps into the top bin
+        assert_eq!(h.counts()[0], 4);
+        assert_eq!(h.counts()[HISTOGRAM_BINS - 1], 3);
+        assert_eq!(h.total(), 7);
     }
 
     #[test]
@@ -721,6 +754,37 @@ mod tests {
                 .mean_batch_latency_micros(),
             None
         );
+    }
+
+    #[test]
+    fn parser_accepts_standard_string_escapes() {
+        // A standard JSON library re-emitting a snapshot may use any of
+        // the short escape forms; from_json must read them all.
+        let value = json::parse(r#""a\tb\rc\nd\be\ff\/g\"h\\i""#).expect("parses");
+        assert_eq!(
+            value.as_str("s").unwrap(),
+            "a\tb\rc\nd\u{0008}e\u{000c}f/g\"h\\i"
+        );
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs() {
+        // U+1F600 as a standard JSON library escapes it: "\ud83d\ude00".
+        let text = "\"pre \\ud83d\\ude00 post\"";
+        let value = json::parse(text).expect("parses");
+        assert_eq!(value.as_str("s").unwrap(), "pre \u{1f600} post");
+    }
+
+    #[test]
+    fn parser_rejects_unpaired_surrogates() {
+        for bad in [
+            "\"\\ud83d\"",        // lone high surrogate at end of string
+            "\"\\ud83d rest\"",   // high surrogate not followed by \u
+            "\"\\ud83d\\u0041\"", // high surrogate paired with a non-low \u
+            "\"\\ude00\"",        // lone low surrogate
+        ] {
+            assert!(json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
