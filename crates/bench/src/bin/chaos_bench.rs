@@ -1,0 +1,131 @@
+//! Chaos-resilience benchmark: a supervised monitoring pool driven through
+//! a seeded crash/drift/poison schedule, serial vs threaded, swept over
+//! pool sizes.
+//!
+//! Writes `BENCH_4.json` (override with `--out PATH`) and prints the same
+//! numbers as a table. `--check` exits non-zero if any pool size's
+//! threaded chaos replay is not bit-identical to the serial one (verdicts,
+//! per-batch health transitions, and timing-stripped telemetry), if the
+//! scripted chaos failed to crash anything, if any query was dropped, or
+//! if the pool did not end the run serving — that mode is what CI runs
+//! (with `--fast`) as the chaos smoke test.
+
+use hmd_bench::cli::Scale;
+use hmd_bench::{chaos, setup, table, Args};
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_4.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let (scale_name, batch_size) = match args.scale {
+        Scale::Fast => ("fast", 8),
+        Scale::Medium => ("medium", 32),
+        Scale::Paper => ("paper", 128),
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let exec = args.exec();
+
+    let points = chaos::measure_sweep(&baseline, &dataset, args.seed, batch_size, &exec);
+    let total_batches = chaos::CHAOS_HORIZON + chaos::CHAOS_TAIL;
+
+    table::title(&format!(
+        "Chaos recovery, {total_batches} batches x {batch_size} queries ({scale_name})"
+    ));
+    table::header(&[
+        "shards",
+        "crashes",
+        "retries",
+        "drift",
+        "rejected",
+        "healthy@end",
+        "scaling",
+        "deterministic",
+    ]);
+    for p in &points {
+        table::row(&[
+            format!("{}", p.shards),
+            format!("{}", p.crashes),
+            format!("{}", p.retries),
+            format!("{}", p.drift_events),
+            format!("{}", p.rejected),
+            format!("{}/{}", p.healthy_at_end, p.shards),
+            format!("{:.2}x", p.scaling()),
+            if p.thread_invariant { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("(same seeds, same chaos schedule; only the worker pool differs between replays)");
+
+    let doc = chaos::render_json(&points, args.seed, scale_name, exec.thread_count());
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        let expected_queries = (total_batches as usize) * batch_size;
+        for p in &points {
+            if !p.thread_invariant {
+                eprintln!(
+                    "FAIL: {} shards: threaded chaos replay diverged from serial",
+                    p.shards
+                );
+                failed = true;
+            }
+            if p.crashes == 0 {
+                eprintln!("FAIL: {} shards: scripted chaos crashed nothing", p.shards);
+                failed = true;
+            }
+            if p.queries != expected_queries {
+                eprintln!(
+                    "FAIL: {} shards: {} of {expected_queries} queries processed",
+                    p.shards, p.queries
+                );
+                failed = true;
+            }
+            if p.rejected != total_batches {
+                eprintln!(
+                    "FAIL: {} shards: {} of {total_batches} poison queries rejected",
+                    p.shards, p.rejected
+                );
+                failed = true;
+            }
+            if p.healthy_at_end + p.degraded_at_end == 0 {
+                eprintln!("FAIL: {} shards: pool ended the run dark", p.shards);
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: chaos replay thread-invariant at every pool size, \
+             poison contained, pool serving at end"
+        );
+    }
+}

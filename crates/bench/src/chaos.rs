@@ -1,0 +1,307 @@
+//! Chaos-resilience measurement: a *supervised* monitoring pool driven
+//! through a seeded crash/drift schedule, timed serial vs threaded.
+//!
+//! Where `serve` (BENCH_3) measures the happy path, this module measures
+//! the supervised one: a [`stochastic_hmd::supervisor::ChaosPlan`] crashes
+//! shards and spikes the die temperature mid-stream, a poison query is
+//! mixed into every batch, and the pool has to quarantine, re-route,
+//! retry, and recover — all while staying bit-identical between a serial
+//! and a threaded replay. The `chaos_bench` binary writes the sweep to
+//! `BENCH_4.json` at the repository root.
+//!
+//! Timings vary run to run; nothing else may. A point counts as
+//! thread-invariant only when the serial and threaded verdict checksums,
+//! health-transition tallies, and full timing-stripped telemetry
+//! snapshots are bit-identical.
+
+use shmd_volt::calibration::DeviceProfile;
+use shmd_volt::environment::EnvironmentConfig;
+use shmd_workload::dataset::Dataset;
+use std::time::Instant;
+use stochastic_hmd::exec::ExecConfig;
+use stochastic_hmd::serve::{MonitoringService, ServeConfig};
+use stochastic_hmd::supervisor::{ChaosPlan, ShardHealth, SupervisorConfig};
+use stochastic_hmd::telemetry::TelemetrySnapshot;
+use stochastic_hmd::BaselineHmd;
+
+/// Pool sizes the chaos benchmark sweeps. A 1-shard pool is excluded: its
+/// only crash response is baseline failover, which the serve benchmark's
+/// degradation counters already cover.
+pub const CHAOS_SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Batches of scripted chaos per deployment (the plan's horizon), followed
+/// by a clean tail that gives the last quarantined shard room to finish
+/// its recovery retries.
+pub const CHAOS_HORIZON: u64 = 24;
+
+/// Clean batches appended after the chaos horizon.
+pub const CHAOS_TAIL: u64 = 16;
+
+/// One pool size's chaos measurement.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// Detector replicas in the pool.
+    pub shards: usize,
+    /// Queries replayed per deployment (served + rejected).
+    pub queries: usize,
+    /// Queries per second with a serial worker pool, chaos included.
+    pub serial_qps: f64,
+    /// Queries per second fanned across the configured worker pool.
+    pub threaded_qps: f64,
+    /// Verdict checksum of the serial replay.
+    pub checksum: u64,
+    /// Whether the threaded replay matched the serial one bit-for-bit
+    /// (verdicts, health transitions, timing-stripped telemetry).
+    pub thread_invariant: bool,
+    /// Shard crashes over the run (scripted + physics).
+    pub crashes: u64,
+    /// Recovery retries executed.
+    pub retries: u64,
+    /// Watchdog drift detections.
+    pub drift_events: u64,
+    /// Health-state transitions across all shards.
+    pub transitions: u64,
+    /// Poison queries rejected at ingestion.
+    pub rejected: u64,
+    /// Shards back to `Healthy` when the run ended.
+    pub healthy_at_end: usize,
+    /// Shards parked on the baseline fallback when the run ended.
+    pub degraded_at_end: usize,
+}
+
+impl ChaosPoint {
+    /// `threaded_qps / serial_qps`.
+    pub fn scaling(&self) -> f64 {
+        self.threaded_qps / self.serial_qps
+    }
+}
+
+/// The scripted world every measurement runs in: a drifting office
+/// environment plus a seeded chaos plan over [`CHAOS_HORIZON`] batches.
+fn supervision(seed: u64, shards: usize) -> SupervisorConfig {
+    let device = DeviceProfile::reference();
+    let environment = EnvironmentConfig::drifting(device.temp_c, seed);
+    let chaos = ChaosPlan::seeded(seed, shards, CHAOS_HORIZON, 2, 1);
+    SupervisorConfig::new(device)
+        .with_environment(environment)
+        .with_chaos(chaos)
+}
+
+/// Replays the chaos schedule through a fresh supervised deployment and
+/// returns the finished service, its snapshot, and queries-per-second.
+fn replay(
+    baseline: &BaselineHmd,
+    features: &[Vec<Vec<f32>>],
+    shards: usize,
+    seed: u64,
+    exec: ExecConfig,
+) -> (Vec<Vec<ShardHealth>>, TelemetrySnapshot, f64) {
+    let config = ServeConfig::new(shards)
+        .with_seed(seed)
+        .with_target_error_rate(0.2)
+        .with_exec(exec);
+    let mut service = MonitoringService::supervised(baseline, supervision(seed, shards), config)
+        .expect("the reference device calibrates at er = 0.2");
+    let total: usize = features.iter().map(Vec::len).sum();
+    let start = Instant::now();
+    let mut healths = Vec::with_capacity(features.len());
+    for batch in features {
+        service.process_feature_batch(batch);
+        healths.push(service.shard_healths());
+    }
+    let qps = total as f64 / start.elapsed().as_secs_f64();
+    (healths, service.snapshot(), qps)
+}
+
+/// Builds the batched feature stream: `batch_size` queries per batch over
+/// `CHAOS_HORIZON + CHAOS_TAIL` batches, with the last query of every
+/// batch width-poisoned so rejection is exercised under chaos.
+pub fn feature_stream(
+    baseline: &BaselineHmd,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Vec<Vec<Vec<f32>>> {
+    let spec = baseline.spec();
+    let dim = spec.extract(dataset.trace(0)).len();
+    let batches = (CHAOS_HORIZON + CHAOS_TAIL) as usize;
+    (0..batches)
+        .map(|b| {
+            let mut batch: Vec<Vec<f32>> = (0..batch_size)
+                .map(|i| spec.extract(dataset.trace((b * batch_size + i) % dataset.len())))
+                .collect();
+            let last = batch.len() - 1;
+            batch[last] = vec![0.5; dim + 1];
+            batch
+        })
+        .collect()
+}
+
+/// Measures one pool size: the same chaos schedule through a serial and a
+/// threaded deployment, including the thread-invariance verdict.
+pub fn measure_point(
+    baseline: &BaselineHmd,
+    features: &[Vec<Vec<f32>>],
+    shards: usize,
+    seed: u64,
+    exec: &ExecConfig,
+) -> ChaosPoint {
+    let (serial_healths, serial_raw, serial_qps) =
+        replay(baseline, features, shards, seed, ExecConfig::serial());
+    let (threaded_healths, threaded_raw, threaded_qps) =
+        replay(baseline, features, shards, seed, *exec);
+    let serial = serial_raw.without_timing();
+    let threaded = threaded_raw.without_timing();
+    let final_healths = serial_healths.last().cloned().unwrap_or_default();
+    ChaosPoint {
+        shards,
+        queries: features.iter().map(Vec::len).sum(),
+        serial_qps,
+        threaded_qps,
+        checksum: serial.verdict_checksum,
+        thread_invariant: serial == threaded && serial_healths == threaded_healths,
+        crashes: serial.total_crashes(),
+        retries: serial.total_retries(),
+        drift_events: serial.total_drift_events(),
+        transitions: serial.total_transitions(),
+        rejected: serial.rejected_queries,
+        healthy_at_end: final_healths
+            .iter()
+            .filter(|&&h| h == ShardHealth::Healthy)
+            .count(),
+        degraded_at_end: final_healths
+            .iter()
+            .filter(|&&h| h == ShardHealth::Degraded)
+            .count(),
+    }
+}
+
+/// Sweeps [`CHAOS_SHARD_COUNTS`] over a stream drawn from `dataset`.
+pub fn measure_sweep(
+    baseline: &BaselineHmd,
+    dataset: &Dataset,
+    seed: u64,
+    batch_size: usize,
+    exec: &ExecConfig,
+) -> Vec<ChaosPoint> {
+    let features = feature_stream(baseline, dataset, batch_size);
+    CHAOS_SHARD_COUNTS
+        .iter()
+        .map(|&shards| measure_point(baseline, &features, shards, seed, exec))
+        .collect()
+}
+
+/// Renders the sweep as the hand-built JSON written to `BENCH_4.json`
+/// (the vendored `serde` is a no-op shim; checksums are decimal strings
+/// because they exceed 2^53).
+pub fn render_json(points: &[ChaosPoint], seed: u64, scale: &str, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"chaos_recovery\",\n");
+    out.push_str("  \"unit\": \"queries_per_second\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"schedule\": \"{} chaos batches + {} clean, seeded crashes and a cold spike, \
+         one poison query per batch\",\n",
+        CHAOS_HORIZON, CHAOS_TAIL
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"queries\": {}, \"serial_qps\": {:.1}, \
+             \"threaded_qps\": {:.1}, \"scaling\": {:.3}, \"checksum\": \"{}\", \
+             \"thread_invariant\": {}, \"crashes\": {}, \"retries\": {}, \
+             \"drift_events\": {}, \"transitions\": {}, \"rejected\": {}, \
+             \"healthy_at_end\": {}, \"degraded_at_end\": {}}}{}\n",
+            p.shards,
+            p.queries,
+            p.serial_qps,
+            p.threaded_qps,
+            p.scaling(),
+            p.checksum,
+            p.thread_invariant,
+            p.crashes,
+            p.retries,
+            p.drift_events,
+            p.transitions,
+            p.rejected,
+            p.healthy_at_end,
+            p.degraded_at_end,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+    use crate::Args;
+
+    fn fixture() -> (Dataset, BaselineHmd) {
+        let args = Args::parse_from(["--fast".to_string()]);
+        let dataset = setup::dataset(&args);
+        let baseline = setup::victim(&dataset, 0, &args);
+        (dataset, baseline)
+    }
+
+    #[test]
+    fn chaos_point_is_thread_invariant_and_contains_poison() {
+        let (dataset, baseline) = fixture();
+        let features = feature_stream(&baseline, &dataset, 8);
+        let p = measure_point(&baseline, &features, 4, 11, &ExecConfig::threads(4));
+        assert!(p.serial_qps.is_finite() && p.serial_qps > 0.0);
+        assert!(p.thread_invariant, "chaos replay diverged across threads");
+        assert_eq!(
+            p.rejected,
+            CHAOS_HORIZON + CHAOS_TAIL,
+            "one poison per batch must be rejected"
+        );
+        assert!(p.crashes >= 1, "the seeded plan must actually crash shards");
+        assert!(
+            p.healthy_at_end + p.degraded_at_end >= 1,
+            "the pool must end the run serving"
+        );
+    }
+
+    #[test]
+    fn chaos_checksum_is_seed_deterministic() {
+        let (dataset, baseline) = fixture();
+        let features = feature_stream(&baseline, &dataset, 8);
+        let a = measure_point(&baseline, &features, 2, 5, &ExecConfig::serial());
+        let b = measure_point(&baseline, &features, 2, 5, &ExecConfig::serial());
+        assert_eq!(a.checksum, b.checksum, "same seed must replay identically");
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.transitions, b.transitions);
+        let c = measure_point(&baseline, &features, 2, 6, &ExecConfig::serial());
+        assert_ne!(a.checksum, c.checksum, "seed must steer the chaos run");
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough_to_grep() {
+        let p = ChaosPoint {
+            shards: 4,
+            queries: 320,
+            serial_qps: 900.0,
+            threaded_qps: 2700.0,
+            checksum: 7,
+            thread_invariant: true,
+            crashes: 2,
+            retries: 3,
+            drift_events: 1,
+            transitions: 12,
+            rejected: 40,
+            healthy_at_end: 4,
+            degraded_at_end: 0,
+        };
+        let doc = render_json(&[p], 42, "fast", 8);
+        assert!(doc.contains("\"bench\": \"chaos_recovery\""));
+        assert!(doc.contains("\"scaling\": 3.000"));
+        assert!(doc.contains("\"thread_invariant\": true"));
+        assert!(doc.contains("\"crashes\": 2"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -66,7 +66,8 @@ fn replay(
     config: ServeConfig,
     queries: &[&Trace],
 ) -> (MonitoringService, f64) {
-    let mut service = MonitoringService::deploy(baseline, curve, config);
+    let mut service =
+        MonitoringService::deploy(baseline, curve, config).expect("benchmark config is valid");
     let start = Instant::now();
     service.process_stream(queries);
     let qps = queries.len() as f64 / start.elapsed().as_secs_f64();

@@ -24,6 +24,9 @@
 //!   Stochastic-HMD replicas answering a query stream with deterministic
 //!   fan-out and graceful degradation to the baseline when calibration
 //!   fails;
+//! - [`supervisor`] — the robustness layer around [`serve`]: per-shard
+//!   health states, a delivered-error-rate watchdog, seeded chaos plans,
+//!   and deterministic recovery schedules;
 //! - [`telemetry`] — the serving layer's export surface: per-shard
 //!   counters, score histograms, fault statistics, and a JSON-round-trip
 //!   snapshot.
@@ -66,6 +69,7 @@ pub mod rhmd;
 pub mod roc;
 pub mod serve;
 pub mod stochastic;
+pub mod supervisor;
 pub mod telemetry;
 pub mod train;
 pub mod xval;
@@ -78,8 +82,13 @@ pub use exec::{derive_seed, mix_seed, parallel_map, parallel_map_n, ExecConfig};
 pub use monitor::{monitor_all, monitor_trace, MonitorOutcome, MonitorReport};
 pub use rhmd::{Rhmd, RhmdConstruction};
 pub use roc::{RocCurve, RocError, RocPoint};
-pub use serve::{MonitoringService, ServeConfig, Verdict};
+pub use serve::{
+    MonitoringService, QueryDisposition, RejectReason, ServeConfig, ServeError, Verdict,
+};
 pub use stochastic::StochasticHmd;
+pub use supervisor::{
+    ChaosEvent, ChaosPlan, ShardHealth, SupervisionRecord, Supervisor, SupervisorConfig,
+};
 pub use telemetry::{
     FaultCounters, ScoreHistogram, ShardReport, TelemetryParseError, TelemetrySnapshot,
 };

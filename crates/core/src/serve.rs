@@ -8,43 +8,75 @@
 //! monitoring. [`MonitoringService`] is that pool:
 //!
 //! - **per-shard seeds** come from [`crate::exec::derive_seed`] over the
-//!   master seed, the shard index and the calibration generation, so
-//!   replicas draw statistically independent fault streams and the whole
-//!   service replays bit-for-bit from one seed;
+//!   master seed, the shard index and the shard's calibration generation,
+//!   so replicas draw statistically independent fault streams and the
+//!   whole service replays bit-for-bit from one seed;
 //! - **deterministic fan-out**: queries are assigned to shards by their
-//!   position in the stream (`index mod shards`), workers claim *shards*
-//!   (never queries) from a [`std::thread::scope`] pool, and each batch's
-//!   verdicts are merged back into stream order — so serial and N-thread
-//!   execution produce bit-identical verdicts, scores, and telemetry, as
-//!   in [`crate::exec`];
+//!   position in the stream (`index mod shards`, re-routed to the serving
+//!   set by the same arithmetic when a shard is quarantined), workers
+//!   claim *shards* (never queries) from a [`std::thread::scope`] pool,
+//!   and each batch's verdicts are merged back into stream order — so
+//!   serial and N-thread execution produce bit-identical verdicts,
+//!   scores, and telemetry, as in [`crate::exec`];
+//! - **ingestion validation**: a query whose feature width mismatches the
+//!   deployed model, or whose features are NaN/infinite, is *rejected* at
+//!   the door with a [`QueryDisposition::Rejected`] verdict instead of
+//!   panicking inside a worker and poisoning the shard's mutex — one
+//!   poison query costs exactly one verdict, never the shard;
 //! - **graceful degradation**: when calibration cannot deliver the target
 //!   error rate for a shard (device freezes first, re-calibration fails
 //!   mid-stream), the shard falls back to the *baseline* detector at
 //!   nominal voltage and the [`crate::telemetry`] layer records the
 //!   degradation — the service keeps answering instead of aborting, it
 //!   just loses the moving-target defense on that shard until a later
-//!   [`MonitoringService::recalibrate`] succeeds.
+//!   [`MonitoringService::recalibrate`] succeeds;
+//! - **supervision** ([`MonitoringService::supervised`]): a deployment
+//!   under a [`Supervisor`] steps a thermal world model
+//!   ([`shmd_volt::environment`]) plus an optional seeded
+//!   [`crate::supervisor::ChaosPlan`] before every batch — a shard whose
+//!   operating point crosses the freeze threshold *crashes* and is
+//!   quarantined (traffic re-routed, deterministic retries with
+//!   exponential backoff, restart under a fresh generation seed), and a
+//!   watchdog compares the online delivered-error-rate estimate against
+//!   its post-calibration reference to trigger recalibration on drift.
+//!   All supervision runs on the main thread as a function of the batch
+//!   index, so chaos runs replay bit-identically at any thread count.
 //!
 //! The `serve_bench` binary replays a generated dataset through this
 //! engine and records throughput plus the thread-invariance checksum in
-//! `BENCH_3.json`; the `monitoring_service` example walks the API.
+//! `BENCH_3.json`; `chaos_bench` drives a supervised pool through a
+//! scripted crash/drift schedule into `BENCH_4.json`; the
+//! `monitoring_service` and `chaos_recovery` examples walk the APIs.
 
 use crate::baseline::BaselineHmd;
 use crate::deploy::DetectionPolicy;
 use crate::detector::{Detector, Label};
 use crate::exec::{derive_seed, parallel_map_n, ExecConfig};
 use crate::stochastic::StochasticHmd;
+use crate::supervisor::{
+    retry_backoff, ShardHealth, SupervisionRecord, Supervisor, SupervisorConfig,
+};
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
-use shmd_volt::calibration::CalibrationCurve;
+use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
+use shmd_volt::controller::ControllerAction;
+use shmd_volt::environment::delivered_error_rate_at;
+use shmd_volt::multiplier::FREEZE_ERROR_RATE;
+use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// Experiment tag mixed into every shard-seed derivation, so a service and
 /// an experiment sharing a master seed never share RNG streams.
 const SERVE_TAG: u64 = 0x5e7e;
+
+/// Folded into the verdict checksum in place of a score for rejected
+/// queries, so a rejection perturbs the checksum distinctly from any
+/// served verdict.
+const REJECTED_QUERY_MARK: u64 = 0x07e1_ec7e_dbad_feed;
 
 /// Number of recent per-batch latencies retained for telemetry. A
 /// continuous monitor runs indefinitely, so latency history is a sliding
@@ -58,7 +90,8 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Maximum queries per batch when streaming. Clamped to at least 1.
     pub batch_size: usize,
-    /// Multiplication error rate each shard's calibration targets.
+    /// Multiplication error rate each shard's calibration targets. Must be
+    /// a finite probability below 1 ([`ServeError::InvalidTargetErrorRate`]).
     pub target_error_rate: f64,
     /// Per-query verdict aggregation policy.
     pub policy: DetectionPolicy,
@@ -120,26 +153,114 @@ impl ServeConfig {
     }
 }
 
+/// Error deploying or reconfiguring a [`MonitoringService`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServeError {
+    /// `target_error_rate` is NaN, negative, or ≥ 1 — not a rate any
+    /// calibration can deliver. Caught at [`MonitoringService::deploy`]
+    /// instead of deep inside a shard's calibration chain.
+    InvalidTargetErrorRate(f64),
+    /// Supervisor construction failed to calibrate the configured device.
+    Calibration(CalibrationError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidTargetErrorRate(er) => {
+                write!(f, "target error rate {er} is not a probability below 1")
+            }
+            ServeError::Calibration(e) => write!(f, "supervisor calibration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CalibrationError> for ServeError {
+    fn from(e: CalibrationError) -> ServeError {
+        ServeError::Calibration(e)
+    }
+}
+
+/// Why a query was rejected at ingestion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The feature vector's width does not match the deployed model's
+    /// input layer.
+    WidthMismatch {
+        /// Width of the offending query.
+        got: usize,
+        /// Width the deployed model expects.
+        expected: usize,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteFeature {
+        /// Index of the first offending feature.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::WidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "feature width {got} does not match model input {expected}"
+                )
+            }
+            RejectReason::NonFiniteFeature { index } => {
+                write!(f, "feature {index} is not finite")
+            }
+        }
+    }
+}
+
+/// Whether a verdict came from a detector or from ingestion validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryDisposition {
+    /// A shard scored the query.
+    Served,
+    /// Ingestion validation rejected the query before it reached any
+    /// shard; the score is 0 and the label benign by convention.
+    Rejected(RejectReason),
+}
+
 /// One answered query.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Verdict {
     /// Position of the query in the service's lifetime stream (0-based).
     pub query: u64,
-    /// Shard that answered it.
+    /// Shard that answered it (for a rejected query: the shard it would
+    /// have been routed to).
     pub shard: usize,
     /// Policy-consistent score (the statistic whose thresholding matches
     /// the verdict — see [`crate::deploy::PolicyDetector`]).
     pub score: f64,
     /// The verdict.
     pub label: Label,
+    /// Served by a detector, or rejected at ingestion.
+    pub disposition: QueryDisposition,
 }
 
-/// A shard's detector: the protected replica, or the baseline fallback
-/// when calibration could not deliver the target error rate.
+impl Verdict {
+    /// Whether ingestion validation rejected this query.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.disposition, QueryDisposition::Rejected(_))
+    }
+}
+
+/// A shard's detector: the protected replica, the baseline fallback when
+/// calibration could not deliver the target error rate, or nothing at all
+/// while the shard is crashed.
 enum ShardBackend {
     Stochastic(Box<StochasticHmd>),
     /// Degraded: nominal voltage, no moving target — but still serving.
     Baseline(BaselineHmd),
+    /// Crashed: the core is hung. The shard is out of the serving set and
+    /// receives no queries until the supervisor restarts it.
+    Down,
 }
 
 impl ShardBackend {
@@ -147,6 +268,7 @@ impl ShardBackend {
         match self {
             ShardBackend::Stochastic(hmd) => hmd.score_features(features),
             ShardBackend::Baseline(hmd) => hmd.score_features(features),
+            ShardBackend::Down => unreachable!("crashed shard received a query"),
         }
     }
 
@@ -154,6 +276,7 @@ impl ShardBackend {
         match self {
             ShardBackend::Stochastic(hmd) => Detector::threshold(hmd.as_ref()),
             ShardBackend::Baseline(hmd) => Detector::threshold(hmd),
+            ShardBackend::Down => unreachable!("crashed shard has no threshold"),
         }
     }
 }
@@ -162,7 +285,12 @@ impl ShardBackend {
 struct Shard {
     id: usize,
     seed: u64,
+    /// Calibration generation: bumped on every backend rebuild
+    /// (recalibration or supervised restart) so the shard never replays an
+    /// old fault stream.
+    generation: u64,
     backend: ShardBackend,
+    supervision: SupervisionRecord,
     degraded_reason: Option<String>,
     degradation_events: u64,
     queries: u64,
@@ -225,6 +353,11 @@ impl Shard {
             seed: self.seed,
             degraded: matches!(self.backend, ShardBackend::Baseline(_)),
             degraded_reason: self.degraded_reason.clone(),
+            health: self.supervision.health(),
+            transitions: self.supervision.transitions(),
+            crashes: self.supervision.crashes(),
+            drift_events: self.supervision.drift_events(),
+            retries: self.supervision.retries(),
             queries: self.queries,
             flags: self.flags,
             faults: self.fault_counters(),
@@ -233,13 +366,54 @@ impl Shard {
     }
 }
 
+/// Validates one query's features against the deployed model.
+fn validate_features(features: &[f32], expected: usize) -> Result<(), RejectReason> {
+    if features.len() != expected {
+        return Err(RejectReason::WidthMismatch {
+            got: features.len(),
+            expected,
+        });
+    }
+    if let Some(index) = features.iter().position(|f| !f.is_finite()) {
+        return Err(RejectReason::NonFiniteFeature { index });
+    }
+    Ok(())
+}
+
+/// Swaps a shard onto a freshly calibrated stochastic backend under a new
+/// generation seed. Returns `false` (leaving the shard untouched) when the
+/// fault model cannot be built at the offset.
+fn restart_shard(
+    shard: &mut Shard,
+    baseline: &BaselineHmd,
+    curve: &CalibrationCurve,
+    offset: Millivolts,
+    master_seed: u64,
+) -> bool {
+    let generation = shard.generation + 1;
+    let seed = derive_seed(master_seed, &[SERVE_TAG, shard.id as u64, generation]);
+    match StochasticHmd::at_offset(baseline, curve, offset, seed) {
+        Ok(hmd) => {
+            shard.retire_backend();
+            shard.generation = generation;
+            shard.seed = seed;
+            shard.backend = ShardBackend::Stochastic(Box::new(hmd));
+            shard.degraded_reason = None;
+            true
+        }
+        Err(_) => false,
+    }
+}
+
 /// A sharded continuous-monitoring service over Stochastic-HMD replicas.
 ///
 /// See the [module docs](crate::serve) for the design; the short version:
 /// deterministic sharding by stream position, per-shard derived seeds,
 /// parallel batch processing with bit-identical output at any thread
-/// count, and per-shard degradation to the baseline detector when
-/// calibration fails.
+/// count, ingestion validation that contains poison queries, per-shard
+/// degradation to the baseline detector when calibration fails, and an
+/// optional [`Supervisor`] that crashes, quarantines, recalibrates, and
+/// restarts shards as its thermal world model (plus scripted chaos) moves.
 pub struct MonitoringService {
     spec: FeatureSpec,
     policy: DetectionPolicy,
@@ -247,12 +421,16 @@ pub struct MonitoringService {
     seed: u64,
     batch_size: usize,
     exec: ExecConfig,
-    /// Calibration generation: bumped by every [`MonitoringService::recalibrate`]
-    /// so rebuilt shards draw fresh fault streams.
-    generation: u64,
+    /// The unprotected model: the fallback backend, and the template for
+    /// supervised rebuilds.
+    baseline: BaselineHmd,
+    /// Input-layer width, for ingestion validation.
+    input_dim: usize,
+    supervisor: Option<Supervisor>,
     shards: Vec<Mutex<Shard>>,
     served: u64,
     batches: u64,
+    rejected_queries: u64,
     verdict_checksum: u64,
     /// Sliding window of the last [`BATCH_LATENCY_WINDOW`] batch latencies.
     batch_latency_micros: VecDeque<u64>,
@@ -262,50 +440,146 @@ impl MonitoringService {
     /// Deploys `config.shards` replicas of `baseline` protected at
     /// `config.target_error_rate` on the device described by `curve`.
     ///
-    /// Deployment is infallible by design: a shard whose calibration
-    /// cannot deliver the target error rate (e.g. the device freezes
-    /// before reaching it) degrades to the baseline detector and the
-    /// degradation is recorded in telemetry, instead of failing the whole
-    /// service.
+    /// Past config validation, deployment is infallible by design: a shard
+    /// whose calibration cannot deliver the (valid but unreachable) target
+    /// error rate degrades to the baseline detector and the degradation is
+    /// recorded in telemetry, instead of failing the whole service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidTargetErrorRate`] when
+    /// `config.target_error_rate` is NaN, negative, or ≥ 1.
     pub fn deploy(
         baseline: &BaselineHmd,
         curve: &CalibrationCurve,
         config: ServeConfig,
-    ) -> MonitoringService {
-        let mut service = MonitoringService {
+    ) -> Result<MonitoringService, ServeError> {
+        Self::validate_target(config.target_error_rate)?;
+        let mut service = Self::empty(baseline, config);
+        for id in 0..config.shards.max(1) {
+            let shard = service.build_shard(id, baseline, curve);
+            service.shards.push(Mutex::new(shard));
+        }
+        Ok(service)
+    }
+
+    /// Deploys a *supervised* service: the pool runs inside `supervision`'s
+    /// thermal world model (and scripted chaos plan, if any), with shard
+    /// offsets chosen by the supervisor's voltage controller. Before every
+    /// batch the supervisor steps the environment, crashes and quarantines
+    /// frozen shards, retunes live injectors to the physically delivered
+    /// error rate, runs the delivered-rate watchdog, and executes due
+    /// recovery retries — all as a deterministic function of the batch
+    /// index.
+    ///
+    /// An unreachable (but valid) target clamps at the controller's guard
+    /// band rather than degrading: the shards serve stochastic at the
+    /// deepest safe offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidTargetErrorRate`] for an invalid
+    /// target, or [`ServeError::Calibration`] when the supervisor cannot
+    /// calibrate the configured device.
+    pub fn supervised(
+        baseline: &BaselineHmd,
+        supervision: SupervisorConfig,
+        config: ServeConfig,
+    ) -> Result<MonitoringService, ServeError> {
+        Self::validate_target(config.target_error_rate)?;
+        let supervisor = Supervisor::new(supervision, config.target_error_rate)?;
+        let mut service = Self::empty(baseline, config);
+        let offset = supervisor.controller().offset();
+        let curve = supervisor.controller().curve();
+        for id in 0..config.shards.max(1) {
+            let seed = derive_seed(service.seed, &[SERVE_TAG, id as u64, 0]);
+            let (backend, reason, degradation, health) =
+                match StochasticHmd::at_offset(baseline, curve, offset, seed) {
+                    Ok(hmd) => (
+                        ShardBackend::Stochastic(Box::new(hmd)),
+                        None,
+                        0,
+                        ShardHealth::Healthy,
+                    ),
+                    Err(e) => (
+                        ShardBackend::Baseline(baseline.clone()),
+                        Some(format!("fault model failed: {e}")),
+                        1,
+                        ShardHealth::Degraded,
+                    ),
+                };
+            service.shards.push(Mutex::new(Shard {
+                id,
+                seed,
+                generation: 0,
+                backend,
+                supervision: SupervisionRecord::starting(health),
+                degraded_reason: reason,
+                degradation_events: degradation,
+                queries: 0,
+                flags: 0,
+                retired_faults: FaultCounters::default(),
+                histogram: ScoreHistogram::new(),
+                draws: Vec::new(),
+            }));
+        }
+        service.supervisor = Some(supervisor);
+        Ok(service)
+    }
+
+    fn validate_target(er: f64) -> Result<(), ServeError> {
+        if !er.is_finite() || !(0.0..1.0).contains(&er) {
+            return Err(ServeError::InvalidTargetErrorRate(er));
+        }
+        Ok(())
+    }
+
+    /// The shard-less scaffold both deploy paths start from.
+    fn empty(baseline: &BaselineHmd, config: ServeConfig) -> MonitoringService {
+        MonitoringService {
             spec: baseline.spec(),
             policy: config.policy,
             target_error_rate: config.target_error_rate,
             seed: config.seed,
             batch_size: config.batch_size.max(1),
             exec: config.exec,
-            generation: 0,
+            baseline: baseline.clone(),
+            input_dim: baseline.quantized().input_dim(),
+            supervisor: None,
             shards: Vec::new(),
             served: 0,
             batches: 0,
+            rejected_queries: 0,
             verdict_checksum: 0,
             batch_latency_micros: VecDeque::new(),
-        };
-        for id in 0..config.shards.max(1) {
-            let shard = service.build_shard(id, baseline, curve);
-            service.shards.push(Mutex::new(shard));
         }
-        service
     }
 
-    /// Builds one shard for the current generation, degrading to the
-    /// baseline on calibration failure.
+    /// Builds one generation-0 shard, degrading to the baseline on
+    /// calibration failure.
     fn build_shard(&self, id: usize, baseline: &BaselineHmd, curve: &CalibrationCurve) -> Shard {
-        let seed = derive_seed(self.seed, &[SERVE_TAG, id as u64, self.generation]);
-        let (backend, degraded_reason, degradation) =
+        let seed = derive_seed(self.seed, &[SERVE_TAG, id as u64, 0]);
+        let (backend, degraded_reason, degradation, health) =
             match Self::protected_backend(baseline, curve, self.target_error_rate, seed) {
-                Ok(hmd) => (ShardBackend::Stochastic(Box::new(hmd)), None, 0),
-                Err(reason) => (ShardBackend::Baseline(baseline.clone()), Some(reason), 1),
+                Ok(hmd) => (
+                    ShardBackend::Stochastic(Box::new(hmd)),
+                    None,
+                    0,
+                    ShardHealth::Healthy,
+                ),
+                Err(reason) => (
+                    ShardBackend::Baseline(baseline.clone()),
+                    Some(reason),
+                    1,
+                    ShardHealth::Degraded,
+                ),
             };
         Shard {
             id,
             seed,
+            generation: 0,
             backend,
+            supervision: SupervisionRecord::starting(health),
             degraded_reason,
             degradation_events: degradation,
             queries: 0,
@@ -336,9 +610,15 @@ impl MonitoringService {
         self.shards.len()
     }
 
-    /// Queries served over the service's lifetime.
+    /// Queries consumed from the stream (served and rejected alike — every
+    /// query advances the stream position).
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Queries rejected at ingestion so far.
+    pub fn rejected_queries(&self) -> u64 {
+        self.rejected_queries
     }
 
     /// The deployed policy.
@@ -346,12 +626,44 @@ impl MonitoringService {
         self.policy
     }
 
+    /// Feature width the deployed model expects; queries of any other
+    /// width are rejected at ingestion.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The supervision engine, when deployed via
+    /// [`MonitoringService::supervised`].
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// Each shard's current health, in shard order.
+    pub fn shard_healths(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("shard mutex poisoned")
+                    .supervision
+                    .health()
+            })
+            .collect()
+    }
+
     /// Changes the calibration target for subsequent
     /// [`MonitoringService::recalibrate`] calls (e.g. the operator trades
     /// accuracy for robustness at runtime). Live shards keep their current
     /// fault models until the next recalibration.
-    pub fn retarget(&mut self, target_error_rate: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidTargetErrorRate`] for NaN, negative,
+    /// or ≥ 1 targets, leaving the current target in place.
+    pub fn retarget(&mut self, target_error_rate: f64) -> Result<(), ServeError> {
+        Self::validate_target(target_error_rate)?;
         self.target_error_rate = target_error_rate;
+        Ok(())
     }
 
     /// Rebuilds every shard's detector against `curve` (a fresh
@@ -363,24 +675,28 @@ impl MonitoringService {
     /// recover when the new calibration succeeds. Returns the number of
     /// shards left degraded.
     pub fn recalibrate(&mut self, baseline: &BaselineHmd, curve: &CalibrationCurve) -> usize {
-        self.generation += 1;
         let mut degraded = 0;
         for slot in &mut self.shards {
             let shard = slot.get_mut().expect("shard mutex poisoned");
             shard.retire_backend();
-            shard.seed = derive_seed(self.seed, &[SERVE_TAG, shard.id as u64, self.generation]);
+            shard.generation += 1;
+            shard.seed = derive_seed(self.seed, &[SERVE_TAG, shard.id as u64, shard.generation]);
             match Self::protected_backend(baseline, curve, self.target_error_rate, shard.seed) {
                 Ok(hmd) => {
                     shard.backend = ShardBackend::Stochastic(Box::new(hmd));
                     shard.degraded_reason = None;
+                    shard.supervision.transition(ShardHealth::Healthy);
                 }
                 Err(reason) => {
                     shard.backend = ShardBackend::Baseline(baseline.clone());
                     shard.degraded_reason = Some(reason);
                     shard.degradation_events += 1;
+                    shard.supervision.transition(ShardHealth::Degraded);
                     degraded += 1;
                 }
             }
+            let mark = shard.fault_counters();
+            shard.supervision.reset_watchdog(mark);
         }
         degraded
     }
@@ -394,14 +710,65 @@ impl MonitoringService {
     /// queries in stream order and the output is bit-identical at any
     /// thread count.
     pub fn process_batch(&mut self, queries: &[&Trace]) -> Vec<Verdict> {
-        let start = Instant::now();
         let features: Vec<Vec<f32>> = queries.iter().map(|t| self.spec.extract(t)).collect();
+        self.run_batch(&features)
+    }
+
+    /// Scores one batch of *raw* feature vectors — the ingestion path for
+    /// queries arriving from outside the trusted trace pipeline. Vectors
+    /// whose width mismatches the deployed model, or containing NaN or
+    /// infinite values, receive a [`QueryDisposition::Rejected`] verdict
+    /// (score 0, benign) without touching any shard; everything else is
+    /// served exactly as [`MonitoringService::process_batch`].
+    pub fn process_feature_batch(&mut self, features: &[Vec<f32>]) -> Vec<Verdict> {
+        self.run_batch(features)
+    }
+
+    fn run_batch(&mut self, features: &[Vec<f32>]) -> Vec<Verdict> {
+        let start = Instant::now();
+        self.supervise(self.batches);
         let n_shards = self.shards.len();
         let base = self.served;
         let policy = self.policy;
+        // The serving set after supervision: a pure function of the batch
+        // index and prior state, identical at any thread count.
+        let serving: Vec<usize> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(id, slot)| {
+                let shard = slot.get_mut().expect("shard mutex poisoned");
+                shard.supervision.health().is_serving().then_some(id)
+            })
+            .collect();
+        debug_assert!(
+            !serving.is_empty(),
+            "the supervisor never empties the serving set"
+        );
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
-        for i in 0..queries.len() {
-            assignments[((base + i as u64) % n_shards as u64) as usize].push(i);
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; features.len()];
+        for (i, query) in features.iter().enumerate() {
+            let position = base + i as u64;
+            let home = (position % n_shards as u64) as usize;
+            let target = if serving.contains(&home) {
+                home
+            } else {
+                // Deterministic re-route around quarantined shards: still
+                // a function of the stream position only.
+                serving[(position % serving.len() as u64) as usize]
+            };
+            match validate_features(query, self.input_dim) {
+                Ok(()) => assignments[target].push(i),
+                Err(reason) => {
+                    verdicts[i] = Some(Verdict {
+                        query: position,
+                        shard: target,
+                        score: 0.0,
+                        label: Label::from_bool(false),
+                        disposition: QueryDisposition::Rejected(reason),
+                    });
+                }
+            }
         }
         let shards = &self.shards;
         let features_ref = &features;
@@ -418,7 +785,6 @@ impl MonitoringService {
                 })
                 .collect()
         });
-        let mut verdicts: Vec<Option<Verdict>> = vec![None; queries.len()];
         for (s, answers) in per_shard.into_iter().enumerate() {
             for (i, score, label) in answers {
                 verdicts[i] = Some(Verdict {
@@ -426,19 +792,29 @@ impl MonitoringService {
                     shard: s,
                     score,
                     label,
+                    disposition: QueryDisposition::Served,
                 });
             }
         }
         let verdicts: Vec<Verdict> = verdicts
             .into_iter()
-            .map(|v| v.expect("every query is assigned to exactly one shard"))
+            .map(|v| v.expect("every query is either assigned to a shard or rejected"))
             .collect();
         for v in &verdicts {
-            self.verdict_checksum = self.verdict_checksum.rotate_left(7)
-                ^ v.score.to_bits()
-                ^ u64::from(v.label.is_malware());
+            match v.disposition {
+                QueryDisposition::Served => {
+                    self.verdict_checksum = self.verdict_checksum.rotate_left(7)
+                        ^ v.score.to_bits()
+                        ^ u64::from(v.label.is_malware());
+                }
+                QueryDisposition::Rejected(_) => {
+                    self.rejected_queries += 1;
+                    self.verdict_checksum =
+                        self.verdict_checksum.rotate_left(7) ^ REJECTED_QUERY_MARK;
+                }
+            }
         }
-        self.served += queries.len() as u64;
+        self.served += features.len() as u64;
         self.batches += 1;
         if self.batch_latency_micros.len() == BATCH_LATENCY_WINDOW {
             self.batch_latency_micros.pop_front();
@@ -446,6 +822,240 @@ impl MonitoringService {
         self.batch_latency_micros
             .push_back(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         verdicts
+    }
+
+    /// One supervision step, run on the main thread before the batch is
+    /// dispatched. Everything here is a function of `batch` and prior
+    /// state — never of wall-clock or thread scheduling.
+    fn supervise(&mut self, batch: u64) {
+        let Some(mut sup) = self.supervisor.take() else {
+            return;
+        };
+        let master = self.seed;
+        let temp = sup.temperature_at(batch);
+
+        // Shards rebuilt at the previous step finish their recovery.
+        for slot in &mut self.shards {
+            let shard = slot.get_mut().expect("shard mutex poisoned");
+            if shard.supervision.health() == ShardHealth::Recovering {
+                shard.supervision.transition(ShardHealth::Healthy);
+            }
+        }
+
+        // Scripted chaos kills.
+        let kills: Vec<(usize, &'static str)> = sup.config().chaos.kills_at(batch).collect();
+        for (victim, cause) in kills {
+            if victim < self.shards.len() {
+                self.crash_shard(victim, batch, cause.to_string(), sup.config().backoff_base);
+            }
+        }
+
+        // Physics: what the die actually delivers at this temperature. A
+        // frozen operating point crashes the shard; a drifted one retunes
+        // the live injector so the fault stream follows the die rather
+        // than the stale calibration.
+        for id in 0..self.shards.len() {
+            let (offset, current_er) = {
+                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                if !shard.supervision.health().is_serving() {
+                    continue;
+                }
+                match &shard.backend {
+                    ShardBackend::Stochastic(hmd) => match hmd.offset() {
+                        Some(offset) => (offset, hmd.error_rate()),
+                        None => continue,
+                    },
+                    _ => continue,
+                }
+            };
+            let delivered = delivered_error_rate_at(&sup.config().device, offset, temp);
+            if delivered >= FREEZE_ERROR_RATE {
+                self.crash_shard(
+                    id,
+                    batch,
+                    format!("froze: {offset} delivers er {delivered:.3} at {temp:.1} °C"),
+                    sup.config().backoff_base,
+                );
+            } else if (delivered - current_er).abs() > sup.config().physics_epsilon {
+                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                if let ShardBackend::Stochastic(hmd) = &mut shard.backend {
+                    hmd.retune(delivered)
+                        .expect("delivered rate is a probability");
+                }
+            }
+        }
+
+        // Due recovery retries of quarantined shards.
+        for id in 0..self.shards.len() {
+            let due = {
+                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                shard.supervision.health() == ShardHealth::Quarantined
+                    && shard
+                        .supervision
+                        .next_retry_batch
+                        .is_some_and(|due| batch >= due)
+            };
+            if !due {
+                continue;
+            }
+            let action = sup.controller_mut().force_recalibrate(temp);
+            let offset = sup.controller().offset();
+            let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+            shard.supervision.retries += 1;
+            let recovered = match action {
+                Ok(ControllerAction::Clamped { .. }) if !sup.config().allow_clamped_recovery => {
+                    false
+                }
+                Ok(_) => restart_shard(
+                    shard,
+                    &self.baseline,
+                    sup.controller().curve(),
+                    offset,
+                    master,
+                ),
+                Err(_) => false,
+            };
+            if recovered {
+                shard.supervision.transition(ShardHealth::Recovering);
+                shard.supervision.attempt = 0;
+                shard.supervision.next_retry_batch = None;
+                let mark = shard.fault_counters();
+                shard.supervision.reset_watchdog(mark);
+            } else {
+                shard.supervision.attempt += 1;
+                if shard.supervision.attempt >= sup.config().max_retries.max(1) {
+                    shard.backend = ShardBackend::Baseline(self.baseline.clone());
+                    shard.supervision.transition(ShardHealth::Degraded);
+                    shard.supervision.next_retry_batch = None;
+                    shard.degraded_reason = Some(format!(
+                        "retry budget exhausted after {} attempts",
+                        shard.supervision.retries()
+                    ));
+                    shard.degradation_events += 1;
+                    let mark = shard.fault_counters();
+                    shard.supervision.reset_watchdog(mark);
+                } else {
+                    shard.supervision.next_retry_batch = Some(
+                        batch
+                            + retry_backoff(
+                                shard.seed,
+                                shard.supervision.attempt,
+                                sup.config().backoff_base,
+                            ),
+                    );
+                }
+            }
+        }
+
+        // Watchdog: judge each serving stochastic shard's observed error
+        // rate over the completed window against its post-calibration
+        // reference.
+        for id in 0..self.shards.len() {
+            {
+                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                if !shard.supervision.health().is_serving() {
+                    continue;
+                }
+                if !matches!(shard.backend, ShardBackend::Stochastic(_)) {
+                    continue;
+                }
+                let now = shard.fault_counters();
+                let window = now.multiplies - shard.supervision.window_mark.multiplies;
+                if window < sup.config().watchdog_window {
+                    continue;
+                }
+                let faulty = now.faulty - shard.supervision.window_mark.faulty;
+                let observed = faulty as f64 / window as f64;
+                match shard.supervision.reference_rate {
+                    None => {
+                        // First full window after (re)calibration: the
+                        // target *as observed through this workload* (the
+                        // near-zero immune region absorbs a workload-
+                        // dependent fraction of injected faults, so the
+                        // raw target would misjudge every window).
+                        shard.supervision.reference_rate = Some(observed);
+                        shard.supervision.window_mark = now;
+                        continue;
+                    }
+                    Some(reference) => {
+                        let band = sup.watchdog_band(reference, window);
+                        if (observed - reference).abs() <= band {
+                            shard.supervision.window_mark = now;
+                            continue;
+                        }
+                        shard.supervision.drift_events += 1;
+                        shard.supervision.transition(ShardHealth::Drifting);
+                    }
+                }
+            }
+            // Drift confirmed: recalibrate at the current temperature and
+            // rebuild the shard at the fresh offset.
+            let action = sup.controller_mut().force_recalibrate(temp);
+            let offset = sup.controller().offset();
+            let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+            let recovered = match action {
+                Ok(_) => restart_shard(
+                    shard,
+                    &self.baseline,
+                    sup.controller().curve(),
+                    offset,
+                    master,
+                ),
+                Err(_) => false,
+            };
+            if recovered {
+                shard.supervision.transition(ShardHealth::Recovering);
+            } else {
+                shard.backend = ShardBackend::Baseline(self.baseline.clone());
+                shard.supervision.transition(ShardHealth::Degraded);
+                shard.degraded_reason =
+                    Some("drift recalibration failed; serving baseline".to_string());
+                shard.degradation_events += 1;
+            }
+            let mark = shard.fault_counters();
+            shard.supervision.reset_watchdog(mark);
+        }
+
+        self.supervisor = Some(sup);
+    }
+
+    /// Crashes one shard: quarantine it and schedule deterministic
+    /// recovery retries — unless it is the last serving shard, in which
+    /// case it fails over to the baseline instead (the service never stops
+    /// answering).
+    fn crash_shard(&mut self, id: usize, batch: u64, cause: String, backoff_base: u64) {
+        let serving = self
+            .shards
+            .iter_mut()
+            .filter_map(|slot| {
+                let shard = slot.get_mut().expect("shard mutex poisoned");
+                shard.supervision.health().is_serving().then_some(())
+            })
+            .count();
+        let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+        if !shard.supervision.health().is_serving() {
+            return;
+        }
+        shard.retire_backend();
+        shard.supervision.transition(ShardHealth::Crashed);
+        shard.supervision.crashes += 1;
+        if serving <= 1 {
+            shard.backend = ShardBackend::Baseline(self.baseline.clone());
+            shard.supervision.transition(ShardHealth::Degraded);
+            shard.degradation_events += 1;
+            shard.degraded_reason = Some(format!(
+                "{cause}; last serving shard failed over to baseline"
+            ));
+            let mark = shard.fault_counters();
+            shard.supervision.reset_watchdog(mark);
+        } else {
+            shard.backend = ShardBackend::Down;
+            shard.supervision.transition(ShardHealth::Quarantined);
+            shard.degraded_reason = Some(cause);
+            shard.supervision.attempt = 0;
+            shard.supervision.next_retry_batch =
+                Some(batch + retry_backoff(shard.seed, 0, backoff_base));
+        }
     }
 
     /// Replays a query stream in batches of the configured size.
@@ -479,6 +1089,7 @@ impl MonitoringService {
                         .degradation_events
                 })
                 .sum(),
+            rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,
             shards,
             batch_latency_micros: self.batch_latency_micros.iter().copied().collect(),
@@ -517,15 +1128,88 @@ mod tests {
     fn service_answers_every_query_in_order() {
         let (dataset, baseline, curve) = setup();
         let mut service =
-            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(1));
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(1))
+                .expect("valid config");
         let queries = stream(&dataset, 50);
         let verdicts = service.process_stream(&queries);
         assert_eq!(verdicts.len(), 50);
         for (i, v) in verdicts.iter().enumerate() {
             assert_eq!(v.query, i as u64);
             assert_eq!(v.shard, i % 3);
+            assert_eq!(v.disposition, QueryDisposition::Served);
         }
         assert_eq!(service.served(), 50);
+        assert_eq!(service.rejected_queries(), 0);
+    }
+
+    #[test]
+    fn invalid_targets_fail_deployment_with_a_typed_error() {
+        let (_, baseline, curve) = setup();
+        for bad in [f64::NAN, 1.5, -0.1, f64::INFINITY, 1.0] {
+            let config = ServeConfig::new(2).with_target_error_rate(bad);
+            match MonitoringService::deploy(&baseline, &curve, config) {
+                Err(ServeError::InvalidTargetErrorRate(er)) => {
+                    assert!(er.is_nan() == bad.is_nan() && (er.is_nan() || er == bad));
+                }
+                other => panic!("target {bad} accepted: {:?}", other.map(|_| ())),
+            }
+        }
+        // The error is also caught at retarget, before any calibration.
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2)).expect("valid");
+        assert!(matches!(
+            service.retarget(f64::NAN),
+            Err(ServeError::InvalidTargetErrorRate(_))
+        ));
+        assert!(matches!(
+            service.retarget(1.5),
+            Err(ServeError::InvalidTargetErrorRate(er)) if er == 1.5
+        ));
+    }
+
+    #[test]
+    fn poison_query_costs_one_verdict_not_the_shard() {
+        let (dataset, baseline, curve) = setup();
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(13))
+                .expect("valid config");
+        let dim = service.input_dim();
+        // One width-poisoned query followed by 100 well-formed ones.
+        let mut batch: Vec<Vec<f32>> = vec![vec![0.25; dim + 3]];
+        for i in 0..100 {
+            batch.push(service.spec.extract(dataset.trace(i % dataset.len())));
+        }
+        let verdicts = service.process_feature_batch(&batch);
+        assert_eq!(verdicts.len(), 101);
+        assert_eq!(
+            verdicts[0].disposition,
+            QueryDisposition::Rejected(RejectReason::WidthMismatch {
+                got: dim + 3,
+                expected: dim
+            })
+        );
+        assert!(!verdicts[0].label.is_malware(), "rejected defaults benign");
+        for v in &verdicts[1..] {
+            assert_eq!(v.disposition, QueryDisposition::Served, "query {}", v.query);
+        }
+        // The shards survived: a NaN poison later is likewise contained.
+        let mut nan_features = service.spec.extract(dataset.trace(0));
+        nan_features[1] = f32::NAN;
+        let verdicts = service.process_feature_batch(&[nan_features]);
+        assert_eq!(
+            verdicts[0].disposition,
+            QueryDisposition::Rejected(RejectReason::NonFiniteFeature { index: 1 })
+        );
+        let more = service.process_stream(&stream(&dataset, 30));
+        assert!(more.iter().all(|v| !v.is_rejected()));
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.rejected_queries, 2);
+        assert_eq!(snapshot.queries, 132);
+        assert_eq!(
+            snapshot.shards.iter().map(|s| s.queries).sum::<u64>(),
+            130,
+            "rejected queries never reach a shard"
+        );
     }
 
     #[test]
@@ -537,7 +1221,8 @@ mod tests {
                 .with_seed(9)
                 .with_batch_size(16)
                 .with_exec(threads);
-            let mut service = MonitoringService::deploy(&baseline, &curve, config);
+            let mut service =
+                MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
             let verdicts = service.process_stream(&queries);
             (verdicts, service.snapshot().without_timing())
         };
@@ -560,7 +1245,8 @@ mod tests {
         let (dataset, baseline, curve) = setup();
         let split = dataset.three_fold_split(0);
         let mut service =
-            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(3));
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(3))
+                .expect("valid config");
         let queries: Vec<&Trace> = split.testing().iter().map(|&i| dataset.trace(i)).collect();
         let verdicts = service.process_stream(&queries);
         let correct = verdicts
@@ -576,7 +1262,8 @@ mod tests {
     fn shards_draw_independent_fault_streams() {
         let (dataset, baseline, curve) = setup();
         let mut service =
-            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(5));
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(4).with_seed(5))
+                .expect("valid config");
         // Same trace to every shard: scores must not be a single repeated
         // value across shards (each replica rolls its own boundary).
         let queries: Vec<&Trace> = (0..40).map(|_| dataset.trace(0)).collect();
@@ -589,6 +1276,7 @@ mod tests {
         );
         let snapshot = service.snapshot();
         assert_eq!(snapshot.degraded_shards(), 0);
+        assert_eq!(snapshot.shards_in(ShardHealth::Healthy), 4);
         assert!(
             snapshot.total_faults().multiplies > 0,
             "telemetry must fold injector stats"
@@ -600,7 +1288,8 @@ mod tests {
         let (dataset, baseline, curve) = setup();
         // FREEZE_ERROR_RATE = 0.5: no device reaches er = 0.9.
         let config = ServeConfig::new(3).with_target_error_rate(0.9).with_seed(2);
-        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let mut service = MonitoringService::deploy(&baseline, &curve, config)
+            .expect("0.9 is valid, just unreachable");
         let queries = stream(&dataset, 30);
         let verdicts = service.process_stream(&queries);
         // Degraded shards serve the deterministic baseline.
@@ -613,6 +1302,7 @@ mod tests {
         assert_eq!(snapshot.degradation_events, 3);
         for shard in &snapshot.shards {
             assert!(shard.degraded);
+            assert_eq!(shard.health, ShardHealth::Degraded);
             let reason = shard.degraded_reason.as_deref().expect("reason recorded");
             assert!(reason.contains("unreachable"), "got {reason}");
         }
@@ -622,7 +1312,8 @@ mod tests {
     fn recalibration_recovers_and_degrades_shards() {
         let (dataset, baseline, curve) = setup();
         let mut service =
-            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(4));
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(4))
+                .expect("valid config");
         assert_eq!(service.snapshot().degraded_shards(), 0);
         let queries = stream(&dataset, 20);
         service.process_stream(&queries);
@@ -631,7 +1322,7 @@ mod tests {
         // Mid-stream the operator retargets to an unreachable rate: the
         // next recalibration degrades every shard, but serving continues
         // and the folded fault counters survive the backend swap.
-        service.retarget(0.95);
+        service.retarget(0.95).expect("a valid probability");
         assert_eq!(service.recalibrate(&baseline, &curve), 2);
         service.process_stream(&queries);
         let snapshot = service.snapshot();
@@ -644,12 +1335,13 @@ mod tests {
         );
 
         // Back to a reachable target: the shards recover.
-        service.retarget(0.1);
+        service.retarget(0.1).expect("a valid probability");
         assert_eq!(service.recalibrate(&baseline, &curve), 0);
         let recovered = service.snapshot();
         assert_eq!(recovered.degraded_shards(), 0);
         assert_eq!(recovered.degradation_events, 2, "history is cumulative");
         assert!(recovered.shards.iter().all(|s| s.degraded_reason.is_none()));
+        assert_eq!(recovered.shards_in(ShardHealth::Healthy), 2);
     }
 
     #[test]
@@ -658,7 +1350,8 @@ mod tests {
         let config = ServeConfig::new(2)
             .with_policy(DetectionPolicy::MajorityOf(4))
             .with_seed(6);
-        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
         let queries = stream(&dataset, 40);
         let threshold = Detector::threshold(&baseline);
         for v in service.process_stream(&queries) {
@@ -674,7 +1367,8 @@ mod tests {
     fn snapshot_json_round_trips_from_a_live_service() {
         let (dataset, baseline, curve) = setup();
         let mut service =
-            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(8));
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(8))
+                .expect("valid config");
         service.process_stream(&stream(&dataset, 25));
         let snapshot = service.snapshot();
         let back = TelemetrySnapshot::from_json(&snapshot.to_json()).expect("parses");
@@ -687,7 +1381,8 @@ mod tests {
     fn batch_latency_history_is_a_bounded_window() {
         let (dataset, baseline, curve) = setup();
         let config = ServeConfig::new(2).with_seed(11).with_batch_size(1);
-        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
         let queries = stream(&dataset, BATCH_LATENCY_WINDOW + 10);
         service.process_stream(&queries);
         let snapshot = service.snapshot();
@@ -697,5 +1392,29 @@ mod tests {
             BATCH_LATENCY_WINDOW,
             "latency history must age out instead of growing unboundedly"
         );
+    }
+
+    #[test]
+    fn supervised_deployment_serves_in_a_steady_world() {
+        let (dataset, baseline, _) = setup();
+        let supervision = SupervisorConfig::new(DeviceProfile::reference());
+        let mut service = MonitoringService::supervised(
+            &baseline,
+            supervision,
+            ServeConfig::new(3).with_seed(21),
+        )
+        .expect("reference device calibrates");
+        let verdicts = service.process_stream(&stream(&dataset, 60));
+        assert_eq!(verdicts.len(), 60);
+        assert!(verdicts.iter().all(|v| !v.is_rejected()));
+        assert_eq!(
+            service.shard_healths(),
+            vec![ShardHealth::Healthy; 3],
+            "a steady environment never trips the supervisor"
+        );
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.total_crashes(), 0);
+        assert_eq!(snapshot.total_drift_events(), 0);
+        assert!(snapshot.total_faults().multiplies > 0);
     }
 }

@@ -147,6 +147,23 @@ impl StochasticHmd {
         self.injector.stats()
     }
 
+    /// Retunes the live fault model to a new delivered error rate — the
+    /// software twin of the physical world moving while the applied offset
+    /// stays put (die temperature drifted, so the same undervolt now
+    /// delivers a different fault rate). The injector keeps its RNG stream
+    /// and accumulated statistics; only the fault law changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `er` is outside
+    /// `[0, 1]`.
+    pub fn retune(&mut self, er: f64) -> Result<(), FaultModelError> {
+        let model = for_datapath(FaultModel::from_error_rate(er)?);
+        self.injector.set_model(model);
+        self.error_rate = er;
+        Ok(())
+    }
+
     /// Scores an already-extracted feature vector (one stochastic
     /// detection).
     ///
@@ -295,6 +312,28 @@ mod tests {
         let tuned = base.clone().with_threshold(0.7);
         let protected = StochasticHmd::from_baseline(&tuned, 0.1, 4).expect("valid");
         assert_eq!(Detector::threshold(&protected), 0.7);
+    }
+
+    #[test]
+    fn retune_changes_the_fault_law_in_place() {
+        let (dataset, base) = setup();
+        let mut protected = StochasticHmd::from_baseline(&base, 0.0, 9).expect("valid");
+        let t = dataset.trace(0);
+        protected.score(t);
+        assert_eq!(protected.fault_stats().faulty, 0, "er 0 never faults");
+        protected.retune(0.5).expect("valid rate");
+        assert_eq!(protected.error_rate(), 0.5);
+        for _ in 0..5 {
+            protected.score(t);
+        }
+        let after = protected.fault_stats();
+        assert!(after.faulty > 0, "retuned injector must fault");
+        assert_eq!(
+            after.multiplies as usize,
+            6 * base.quantized().mac_count(),
+            "statistics survive the model swap"
+        );
+        assert!(protected.retune(1.5).is_err());
     }
 
     #[test]

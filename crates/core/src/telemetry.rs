@@ -26,6 +26,7 @@
 //! exceed 2⁵³ (derived seeds, checksums) are emitted as decimal strings to
 //! stay integer-exact in any reader.
 
+use crate::supervisor::ShardHealth;
 use serde::{Deserialize, Serialize};
 use shmd_volt::fault::FaultStats;
 use std::fmt;
@@ -131,6 +132,16 @@ pub struct ShardReport {
     pub degraded: bool,
     /// Why the shard degraded, when it did.
     pub degraded_reason: Option<String>,
+    /// The shard's supervision health state.
+    pub health: ShardHealth,
+    /// Health transitions since deployment.
+    pub transitions: u64,
+    /// Crashes (freeze or chaos) since deployment.
+    pub crashes: u64,
+    /// Watchdog drift detections since deployment.
+    pub drift_events: u64,
+    /// Recalibration retries attempted since deployment.
+    pub retries: u64,
     /// Queries this shard answered.
     pub queries: u64,
     /// Queries this shard flagged as malware.
@@ -158,6 +169,9 @@ pub struct TelemetrySnapshot {
     /// Cumulative shard degradations (a shard recalibrated back to
     /// stochastic and degraded again counts twice).
     pub degradation_events: u64,
+    /// Queries rejected at ingestion (malformed width or non-finite
+    /// features) instead of being dispatched to a shard.
+    pub rejected_queries: u64,
     /// Order-sensitive checksum over the verdict stream; bit-identical at
     /// any worker-thread count.
     pub verdict_checksum: u64,
@@ -193,6 +207,31 @@ impl TelemetrySnapshot {
     /// Shards currently serving degraded (baseline fallback).
     pub fn degraded_shards(&self) -> usize {
         self.shards.iter().filter(|s| s.degraded).count()
+    }
+
+    /// Shards currently in the given health state.
+    pub fn shards_in(&self, health: ShardHealth) -> usize {
+        self.shards.iter().filter(|s| s.health == health).count()
+    }
+
+    /// Health transitions summed over all shards.
+    pub fn total_transitions(&self) -> u64 {
+        self.shards.iter().map(|s| s.transitions).sum()
+    }
+
+    /// Crashes summed over all shards.
+    pub fn total_crashes(&self) -> u64 {
+        self.shards.iter().map(|s| s.crashes).sum()
+    }
+
+    /// Watchdog drift detections summed over all shards.
+    pub fn total_drift_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.drift_events).sum()
+    }
+
+    /// Recalibration retries summed over all shards.
+    pub fn total_retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries).sum()
     }
 
     /// Fault counters summed over all shards.
@@ -247,6 +286,10 @@ impl TelemetrySnapshot {
             self.degradation_events
         ));
         out.push_str(&format!(
+            "  \"rejected_queries\": {},\n",
+            self.rejected_queries
+        ));
+        out.push_str(&format!(
             "  \"verdict_checksum\": \"{}\",\n",
             self.verdict_checksum
         ));
@@ -262,7 +305,9 @@ impl TelemetrySnapshot {
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"shard\": {}, \"seed\": \"{}\", \"degraded\": {}, \
-                 \"degraded_reason\": {}, \"queries\": {}, \"flags\": {}, \
+                 \"degraded_reason\": {}, \"health\": \"{}\", \
+                 \"transitions\": {}, \"crashes\": {}, \"drift_events\": {}, \
+                 \"retries\": {}, \"queries\": {}, \"flags\": {}, \
                  \"multiplies\": {}, \"faulty\": {}, \"bit_flips\": {}, \
                  \"histogram\": [{}]}}{}\n",
                 s.shard,
@@ -272,6 +317,11 @@ impl TelemetrySnapshot {
                     Some(r) => format!("\"{}\"", escape_json(r)),
                     None => "null".to_string(),
                 },
+                s.health,
+                s.transitions,
+                s.crashes,
+                s.drift_events,
+                s.retries,
                 s.queries,
                 s.flags,
                 s.faults.multiplies,
@@ -323,6 +373,15 @@ impl TelemetrySnapshot {
                     json::Value::Null => None,
                     other => Some(other.as_str("degraded_reason")?.to_string()),
                 },
+                health: {
+                    let name = obj.field("health")?.as_str("health")?;
+                    ShardHealth::parse(name)
+                        .ok_or_else(|| format!("unknown shard health {name:?}"))?
+                },
+                transitions: obj.field("transitions")?.as_u64("transitions")?,
+                crashes: obj.field("crashes")?.as_u64("crashes")?,
+                drift_events: obj.field("drift_events")?.as_u64("drift_events")?,
+                retries: obj.field("retries")?.as_u64("retries")?,
                 queries: obj.field("queries")?.as_u64("queries")?,
                 flags: obj.field("flags")?.as_u64("flags")?,
                 faults: FaultCounters {
@@ -348,6 +407,7 @@ impl TelemetrySnapshot {
             degradation_events: top
                 .field("degradation_events")?
                 .as_u64("degradation_events")?,
+            rejected_queries: top.field("rejected_queries")?.as_u64("rejected_queries")?,
             verdict_checksum: top.field("verdict_checksum")?.as_u64("verdict_checksum")?,
             shards,
             batch_latency_micros: latency,
@@ -638,6 +698,7 @@ mod tests {
             queries: 3,
             flags: 2,
             degradation_events: 1,
+            rejected_queries: 4,
             verdict_checksum: u64::MAX - 7,
             shards: vec![
                 ShardReport {
@@ -645,6 +706,11 @@ mod tests {
                     seed: u64::MAX / 3,
                     degraded: false,
                     degraded_reason: None,
+                    health: ShardHealth::Healthy,
+                    transitions: 0,
+                    crashes: 0,
+                    drift_events: 0,
+                    retries: 0,
                     queries: 2,
                     flags: 1,
                     faults: FaultCounters {
@@ -659,6 +725,11 @@ mod tests {
                     seed: 7,
                     degraded: true,
                     degraded_reason: Some("error rate 0.99 unreachable \"before\" freeze".into()),
+                    health: ShardHealth::Degraded,
+                    transitions: 3,
+                    crashes: 1,
+                    drift_events: 2,
+                    retries: 4,
                     queries: 1,
                     flags: 1,
                     faults: FaultCounters::default(),
@@ -746,6 +817,13 @@ mod tests {
     fn aggregates_sum_over_shards() {
         let snapshot = sample_snapshot();
         assert_eq!(snapshot.degraded_shards(), 1);
+        assert_eq!(snapshot.shards_in(ShardHealth::Healthy), 1);
+        assert_eq!(snapshot.shards_in(ShardHealth::Degraded), 1);
+        assert_eq!(snapshot.shards_in(ShardHealth::Quarantined), 0);
+        assert_eq!(snapshot.total_transitions(), 3);
+        assert_eq!(snapshot.total_crashes(), 1);
+        assert_eq!(snapshot.total_drift_events(), 2);
+        assert_eq!(snapshot.total_retries(), 4);
         assert_eq!(snapshot.total_faults().multiplies, 408);
         assert_eq!(snapshot.mean_batch_latency_micros(), Some(107.5));
         assert_eq!(

@@ -86,7 +86,22 @@ impl AdaptiveVoltageController {
         device: DeviceProfile,
         config: ControllerConfig,
     ) -> Result<AdaptiveVoltageController, CalibrationError> {
-        let calibrator = Calibrator::new();
+        Self::with_calibrator(device, config, Calibrator::new())
+    }
+
+    /// Like [`AdaptiveVoltageController::new`] but with an explicit
+    /// calibrator (e.g. a coarser sweep step when the controller is driven
+    /// frequently, as the serving supervisor does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationError`] when the target rate is invalid or
+    /// unreachable even at the guard band.
+    pub fn with_calibrator(
+        device: DeviceProfile,
+        config: ControllerConfig,
+        calibrator: Calibrator,
+    ) -> Result<AdaptiveVoltageController, CalibrationError> {
         let curve = calibrator.calibrate(&device);
         let (offset, _) = Self::derive_offset(&curve, &config)?;
         let calibrated_at_c = device.temp_c;
@@ -118,6 +133,18 @@ impl AdaptiveVoltageController {
         self.offset
     }
 
+    /// The curve of the most recent calibration. Consumers that build a
+    /// fault model for the controller's offset (e.g. a serving shard)
+    /// read the delivered rate from here.
+    pub fn curve(&self) -> &CalibrationCurve {
+        &self.curve
+    }
+
+    /// The controller policy.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
     /// The error rate delivered at the current offset and temperature.
     pub fn delivered_error_rate(&self) -> f64 {
         self.curve.error_rate_at(self.offset)
@@ -147,6 +174,20 @@ impl AdaptiveVoltageController {
         if (temp_c - self.calibrated_at_c).abs() < self.config.recalibration_threshold_c {
             return Ok(ControllerAction::Unchanged);
         }
+        self.force_recalibrate(temp_c)
+    }
+
+    /// Recalibrates unconditionally, bypassing the drift threshold — the
+    /// entry point for a *watchdog-triggered* recalibration, where the
+    /// evidence of drift comes from the observed fault stream rather than
+    /// a temperature sensor (the supervisor trusts its own delivered-rate
+    /// estimate over a sensor it may not even have inside the enclave).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibrationError`] from offset derivation (the guard
+    /// band makes unreachable targets a clamp, not an error).
+    pub fn force_recalibrate(&mut self, temp_c: f64) -> Result<ControllerAction, CalibrationError> {
         self.device.temp_c = temp_c;
         self.curve = self.calibrator.calibrate(&self.device);
         self.calibrated_at_c = temp_c;
@@ -191,6 +232,7 @@ impl AdaptiveVoltageController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn controller() -> AdaptiveVoltageController {
         AdaptiveVoltageController::new(DeviceProfile::reference(), ControllerConfig::default())
@@ -310,6 +352,81 @@ mod tests {
         assert!(apply.offset().is_undervolt());
         let restore = c.restore_command().expect("encodes");
         assert_eq!(restore.offset(), Millivolts::new(0));
+    }
+
+    proptest! {
+        #[test]
+        fn excursion_round_trips_the_offset(delta in -19.0f64..40.0) {
+            // Drift-cycle property: an excursion past the recalibration
+            // threshold and back must return the offset to within 1 mV of
+            // its pre-excursion value — the control loop has no hidden
+            // state that accumulates across a thermal cycle.
+            let mut c = AdaptiveVoltageController::with_calibrator(
+                DeviceProfile::reference(),
+                ControllerConfig::default(),
+                Calibrator::new().with_step(2),
+            )
+            .expect("constructs");
+            prop_assume!(delta.abs() >= c.config().recalibration_threshold_c);
+            let initial = c.offset();
+            let base = c.calibrated_at_c();
+            c.observe_temperature(base + delta).expect("excursion");
+            c.observe_temperature(base).expect("return");
+            prop_assert!(
+                (c.offset().get() - initial.get()).abs() <= 1,
+                "offset {} -> {} after a {}°C excursion",
+                initial, c.offset(), delta
+            );
+        }
+
+        #[test]
+        fn guard_band_is_never_violated(
+            temps in proptest::collection::vec(30.0f64..100.0, 1..8),
+            guard in 1i32..10,
+        ) {
+            // Safety property: across any observation sequence, the applied
+            // offset never undercuts freeze + guard band — an aggressive
+            // target clamps, it never hangs the core.
+            let config = ControllerConfig {
+                target_error_rate: 0.35,
+                guard_band_mv: guard,
+                ..ControllerConfig::default()
+            };
+            let mut c = AdaptiveVoltageController::with_calibrator(
+                DeviceProfile::reference(),
+                config,
+                Calibrator::new().with_step(2),
+            )
+            .expect("constructs");
+            let floor = c.curve().freeze_offset().get() + guard;
+            prop_assert!(c.offset().get() >= floor);
+            for t in temps {
+                c.observe_temperature(t).expect("observation");
+                let floor = c.curve().freeze_offset().get() + guard;
+                prop_assert!(
+                    c.offset().get() >= floor,
+                    "offset {} violates guard floor {} mV at {}°C",
+                    c.offset(), floor, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn force_recalibration_bypasses_the_drift_threshold() {
+        let mut c = controller();
+        let small_drift = c.calibrated_at_c() + 1.0;
+        assert_eq!(
+            c.observe_temperature(small_drift).expect("ok"),
+            ControllerAction::Unchanged,
+            "1°C is under the threshold"
+        );
+        let action = c.force_recalibrate(small_drift).expect("ok");
+        assert!(
+            !matches!(action, ControllerAction::Unchanged),
+            "forced recalibration must rebuild the curve: {action:?}"
+        );
+        assert_eq!(c.calibrated_at_c(), small_drift);
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //! - [`calibration`] — the per-device calibration flow mapping undervolt
 //!   offsets to observed error rates (and back);
 //! - [`entropy`] — the approximate-entropy test used by the paper to
-//!   validate that fault locations are stochastic rather than deterministic.
+//!   validate that fault locations are stochastic rather than deterministic;
+//! - [`environment`] — a seeded thermal-trace model (ambient drift, load
+//!   heating, sensor noise) plus the freeze/crash predicate, so drift and
+//!   hang scenarios replay bit-identically;
+//! - [`controller`] — the closed-loop undervolting controller that tracks
+//!   temperature drift and enforces a guard band above the freeze offset.
 //!
 //! The paper's key empirical observations are all first-class invariants of
 //! this model and are asserted by tests throughout the crate:
@@ -49,6 +54,7 @@ pub mod characterize;
 pub mod controller;
 pub mod delay;
 pub mod entropy;
+pub mod environment;
 pub mod fault;
 pub(crate) mod math;
 pub mod multiplier;
@@ -60,6 +66,7 @@ pub use characterize::{
 };
 pub use controller::{AdaptiveVoltageController, ControllerAction, ControllerConfig};
 pub use delay::DelayModel;
+pub use environment::{delivered_error_rate_at, freezes_at, EnvironmentConfig, ThermalEnvironment};
 pub use fault::{FaultInjector, FaultModel, FaultModelError, FaultStats, ProductCorruptor};
 pub use multiplier::{AluTimingModel, BitErrorProfile, MultiplierTimingModel};
 pub use voltage::{Millivolts, MsrVoltageCommand, VoltagePlane, Volts, NOMINAL_CORE_VOLTAGE};

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ServeConfig::new(4)
         .with_policy(DetectionPolicy::MajorityOf(3))
         .with_seed(7);
-    let mut service = MonitoringService::deploy(&baseline, &curve, config);
+    let mut service = MonitoringService::deploy(&baseline, &curve, config)?;
     println!(
         "deployed {} shards, policy {}, target er 0.1",
         service.shard_count(),
@@ -56,14 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Operations asks for a hotter operating point than the device can
     // reach: recalibration degrades every shard to the baseline detector —
     // the service keeps answering, telemetry records why.
-    service.retarget(0.9);
+    service.retarget(0.9)?;
     let degraded = service.recalibrate(&baseline, &curve);
     service.process_stream(&queries[..20.min(queries.len())]);
     println!("after retarget to er 0.9: {degraded} shards degraded to baseline");
 
     // Back to a reachable target: the pool recovers on the next
     // recalibration.
-    service.retarget(0.1);
+    service.retarget(0.1)?;
     service.recalibrate(&baseline, &curve);
 
     let snapshot = service.snapshot();

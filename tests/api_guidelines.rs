@@ -15,6 +15,17 @@ fn core_types_are_send_and_sync() {
     assert_send_sync::<stochastic_hmd::MonitorReport>();
     assert_send_sync::<stochastic_hmd::DetectionPolicy>();
     assert_send_sync::<stochastic_hmd::XvalSummary>();
+    assert_send_sync::<stochastic_hmd::MonitoringService>();
+    assert_send_sync::<stochastic_hmd::Verdict>();
+    assert_send_sync::<stochastic_hmd::QueryDisposition>();
+    assert_send_sync::<stochastic_hmd::TelemetrySnapshot>();
+    assert_send_sync::<stochastic_hmd::ShardHealth>();
+    assert_send_sync::<stochastic_hmd::SupervisionRecord>();
+    assert_send_sync::<stochastic_hmd::Supervisor>();
+    assert_send_sync::<stochastic_hmd::SupervisorConfig>();
+    assert_send_sync::<stochastic_hmd::ChaosPlan>();
+    assert_send_sync::<stochastic_hmd::ChaosEvent>();
+    assert_send_sync::<shmd_volt::environment::ThermalEnvironment>();
 }
 
 #[test]
@@ -55,6 +66,7 @@ fn error_types_are_well_behaved() {
     assert_error::<stochastic_hmd::EnclaveError>();
     assert_error::<stochastic_hmd::RocError>();
     assert_error::<stochastic_hmd::explore::ExploreError>();
+    assert_error::<stochastic_hmd::ServeError>();
     assert_error::<shmd_attack::ReverseError>();
 }
 

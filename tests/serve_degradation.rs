@@ -44,7 +44,8 @@ fn deploy_time_degradation_serves_the_baseline_and_records_why() {
     let config = ServeConfig::new(2)
         .with_target_error_rate(0.9)
         .with_seed(11);
-    let mut service = MonitoringService::deploy(&baseline, &curve, config);
+    let mut service =
+        MonitoringService::deploy(&baseline, &curve, config).expect("0.9 is a valid target");
     let queries = stream(&dataset, 24);
     let verdicts = service.process_stream(&queries);
     assert_eq!(verdicts.len(), 24, "degraded pool must answer every query");
@@ -76,7 +77,8 @@ fn deploy_time_degradation_serves_the_baseline_and_records_why() {
 fn mid_stream_degradation_and_recovery_preserve_history() {
     let (dataset, baseline, curve) = setup();
     let mut service =
-        MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(12));
+        MonitoringService::deploy(&baseline, &curve, ServeConfig::new(3).with_seed(12))
+            .expect("valid config");
     let queries = stream(&dataset, 30);
     service.process_stream(&queries);
     let healthy = service.snapshot();
@@ -86,7 +88,7 @@ fn mid_stream_degradation_and_recovery_preserve_history() {
 
     // The operator retargets past the freeze point mid-stream: the next
     // recalibration degrades the whole pool, but serving continues.
-    service.retarget(0.95);
+    service.retarget(0.95).expect("a valid probability");
     assert_eq!(service.recalibrate(&baseline, &curve), 3);
     let verdicts = service.process_stream(&queries);
     assert_eq!(verdicts.len(), 30);
@@ -101,7 +103,7 @@ fn mid_stream_degradation_and_recovery_preserve_history() {
 
     // Recovery: a reachable target brings the moving target back, and the
     // degradation history stays cumulative.
-    service.retarget(0.1);
+    service.retarget(0.1).expect("a valid probability");
     assert_eq!(service.recalibrate(&baseline, &curve), 0);
     service.process_stream(&queries);
     let recovered = service.snapshot();
@@ -122,12 +124,13 @@ fn degrade_recover_cycle_is_thread_invariant() {
             .with_seed(13)
             .with_batch_size(16)
             .with_exec(exec);
-        let mut service = MonitoringService::deploy(&baseline, &curve, config);
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
         let mut verdicts = service.process_stream(&queries);
-        service.retarget(0.9);
+        service.retarget(0.9).expect("a valid probability");
         service.recalibrate(&baseline, &curve);
         verdicts.extend(service.process_stream(&queries));
-        service.retarget(0.1);
+        service.retarget(0.1).expect("a valid probability");
         service.recalibrate(&baseline, &curve);
         verdicts.extend(service.process_stream(&queries));
         (verdicts, service.snapshot().without_timing())
@@ -150,10 +153,11 @@ fn degrade_recover_cycle_is_thread_invariant() {
 fn telemetry_json_survives_a_degradation_cycle() {
     let (dataset, baseline, curve) = setup();
     let mut service =
-        MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(14));
+        MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(14))
+            .expect("valid config");
     let queries = stream(&dataset, 20);
     service.process_stream(&queries);
-    service.retarget(0.9);
+    service.retarget(0.9).expect("a valid probability");
     service.recalibrate(&baseline, &curve);
     service.process_stream(&queries);
 
@@ -168,9 +172,10 @@ fn telemetry_json_survives_a_degradation_cycle() {
 
     // Fixed seed ⇒ deterministic timing-stripped snapshot: a second
     // identical run exports identical JSON.
-    let mut again = MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(14));
+    let mut again = MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(14))
+        .expect("valid config");
     again.process_stream(&queries);
-    again.retarget(0.9);
+    again.retarget(0.9).expect("a valid probability");
     again.recalibrate(&baseline, &curve);
     again.process_stream(&queries);
     assert_eq!(
