@@ -78,7 +78,9 @@ impl ChaosPoint {
 
 /// The scripted world every measurement runs in: a drifting office
 /// environment plus a seeded chaos plan over [`CHAOS_HORIZON`] batches.
-fn supervision(seed: u64, shards: usize) -> SupervisorConfig {
+/// Shared with [`crate::durability`], whose crash/restore runs must live
+/// in the exact world the chaos benchmark measures.
+pub fn supervision(seed: u64, shards: usize) -> SupervisorConfig {
     let device = DeviceProfile::reference();
     let environment = EnvironmentConfig::drifting(device.temp_c, seed);
     let chaos = ChaosPlan::seeded(seed, shards, CHAOS_HORIZON, 2, 1);

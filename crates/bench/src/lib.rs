@@ -20,6 +20,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod cli;
+pub mod durability;
 pub mod experiments;
 pub mod perf;
 pub mod serve;

@@ -29,7 +29,10 @@
 //!   and deterministic recovery schedules;
 //! - [`telemetry`] — the serving layer's export surface: per-shard
 //!   counters, score histograms, fault statistics, and a JSON-round-trip
-//!   snapshot.
+//!   snapshot;
+//! - [`checkpoint`] — crash consistency: versioned binary service
+//!   checkpoints plus a write-ahead state journal, so a killed monitor
+//!   restores and resumes its verdict stream bit-identically.
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod deploy;
 pub mod detector;
 pub mod enclave;
@@ -75,6 +79,9 @@ pub mod train;
 pub mod xval;
 
 pub use baseline::BaselineHmd;
+pub use checkpoint::{
+    BatchCommit, CheckpointError, JournalRecovery, RestoreError, ServiceCheckpoint, StateJournal,
+};
 pub use deploy::{DetectionPolicy, PolicyDetector};
 pub use detector::{Detector, Label};
 pub use enclave::{DetectionEnclave, EnclaveError};

@@ -49,6 +49,10 @@
 //! `monitoring_service` and `chaos_recovery` examples walk the APIs.
 
 use crate::baseline::BaselineHmd;
+use crate::checkpoint::{
+    BackendCheckpoint, BatchCommit, RestoreError, ServiceCheckpoint, ShardCheckpoint, StateJournal,
+    SupervisorCheckpoint,
+};
 use crate::deploy::DetectionPolicy;
 use crate::detector::{Detector, Label};
 use crate::exec::{derive_seed, parallel_map_n, ExecConfig};
@@ -58,7 +62,7 @@ use crate::supervisor::{
 };
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
 use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
-use shmd_volt::controller::ControllerAction;
+use shmd_volt::controller::{ControllerAction, ControllerState};
 use shmd_volt::environment::delivered_error_rate_at;
 use shmd_volt::multiplier::FREEZE_ERROR_RATE;
 use shmd_volt::voltage::Millivolts;
@@ -66,6 +70,7 @@ use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
 use std::collections::VecDeque;
 use std::fmt;
+use std::io;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -621,6 +626,18 @@ impl MonitoringService {
         self.rejected_queries
     }
 
+    /// Batches processed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Running verdict checksum: a fold over every served score and
+    /// rejection in stream order. Two services are serving the same
+    /// stream identically iff their checksums agree.
+    pub fn verdict_checksum(&self) -> u64 {
+        self.verdict_checksum
+    }
+
     /// The deployed policy.
     pub fn policy(&self) -> DetectionPolicy {
         self.policy
@@ -1067,6 +1084,243 @@ impl MonitoringService {
         verdicts
     }
 
+    /// Captures the service's complete mutable state as a
+    /// [`ServiceCheckpoint`].
+    ///
+    /// The checkpoint holds everything needed to continue the verdict
+    /// stream bit-identically from this exact point: per-shard detector
+    /// snapshots (RNG state, in-flight fault gap, folded statistics),
+    /// supervision records and retry schedules, the voltage controller's
+    /// calibration point, telemetry counters, and the global stream
+    /// position. The wall-clock batch latency window is deliberately
+    /// excluded — timing is not replayable; compare resumed services with
+    /// [`TelemetrySnapshot::without_timing`].
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        let supervisor = self.supervisor.as_ref().map(|sup| {
+            let state = sup.controller().export_state();
+            SupervisorCheckpoint {
+                calibrated_at_c: state.calibrated_at_c,
+                offset_mv: state.offset.get(),
+            }
+        });
+        let shards = self
+            .shards
+            .iter()
+            .map(|slot| {
+                let shard = slot.lock().expect("shard mutex poisoned");
+                ShardCheckpoint {
+                    id: shard.id as u64,
+                    seed: shard.seed,
+                    generation: shard.generation,
+                    backend: match &shard.backend {
+                        ShardBackend::Stochastic(hmd) => {
+                            BackendCheckpoint::Stochastic(hmd.export_state())
+                        }
+                        ShardBackend::Baseline(_) => BackendCheckpoint::Baseline,
+                        ShardBackend::Down => BackendCheckpoint::Down,
+                    },
+                    health: shard.supervision.health(),
+                    transitions: shard.supervision.transitions(),
+                    crashes: shard.supervision.crashes(),
+                    drift_events: shard.supervision.drift_events(),
+                    retries: shard.supervision.retries(),
+                    attempt: shard.supervision.attempt,
+                    next_retry_batch: shard.supervision.next_retry_batch,
+                    reference_rate: shard.supervision.reference_rate,
+                    window_mark: shard.supervision.window_mark,
+                    degraded_reason: shard.degraded_reason.clone(),
+                    degradation_events: shard.degradation_events,
+                    queries: shard.queries,
+                    flags: shard.flags,
+                    retired_faults: shard.retired_faults,
+                    histogram: *shard.histogram.counts(),
+                }
+            })
+            .collect();
+        ServiceCheckpoint {
+            policy: self.policy,
+            target_error_rate: self.target_error_rate,
+            seed: self.seed,
+            batch_size: self.batch_size as u64,
+            input_dim: self.input_dim as u64,
+            served: self.served,
+            batches: self.batches,
+            rejected_queries: self.rejected_queries,
+            verdict_checksum: self.verdict_checksum,
+            supervisor,
+            shards,
+        }
+    }
+
+    /// Rebuilds a service from a [`MonitoringService::checkpoint`]
+    /// snapshot. The resumed service continues the verdict stream — and
+    /// every telemetry counter except wall-clock latency — bit-identically
+    /// to the service that was checkpointed, at any thread count.
+    ///
+    /// `baseline` must be the same trained model the checkpointed service
+    /// deployed (the checkpoint carries only mutable state, never the
+    /// weights), and `supervision` must be the same
+    /// [`SupervisorConfig`] for a supervised checkpoint — both are
+    /// deterministic inputs the caller reconstructs, exactly as it did at
+    /// first deployment. `exec` only chooses the worker pool and never
+    /// affects results.
+    ///
+    /// # Errors
+    ///
+    /// - [`RestoreError::InputDimMismatch`] when `baseline` does not match
+    ///   the checkpointed input width;
+    /// - [`RestoreError::SupervisorRequired`] /
+    ///   [`RestoreError::SupervisorUnexpected`] when `supervision` and the
+    ///   checkpoint disagree about supervision;
+    /// - [`RestoreError::Calibration`] when the controller cannot
+    ///   recalibrate at the checkpointed temperature;
+    /// - [`RestoreError::InvalidState`] when the checkpoint decodes but
+    ///   describes a state no live service can hold (corrupt injector
+    ///   snapshot, a supervisor config whose recalibration disagrees with
+    ///   the checkpointed offset, a serving shard with no backend).
+    pub fn restore(
+        baseline: &BaselineHmd,
+        supervision: Option<SupervisorConfig>,
+        checkpoint: &ServiceCheckpoint,
+        exec: ExecConfig,
+    ) -> Result<MonitoringService, RestoreError> {
+        let expected = usize::try_from(checkpoint.input_dim)
+            .map_err(|_| RestoreError::InvalidState("input width overflows usize".to_string()))?;
+        let got = baseline.quantized().input_dim();
+        if got != expected {
+            return Err(RestoreError::InputDimMismatch { got, expected });
+        }
+        if Self::validate_target(checkpoint.target_error_rate).is_err() {
+            return Err(RestoreError::InvalidState(format!(
+                "target error rate {} is not a probability below 1",
+                checkpoint.target_error_rate
+            )));
+        }
+        if checkpoint.shards.is_empty() {
+            return Err(RestoreError::InvalidState(
+                "checkpoint has no shards".to_string(),
+            ));
+        }
+        let supervisor = match (&checkpoint.supervisor, supervision) {
+            (Some(state), Some(config)) => {
+                let mut sup = Supervisor::new(config, checkpoint.target_error_rate)?;
+                let saved = ControllerState {
+                    calibrated_at_c: state.calibrated_at_c,
+                    offset: Millivolts::new(state.offset_mv),
+                };
+                sup.controller_mut().restore_state(&saved)?;
+                let offset = sup.controller().offset();
+                if offset != saved.offset {
+                    return Err(RestoreError::InvalidState(format!(
+                        "recalibrated offset {offset} disagrees with checkpointed {} mV — \
+                         the supervisor config does not match this checkpoint",
+                        state.offset_mv
+                    )));
+                }
+                Some(sup)
+            }
+            (Some(_), None) => return Err(RestoreError::SupervisorRequired),
+            (None, Some(_)) => return Err(RestoreError::SupervisorUnexpected),
+            (None, None) => None,
+        };
+        let mut shards = Vec::with_capacity(checkpoint.shards.len());
+        for s in &checkpoint.shards {
+            let backend = match &s.backend {
+                BackendCheckpoint::Stochastic(state) => {
+                    let hmd = StochasticHmd::from_state(baseline, state.clone())
+                        .map_err(|e| RestoreError::InvalidState(format!("shard {}: {e}", s.id)))?;
+                    ShardBackend::Stochastic(Box::new(hmd))
+                }
+                BackendCheckpoint::Baseline => ShardBackend::Baseline(baseline.clone()),
+                BackendCheckpoint::Down => {
+                    if s.health.is_serving() {
+                        return Err(RestoreError::InvalidState(format!(
+                            "shard {} is {} but has no backend",
+                            s.id, s.health
+                        )));
+                    }
+                    ShardBackend::Down
+                }
+            };
+            shards.push(Mutex::new(Shard {
+                id: usize::try_from(s.id).map_err(|_| {
+                    RestoreError::InvalidState(format!("shard id {} overflows usize", s.id))
+                })?,
+                seed: s.seed,
+                generation: s.generation,
+                backend,
+                supervision: SupervisionRecord {
+                    health: s.health,
+                    transitions: s.transitions,
+                    crashes: s.crashes,
+                    drift_events: s.drift_events,
+                    retries: s.retries,
+                    attempt: s.attempt,
+                    next_retry_batch: s.next_retry_batch,
+                    reference_rate: s.reference_rate,
+                    window_mark: s.window_mark,
+                },
+                degraded_reason: s.degraded_reason.clone(),
+                degradation_events: s.degradation_events,
+                queries: s.queries,
+                flags: s.flags,
+                retired_faults: s.retired_faults,
+                histogram: ScoreHistogram::from_counts(s.histogram),
+                draws: Vec::new(),
+            }));
+        }
+        Ok(MonitoringService {
+            spec: baseline.spec(),
+            policy: checkpoint.policy,
+            target_error_rate: checkpoint.target_error_rate,
+            seed: checkpoint.seed,
+            batch_size: usize::try_from(checkpoint.batch_size.max(1)).map_err(|_| {
+                RestoreError::InvalidState("batch size overflows usize".to_string())
+            })?,
+            exec,
+            baseline: baseline.clone(),
+            input_dim: expected,
+            supervisor,
+            shards,
+            served: checkpoint.served,
+            batches: checkpoint.batches,
+            rejected_queries: checkpoint.rejected_queries,
+            verdict_checksum: checkpoint.verdict_checksum,
+            batch_latency_micros: VecDeque::new(),
+        })
+    }
+
+    /// [`MonitoringService::process_feature_batch`] with write-ahead
+    /// durability: the batch's [`BatchCommit`] (stream position + verdict
+    /// checksum) is appended to `journal` and synced to disk **before**
+    /// the verdicts are returned to the caller.
+    ///
+    /// A process killed at any instant therefore loses at most one batch
+    /// whose verdicts nobody observed: recovery restores the newest
+    /// checkpoint from the journal and replays the input stream from its
+    /// position, and determinism reproduces the uncommitted batch's
+    /// verdicts bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the journal append or sync. The service's
+    /// in-memory state has already advanced past the batch when the
+    /// append fails; the caller decides whether to surface the verdicts
+    /// anyway or treat the deployment as no longer durable.
+    pub fn process_feature_batch_journaled(
+        &mut self,
+        features: &[Vec<f32>],
+        journal: &mut StateJournal,
+    ) -> io::Result<Vec<Verdict>> {
+        let verdicts = self.run_batch(features);
+        journal.append_commit(BatchCommit {
+            batch: self.batches - 1,
+            stream_pos: self.served,
+            checksum: self.verdict_checksum,
+        })?;
+        Ok(verdicts)
+    }
+
     /// Snapshots the service-wide telemetry.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let shards: Vec<ShardReport> = self
@@ -1392,6 +1646,103 @@ mod tests {
             BATCH_LATENCY_WINDOW,
             "latency history must age out instead of growing unboundedly"
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically_under_supervision() {
+        use crate::supervisor::ChaosPlan;
+        use shmd_volt::environment::EnvironmentConfig;
+
+        let (dataset, baseline, _) = setup();
+        let supervision = || {
+            SupervisorConfig::new(DeviceProfile::reference())
+                .with_environment(EnvironmentConfig::drifting(49.0, 5))
+                .with_chaos(ChaosPlan::seeded(5, 3, 20, 2, 1))
+        };
+        let config = ServeConfig::new(3)
+            .with_seed(17)
+            .with_target_error_rate(0.2)
+            .with_batch_size(8);
+        let features: Vec<Vec<f32>> = (0..240)
+            .map(|i| baseline.spec().extract(dataset.trace(i % dataset.len())))
+            .collect();
+        let chunks: Vec<&[Vec<f32>]> = features.chunks(8).collect();
+
+        // Reference: one uninterrupted run.
+        let mut reference =
+            MonitoringService::supervised(&baseline, supervision(), config).expect("deploys");
+        let mut reference_verdicts = Vec::new();
+        for chunk in &chunks {
+            reference_verdicts.extend(reference.process_feature_batch(chunk));
+        }
+
+        // Interrupted: checkpoint mid-stream (through the binary codec),
+        // drop the live service, restore at a different thread count, and
+        // replay the remaining batches.
+        let mut first =
+            MonitoringService::supervised(&baseline, supervision(), config).expect("deploys");
+        let mut resumed_verdicts = Vec::new();
+        for chunk in &chunks[..12] {
+            resumed_verdicts.extend(first.process_feature_batch(chunk));
+        }
+        let bytes = first.checkpoint().encode();
+        drop(first);
+        let decoded = ServiceCheckpoint::decode(&bytes).expect("codec round trip");
+        let mut restored = MonitoringService::restore(
+            &baseline,
+            Some(supervision()),
+            &decoded,
+            ExecConfig::threads(4),
+        )
+        .expect("restores");
+        assert_eq!(restored.served(), 96);
+        for chunk in &chunks[12..] {
+            resumed_verdicts.extend(restored.process_feature_batch(chunk));
+        }
+
+        assert_eq!(resumed_verdicts, reference_verdicts);
+        assert_eq!(
+            restored.snapshot().without_timing(),
+            reference.snapshot().without_timing(),
+            "resumed telemetry must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_supervision_and_models() {
+        let (_, baseline, curve) = setup();
+        let unsupervised =
+            MonitoringService::deploy(&baseline, &curve, ServeConfig::new(2).with_seed(1))
+                .expect("deploys")
+                .checkpoint();
+        let supervised = MonitoringService::supervised(
+            &baseline,
+            SupervisorConfig::new(DeviceProfile::reference()),
+            ServeConfig::new(2).with_seed(1),
+        )
+        .expect("deploys")
+        .checkpoint();
+
+        assert!(matches!(
+            MonitoringService::restore(
+                &baseline,
+                Some(SupervisorConfig::new(DeviceProfile::reference())),
+                &unsupervised,
+                ExecConfig::serial(),
+            ),
+            Err(RestoreError::SupervisorUnexpected)
+        ));
+        assert!(matches!(
+            MonitoringService::restore(&baseline, None, &supervised, ExecConfig::serial()),
+            Err(RestoreError::SupervisorRequired)
+        ));
+
+        let mut foreign = unsupervised.clone();
+        foreign.input_dim += 1;
+        assert!(matches!(
+            MonitoringService::restore(&baseline, None, &foreign, ExecConfig::serial()),
+            Err(RestoreError::InputDimMismatch { .. })
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::baseline::BaselineHmd;
 use crate::detector::Detector;
 use shmd_ann::network::{InferenceScratch, QuantizedNetwork};
 use shmd_volt::calibration::CalibrationCurve;
-use shmd_volt::fault::{FaultInjector, FaultModel, FaultModelError};
+use shmd_volt::fault::{FaultInjector, FaultModel, FaultModelError, InjectorState};
 use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
@@ -49,6 +49,25 @@ const DATAPATH_NEAR_ZERO_WIDTH: u32 =
 fn for_datapath(model: FaultModel) -> FaultModel {
     let width = model.near_zero_width().max(DATAPATH_NEAR_ZERO_WIDTH);
     model.with_near_zero_width(width)
+}
+
+/// The dynamic state of a [`StochasticHmd`], for checkpointing. Everything
+/// the detector holds beyond its (immutable, re-derivable) baseline model:
+/// the injector snapshot carries the fault law, RNG stream, statistics and
+/// in-flight gap, so [`StochasticHmd::from_state`] resumes scoring
+/// bit-identically against the same baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StochasticHmdState {
+    /// Display name (encodes how the detector was constructed).
+    pub name: String,
+    /// The effective multiplication error rate.
+    pub error_rate: f64,
+    /// The physical undervolt offset, when calibrated.
+    pub offset: Option<Millivolts>,
+    /// Decision threshold.
+    pub threshold: f64,
+    /// Complete injector snapshot.
+    pub injector: InjectorState,
 }
 
 impl StochasticHmd {
@@ -162,6 +181,47 @@ impl StochasticHmd {
         self.injector.set_model(model);
         self.error_rate = er;
         Ok(())
+    }
+
+    /// Snapshots the detector's dynamic state for checkpointing. The
+    /// baseline model itself (weights, feature spec) is not captured — a
+    /// restore rebuilds those from the baseline the service redeploys with.
+    pub fn export_state(&self) -> StochasticHmdState {
+        StochasticHmdState {
+            name: self.name.clone(),
+            error_rate: self.error_rate,
+            offset: self.offset,
+            threshold: self.threshold,
+            injector: self.injector.export_state(),
+        }
+    }
+
+    /// Rebuilds a detector from an [`StochasticHmd::export_state`] snapshot
+    /// against the baseline it was originally protecting. The injector —
+    /// fault law, RNG position, statistics, in-flight gap — is restored
+    /// verbatim (the snapshot's model already carries the datapath's
+    /// near-zero width; it is *not* re-derived), so the resumed score
+    /// stream is bit-identical to the original's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultModelError::InvalidState`] when the snapshot fails
+    /// validation (see [`FaultInjector::from_state`]).
+    pub fn from_state(
+        base: &BaselineHmd,
+        state: StochasticHmdState,
+    ) -> Result<StochasticHmd, FaultModelError> {
+        let injector = FaultInjector::from_state(state.injector)?;
+        Ok(StochasticHmd {
+            name: state.name,
+            spec: base.spec(),
+            quantized: base.quantized().clone(),
+            injector,
+            error_rate: state.error_rate,
+            offset: state.offset,
+            threshold: state.threshold,
+            scratch: InferenceScratch::new(),
+        })
     }
 
     /// Scores an already-extracted feature vector (one stochastic
@@ -334,6 +394,35 @@ mod tests {
             "statistics survive the model swap"
         );
         assert!(protected.retune(1.5).is_err());
+    }
+
+    #[test]
+    fn exported_state_resumes_scoring_bit_identically() {
+        let (dataset, base) = setup();
+        let mut original = StochasticHmd::from_baseline(&base, 0.3, 17).expect("valid");
+        // Burn partway into the stream, including a retune, so the snapshot
+        // captures a non-trivial RNG position and a non-default fault law.
+        for i in 0..30 {
+            original.score(dataset.trace(i % dataset.len()));
+        }
+        original.retune(0.45).expect("valid rate");
+        for i in 0..7 {
+            original.score(dataset.trace(i));
+        }
+        let mut resumed =
+            StochasticHmd::from_state(&base, original.export_state()).expect("valid state");
+        assert_eq!(Detector::name(&resumed), Detector::name(&original));
+        assert_eq!(resumed.error_rate(), original.error_rate());
+        assert_eq!(resumed.fault_stats(), original.fault_stats());
+        for i in 0..60 {
+            let t = dataset.trace(i % dataset.len());
+            assert_eq!(
+                original.score(t).to_bits(),
+                resumed.score(t).to_bits(),
+                "score streams diverged at query {i}"
+            );
+        }
+        assert_eq!(resumed.fault_stats(), original.fault_stats());
     }
 
     #[test]

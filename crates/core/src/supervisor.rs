@@ -452,11 +452,16 @@ impl SupervisorConfig {
 /// `shard_seed` fires: exponential in the attempt, plus a deterministic
 /// jitter derived from the shard seed — two shards quarantined in the
 /// same batch do not retry in lockstep, and nothing reads a clock.
+///
+/// The exponential is capped at attempt 6 (a 64× multiplier) and the
+/// arithmetic saturates, so an arbitrarily large attempt count or base can
+/// never shift or add past `u64::MAX` into a wrapped-around (nonsensically
+/// *short*) delay — the worst case is a delay pinned at `u64::MAX`.
 pub fn retry_backoff(shard_seed: u64, attempt: u32, base: u64) -> u64 {
     let base = base.max(1);
-    let exponential = base << attempt.min(6);
+    let exponential = base.saturating_mul(1u64 << attempt.min(6));
     let jitter = derive_seed(shard_seed, &[RETRY_TAG, u64::from(attempt)]) % base;
-    exponential + jitter
+    exponential.saturating_add(jitter)
 }
 
 /// The supervision engine owned by a supervised
@@ -590,6 +595,29 @@ mod tests {
         // into overflow.
         let far = retry_backoff(1, 60, 4);
         assert!((4 << 6..(4 << 6) + 4).contains(&far));
+    }
+
+    #[test]
+    fn backoff_never_overflows_into_a_short_delay() {
+        // Attempt counts at and past the u64 bit width behave exactly like
+        // the capped attempt 6 for ordinary bases...
+        for attempt in [64, 65, 1000, u32::MAX] {
+            let d = retry_backoff(1, attempt, 4);
+            assert!(
+                (4 << 6..(4 << 6) + 4).contains(&d),
+                "attempt {attempt}: delay {d}"
+            );
+        }
+        // ...and a base large enough that the 64x multiplier (or the
+        // jitter add) would wrap saturates to u64::MAX instead of wrapping
+        // into a nonsense near-zero delay.
+        for base in [u64::MAX, u64::MAX / 2, 1 << 58] {
+            for attempt in [6, 64, u32::MAX] {
+                let d = retry_backoff(7, attempt, base);
+                assert!(d >= base, "base {base}, attempt {attempt}: delay {d}");
+            }
+            assert_eq!(retry_backoff(7, 64, u64::MAX), u64::MAX);
+        }
     }
 
     #[test]

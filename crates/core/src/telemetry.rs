@@ -77,7 +77,7 @@ impl ScoreHistogram {
         }
     }
 
-    fn from_counts(counts: [u64; HISTOGRAM_BINS]) -> ScoreHistogram {
+    pub(crate) fn from_counts(counts: [u64; HISTOGRAM_BINS]) -> ScoreHistogram {
         ScoreHistogram { counts }
     }
 }
@@ -293,6 +293,10 @@ impl TelemetrySnapshot {
             "  \"verdict_checksum\": \"{}\",\n",
             self.verdict_checksum
         ));
+        out.push_str(&format!(
+            "  \"mean_batch_latency_micros\": {},\n",
+            json_f64(self.mean_batch_latency_micros())
+        ));
         out.push_str("  \"batch_latency_micros\": [");
         for (i, l) in self.batch_latency_micros.iter().enumerate() {
             if i > 0 {
@@ -398,6 +402,15 @@ impl TelemetrySnapshot {
             .iter()
             .map(|v| v.as_u64("batch latency"))
             .collect::<Result<Vec<u64>, _>>()?;
+        // The mean is derived from the latency window, so its value is
+        // recomputed rather than trusted; the field is still type-checked
+        // (`null` or a number — `null` is how a non-finite or absent mean
+        // serialises). Absent entirely in pre-durability snapshots.
+        if let Ok(v) = top.field("mean_batch_latency_micros") {
+            if !matches!(v, json::Value::Null) {
+                v.as_f64("mean_batch_latency_micros")?;
+            }
+        }
         Ok(TelemetrySnapshot {
             seed: top.field("seed")?.as_u64("seed")?,
             policy: top.field("policy")?.as_str("policy")?.to_string(),
@@ -412,6 +425,16 @@ impl TelemetrySnapshot {
             shards,
             batch_latency_micros: latency,
         })
+    }
+}
+
+/// Serialises an optional float as JSON: `None` *and* non-finite values
+/// become `null` — bare `NaN`/`inf` tokens are not JSON and would poison
+/// every standard reader of the document.
+fn json_f64(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
     }
 }
 
@@ -437,6 +460,7 @@ mod json {
         Null,
         Bool(bool),
         Int(u64),
+        Float(f64),
         Str(String),
         Arr(Vec<Value>),
         Obj(Vec<(String, Value)>),
@@ -494,6 +518,15 @@ mod json {
                 _ => Err(format!("{what} is not an integer")),
             }
         }
+
+        /// Accepts any JSON number.
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Int(n) => Ok(*n as f64),
+                Value::Float(x) => Ok(*x),
+                _ => Err(format!("{what} is not a number")),
+            }
+        }
     }
 
     pub fn parse(text: &str) -> Result<Value, String> {
@@ -532,7 +565,7 @@ mod json {
             Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
             Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
             Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
-            Some(c) if c.is_ascii_digit() => parse_int(bytes, pos),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
             _ => Err(format!("unexpected input at byte {}", *pos)),
         }
     }
@@ -551,16 +584,56 @@ mod json {
         }
     }
 
-    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let int_digits = *pos;
         while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
             *pos += 1;
         }
-        std::str::from_utf8(&bytes[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<u64>().ok())
-            .map(Value::Int)
-            .ok_or_else(|| format!("bad integer at byte {start}"))
+        if *pos == int_digits {
+            return Err(format!("bad number at byte {start}"));
+        }
+        let mut is_float = false;
+        if bytes.get(*pos) == Some(&b'.') {
+            is_float = true;
+            *pos += 1;
+            let frac_digits = *pos;
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == frac_digits {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+            is_float = true;
+            *pos += 1;
+            if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            let exp_digits = *pos;
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == exp_digits {
+                return Err(format!("bad number at byte {start}"));
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !is_float {
+            // Counters stay integer-exact as long as they fit u64; a
+            // negative or oversized integer falls back to the float form.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 
     fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -832,6 +905,69 @@ mod tests {
                 .mean_batch_latency_micros(),
             None
         );
+    }
+
+    #[test]
+    fn non_finite_latency_summaries_serialise_as_null() {
+        // Bare NaN/inf tokens are not JSON; the float helper must map
+        // every non-finite (and absent) value to null.
+        assert_eq!(json_f64(Some(f64::NAN)), "null");
+        assert_eq!(json_f64(Some(f64::INFINITY)), "null");
+        assert_eq!(json_f64(Some(f64::NEG_INFINITY)), "null");
+        assert_eq!(json_f64(None), "null");
+        assert_eq!(json_f64(Some(107.5)), "107.5");
+        // An empty latency window renders the mean as null end-to-end, and
+        // the document still round-trips.
+        let snapshot = sample_snapshot().without_timing();
+        let json = snapshot.to_json();
+        assert!(json.contains("\"mean_batch_latency_micros\": null"));
+        let back = TelemetrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn emitted_mean_latency_round_trips() {
+        let snapshot = sample_snapshot();
+        let json = snapshot.to_json();
+        assert!(json.contains("\"mean_batch_latency_micros\": 107.5"));
+        let back = TelemetrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(back.mean_batch_latency_micros(), Some(107.5));
+        // A reader-normalised variant (null mean) still parses: the value
+        // is derived, so only its type is checked.
+        let nulled = json.replace(
+            "\"mean_batch_latency_micros\": 107.5",
+            "\"mean_batch_latency_micros\": null",
+        );
+        assert_eq!(
+            TelemetrySnapshot::from_json(&nulled).expect("parses"),
+            snapshot
+        );
+        // ...but a bare NaN token is rejected as the malformed JSON it is.
+        let poisoned = json.replace(
+            "\"mean_batch_latency_micros\": 107.5",
+            "\"mean_batch_latency_micros\": NaN",
+        );
+        assert!(TelemetrySnapshot::from_json(&poisoned).is_err());
+    }
+
+    #[test]
+    fn parser_reads_floats_and_signed_numbers() {
+        for (text, want) in [
+            ("107.5", 107.5),
+            ("-3.25", -3.25),
+            ("1e3", 1000.0),
+            ("2.5E-2", 0.025),
+            ("-7", -7.0),
+        ] {
+            let v = json::parse(text).expect("parses");
+            assert_eq!(v.as_f64("n").unwrap(), want, "{text}");
+        }
+        // Integers that fit u64 stay integer-exact.
+        let v = json::parse("18446744073709551615").expect("parses");
+        assert_eq!(v.as_u64("n").unwrap(), u64::MAX);
+        for bad in ["-", "1.", ".5", "1e", "1e+", "--1", "1.2.3"] {
+            assert!(json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -211,6 +211,25 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state, for checkpointing. A generator
+        /// rebuilt from this snapshot via [`StdRng::from_state`] continues
+        /// the stream bit-identically.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// The all-zero state is the xoshiro fixed point (it only ever
+        /// emits zeros); it cannot arise from [`SeedableRng::seed_from_u64`]
+        /// (splitmix64 expansion never produces it), so restore paths
+        /// should reject it before calling this.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -363,6 +382,20 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, original);
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..37 {
+            a.gen::<u64>();
+        }
+        let snap = a.state();
+        assert_ne!(snap, [0u64; 4], "seeding never reaches the fixed point");
+        let mut b = StdRng::from_state(snap);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

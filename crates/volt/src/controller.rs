@@ -63,6 +63,21 @@ pub enum ControllerAction {
     Refreshed,
 }
 
+/// The dynamic state of an [`AdaptiveVoltageController`], for
+/// checkpointing. The curve and offset are pure functions of the device,
+/// policy, calibrator step, and the last calibration temperature, so the
+/// snapshot only has to carry that temperature;
+/// [`AdaptiveVoltageController::restore_state`] re-derives the rest
+/// bit-identically. The offset is carried anyway so a restore path can
+/// verify the re-derivation against what the checkpoint recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerState {
+    /// The temperature of the last calibration, °C.
+    pub calibrated_at_c: f64,
+    /// The offset the controller held at the snapshot.
+    pub offset: Millivolts,
+}
+
 /// A temperature-tracking undervolting controller for one device.
 #[derive(Clone, Debug)]
 pub struct AdaptiveVoltageController {
@@ -202,6 +217,29 @@ impl AdaptiveVoltageController {
         } else {
             Ok(ControllerAction::Adjusted { from, to })
         }
+    }
+
+    /// Snapshots the controller's dynamic state for checkpointing.
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            calibrated_at_c: self.calibrated_at_c,
+            offset: self.offset,
+        }
+    }
+
+    /// Restores an [`AdaptiveVoltageController::export_state`] snapshot by
+    /// recalibrating at the recorded temperature. Calibration and offset
+    /// derivation are deterministic, so the restored curve and offset are
+    /// bit-identical to the ones the snapshot was taken from (callers may
+    /// double-check [`AdaptiveVoltageController::offset`] against
+    /// [`ControllerState::offset`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibrationError`] from offset derivation.
+    pub fn restore_state(&mut self, state: &ControllerState) -> Result<(), CalibrationError> {
+        self.force_recalibrate(state.calibrated_at_c)?;
+        Ok(())
     }
 
     /// The MSR write that applies the current offset to the core plane.
@@ -427,6 +465,23 @@ mod tests {
             "forced recalibration must rebuild the curve: {action:?}"
         );
         assert_eq!(c.calibrated_at_c(), small_drift);
+    }
+
+    #[test]
+    fn exported_state_restores_the_curve_bit_identically() {
+        let mut original = controller();
+        original.observe_temperature(80.0).expect("heat");
+        original.observe_temperature(63.0).expect("cool");
+        let state = original.export_state();
+        let mut restored = controller();
+        restored.restore_state(&state).expect("restores");
+        assert_eq!(restored.offset(), state.offset, "re-derivation must agree");
+        assert_eq!(restored.calibrated_at_c(), original.calibrated_at_c());
+        assert_eq!(
+            restored.delivered_error_rate().to_bits(),
+            original.delivered_error_rate().to_bits(),
+            "the rebuilt curve must match exactly"
+        );
     }
 
     #[test]

@@ -148,6 +148,22 @@ impl ThermalEnvironment {
         &self.config
     }
 
+    /// Snapshots the environment for checkpointing. The environment is
+    /// stateless — [`ThermalEnvironment::temperature_at`] is a pure
+    /// function of `(config, step)` — so its complete state *is* the
+    /// configuration; the step cursor lives with the caller (the serving
+    /// layer uses its batch counter), and must be checkpointed there.
+    pub fn export_state(&self) -> EnvironmentConfig {
+        self.config
+    }
+
+    /// Rebuilds an environment from an [`ThermalEnvironment::export_state`]
+    /// snapshot. Equivalent to [`ThermalEnvironment::new`]; named for
+    /// symmetry with the other restore paths.
+    pub fn from_state(config: EnvironmentConfig) -> ThermalEnvironment {
+        ThermalEnvironment { config }
+    }
+
     /// The die temperature at `step`, °C — a pure function of the
     /// configuration, the seed, and `step`.
     pub fn temperature_at(&self, step: u64) -> f64 {
@@ -236,6 +252,18 @@ mod tests {
         let a = ThermalEnvironment::new(EnvironmentConfig::drifting(49.0, 7));
         let b = ThermalEnvironment::new(EnvironmentConfig::drifting(49.0, 7));
         for step in 0..500 {
+            assert_eq!(
+                a.temperature_at(step).to_bits(),
+                b.temperature_at(step).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn state_round_trip_replays_the_trace() {
+        let a = ThermalEnvironment::new(EnvironmentConfig::drifting(49.0, 7));
+        let b = ThermalEnvironment::from_state(a.export_state());
+        for step in 0..300 {
             assert_eq!(
                 a.temperature_at(step).to_bits(),
                 b.temperature_at(step).to_bits()

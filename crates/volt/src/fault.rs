@@ -45,6 +45,9 @@ const MAX_EFFECTIVE_RATE: f64 = 0.9999;
 pub enum FaultModelError {
     /// The requested error rate is outside `[0, 1]` or not finite.
     InvalidErrorRate(f64),
+    /// A state snapshot failed validation (see [`FaultModel::from_state`]
+    /// and [`FaultInjector::from_state`]).
+    InvalidState(&'static str),
 }
 
 impl fmt::Display for FaultModelError {
@@ -52,6 +55,9 @@ impl fmt::Display for FaultModelError {
         match self {
             FaultModelError::InvalidErrorRate(er) => {
                 write!(f, "error rate {er} is outside the valid range [0, 1]")
+            }
+            FaultModelError::InvalidState(what) => {
+                write!(f, "invalid fault state snapshot: {what}")
             }
         }
     }
@@ -190,6 +196,26 @@ impl FaultModel {
                 flips.push((bit as u8, p));
             }
         }
+        Ok(FaultModel::assemble(
+            er_eff,
+            flips,
+            DEFAULT_RIPPLE_FRACTION,
+            DEFAULT_RIPPLE_SPAN,
+            crate::multiplier::IMMUNE_LSBS as u32,
+        ))
+    }
+
+    /// Builds the derived sampling tables from the free parameters. Every
+    /// table is a pure `f64` function of `(er_eff, flips)`, so rebuilding
+    /// from a [`FaultModelState`] snapshot reproduces the original model
+    /// bit for bit — the snapshot never has to carry the tables.
+    fn assemble(
+        er_eff: f64,
+        flips: Vec<(u8, f64)>,
+        ripple_fraction: f64,
+        ripple_span: u32,
+        near_zero_width: u32,
+    ) -> FaultModel {
         // P(first flip is flips[k] | >=1 flip) = p_k * prod_{j<k}(1-p_j) / er
         let mut cdf = Vec::with_capacity(flips.len());
         let mut none_so_far = 1.0;
@@ -222,18 +248,69 @@ impl FaultModel {
         }
         let gap_guide = build_guide(&gap_cdf, false);
         let first_flip_guide = build_guide(&cdf, true);
-        Ok(FaultModel {
+        FaultModel {
             error_rate: er_eff,
             flips,
             first_flip_cdf: cdf,
-            ripple_fraction: DEFAULT_RIPPLE_FRACTION,
-            ripple_span: DEFAULT_RIPPLE_SPAN,
-            near_zero_width: crate::multiplier::IMMUNE_LSBS as u32,
+            ripple_fraction,
+            ripple_span,
+            near_zero_width,
             gap_cdf,
             tail_none,
             gap_guide,
             first_flip_guide,
-        })
+        }
+    }
+
+    /// Snapshots the model's free parameters for checkpointing. The
+    /// derived sampling tables are omitted; [`FaultModel::from_state`]
+    /// rebuilds them bit-identically.
+    pub fn export_state(&self) -> FaultModelState {
+        FaultModelState {
+            error_rate: self.error_rate,
+            flips: self.flips.clone(),
+            ripple_fraction: self.ripple_fraction,
+            ripple_span: self.ripple_span,
+            near_zero_width: self.near_zero_width,
+        }
+    }
+
+    /// Rebuilds a model from an [`FaultModel::export_state`] snapshot,
+    /// recomputing every derived table. Round-tripping is exact:
+    /// `FaultModel::from_state(m.export_state()) == m` for any model a
+    /// constructor can produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidState`] when the snapshot came
+    /// from untrusted bytes and fails validation (non-probability rates,
+    /// out-of-range bit indices), so a corrupted checkpoint is rejected
+    /// instead of panicking or sampling garbage.
+    pub fn from_state(state: FaultModelState) -> Result<FaultModel, FaultModelError> {
+        if !state.error_rate.is_finite() || !(0.0..=1.0).contains(&state.error_rate) {
+            return Err(FaultModelError::InvalidState("error rate"));
+        }
+        if !state.ripple_fraction.is_finite() || !(0.0..=1.0).contains(&state.ripple_fraction) {
+            return Err(FaultModelError::InvalidState("ripple fraction"));
+        }
+        for &(bit, p) in &state.flips {
+            if usize::from(bit) >= OUTPUT_BITS || !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultModelError::InvalidState("flip table"));
+            }
+        }
+        if state.error_rate == 0.0 || state.flips.is_empty() {
+            // An exact model stores no flip table; preserve the overrides.
+            return Ok(FaultModel::exact()
+                .with_ripple(state.ripple_fraction, state.ripple_span)
+                .with_near_zero_width(state.near_zero_width));
+        }
+        Ok(FaultModel::assemble(
+            state.error_rate,
+            state.flips,
+            state.ripple_fraction,
+            state.ripple_span,
+            state.near_zero_width,
+        ))
     }
 
     /// Overrides the carry-ripple parameters (the catastrophic-fault tail).
@@ -347,6 +424,41 @@ impl Default for FaultModel {
     fn default() -> FaultModel {
         FaultModel::exact()
     }
+}
+
+/// The free parameters of a [`FaultModel`] — everything that is not a
+/// derived table. Produced by [`FaultModel::export_state`], consumed by
+/// [`FaultModel::from_state`]; the checkpoint codec serialises this
+/// instead of the (much larger, fully recomputable) model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultModelState {
+    /// Effective error rate (already clamped to the model's maximum).
+    pub error_rate: f64,
+    /// `(bit index, flip probability)` for bits with non-zero weight.
+    pub flips: Vec<(u8, f64)>,
+    /// Fraction of flips diverted to the carry-ripple zone.
+    pub ripple_fraction: f64,
+    /// Reach of the carry-ripple zone above the product MSB, in bits.
+    pub ripple_span: u32,
+    /// Products at or below this active width never fault.
+    pub near_zero_width: u32,
+}
+
+/// A complete [`FaultInjector`] snapshot: the model's free parameters,
+/// the raw RNG state, the accumulated statistics, and the in-flight
+/// geometric gap. Restoring it continues the corruption stream — and the
+/// statistics — bit-identically from the captured multiplication.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InjectorState {
+    /// The fault model's free parameters.
+    pub model: FaultModelState,
+    /// Raw xoshiro256++ state of the injector's RNG.
+    pub rng: [u64; 4],
+    /// Statistics settled as of the snapshot (in-flight gap folded in,
+    /// exactly as [`FaultInjector::stats`] reports them).
+    pub stats: FaultStats,
+    /// Fault-free multiplications remaining before the next fault event.
+    pub skip: u64,
 }
 
 /// Statistics accumulated by a [`FaultInjector`], sufficient to regenerate
@@ -764,6 +876,53 @@ impl FaultInjector {
     pub fn corrupt_unsigned(&mut self, product: u64) -> u64 {
         self.corrupt_product(product as i64) as u64
     }
+
+    /// Snapshots the injector for checkpointing: model parameters, raw RNG
+    /// state, folded statistics, and the remaining in-flight gap.
+    pub fn export_state(&self) -> InjectorState {
+        InjectorState {
+            model: self.model.export_state(),
+            rng: self.rng.state(),
+            stats: self.stats(),
+            skip: self.skip,
+        }
+    }
+
+    /// Rebuilds an injector from an [`FaultInjector::export_state`]
+    /// snapshot. The restored injector continues the corruption stream —
+    /// RNG draws, fault timing, statistics — bit-identically from the
+    /// multiplication the snapshot was taken at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidState`] when the snapshot fails
+    /// validation: a bad model (see [`FaultModel::from_state`]), the
+    /// degenerate all-zero RNG state (the xoshiro fixed point, which a
+    /// seeded generator can never reach), or a statistics record whose
+    /// per-bit table does not cover the 64 product bits (the fault path
+    /// indexes it unchecked).
+    pub fn from_state(state: InjectorState) -> Result<FaultInjector, FaultModelError> {
+        let model = FaultModel::from_state(state.model)?;
+        if state.rng == [0u64; 4] {
+            return Err(FaultModelError::InvalidState("all-zero rng state"));
+        }
+        if state.stats.bit_flips.len() != OUTPUT_BITS {
+            return Err(FaultModelError::InvalidState("bit-flip table length"));
+        }
+        if state.stats.faulty > state.stats.multiplies {
+            return Err(FaultModelError::InvalidState("faulty exceeds multiplies"));
+        }
+        // The exported stats were folded, so the restored gap restarts at
+        // `skip`: future folds count only multiplications made after the
+        // snapshot, exactly matching the original's running totals.
+        Ok(FaultInjector {
+            model,
+            rng: StdRng::from_state(state.rng),
+            stats: state.stats,
+            skip: state.skip,
+            gap_len: state.skip,
+        })
+    }
 }
 
 impl ProductCorruptor for FaultInjector {
@@ -1165,6 +1324,67 @@ mod tests {
             }
         }
         assert!(faulty >= 95, "stale gap survived set_model: {faulty}/100");
+    }
+
+    #[test]
+    fn model_state_round_trips_bit_identically() {
+        for &er in &[0.01, 0.1, 0.5, 1.0] {
+            let m = FaultModel::from_error_rate(er)
+                .expect("valid")
+                .with_ripple(0.07, 9)
+                .with_near_zero_width(20);
+            let r = FaultModel::from_state(m.export_state()).expect("round trip");
+            assert_eq!(m, r, "er = {er}: derived tables must rebuild exactly");
+        }
+        let exact = FaultModel::exact().with_near_zero_width(20);
+        assert_eq!(
+            FaultModel::from_state(exact.export_state()).expect("round trip"),
+            exact
+        );
+    }
+
+    #[test]
+    fn injector_state_resumes_mid_gap_bit_identically() {
+        let model = FaultModel::from_error_rate(0.2).expect("valid");
+        let mut original = FaultInjector::new(model, 42);
+        // Run partway into a gap so skip, stats, and RNG are all mid-flight.
+        for i in 0..1777i64 {
+            original.corrupt_product(i * 7919);
+        }
+        let mut resumed = FaultInjector::from_state(original.export_state()).expect("valid state");
+        assert_eq!(original.stats(), resumed.stats(), "fold must carry over");
+        for i in 1777..12_000i64 {
+            assert_eq!(
+                original.corrupt_product(i * 7919),
+                resumed.corrupt_product(i * 7919),
+                "corruption streams diverged at multiply {i}"
+            );
+        }
+        assert_eq!(original.stats(), resumed.stats());
+    }
+
+    #[test]
+    fn injector_state_rejects_corrupted_snapshots() {
+        let good =
+            FaultInjector::new(FaultModel::from_error_rate(0.3).expect("valid"), 7).export_state();
+        let mut zero_rng = good.clone();
+        zero_rng.rng = [0; 4];
+        assert!(FaultInjector::from_state(zero_rng).is_err());
+        let mut short_flips = good.clone();
+        short_flips.stats.bit_flips.truncate(10);
+        assert!(FaultInjector::from_state(short_flips).is_err());
+        let mut bad_bit = good.clone();
+        bad_bit.model.flips.push((64, 0.5));
+        assert!(FaultInjector::from_state(bad_bit).is_err());
+        let mut bad_rate = good.clone();
+        bad_rate.model.error_rate = f64::NAN;
+        assert!(FaultInjector::from_state(bad_rate).is_err());
+        let mut bad_ripple = good.clone();
+        bad_ripple.model.ripple_fraction = 1.5;
+        assert!(FaultInjector::from_state(bad_ripple).is_err());
+        let mut bad_counts = good;
+        bad_counts.stats.faulty = bad_counts.stats.multiplies + 1;
+        assert!(FaultInjector::from_state(bad_counts).is_err());
     }
 
     #[test]

@@ -26,6 +26,10 @@ fn core_types_are_send_and_sync() {
     assert_send_sync::<stochastic_hmd::ChaosPlan>();
     assert_send_sync::<stochastic_hmd::ChaosEvent>();
     assert_send_sync::<shmd_volt::environment::ThermalEnvironment>();
+    assert_send_sync::<stochastic_hmd::ServiceCheckpoint>();
+    assert_send_sync::<stochastic_hmd::StateJournal>();
+    assert_send_sync::<stochastic_hmd::BatchCommit>();
+    assert_send_sync::<stochastic_hmd::JournalRecovery>();
 }
 
 #[test]
@@ -67,6 +71,8 @@ fn error_types_are_well_behaved() {
     assert_error::<stochastic_hmd::RocError>();
     assert_error::<stochastic_hmd::explore::ExploreError>();
     assert_error::<stochastic_hmd::ServeError>();
+    assert_error::<stochastic_hmd::CheckpointError>();
+    assert_error::<stochastic_hmd::RestoreError>();
     assert_error::<shmd_attack::ReverseError>();
 }
 
@@ -78,6 +84,9 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
         shmd_ml::FitError::EmptyTrainingSet.to_string(),
         shmd_ann::BuildNetworkError::MissingOutput.to_string(),
         shmd_attack::ReverseError::NoQueries.to_string(),
+        stochastic_hmd::CheckpointError::BadMagic.to_string(),
+        stochastic_hmd::CheckpointError::UnsupportedVersion(9).to_string(),
+        stochastic_hmd::RestoreError::SupervisorRequired.to_string(),
     ];
     for msg in samples {
         let first = msg.chars().next().expect("non-empty");
