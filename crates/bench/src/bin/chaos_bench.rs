@@ -6,16 +6,20 @@
 //! numbers as a table. `--check` exits non-zero if any pool size's
 //! threaded chaos replay is not bit-identical to the serial one (verdicts,
 //! per-batch health transitions, and timing-stripped telemetry), if the
-//! scripted chaos failed to crash anything, if any query was dropped, or
-//! if the pool did not end the run serving — that mode is what CI runs
-//! (with `--fast`) as the chaos smoke test.
+//! scripted chaos failed to crash anything, if any query was dropped, if
+//! the pool did not end the run serving, or if the largest pool's
+//! threaded-vs-serial scaling falls below the regression floor
+//! (`--scaling-floor`, default 1.5, clamped to what the host's core count
+//! can physically deliver) — that mode is what CI runs (with `--fast`) as
+//! the chaos smoke test.
 
 use hmd_bench::cli::Scale;
-use hmd_bench::{chaos, setup, table, Args};
+use hmd_bench::{chaos, serve, setup, table, Args};
 
 fn main() {
     let mut check = false;
     let mut out_path = String::from("BENCH_4.json");
+    let mut configured_floor = 1.5_f64;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -28,6 +32,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scaling-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => configured_floor = v,
+                _ => {
+                    eprintln!("error: --scaling-floor needs a positive number");
+                    std::process::exit(2);
+                }
+            },
             _ => rest.push(flag),
         }
     }
@@ -35,15 +46,18 @@ fn main() {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            eprintln!(
+                "flags: --seed N  --threads N  --paper  --fast  --check  \
+                 --scaling-floor X  --out PATH"
+            );
             std::process::exit(2);
         }
     };
 
     let (scale_name, batch_size) = match args.scale {
-        Scale::Fast => ("fast", 8),
-        Scale::Medium => ("medium", 32),
-        Scale::Paper => ("paper", 128),
+        Scale::Fast => ("fast", 1024),
+        Scale::Medium => ("medium", 2048),
+        Scale::Paper => ("paper", 4096),
     };
     let dataset = setup::dataset(&args);
     let baseline = setup::victim(&dataset, 0, &args);
@@ -79,7 +93,8 @@ fn main() {
     }
     println!("(same seeds, same chaos schedule; only the worker pool differs between replays)");
 
-    let doc = chaos::render_json(&points, args.seed, scale_name, exec.thread_count());
+    let floor = serve::effective_scaling_floor(configured_floor, exec.thread_count());
+    let doc = chaos::render_json(&points, args.seed, scale_name, exec.thread_count(), floor);
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -120,12 +135,28 @@ fn main() {
                 failed = true;
             }
         }
+        // Scaling-regression gate on the largest pool, hardware-clamped
+        // like serve_bench's.
+        if let Some(p) = points.last() {
+            if exec.thread_count() > 1 && p.scaling() < floor {
+                eprintln!(
+                    "FAIL: {} shards: scaling {:.2}x below floor {:.2}x \
+                     (configured {:.2}x, {} hardware threads)",
+                    p.shards,
+                    p.scaling(),
+                    floor,
+                    configured_floor,
+                    serve::hardware_threads(),
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
             "check passed: chaos replay thread-invariant at every pool size, \
-             poison contained, pool serving at end"
+             poison contained, pool serving at end, scaling above {floor:.2}x"
         );
     }
 }

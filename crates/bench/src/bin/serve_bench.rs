@@ -5,9 +5,13 @@
 //! Writes `BENCH_3.json` (override with `--out PATH`) and prints the same
 //! numbers as a table. `--check` exits non-zero if any pool size's
 //! threaded replay is not bit-identical to the serial one (verdict
-//! checksum *and* timing-stripped telemetry) or if any shard degraded at
-//! the paper's er = 0.1 operating point — that mode is what CI runs (with
-//! `--fast`) as a serving smoke test.
+//! checksum *and* timing-stripped telemetry), if any shard degraded at
+//! the paper's er = 0.1 operating point, or if the largest pool's
+//! threaded-vs-serial scaling falls below the regression floor
+//! (`--scaling-floor`, default 2.0, clamped to what the host's core count
+//! can physically deliver — see `serve::effective_scaling_floor`) — that
+//! mode is what CI runs (with `--fast`) as a serving smoke test, so a
+//! relapse of the inverted-scaling bug fails the build.
 
 use hmd_bench::cli::Scale;
 use hmd_bench::{serve, setup, table, Args};
@@ -16,6 +20,7 @@ use shmd_volt::calibration::{Calibrator, DeviceProfile};
 fn main() {
     let mut check = false;
     let mut out_path = String::from("BENCH_3.json");
+    let mut configured_floor = 2.0_f64;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -28,6 +33,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scaling-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => configured_floor = v,
+                _ => {
+                    eprintln!("error: --scaling-floor needs a positive number");
+                    std::process::exit(2);
+                }
+            },
             _ => rest.push(flag),
         }
     }
@@ -35,15 +47,18 @@ fn main() {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            eprintln!(
+                "flags: --seed N  --threads N  --paper  --fast  --check  \
+                 --scaling-floor X  --out PATH"
+            );
             std::process::exit(2);
         }
     };
 
     let (scale_name, queries) = match args.scale {
-        Scale::Fast => ("fast", 200),
-        Scale::Medium => ("medium", 2_000),
-        Scale::Paper => ("paper", 10_000),
+        Scale::Fast => ("fast", 2_000),
+        Scale::Medium => ("medium", 20_000),
+        Scale::Paper => ("paper", 100_000),
     };
     let dataset = setup::dataset(&args);
     let baseline = setup::victim(&dataset, 0, &args);
@@ -75,7 +90,8 @@ fn main() {
     }
     println!("(same stream, same seeds; only the worker pool differs between the two replays)");
 
-    let doc = serve::render_json(&points, args.seed, scale_name, exec.thread_count());
+    let floor = serve::effective_scaling_floor(configured_floor, exec.thread_count());
+    let doc = serve::render_json(&points, args.seed, scale_name, exec.thread_count(), floor);
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -100,11 +116,28 @@ fn main() {
                 failed = true;
             }
         }
+        // Scaling-regression gate on the largest pool: the configured
+        // floor, clamped to what this host's core count can deliver.
+        if let Some(p) = points.last() {
+            if exec.thread_count() > 1 && p.scaling() < floor {
+                eprintln!(
+                    "FAIL: {} shards: scaling {:.2}x below floor {:.2}x \
+                     (configured {:.2}x, {} hardware threads)",
+                    p.shards,
+                    p.scaling(),
+                    floor,
+                    configured_floor,
+                    serve::hardware_threads(),
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "check passed: serving output thread-invariant at every pool size, no degradation"
+            "check passed: thread-invariant at every pool size, no degradation, \
+             scaling above {floor:.2}x"
         );
     }
 }

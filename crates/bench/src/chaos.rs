@@ -76,8 +76,15 @@ impl ChaosPoint {
     }
 }
 
+/// Batches between supervision sweeps in the benchmark world. Scripted
+/// kills land at the next sweep via the inclusive window in
+/// `ChaosPlan::kills_in`, so nothing is lost — the pool just reacts at
+/// cadence granularity instead of paying the supervisor on every batch.
+pub const SUPERVISION_CADENCE: u64 = 4;
+
 /// The scripted world every measurement runs in: a drifting office
-/// environment plus a seeded chaos plan over [`CHAOS_HORIZON`] batches.
+/// environment plus a seeded chaos plan over [`CHAOS_HORIZON`] batches,
+/// supervised every [`SUPERVISION_CADENCE`] batches.
 /// Shared with [`crate::durability`], whose crash/restore runs must live
 /// in the exact world the chaos benchmark measures.
 pub fn supervision(seed: u64, shards: usize) -> SupervisorConfig {
@@ -87,6 +94,7 @@ pub fn supervision(seed: u64, shards: usize) -> SupervisorConfig {
     SupervisorConfig::new(device)
         .with_environment(environment)
         .with_chaos(chaos)
+        .with_supervision_cadence(SUPERVISION_CADENCE)
 }
 
 /// Replays the chaos schedule through a fresh supervised deployment and
@@ -195,7 +203,13 @@ pub fn measure_sweep(
 /// Renders the sweep as the hand-built JSON written to `BENCH_4.json`
 /// (the vendored `serde` is a no-op shim; checksums are decimal strings
 /// because they exceed 2^53).
-pub fn render_json(points: &[ChaosPoint], seed: u64, scale: &str, threads: usize) -> String {
+pub fn render_json(
+    points: &[ChaosPoint],
+    seed: u64,
+    scale: &str,
+    threads: usize,
+    scaling_floor: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"chaos_recovery\",\n");
@@ -204,9 +218,14 @@ pub fn render_json(points: &[ChaosPoint], seed: u64, scale: &str, threads: usize
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        crate::serve::hardware_threads()
+    ));
+    out.push_str(&format!("  \"scaling_floor\": {scaling_floor:.3},\n"));
+    out.push_str(&format!(
         "  \"schedule\": \"{} chaos batches + {} clean, seeded crashes and a cold spike, \
-         one poison query per batch\",\n",
-        CHAOS_HORIZON, CHAOS_TAIL
+         one poison query per batch, supervision every {} batches\",\n",
+        CHAOS_HORIZON, CHAOS_TAIL, SUPERVISION_CADENCE
     ));
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -299,11 +318,13 @@ mod tests {
             healthy_at_end: 4,
             degraded_at_end: 0,
         };
-        let doc = render_json(&[p], 42, "fast", 8);
+        let doc = render_json(&[p], 42, "fast", 8, 1.5);
         assert!(doc.contains("\"bench\": \"chaos_recovery\""));
         assert!(doc.contains("\"scaling\": 3.000"));
         assert!(doc.contains("\"thread_invariant\": true"));
         assert!(doc.contains("\"crashes\": 2"));
+        assert!(doc.contains("\"scaling_floor\": 1.500"));
+        assert!(doc.contains("\"hardware_threads\": "));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 }

@@ -58,6 +58,30 @@ impl ServePoint {
     }
 }
 
+/// The scaling floor a `--check` run actually enforces, given the floor
+/// the operator configured and the machine it runs on.
+///
+/// A configured floor of, say, 2× assumes at least a few real cores. On a
+/// box with fewer hardware threads than the benchmark asks for, wall-clock
+/// speedup is physically capped at the hardware — a 1-core container can
+/// never scale past 1× no matter how lock-free the engine is. The
+/// effective floor is therefore clamped to `0.75 ×
+/// min(hardware_threads, requested_threads)` (threading overhead may cost
+/// at most 25%), and never below 0.75: even on one core, the lock-free
+/// engine must not fall off the historical 0.35× cliff the per-shard-mutex
+/// design produced.
+pub fn effective_scaling_floor(configured: f64, threads: usize) -> f64 {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let usable = hw.min(threads.max(1)) as f64;
+    configured.min(0.75 * usable).max(0.75)
+}
+
+/// Hardware threads available to this process, reported alongside the
+/// floor in the bench JSON so a reader can interpret the scaling numbers.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Replays `queries` through a fresh deployment and returns the finished
 /// service plus its queries-per-second.
 fn replay(
@@ -131,7 +155,13 @@ pub fn measure_sweep(
 /// The vendored `serde` is a no-op shim, so the document is formatted
 /// here; checksums are decimal strings to stay integer-exact in any
 /// reader (they exceed 2^53).
-pub fn render_json(points: &[ServePoint], seed: u64, scale: &str, threads: usize) -> String {
+pub fn render_json(
+    points: &[ServePoint],
+    seed: u64,
+    scale: &str,
+    threads: usize,
+    scaling_floor: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"monitoring_service\",\n");
@@ -139,9 +169,14 @@ pub fn render_json(points: &[ServePoint], seed: u64, scale: &str, threads: usize
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        hardware_threads()
+    ));
+    out.push_str(&format!("  \"scaling_floor\": {scaling_floor:.3},\n"));
     out.push_str(
-        "  \"engine\": \"sharded Stochastic-HMD pool, per-shard derived seeds, \
-         deterministic fan-out\",\n",
+        "  \"engine\": \"lock-free query-range claiming over a shared shard pool, \
+         per-query derived fault streams, per-worker telemetry fold\",\n",
     );
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -219,10 +254,28 @@ mod tests {
             degraded_shards: 0,
             flags: 17,
         };
-        let doc = render_json(&[p], 42, "fast", 8);
+        let doc = render_json(&[p], 42, "fast", 8, 2.0);
         assert!(doc.contains("\"scaling\": 3.000"));
         assert!(doc.contains("\"thread_invariant\": true"));
         assert!(doc.contains("\"checksum\": \"42\""));
+        assert!(doc.contains("\"scaling_floor\": 2.000"));
+        assert!(doc.contains("\"hardware_threads\": "));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn effective_floor_is_hardware_aware() {
+        // Can't dictate the host's core count, but the clamp's algebra is
+        // checkable at both extremes: the floor never exceeds what the
+        // hardware can deliver and never drops below 0.75.
+        let hw = hardware_threads() as f64;
+        let floor = effective_scaling_floor(2.0, 8);
+        assert!(floor <= 2.0 + f64::EPSILON);
+        assert!(floor <= (0.75 * hw.min(8.0)).max(0.75) + f64::EPSILON);
+        assert!((0.75..=2.0).contains(&floor));
+        // A giant configured floor clamps to the hardware; a tiny one
+        // survives only via the 0.75 backstop.
+        assert!(effective_scaling_floor(1000.0, 8) <= 0.75 * hw.min(8.0) + f64::EPSILON);
+        assert_eq!(effective_scaling_floor(0.1, 8), 0.75);
     }
 }

@@ -7,22 +7,33 @@
 //! [`StochasticHmd`] replicas, one per core the defender dedicates to
 //! monitoring. [`MonitoringService`] is that pool:
 //!
-//! - **per-shard seeds** come from [`crate::exec::derive_seed`] over the
-//!   master seed, the shard index and the shard's calibration generation,
-//!   so replicas draw statistically independent fault streams and the
-//!   whole service replays bit-for-bit from one seed;
-//! - **deterministic fan-out**: queries are assigned to shards by their
+//! - **per-query seeds** come from [`crate::exec::derive_seed`] twice
+//!   over: the master seed, shard index, and calibration generation yield
+//!   a shard seed, and the shard seed plus the query's lifetime stream
+//!   position yield the seed of that query's fault stream. Every verdict
+//!   is therefore a pure function of (shard state at the batch boundary,
+//!   stream position) — replicas draw statistically independent fault
+//!   streams, the whole service replays bit-for-bit from one seed, and
+//!   queries within a batch are embarrassingly parallel. Restarting a
+//!   fresh geometric fault stream per query preserves the exact
+//!   Bernoulli(er)-per-multiplication law because the geometric
+//!   inter-fault gap is memoryless;
+//! - **lock-free fan-out**: queries are assigned to shards by their
 //!   position in the stream (`index mod shards`, re-routed to the serving
-//!   set by the same arithmetic when a shard is quarantined), workers
-//!   claim *shards* (never queries) from a [`std::thread::scope`] pool,
-//!   and each batch's verdicts are merged back into stream order — so
-//!   serial and N-thread execution produce bit-identical verdicts,
-//!   scores, and telemetry, as in [`crate::exec`];
+//!   set by the same arithmetic when a shard is quarantined). Workers
+//!   claim contiguous *query ranges* from a shared atomic cursor — the
+//!   task-claim idiom of [`crate::exec`] — scoring against shared `&`
+//!   shard state with thread-local scratch, fault streams, and telemetry
+//!   accumulators; no worker ever takes a lock or mutates a shard.
+//!   Verdict ranges are stitched back into stream order at the batch
+//!   boundary and per-shard telemetry deltas (additive, order-independent)
+//!   fold on the main thread, so serial and N-thread execution produce
+//!   bit-identical verdicts, scores, checksums, and telemetry;
 //! - **ingestion validation**: a query whose feature width mismatches the
 //!   deployed model, or whose features are NaN/infinite, is *rejected* at
 //!   the door with a [`QueryDisposition::Rejected`] verdict instead of
-//!   panicking inside a worker and poisoning the shard's mutex — one
-//!   poison query costs exactly one verdict, never the shard;
+//!   panicking inside a worker — one poison query costs exactly one
+//!   verdict, never the shard;
 //! - **graceful degradation**: when calibration cannot deliver the target
 //!   error rate for a shard (device freezes first, re-calibration fails
 //!   mid-stream), the shard falls back to the *baseline* detector at
@@ -33,12 +44,16 @@
 //! - **supervision** ([`MonitoringService::supervised`]): a deployment
 //!   under a [`Supervisor`] steps a thermal world model
 //!   ([`shmd_volt::environment`]) plus an optional seeded
-//!   [`crate::supervisor::ChaosPlan`] before every batch — a shard whose
-//!   operating point crosses the freeze threshold *crashes* and is
-//!   quarantined (traffic re-routed, deterministic retries with
+//!   [`crate::supervisor::ChaosPlan`] at every supervision point — a
+//!   shard whose operating point crosses the freeze threshold *crashes*
+//!   and is quarantined (traffic re-routed, deterministic retries with
 //!   exponential backoff, restart under a fresh generation seed), and a
 //!   watchdog compares the online delivered-error-rate estimate against
 //!   its post-calibration reference to trigger recalibration on drift.
+//!   Supervision cost is amortized over a configurable cadence
+//!   ([`SupervisorConfig::supervision_cadence`], default every batch):
+//!   at each point the supervisor processes the scripted-kill window
+//!   accumulated since the previous point, so no chaos event is lost.
 //!   All supervision runs on the main thread as a function of the batch
 //!   index, so chaos runs replay bit-identically at any thread count.
 //!
@@ -61,9 +76,11 @@ use crate::supervisor::{
     retry_backoff, ShardHealth, SupervisionRecord, Supervisor, SupervisorConfig,
 };
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
+use shmd_ann::network::InferenceScratch;
 use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
 use shmd_volt::controller::{ControllerAction, ControllerState};
 use shmd_volt::environment::delivered_error_rate_at;
+use shmd_volt::fault::FaultStream;
 use shmd_volt::multiplier::FREEZE_ERROR_RATE;
 use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
@@ -71,12 +88,21 @@ use shmd_workload::trace::Trace;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Experiment tag mixed into every shard-seed derivation, so a service and
 /// an experiment sharing a master seed never share RNG streams.
 const SERVE_TAG: u64 = 0x5e7e;
+
+/// Tag mixed into every per-query fault-stream seed derivation (over the
+/// shard seed and the query's stream position), so query streams never
+/// collide with shard-level derivations.
+const QUERY_TAG: u64 = 0x09e4;
+
+/// Smallest query range a worker claims from the batch cursor. Claims
+/// below this would spend more time on the atomic than on inference.
+const MIN_CLAIM: usize = 32;
 
 /// Folded into the verdict checksum in place of a score for rejected
 /// queries, so a rejection perturbs the checksum distinctly from any
@@ -109,12 +135,15 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// A service of `shards` replicas at the paper's er = 0.1 operating
-    /// point: batches of 64, single-detection policy, seed 42, auto
-    /// thread count.
+    /// point: batches of 1024, single-detection policy, seed 42, auto
+    /// thread count. The batch is the parallelism *and* supervision
+    /// granularity — workers claim query ranges inside it, and the
+    /// supervisor only runs between batches — so the default is sized to
+    /// amortize both.
     pub fn new(shards: usize) -> ServeConfig {
         ServeConfig {
             shards,
-            batch_size: 64,
+            batch_size: 1024,
             target_error_rate: 0.1,
             policy: DetectionPolicy::Single,
             seed: 42,
@@ -268,21 +297,93 @@ enum ShardBackend {
     Down,
 }
 
-impl ShardBackend {
-    fn score_features(&mut self, features: &[f32]) -> f64 {
-        match self {
-            ShardBackend::Stochastic(hmd) => hmd.score_features(features),
-            ShardBackend::Baseline(hmd) => hmd.score_features(features),
-            ShardBackend::Down => unreachable!("crashed shard received a query"),
-        }
-    }
+/// A shard's backend as seen from inside the parallel region: shared
+/// references only, so any number of workers can score against it
+/// concurrently without locks.
+#[derive(Clone, Copy)]
+enum BackendView<'a> {
+    Stochastic(&'a StochasticHmd),
+    Baseline(&'a BaselineHmd),
+    Down,
+}
 
-    fn threshold(&self) -> f64 {
-        match self {
-            ShardBackend::Stochastic(hmd) => Detector::threshold(hmd.as_ref()),
-            ShardBackend::Baseline(hmd) => Detector::threshold(hmd),
-            ShardBackend::Down => unreachable!("crashed shard has no threshold"),
+/// The immutable slice of one shard a batch's workers score against. All
+/// mutable shard state (counters, histogram, fault totals) stays on the
+/// main thread and is updated from the workers' additive
+/// [`ShardDelta`]s at the batch boundary.
+#[derive(Clone, Copy)]
+struct ShardView<'a> {
+    seed: u64,
+    backend: BackendView<'a>,
+}
+
+impl ShardView<'_> {
+    /// Scores one query under the policy, accumulating telemetry into the
+    /// worker-local `delta`.
+    ///
+    /// The query's fault stream is seeded from the shard seed and the
+    /// query's lifetime stream position, shared across all `k` policy
+    /// draws — so the verdict depends only on (shard state, position),
+    /// never on which worker claimed the range or what was scored before.
+    /// All `k` detections are always performed so the score is the full
+    /// order statistic; the verdict is its thresholding, which by
+    /// policy-consistency equals the sequential `decide` outcome.
+    fn answer(
+        &self,
+        policy: DetectionPolicy,
+        position: u64,
+        features: &[f32],
+        scratch: &mut InferenceScratch,
+        draws: &mut Vec<f64>,
+        delta: &mut ShardDelta,
+    ) -> (f64, Label) {
+        let k = policy.detections();
+        let (score, threshold) = match self.backend {
+            BackendView::Stochastic(hmd) => {
+                let seed = derive_seed(self.seed, &[QUERY_TAG, position]);
+                let mut stream = FaultStream::new(hmd.fault_model(), seed);
+                draws.clear();
+                for _ in 0..k {
+                    draws.push(hmd.score_features_with(features, &mut stream, scratch));
+                }
+                delta.faults.fold(&stream.stats());
+                draws.sort_by(f64::total_cmp);
+                let score = match policy {
+                    DetectionPolicy::Single => draws[0],
+                    DetectionPolicy::AnyOf(_) => draws[k - 1],
+                    DetectionPolicy::MajorityOf(_) => draws[k.div_ceil(2) - 1],
+                };
+                (score, Detector::threshold(hmd))
+            }
+            // The baseline is deterministic: all k draws are one value, so
+            // every policy order statistic equals the single score.
+            BackendView::Baseline(hmd) => (hmd.score_features(features), Detector::threshold(hmd)),
+            BackendView::Down => unreachable!("crashed shard received a query"),
+        };
+        let label = Label::from_bool(score >= threshold);
+        delta.queries += 1;
+        if label.is_malware() {
+            delta.flags += 1;
         }
+        delta.histogram.record(score);
+        (score, label)
+    }
+}
+
+/// One worker's accumulated telemetry for one shard over the ranges it
+/// claimed this batch. Every field is additive and order-independent, so
+/// deltas from any number of workers fold to the same shard totals.
+#[derive(Clone, Default)]
+struct ShardDelta {
+    queries: u64,
+    flags: u64,
+    faults: FaultCounters,
+    histogram: ScoreHistogram,
+}
+
+impl ShardDelta {
+    fn is_empty(&self) -> bool {
+        self.queries == 0
     }
 }
 
@@ -300,42 +401,38 @@ struct Shard {
     degradation_events: u64,
     queries: u64,
     flags: u64,
-    /// Fault counters folded from injector generations already replaced
-    /// by recalibration (the live injector's stats are folded on demand).
+    /// Fault counters folded at every batch boundary from the per-query
+    /// fault streams (and, historically, from injector generations retired
+    /// by recalibration — the name survives for checkpoint compatibility).
     retired_faults: FaultCounters,
     histogram: ScoreHistogram,
-    /// Reusable per-query draw buffer (k draws under the policy).
-    draws: Vec<f64>,
 }
 
 impl Shard {
-    /// Scores one query under the policy and records telemetry.
-    ///
-    /// All `k` detections are always performed so the score is the full
-    /// order statistic; the verdict is its thresholding, which by
-    /// policy-consistency equals the sequential `decide` outcome.
-    fn answer(&mut self, policy: DetectionPolicy, features: &[f32]) -> (f64, Label) {
-        let k = policy.detections();
-        self.draws.clear();
-        for _ in 0..k {
-            self.draws.push(self.backend.score_features(features));
+    /// The immutable view a batch's workers score against.
+    fn view(&self) -> ShardView<'_> {
+        ShardView {
+            seed: self.seed,
+            backend: match &self.backend {
+                ShardBackend::Stochastic(hmd) => BackendView::Stochastic(hmd),
+                ShardBackend::Baseline(hmd) => BackendView::Baseline(hmd),
+                ShardBackend::Down => BackendView::Down,
+            },
         }
-        self.draws.sort_by(f64::total_cmp);
-        let score = match policy {
-            DetectionPolicy::Single => self.draws[0],
-            DetectionPolicy::AnyOf(_) => self.draws[k - 1],
-            DetectionPolicy::MajorityOf(_) => self.draws[k.div_ceil(2) - 1],
-        };
-        let label = Label::from_bool(score >= self.backend.threshold());
-        self.queries += 1;
-        if label.is_malware() {
-            self.flags += 1;
-        }
-        self.histogram.record(score);
-        (score, label)
     }
 
-    /// Current fault counters: retired generations plus the live injector.
+    /// Folds one worker's per-batch telemetry delta into the shard.
+    fn fold_delta(&mut self, delta: &ShardDelta) {
+        self.queries += delta.queries;
+        self.flags += delta.flags;
+        self.retired_faults.merge(&delta.faults);
+        self.histogram.merge(&delta.histogram);
+    }
+
+    /// Current fault counters: every batch boundary folds the per-query
+    /// streams into `retired_faults`, and the shard-level injector (kept
+    /// for checkpoint compatibility; it never corrupts a product itself)
+    /// contributes its statistics — zero in steady state.
     fn fault_counters(&self) -> FaultCounters {
         let mut counters = self.retired_faults;
         if let ShardBackend::Stochastic(hmd) = &self.backend {
@@ -432,7 +529,10 @@ pub struct MonitoringService {
     /// Input-layer width, for ingestion validation.
     input_dim: usize,
     supervisor: Option<Supervisor>,
-    shards: Vec<Mutex<Shard>>,
+    /// Plain shard state: workers only ever see immutable
+    /// [`ShardView`]s of it, so no lock is needed — all mutation happens
+    /// on the main thread between batches.
+    shards: Vec<Shard>,
     served: u64,
     batches: u64,
     rejected_queries: u64,
@@ -463,19 +563,21 @@ impl MonitoringService {
         let mut service = Self::empty(baseline, config);
         for id in 0..config.shards.max(1) {
             let shard = service.build_shard(id, baseline, curve);
-            service.shards.push(Mutex::new(shard));
+            service.shards.push(shard);
         }
         Ok(service)
     }
 
     /// Deploys a *supervised* service: the pool runs inside `supervision`'s
     /// thermal world model (and scripted chaos plan, if any), with shard
-    /// offsets chosen by the supervisor's voltage controller. Before every
-    /// batch the supervisor steps the environment, crashes and quarantines
-    /// frozen shards, retunes live injectors to the physically delivered
-    /// error rate, runs the delivered-rate watchdog, and executes due
-    /// recovery retries — all as a deterministic function of the batch
-    /// index.
+    /// offsets chosen by the supervisor's voltage controller. At every
+    /// supervision point (every `supervision_cadence` batches, default
+    /// every batch) the supervisor steps the environment, crashes and
+    /// quarantines shards scripted to die anywhere in the window since
+    /// the previous point, retunes live fault models to the physically
+    /// delivered error rate, runs the delivered-rate watchdog, and
+    /// executes due recovery retries — all as a deterministic function of
+    /// the batch index.
     ///
     /// An unreachable (but valid) target clamps at the controller's guard
     /// band rather than degrading: the shards serve stochastic at the
@@ -513,7 +615,7 @@ impl MonitoringService {
                         ShardHealth::Degraded,
                     ),
                 };
-            service.shards.push(Mutex::new(Shard {
+            service.shards.push(Shard {
                 id,
                 seed,
                 generation: 0,
@@ -525,8 +627,7 @@ impl MonitoringService {
                 flags: 0,
                 retired_faults: FaultCounters::default(),
                 histogram: ScoreHistogram::new(),
-                draws: Vec::new(),
-            }));
+            });
         }
         service.supervisor = Some(supervisor);
         Ok(service)
@@ -591,7 +692,6 @@ impl MonitoringService {
             flags: 0,
             retired_faults: FaultCounters::default(),
             histogram: ScoreHistogram::new(),
-            draws: Vec::new(),
         }
     }
 
@@ -659,12 +759,7 @@ impl MonitoringService {
     pub fn shard_healths(&self) -> Vec<ShardHealth> {
         self.shards
             .iter()
-            .map(|slot| {
-                slot.lock()
-                    .expect("shard mutex poisoned")
-                    .supervision
-                    .health()
-            })
+            .map(|shard| shard.supervision.health())
             .collect()
     }
 
@@ -693,8 +788,7 @@ impl MonitoringService {
     /// shards left degraded.
     pub fn recalibrate(&mut self, baseline: &BaselineHmd, curve: &CalibrationCurve) -> usize {
         let mut degraded = 0;
-        for slot in &mut self.shards {
-            let shard = slot.get_mut().expect("shard mutex poisoned");
+        for shard in &mut self.shards {
             shard.retire_backend();
             shard.generation += 1;
             shard.seed = derive_seed(self.seed, &[SERVE_TAG, shard.id as u64, shard.generation]);
@@ -723,9 +817,9 @@ impl MonitoringService {
     ///
     /// Query `i` of the batch goes to shard `(served + i) mod shards` —
     /// a function of the stream position only, never of scheduling — and
-    /// each worker claims whole shards, so every shard consumes its
-    /// queries in stream order and the output is bit-identical at any
-    /// thread count.
+    /// its fault stream is seeded from the shard seed and stream
+    /// position, so workers claiming arbitrary query ranges produce
+    /// output bit-identical at any thread count.
     pub fn process_batch(&mut self, queries: &[&Trace]) -> Vec<Verdict> {
         let features: Vec<Vec<f32>> = queries.iter().map(|t| self.spec.extract(t)).collect();
         self.run_batch(&features)
@@ -743,80 +837,128 @@ impl MonitoringService {
 
     fn run_batch(&mut self, features: &[Vec<f32>]) -> Vec<Verdict> {
         let start = Instant::now();
-        self.supervise(self.batches);
+        // Supervision points are amortized to the configured cadence; at
+        // each point the scripted-kill window accumulated since the
+        // previous point is processed, so no chaos event is lost.
+        let cadence = self
+            .supervisor
+            .as_ref()
+            .map_or(1, |sup| sup.config().supervision_cadence.max(1));
+        if self.batches.is_multiple_of(cadence) {
+            let window_from = self.batches.saturating_sub(cadence - 1);
+            self.supervise(window_from, self.batches);
+        }
+        let n = features.len();
         let n_shards = self.shards.len();
         let base = self.served;
         let policy = self.policy;
+        let input_dim = self.input_dim;
         // The serving set after supervision: a pure function of the batch
         // index and prior state, identical at any thread count.
-        let serving: Vec<usize> = self
+        let mask: Vec<bool> = self
             .shards
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(id, slot)| {
-                let shard = slot.get_mut().expect("shard mutex poisoned");
-                shard.supervision.health().is_serving().then_some(id)
-            })
+            .iter()
+            .map(|shard| shard.supervision.health().is_serving())
             .collect();
+        let serving: Vec<usize> = (0..n_shards).filter(|&id| mask[id]).collect();
         debug_assert!(
             !serving.is_empty(),
             "the supervisor never empties the serving set"
         );
-        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
-        let mut verdicts: Vec<Option<Verdict>> = vec![None; features.len()];
-        for (i, query) in features.iter().enumerate() {
-            let position = base + i as u64;
-            let home = (position % n_shards as u64) as usize;
-            let target = if serving.contains(&home) {
-                home
-            } else {
-                // Deterministic re-route around quarantined shards: still
-                // a function of the stream position only.
-                serving[(position % serving.len() as u64) as usize]
-            };
-            match validate_features(query, self.input_dim) {
-                Ok(()) => assignments[target].push(i),
-                Err(reason) => {
-                    verdicts[i] = Some(Verdict {
-                        query: position,
-                        shard: target,
-                        score: 0.0,
-                        label: Label::from_bool(false),
-                        disposition: QueryDisposition::Rejected(reason),
-                    });
+        let views: Vec<ShardView<'_>> = self.shards.iter().map(Shard::view).collect();
+
+        // Lock-free range claiming over the query stream (the atomic
+        // task-claim idiom of `crate::exec`, at query-range granularity):
+        // each worker repeatedly claims the next contiguous chunk of the
+        // batch from a shared cursor and scores it against the shared
+        // shard views with thread-local scratch, draws, fault streams,
+        // and telemetry deltas. Verdicts are a pure function of stream
+        // position, so which worker claims which range affects wall-clock
+        // only, never output.
+        let workers = self.exec.thread_count().min((n / MIN_CLAIM).max(1));
+        let chunk = (n / (workers * 4).max(1)).clamp(MIN_CLAIM, 8192);
+        let cursor = AtomicUsize::new(0);
+        let cursor_ref = &cursor;
+        let features_ref = &features;
+        let views_ref = &views;
+        let mask_ref = &mask;
+        let serving_ref = &serving;
+        type WorkerRanges = Vec<(usize, Vec<Verdict>)>;
+        let worker_out: Vec<(WorkerRanges, Vec<ShardDelta>)> =
+            parallel_map_n(&self.exec, workers, |_worker| {
+                let mut ranges: WorkerRanges = Vec::new();
+                let mut deltas: Vec<ShardDelta> = vec![ShardDelta::default(); n_shards];
+                let mut scratch = InferenceScratch::new();
+                let mut draws: Vec<f64> = Vec::new();
+                loop {
+                    let lo = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(n);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for (i, query) in features_ref[lo..hi].iter().enumerate() {
+                        let position = base + (lo + i) as u64;
+                        let home = (position % n_shards as u64) as usize;
+                        let target = if mask_ref[home] {
+                            home
+                        } else {
+                            // Deterministic re-route around quarantined
+                            // shards: still a function of the stream
+                            // position only.
+                            serving_ref[(position % serving_ref.len() as u64) as usize]
+                        };
+                        out.push(match validate_features(query, input_dim) {
+                            Ok(()) => {
+                                let (score, label) = views_ref[target].answer(
+                                    policy,
+                                    position,
+                                    query,
+                                    &mut scratch,
+                                    &mut draws,
+                                    &mut deltas[target],
+                                );
+                                Verdict {
+                                    query: position,
+                                    shard: target,
+                                    score,
+                                    label,
+                                    disposition: QueryDisposition::Served,
+                                }
+                            }
+                            Err(reason) => Verdict {
+                                query: position,
+                                shard: target,
+                                score: 0.0,
+                                label: Label::from_bool(false),
+                                disposition: QueryDisposition::Rejected(reason),
+                            },
+                        });
+                    }
+                    ranges.push((lo, out));
+                }
+                (ranges, deltas)
+            });
+        drop(views);
+
+        // Fold: telemetry deltas are additive and order-independent;
+        // verdict ranges partition the batch, so stitching them by start
+        // position rebuilds exact stream order.
+        let mut stitched: Vec<(usize, Vec<Verdict>)> = Vec::new();
+        for (ranges, deltas) in worker_out {
+            for (shard, delta) in self.shards.iter_mut().zip(&deltas) {
+                if !delta.is_empty() {
+                    shard.fold_delta(delta);
                 }
             }
+            stitched.extend(ranges);
         }
-        let shards = &self.shards;
-        let features_ref = &features;
-        let assignments_ref = &assignments;
-        let per_shard: Vec<Vec<(usize, f64, Label)>> = parallel_map_n(&self.exec, n_shards, |s| {
-            // Each shard is claimed by exactly one task, so the lock is
-            // uncontended; it exists to hand the worker `&mut` access.
-            let mut shard = shards[s].lock().expect("shard mutex poisoned");
-            assignments_ref[s]
-                .iter()
-                .map(|&i| {
-                    let (score, label) = shard.answer(policy, &features_ref[i]);
-                    (i, score, label)
-                })
-                .collect()
-        });
-        for (s, answers) in per_shard.into_iter().enumerate() {
-            for (i, score, label) in answers {
-                verdicts[i] = Some(Verdict {
-                    query: base + i as u64,
-                    shard: s,
-                    score,
-                    label,
-                    disposition: QueryDisposition::Served,
-                });
-            }
+        stitched.sort_unstable_by_key(|&(lo, _)| lo);
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(n);
+        for (_, range) in stitched {
+            verdicts.extend(range);
         }
-        let verdicts: Vec<Verdict> = verdicts
-            .into_iter()
-            .map(|v| v.expect("every query is either assigned to a shard or rejected"))
-            .collect();
+        debug_assert_eq!(verdicts.len(), n, "claimed ranges partition the batch");
         for v in &verdicts {
             match v.disposition {
                 QueryDisposition::Served => {
@@ -831,8 +973,10 @@ impl MonitoringService {
                 }
             }
         }
-        self.served += features.len() as u64;
+        self.served += n as u64;
         self.batches += 1;
+        // Timing folds exactly once per batch, on the main thread, after
+        // the parallel region — workers never touch the clock.
         if self.batch_latency_micros.len() == BATCH_LATENCY_WINDOW {
             self.batch_latency_micros.pop_front();
         }
@@ -841,26 +985,30 @@ impl MonitoringService {
         verdicts
     }
 
-    /// One supervision step, run on the main thread before the batch is
-    /// dispatched. Everything here is a function of `batch` and prior
-    /// state — never of wall-clock or thread scheduling.
-    fn supervise(&mut self, batch: u64) {
+    /// One supervision point, run on the main thread before the batch is
+    /// dispatched: `batch` is the index of the batch about to run, and
+    /// `[window_from, batch]` is the scripted-kill window accumulated
+    /// since the previous point (equal to `batch` at cadence 1). The
+    /// thermal world, physics, watchdog, and retries are sampled at
+    /// `batch`. Everything here is a function of the batch index and
+    /// prior state — never of wall-clock or thread scheduling.
+    fn supervise(&mut self, window_from: u64, batch: u64) {
         let Some(mut sup) = self.supervisor.take() else {
             return;
         };
         let master = self.seed;
         let temp = sup.temperature_at(batch);
 
-        // Shards rebuilt at the previous step finish their recovery.
-        for slot in &mut self.shards {
-            let shard = slot.get_mut().expect("shard mutex poisoned");
+        // Shards rebuilt at the previous point finish their recovery.
+        for shard in &mut self.shards {
             if shard.supervision.health() == ShardHealth::Recovering {
                 shard.supervision.transition(ShardHealth::Healthy);
             }
         }
 
-        // Scripted chaos kills.
-        let kills: Vec<(usize, &'static str)> = sup.config().chaos.kills_at(batch).collect();
+        // Scripted chaos kills, anywhere in the window.
+        let kills: Vec<(usize, &'static str)> =
+            sup.config().chaos.kills_in(window_from, batch).collect();
         for (victim, cause) in kills {
             if victim < self.shards.len() {
                 self.crash_shard(victim, batch, cause.to_string(), sup.config().backoff_base);
@@ -873,7 +1021,7 @@ impl MonitoringService {
         // than the stale calibration.
         for id in 0..self.shards.len() {
             let (offset, current_er) = {
-                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                let shard = &self.shards[id];
                 if !shard.supervision.health().is_serving() {
                     continue;
                 }
@@ -894,8 +1042,7 @@ impl MonitoringService {
                     sup.config().backoff_base,
                 );
             } else if (delivered - current_er).abs() > sup.config().physics_epsilon {
-                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
-                if let ShardBackend::Stochastic(hmd) = &mut shard.backend {
+                if let ShardBackend::Stochastic(hmd) = &mut self.shards[id].backend {
                     hmd.retune(delivered)
                         .expect("delivered rate is a probability");
                 }
@@ -905,7 +1052,7 @@ impl MonitoringService {
         // Due recovery retries of quarantined shards.
         for id in 0..self.shards.len() {
             let due = {
-                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                let shard = &self.shards[id];
                 shard.supervision.health() == ShardHealth::Quarantined
                     && shard
                         .supervision
@@ -917,7 +1064,7 @@ impl MonitoringService {
             }
             let action = sup.controller_mut().force_recalibrate(temp);
             let offset = sup.controller().offset();
-            let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+            let shard = &mut self.shards[id];
             shard.supervision.retries += 1;
             let recovered = match action {
                 Ok(ControllerAction::Clamped { .. }) if !sup.config().allow_clamped_recovery => {
@@ -969,7 +1116,7 @@ impl MonitoringService {
         // reference.
         for id in 0..self.shards.len() {
             {
-                let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+                let shard = &mut self.shards[id];
                 if !shard.supervision.health().is_serving() {
                     continue;
                 }
@@ -1009,7 +1156,7 @@ impl MonitoringService {
             // rebuild the shard at the fresh offset.
             let action = sup.controller_mut().force_recalibrate(temp);
             let offset = sup.controller().offset();
-            let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+            let shard = &mut self.shards[id];
             let recovered = match action {
                 Ok(_) => restart_shard(
                     shard,
@@ -1043,13 +1190,10 @@ impl MonitoringService {
     fn crash_shard(&mut self, id: usize, batch: u64, cause: String, backoff_base: u64) {
         let serving = self
             .shards
-            .iter_mut()
-            .filter_map(|slot| {
-                let shard = slot.get_mut().expect("shard mutex poisoned");
-                shard.supervision.health().is_serving().then_some(())
-            })
+            .iter()
+            .filter(|shard| shard.supervision.health().is_serving())
             .count();
-        let shard = self.shards[id].get_mut().expect("shard mutex poisoned");
+        let shard = &mut self.shards[id];
         if !shard.supervision.health().is_serving() {
             return;
         }
@@ -1106,35 +1250,32 @@ impl MonitoringService {
         let shards = self
             .shards
             .iter()
-            .map(|slot| {
-                let shard = slot.lock().expect("shard mutex poisoned");
-                ShardCheckpoint {
-                    id: shard.id as u64,
-                    seed: shard.seed,
-                    generation: shard.generation,
-                    backend: match &shard.backend {
-                        ShardBackend::Stochastic(hmd) => {
-                            BackendCheckpoint::Stochastic(hmd.export_state())
-                        }
-                        ShardBackend::Baseline(_) => BackendCheckpoint::Baseline,
-                        ShardBackend::Down => BackendCheckpoint::Down,
-                    },
-                    health: shard.supervision.health(),
-                    transitions: shard.supervision.transitions(),
-                    crashes: shard.supervision.crashes(),
-                    drift_events: shard.supervision.drift_events(),
-                    retries: shard.supervision.retries(),
-                    attempt: shard.supervision.attempt,
-                    next_retry_batch: shard.supervision.next_retry_batch,
-                    reference_rate: shard.supervision.reference_rate,
-                    window_mark: shard.supervision.window_mark,
-                    degraded_reason: shard.degraded_reason.clone(),
-                    degradation_events: shard.degradation_events,
-                    queries: shard.queries,
-                    flags: shard.flags,
-                    retired_faults: shard.retired_faults,
-                    histogram: *shard.histogram.counts(),
-                }
+            .map(|shard| ShardCheckpoint {
+                id: shard.id as u64,
+                seed: shard.seed,
+                generation: shard.generation,
+                backend: match &shard.backend {
+                    ShardBackend::Stochastic(hmd) => {
+                        BackendCheckpoint::Stochastic(hmd.export_state())
+                    }
+                    ShardBackend::Baseline(_) => BackendCheckpoint::Baseline,
+                    ShardBackend::Down => BackendCheckpoint::Down,
+                },
+                health: shard.supervision.health(),
+                transitions: shard.supervision.transitions(),
+                crashes: shard.supervision.crashes(),
+                drift_events: shard.supervision.drift_events(),
+                retries: shard.supervision.retries(),
+                attempt: shard.supervision.attempt,
+                next_retry_batch: shard.supervision.next_retry_batch,
+                reference_rate: shard.supervision.reference_rate,
+                window_mark: shard.supervision.window_mark,
+                degraded_reason: shard.degraded_reason.clone(),
+                degradation_events: shard.degradation_events,
+                queries: shard.queries,
+                flags: shard.flags,
+                retired_faults: shard.retired_faults,
+                histogram: *shard.histogram.counts(),
             })
             .collect();
         ServiceCheckpoint {
@@ -1242,7 +1383,7 @@ impl MonitoringService {
                     ShardBackend::Down
                 }
             };
-            shards.push(Mutex::new(Shard {
+            shards.push(Shard {
                 id: usize::try_from(s.id).map_err(|_| {
                     RestoreError::InvalidState(format!("shard id {} overflows usize", s.id))
                 })?,
@@ -1266,8 +1407,7 @@ impl MonitoringService {
                 flags: s.flags,
                 retired_faults: s.retired_faults,
                 histogram: ScoreHistogram::from_counts(s.histogram),
-                draws: Vec::new(),
-            }));
+            });
         }
         Ok(MonitoringService {
             spec: baseline.spec(),
@@ -1323,26 +1463,14 @@ impl MonitoringService {
 
     /// Snapshots the service-wide telemetry.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let shards: Vec<ShardReport> = self
-            .shards
-            .iter()
-            .map(|slot| slot.lock().expect("shard mutex poisoned").report())
-            .collect();
+        let shards: Vec<ShardReport> = self.shards.iter().map(Shard::report).collect();
         TelemetrySnapshot {
             seed: self.seed,
             policy: self.policy.to_string(),
             batches: self.batches,
             queries: self.served,
             flags: shards.iter().map(|s| s.flags).sum(),
-            degradation_events: self
-                .shards
-                .iter()
-                .map(|slot| {
-                    slot.lock()
-                        .expect("shard mutex poisoned")
-                        .degradation_events
-                })
-                .sum(),
+            degradation_events: self.shards.iter().map(|s| s.degradation_events).sum(),
             rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,
             shards,
@@ -1490,6 +1618,110 @@ mod tests {
             assert_eq!(
                 snapshot, serial_snapshot,
                 "telemetry differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_workload_is_bit_identical_across_thread_counts() {
+        // Deliberately uneven per-query cost: a cluster of cheap rejects
+        // (width-poisoned) at the front of every batch, then expensive
+        // majority-of-5 queries. Workers claiming ranges finish at very
+        // different times, so any ordering assumption in the range-claim
+        // fold (verdict stitching, checksum order, delta merge) would
+        // surface here.
+        let (dataset, baseline, curve) = setup();
+        let dim = baseline.quantized().input_dim();
+        let mut features: Vec<Vec<f32>> = Vec::new();
+        for i in 0..9 {
+            features.push(vec![0.5; dim + 1 + i]);
+        }
+        for i in 0..171 {
+            features.push(baseline.spec().extract(dataset.trace(i % dataset.len())));
+        }
+        let run = |exec: ExecConfig| {
+            let config = ServeConfig::new(4)
+                .with_seed(23)
+                .with_policy(DetectionPolicy::MajorityOf(5))
+                .with_batch_size(45)
+                .with_exec(exec);
+            let mut service =
+                MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
+            let mut verdicts = Vec::new();
+            for chunk in features.chunks(45) {
+                verdicts.extend(service.process_feature_batch(chunk));
+            }
+            (verdicts, service.snapshot().without_timing())
+        };
+        let (serial_verdicts, serial_snapshot) = run(ExecConfig::serial());
+        assert_eq!(
+            serial_verdicts.iter().filter(|v| v.is_rejected()).count(),
+            9
+        );
+        for threads in [2, 8] {
+            let (verdicts, snapshot) = run(ExecConfig::threads(threads));
+            assert_eq!(
+                verdicts, serial_verdicts,
+                "skewed verdict stream differs at {threads} threads"
+            );
+            assert_eq!(
+                snapshot, serial_snapshot,
+                "skewed telemetry differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn supervision_cadence_amortizes_without_losing_chaos_kills() {
+        use crate::supervisor::ChaosPlan;
+        use shmd_volt::calibration::DeviceProfile;
+        use shmd_volt::environment::EnvironmentConfig;
+
+        let (dataset, baseline, _) = setup();
+        let features: Vec<Vec<f32>> = (0..240)
+            .map(|i| baseline.spec().extract(dataset.trace(i % dataset.len())))
+            .collect();
+        let run = |cadence: u64, exec: ExecConfig| {
+            let supervision = SupervisorConfig::new(DeviceProfile::reference())
+                .with_environment(EnvironmentConfig::drifting(49.0, 5))
+                .with_chaos(ChaosPlan::seeded(5, 3, 20, 2, 1))
+                .with_supervision_cadence(cadence);
+            let config = ServeConfig::new(3)
+                .with_seed(17)
+                .with_target_error_rate(0.2)
+                .with_batch_size(8)
+                .with_exec(exec);
+            let mut service =
+                MonitoringService::supervised(&baseline, supervision, config).expect("deploys");
+            let mut verdicts = Vec::new();
+            for chunk in features.chunks(8) {
+                verdicts.extend(service.process_feature_batch(chunk));
+            }
+            (verdicts, service.snapshot().without_timing())
+        };
+
+        // Cadence 4 skips 3 of every 4 supervision steps but must not
+        // lose the scripted kills the dense run sees.
+        let (_, dense) = run(1, ExecConfig::serial());
+        let (cadenced_verdicts, cadenced) = run(4, ExecConfig::serial());
+        assert!(dense.total_crashes() >= 1, "chaos plan schedules crashes");
+        assert_eq!(
+            cadenced.total_crashes(),
+            dense.total_crashes(),
+            "a kill between cadence points must fire at the next point"
+        );
+        assert_eq!(cadenced.queries, 240);
+
+        // And the cadenced schedule stays thread-invariant.
+        for threads in [2, 8] {
+            let (verdicts, snapshot) = run(4, ExecConfig::threads(threads));
+            assert_eq!(
+                verdicts, cadenced_verdicts,
+                "cadenced verdicts differ at {threads} threads"
+            );
+            assert_eq!(
+                snapshot, cadenced,
+                "cadenced telemetry differs at {threads} threads"
             );
         }
     }

@@ -4,7 +4,9 @@ use crate::baseline::BaselineHmd;
 use crate::detector::Detector;
 use shmd_ann::network::{InferenceScratch, QuantizedNetwork};
 use shmd_volt::calibration::CalibrationCurve;
-use shmd_volt::fault::{FaultInjector, FaultModel, FaultModelError, InjectorState};
+use shmd_volt::fault::{
+    FaultInjector, FaultModel, FaultModelError, InjectorState, ProductCorruptor,
+};
 use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
@@ -166,6 +168,15 @@ impl StochasticHmd {
         self.injector.stats()
     }
 
+    /// The live fault model — the law an external corruption stream (e.g.
+    /// a per-query [`shmd_volt::fault::FaultStream`]) must borrow to score
+    /// under this detector's current calibration. Tracks
+    /// [`StochasticHmd::retune`]: after a retune, newly constructed
+    /// streams sample under the new error rate.
+    pub fn fault_model(&self) -> &FaultModel {
+        self.injector.model()
+    }
+
     /// Retunes the live fault model to a new delivered error rate — the
     /// software twin of the physical world moving while the applied offset
     /// stays put (die temperature drifted, so the same undervolt now
@@ -240,6 +251,26 @@ impl StochasticHmd {
         let out = self
             .quantized
             .infer_into(features, &mut self.injector, &mut self.scratch);
+        f64::from(out[0].to_f32())
+    }
+
+    /// Scores a feature vector through an *external* corruption stream,
+    /// leaving the detector untouched (`&self`): the caller owns the fault
+    /// stream and the scratch space, so many workers can score against one
+    /// shared detector concurrently. Pair with a
+    /// [`shmd_volt::fault::FaultStream`] borrowed from
+    /// [`StochasticHmd::fault_model`] for the lock-free serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width mismatches the network input.
+    pub fn score_features_with<C: ProductCorruptor + ?Sized>(
+        &self,
+        features: &[f32],
+        corruptor: &mut C,
+        scratch: &mut InferenceScratch,
+    ) -> f64 {
+        let out = self.quantized.infer_into(features, corruptor, scratch);
         f64::from(out[0].to_f32())
     }
 }
@@ -330,6 +361,29 @@ mod tests {
             baseline_m.accuracy(),
             protected_m.accuracy()
         );
+    }
+
+    #[test]
+    fn borrowed_stream_scoring_matches_the_owned_injector() {
+        use shmd_volt::fault::FaultStream;
+        let (dataset, base) = setup();
+        let mut owned = StochasticHmd::from_baseline(&base, 0.3, 17).expect("valid");
+        let shared = StochasticHmd::from_baseline(&base, 0.3, 17).expect("valid");
+        let mut scratch = InferenceScratch::new();
+        // A fresh FaultStream re-seeded from the detector seed walks the
+        // same RNG stream as the just-constructed owned injector, so the
+        // first query must score bit-identically; later queries continue
+        // the owned stream while each borrowed stream restarts, so only
+        // the first is comparable.
+        let features = base.spec().extract(dataset.trace(0));
+        let mut stream = FaultStream::new(shared.fault_model(), 17);
+        assert_eq!(
+            shared.score_features_with(&features, &mut stream, &mut scratch),
+            owned.score_features(&features),
+        );
+        // `&self` scoring leaves the shared detector's stats untouched.
+        assert_eq!(shared.fault_stats().multiplies, 0);
+        assert!(stream.stats().multiplies > 0);
     }
 
     #[test]

@@ -308,13 +308,20 @@ impl ChaosPlan {
         self.events.is_empty()
     }
 
-    /// Kill events (crashes and hangs) scheduled for `batch`.
-    pub(crate) fn kills_at(&self, batch: u64) -> impl Iterator<Item = (usize, &'static str)> + '_ {
+    /// Kill events (crashes and hangs) scheduled anywhere in the inclusive
+    /// batch window `[from, to]`, in schedule order. Cadenced supervision
+    /// processes the whole window at its next supervision point so no
+    /// scripted kill is lost between cadence ticks.
+    pub(crate) fn kills_in(
+        &self,
+        from: u64,
+        to: u64,
+    ) -> impl Iterator<Item = (usize, &'static str)> + '_ {
         self.events.iter().filter_map(move |e| match *e {
-            ChaosEvent::Crash { batch: b, shard } if b == batch => {
+            ChaosEvent::Crash { batch: b, shard } if from <= b && b <= to => {
                 Some((shard, "chaos: shard crashed"))
             }
-            ChaosEvent::Hang { batch: b, shard } if b == batch => {
+            ChaosEvent::Hang { batch: b, shard } if from <= b && b <= to => {
                 Some((shard, "chaos: shard hung"))
             }
             _ => None,
@@ -376,6 +383,14 @@ pub struct SupervisorConfig {
     /// Retune a live injector when the physically delivered rate moves
     /// further than this from the model rate.
     pub physics_epsilon: f64,
+    /// Batches between supervision points. The default of 1 supervises
+    /// every batch (the historical behaviour); a cadence of `c` runs the
+    /// supervisor only when `batch % c == 0`, processing the scripted
+    /// kill window accumulated since the previous point and sampling the
+    /// thermal world at the supervision batch. Amortizes supervision cost
+    /// at high throughput; still a pure function of the batch index, so
+    /// replays stay bit-identical at any thread count.
+    pub supervision_cadence: u64,
 }
 
 impl SupervisorConfig {
@@ -397,6 +412,7 @@ impl SupervisorConfig {
             backoff_base: 2,
             allow_clamped_recovery: true,
             physics_epsilon: 1e-4,
+            supervision_cadence: 1,
         }
     }
 
@@ -444,6 +460,14 @@ impl SupervisorConfig {
     #[must_use]
     pub fn require_full_target(mut self) -> SupervisorConfig {
         self.allow_clamped_recovery = false;
+        self
+    }
+
+    /// Sets the supervision cadence in batches (clamped to at least 1).
+    /// See [`SupervisorConfig::supervision_cadence`].
+    #[must_use]
+    pub fn with_supervision_cadence(mut self, cadence: u64) -> SupervisorConfig {
+        self.supervision_cadence = cadence.max(1);
         self
     }
 }
@@ -677,9 +701,21 @@ mod tests {
             .with_event(ChaosEvent::Crash { batch: 3, shard: 1 })
             .with_event(ChaosEvent::Hang { batch: 3, shard: 2 })
             .with_event(ChaosEvent::Crash { batch: 5, shard: 0 });
-        let at3: Vec<usize> = plan.kills_at(3).map(|(s, _)| s).collect();
+        let at3: Vec<usize> = plan.kills_in(3, 3).map(|(s, _)| s).collect();
         assert_eq!(at3, vec![1, 2]);
-        assert_eq!(plan.kills_at(4).count(), 0);
+        assert_eq!(plan.kills_in(4, 4).count(), 0);
+    }
+
+    #[test]
+    fn kills_in_covers_the_whole_window() {
+        let plan = ChaosPlan::none()
+            .with_event(ChaosEvent::Crash { batch: 3, shard: 1 })
+            .with_event(ChaosEvent::Hang { batch: 5, shard: 2 })
+            .with_event(ChaosEvent::Crash { batch: 9, shard: 0 });
+        let window: Vec<usize> = plan.kills_in(3, 8).map(|(s, _)| s).collect();
+        assert_eq!(window, vec![1, 2], "inclusive window, schedule order");
+        assert_eq!(plan.kills_in(4, 4).count(), 0);
+        assert_eq!(plan.kills_in(0, 64).count(), 3);
     }
 
     #[test]

@@ -110,6 +110,14 @@ impl FaultCounters {
         self.bit_flips += stats.total_flips();
     }
 
+    /// Adds another counter record into this one — the additive fold the
+    /// serving layer uses to merge per-worker deltas at batch boundaries.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.multiplies += other.multiplies;
+        self.faulty += other.faulty;
+        self.bit_flips += other.bit_flips;
+    }
+
     /// Observed fraction of faulty multiplications.
     pub fn observed_error_rate(&self) -> f64 {
         if self.multiplies == 0 {

@@ -748,6 +748,31 @@ fn apply_fault_event(
     product ^ (mask as i64)
 }
 
+/// One geometric-skip corruption step: drain the fault-free gap, or settle
+/// the multiply count, re-arm the gap, and apply the fault event. Shared by
+/// the owning [`FaultInjector`] and the borrowing [`FaultStream`] so both
+/// walk the identical fault law bit-for-bit from the same seed.
+#[inline]
+fn corrupt_step(
+    model: &FaultModel,
+    rng: &mut StdRng,
+    stats: &mut FaultStats,
+    skip: &mut u64,
+    gap_len: &mut u64,
+    product: i64,
+) -> i64 {
+    if *skip > 0 {
+        *skip -= 1;
+        return product;
+    }
+    // Fault event: settle the multiply count for the drained gap plus
+    // this call, then arm the next gap.
+    stats.multiplies += *gap_len + 1;
+    *skip = sample_gap(rng, model);
+    *gap_len = *skip;
+    apply_fault_event(model, rng, stats, product, true)
+}
+
 /// A seeded stochastic fault injector.
 ///
 /// # Example
@@ -860,16 +885,14 @@ impl FaultInjector {
     /// still reflects only products wide enough to fault.
     #[inline]
     pub fn corrupt_product(&mut self, product: i64) -> i64 {
-        if self.skip > 0 {
-            self.skip -= 1;
-            return product;
-        }
-        // Fault event: settle the multiply count for the drained gap plus
-        // this call, then arm the next gap.
-        self.stats.multiplies += self.gap_len + 1;
-        self.skip = sample_gap(&mut self.rng, &self.model);
-        self.gap_len = self.skip;
-        apply_fault_event(&self.model, &mut self.rng, &mut self.stats, product, true)
+        corrupt_step(
+            &self.model,
+            &mut self.rng,
+            &mut self.stats,
+            &mut self.skip,
+            &mut self.gap_len,
+            product,
+        )
     }
 
     /// Corrupts an unsigned product (convenience for characterisation code).
@@ -926,6 +949,84 @@ impl FaultInjector {
 }
 
 impl ProductCorruptor for FaultInjector {
+    #[inline]
+    fn corrupt(&mut self, product: i64) -> i64 {
+        self.corrupt_product(product)
+    }
+}
+
+/// A borrowing fault injector for short-lived corruption streams.
+///
+/// [`FaultInjector::new`] takes the [`FaultModel`] by value — the right
+/// ownership for a long-lived per-shard injector, but prohibitive when a
+/// serving worker needs a fresh deterministic stream *per query*: the model
+/// holds heap-allocated CDF and guide tables, so cloning it per query would
+/// dominate the score itself. `FaultStream` borrows the model instead;
+/// construction is one RNG seed plus a single gap draw, and the corruption
+/// sequence from a given seed is bit-identical to a [`FaultInjector`] built
+/// from the same model and seed (both delegate to the same step function).
+///
+/// Restarting a fresh stream per query is statistically sound because the
+/// geometric inter-fault gap is *memoryless*: a fresh `Geom(er)` draw at
+/// every query boundary preserves the exact one-Bernoulli(er)-per-
+/// multiplication fault law of a single long-lived injector.
+#[derive(Clone, Debug)]
+pub struct FaultStream<'a> {
+    model: &'a FaultModel,
+    rng: StdRng,
+    stats: FaultStats,
+    skip: u64,
+    gap_len: u64,
+}
+
+impl<'a> FaultStream<'a> {
+    /// Creates a stream over a borrowed model with a deterministic seed.
+    pub fn new(model: &'a FaultModel, seed: u64) -> FaultStream<'a> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skip = if model.is_exact() {
+            u64::MAX
+        } else {
+            sample_gap(&mut rng, model)
+        };
+        FaultStream {
+            model,
+            rng,
+            stats: FaultStats::new(),
+            skip,
+            gap_len: skip,
+        }
+    }
+
+    /// The borrowed fault model.
+    pub fn model(&self) -> &FaultModel {
+        self.model
+    }
+
+    /// Accumulated statistics, with the in-flight fault-free gap folded
+    /// into the multiply count (same on-demand fold as
+    /// [`FaultInjector::stats`]).
+    pub fn stats(&self) -> FaultStats {
+        let mut stats = self.stats.clone();
+        stats.multiplies += self.gap_len - self.skip;
+        stats
+    }
+
+    /// Corrupts a raw 64-bit product, updating statistics. Bit-identical
+    /// to [`FaultInjector::corrupt_product`] for the same model and seed.
+    #[inline]
+    pub fn corrupt_product(&mut self, product: i64) -> i64 {
+        corrupt_step(
+            self.model,
+            &mut self.rng,
+            &mut self.stats,
+            &mut self.skip,
+            &mut self.gap_len,
+            product,
+        )
+    }
+}
+
+impl ProductCorruptor for FaultStream<'_> {
     #[inline]
     fn corrupt(&mut self, product: i64) -> i64 {
         self.corrupt_product(product)
@@ -1010,6 +1111,45 @@ mod tests {
         }
         assert_eq!(inj.stats().faulty, 0);
         assert_eq!(inj.stats().multiplies, 5);
+    }
+
+    #[test]
+    fn fault_stream_matches_injector_bit_for_bit() {
+        let model = FaultModel::from_error_rate(0.3).expect("valid");
+        let mut injector = FaultInjector::new(model.clone(), 99);
+        let mut stream = FaultStream::new(&model, 99);
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..5000 {
+            // Cheap xorshift so the product mix covers widths and signs.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let p = x as i64;
+            assert_eq!(stream.corrupt_product(p), injector.corrupt_product(p));
+        }
+        assert_eq!(stream.stats(), injector.stats());
+        assert!(stream.stats().faulty > 0, "0.3 must fault within 5000");
+    }
+
+    #[test]
+    fn fault_stream_folds_the_inflight_gap_into_stats() {
+        let model = FaultModel::from_error_rate(0.01).expect("valid");
+        let mut stream = FaultStream::new(&model, 7);
+        for _ in 0..137 {
+            stream.corrupt_product(1 << 40);
+        }
+        assert_eq!(stream.stats().multiplies, 137);
+    }
+
+    #[test]
+    fn exact_fault_stream_is_identity() {
+        let model = FaultModel::exact();
+        let mut stream = FaultStream::new(&model, 1);
+        for p in [0i64, -1, i64::MAX, i64::MIN, 12345] {
+            assert_eq!(stream.corrupt_product(p), p);
+        }
+        assert_eq!(stream.stats().faulty, 0);
+        assert_eq!(stream.stats().multiplies, 5);
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub use characterize::{
 pub use controller::{AdaptiveVoltageController, ControllerAction, ControllerConfig};
 pub use delay::DelayModel;
 pub use environment::{delivered_error_rate_at, freezes_at, EnvironmentConfig, ThermalEnvironment};
-pub use fault::{FaultInjector, FaultModel, FaultModelError, FaultStats, ProductCorruptor};
+pub use fault::{
+    FaultInjector, FaultModel, FaultModelError, FaultStats, FaultStream, ProductCorruptor,
+};
 pub use multiplier::{AluTimingModel, BitErrorProfile, MultiplierTimingModel};
 pub use voltage::{Millivolts, MsrVoltageCommand, VoltagePlane, Volts, NOMINAL_CORE_VOLTAGE};
