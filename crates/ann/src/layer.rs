@@ -93,8 +93,24 @@ impl Layer {
     ///
     /// Panics if `input.len() != in_dim`.
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.in_dim, "input width mismatch");
         let mut out = Vec::with_capacity(self.out_dim);
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass reusing caller-provided output storage (cleared
+    /// first) — same results as [`Layer::forward`] with no per-layer
+    /// allocation once `out` has grown to `out_dim`. This keeps the float
+    /// reference path's cost profile comparable to the allocation-free
+    /// quantised path in baseline-vs-stochastic sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim`.
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(input.len(), self.in_dim, "input width mismatch");
+        out.clear();
+        out.reserve(self.out_dim);
         for o in 0..self.out_dim {
             let row = self.row(o);
             let mut sum = f64::from(row[self.in_dim]); // bias
@@ -103,7 +119,6 @@ impl Layer {
             }
             out.push(self.activation.apply(sum) as f32);
         }
-        out
     }
 }
 

@@ -44,6 +44,7 @@
 
 pub mod activation;
 pub mod builder;
+pub mod fast_tanh;
 pub mod io;
 pub mod layer;
 pub mod mac;

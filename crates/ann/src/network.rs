@@ -2,10 +2,11 @@
 //! fault-injectable inference path.
 
 use crate::activation::Activation;
+use crate::fast_tanh::fast_tanh;
 use crate::layer::Layer;
 use serde::{Deserialize, Serialize};
-use shmd_fixed::{Accumulator, Q16};
-use shmd_volt::fault::ProductCorruptor;
+use shmd_fixed::{Accumulator, LaneAccumulator, Q16};
+use shmd_volt::fault::{LaneCorruptor, ProductCorruptor};
 
 /// A feed-forward multi-layer perceptron (float weights).
 ///
@@ -71,11 +72,15 @@ impl Network {
     ///
     /// Panics if `input.len()` differs from [`Network::input_dim`].
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
-        let mut x = input.to_vec();
+        // Ping-pong between two buffers so a pass allocates twice in
+        // total, not once per layer (see `Layer::forward_into`).
+        let mut cur = input.to_vec();
+        let mut next = Vec::new();
         for layer in &self.layers {
-            x = layer.forward(&x);
+            layer.forward_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
         }
-        x
+        cur
     }
 
     /// Forward pass that records every layer's activations (input first,
@@ -96,15 +101,36 @@ impl Network {
             layers: self
                 .layers
                 .iter()
-                .map(|l| QuantizedLayer {
-                    in_dim: l.in_dim(),
-                    out_dim: l.out_dim(),
-                    activation: l.activation(),
-                    weights: l.weights().iter().map(|&w| Q16::from_f32(w)).collect(),
+                .map(|l| {
+                    let weights: Vec<Q16> = l.weights().iter().map(|&w| Q16::from_f32(w)).collect();
+                    let row_abs = row_abs_sums(&weights, l.in_dim(), l.out_dim());
+                    QuantizedLayer {
+                        in_dim: l.in_dim(),
+                        out_dim: l.out_dim(),
+                        activation: l.activation(),
+                        weights,
+                        row_abs,
+                    }
                 })
                 .collect(),
         }
     }
+}
+
+/// Per-neuron sum of weight magnitudes (weights only, bias excluded),
+/// the precomputed half of the batched MAC's no-overflow bound: with
+/// `|x| ≤ 2³¹` for any Q16.16 activation, every product in neuron `o`'s
+/// row is bounded by `row_abs[o] · 2³¹` in total magnitude.
+fn row_abs_sums(weights: &[Q16], in_dim: usize, out_dim: usize) -> Vec<u64> {
+    let stride = in_dim + 1;
+    (0..out_dim)
+        .map(|o| {
+            weights[o * stride..o * stride + in_dim]
+                .iter()
+                .map(|w| u64::from(w.to_bits().unsigned_abs()))
+                .sum()
+        })
+        .collect()
 }
 
 /// A layer with Q16.16 weights.
@@ -114,6 +140,9 @@ struct QuantizedLayer {
     out_dim: usize,
     activation: Activation,
     weights: Vec<Q16>,
+    /// Per-neuron `Σ|w_raw|` (see [`row_abs_sums`]); derived from
+    /// `weights`, never serialized independently.
+    row_abs: Vec<u64>,
 }
 
 impl QuantizedLayer {
@@ -141,6 +170,145 @@ impl QuantizedLayer {
             // multiplier's critical path, so they evaluate exactly.
             let activated = self.activation.apply(acc.to_q16().to_f64());
             out.push(Q16::from_f64(activated));
+        }
+    }
+
+    /// Batched forward pass over a lane-major activation plane: `input`
+    /// holds `in_dim × LANES` values with lane `l`'s activation for input
+    /// `i` at `input[i * LANES + l]`, and `out` is filled the same way
+    /// (`out[o * LANES + l]`).
+    ///
+    /// The weight row is walked once for the whole batch, in two phases
+    /// that keep the MAC loop free of *any* per-product stream logic:
+    ///
+    /// 1. **Event walk.** The corruptor's gap countdowns are drained over
+    ///    the row ([`LaneCorruptor::lane_run`] hands back whole fault-free
+    ///    runs per lane); each fault event computes just its own lane's
+    ///    product, corrupts it, and records the substitution. Every lane
+    ///    sees its draws in exactly the per-`(neuron, input)` order the
+    ///    scalar path uses, so each lane's corruption stream stays
+    ///    bit-identical.
+    /// 2. **Span + patch.** One uninterrupted
+    ///    [`LaneAccumulator::mac_span`] accumulates the whole row for all
+    ///    lanes — the straight-line kernel the vectorizer chews on — and
+    ///    the recorded substitutions are then patched into the affected
+    ///    lane sums. A per-row magnitude bound (`row_abs · 2³¹` plus the
+    ///    bias and every substituted product) proves no partial sum could
+    ///    have left the `i64` range, which makes the patched sum
+    ///    bit-identical to the sequential saturating accumulation; in the
+    ///    adversarial case where the bound cannot prove it, the affected
+    ///    lane is replayed sequentially with the recorded substitutions —
+    ///    the scalar law verbatim.
+    fn forward_batch_into<const LANES: usize, C: LaneCorruptor<LANES> + ?Sized>(
+        &self,
+        input: &[Q16],
+        out: &mut Vec<Q16>,
+        corruptor: &mut C,
+        events: &mut Vec<RowEvent>,
+    ) {
+        debug_assert_eq!(input.len(), self.in_dim * LANES);
+        let stride = self.in_dim + 1;
+        out.clear();
+        out.reserve(self.out_dim * LANES);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * stride..(o + 1) * stride];
+            let bias = row[self.in_dim];
+            // Phase 1: drain this row's fault events lane by lane. Each
+            // lane's (lane_run, fault) call sequence — and so its RNG
+            // draw sequence — is exactly the per-`(neuron, input)` walk
+            // the scalar path issues over this row, so per-lane
+            // bit-identity is untouched, and the MAC loop below stays
+            // free of any per-product stream logic. A lane's whole
+            // fault-free row is consumed by a single `lane_run` call.
+            events.clear();
+            let mut sub_mag = [0u128; LANES];
+            let span = self.in_dim as u64;
+            for l in 0..LANES {
+                let mut at = 0u64;
+                while at < span {
+                    match corruptor.lane_run(l, span - at) {
+                        Some(offset) => {
+                            let j = (at + offset) as usize;
+                            let p = Q16::raw_product(row[j], input[j * LANES + l]);
+                            let c = corruptor.fault(l, p);
+                            if c != p {
+                                events.push(RowEvent {
+                                    index: j as u32,
+                                    lane: l as u32,
+                                    product: p,
+                                    corrupted: c,
+                                });
+                                // Double-counts |p| (already inside
+                                // row_abs's bound) — conservative is fine.
+                                sub_mag[l] +=
+                                    u128::from(p.unsigned_abs()) + u128::from(c.unsigned_abs());
+                            }
+                            at += offset + 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Phase 2: one straight-line span over the whole row…
+            let bias_mag = u128::from(bias.to_bits().unsigned_abs()) << 16;
+            let row_bound = (u128::from(self.row_abs[o]) << 31) + bias_mag;
+            let mut acc = LaneAccumulator::<LANES>::new();
+            if row_bound <= i64::MAX as u128 {
+                // The magnitude bound already proves no partial sum can
+                // leave i64, so the saturating clamps are dead code and
+                // the span can use plain wrapping adds (about half the
+                // vectorized cost). Real quantized rows land here.
+                acc.mac_span_wrapping(&row[..self.in_dim], &input[..self.in_dim * LANES]);
+            } else {
+                acc.mac_span(&row[..self.in_dim], &input[..self.in_dim * LANES]);
+            }
+            // …then patch the (rare) substituted products in.
+            if !events.is_empty() {
+                for ev in events.iter() {
+                    let l = ev.lane as usize;
+                    if row_bound + sub_mag[l] <= i64::MAX as u128 {
+                        acc.patch(l, ev.product, ev.corrupted);
+                    }
+                }
+                // Lanes whose bound cannot rule out saturation replay the
+                // scalar law verbatim with the recorded substitutions.
+                for l in 0..LANES {
+                    if sub_mag[l] != 0 && row_bound + sub_mag[l] > i64::MAX as u128 {
+                        let mut sum = 0i64;
+                        let mut next = events.iter().filter(|e| e.lane as usize == l);
+                        let mut pending = next.next();
+                        for (j, &w) in row[..self.in_dim].iter().enumerate() {
+                            let mut p = Q16::raw_product(w, input[j * LANES + l]);
+                            if let Some(e) = pending {
+                                if e.index as usize == j {
+                                    p = e.corrupted;
+                                    pending = next.next();
+                                }
+                            }
+                            sum = sum.saturating_add(p);
+                        }
+                        acc.set_raw(l, sum);
+                    }
+                }
+            }
+            acc.add_q16(bias);
+            // The activation stage is the batched path's largest
+            // non-event cost (one libm call per neuron per lane), so
+            // hidden tanh layers go through the exhaustively verified
+            // fast table instead — see the `fast_tanh` module for why
+            // that is bit-identical to `Activation::apply`, which the
+            // scalar path keeps as the oracle.
+            if self.activation == Activation::SigmoidSymmetric {
+                let table = fast_tanh();
+                for l in 0..LANES {
+                    out.push(table.apply(acc.to_q16(l)));
+                }
+            } else {
+                for l in 0..LANES {
+                    let activated = self.activation.apply(acc.to_q16(l).to_f64());
+                    out.push(Q16::from_f64(activated));
+                }
+            }
         }
     }
 }
@@ -181,6 +349,74 @@ fn forward_loop<'s, C: ProductCorruptor + ?Sized>(
     layers[0].forward_into(input, cur, corruptor);
     for layer in &layers[1..] {
         layer.forward_into(cur, next, corruptor);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// One recorded fault substitution inside a neuron row: lane `lane`'s
+/// product at weight `index` came out of the corruptor as `corrupted`
+/// instead of `product`. Collected during the batched MAC's event walk and
+/// patched into the lane sums after the straight-line span (see
+/// [`QuantizedLayer::forward_batch_into`]).
+#[derive(Clone, Copy, Debug)]
+struct RowEvent {
+    index: u32,
+    lane: u32,
+    product: i64,
+    corrupted: i64,
+}
+
+/// Reusable lane-major activation planes for the batched inference path —
+/// the structure-of-arrays counterpart of [`InferenceScratch`].
+///
+/// One ping/pong pair serves the *whole batch*: a plane stores layer
+/// activations for all `LANES` queries interleaved lane-major
+/// (`plane[i * LANES + l]` is query `l`'s activation `i`), which is what
+/// lets the per-weight MAC touch `LANES` adjacent values. Buffers grow to
+/// the largest `layer width × LANES` seen and are reused thereafter.
+#[derive(Clone, Debug)]
+pub struct BatchScratch<const LANES: usize> {
+    /// Lane-major quantised copy of the `f32` inputs.
+    qin: Vec<Q16>,
+    /// Ping-pong lane-major activation planes.
+    ping: Vec<Q16>,
+    pong: Vec<Q16>,
+    /// Per-row fault-substitution records (cleared every neuron row).
+    events: Vec<RowEvent>,
+}
+
+impl<const LANES: usize> BatchScratch<LANES> {
+    /// An empty scratch; planes grow on first use.
+    pub fn new() -> BatchScratch<LANES> {
+        BatchScratch {
+            qin: Vec::new(),
+            ping: Vec::new(),
+            pong: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl<const LANES: usize> Default for BatchScratch<LANES> {
+    fn default() -> BatchScratch<LANES> {
+        BatchScratch::new()
+    }
+}
+
+/// Batched counterpart of [`forward_loop`] over lane-major planes.
+fn forward_batch_loop<'s, const LANES: usize, C: LaneCorruptor<LANES> + ?Sized>(
+    layers: &[QuantizedLayer],
+    input: &[Q16],
+    ping: &'s mut Vec<Q16>,
+    pong: &'s mut Vec<Q16>,
+    corruptor: &mut C,
+    events: &mut Vec<RowEvent>,
+) -> &'s [Q16] {
+    let (mut cur, mut next) = (ping, pong);
+    layers[0].forward_batch_into(input, cur, corruptor, events);
+    for layer in &layers[1..] {
+        layer.forward_batch_into(cur, next, corruptor, events);
         std::mem::swap(&mut cur, &mut next);
     }
     cur
@@ -311,6 +547,72 @@ impl QuantizedNetwork {
         qin.clear();
         qin.extend(input.iter().map(|&v| Q16::from_f32(v)));
         forward_loop(&self.layers, qin, ping, pong, corruptor)
+    }
+
+    /// Batched allocation-free forward pass over a lane-major Q16.16 input
+    /// plane (`input[i * LANES + l]` is lane `l`'s input `i`). Returns the
+    /// lane-major output plane (`out[o * LANES + l]`), borrowing `scratch`.
+    ///
+    /// Lane `l`'s outputs are bit-identical to a scalar
+    /// [`QuantizedNetwork::forward_into`] run with a corruptor walking the
+    /// same per-lane corruption stream — the batch only changes memory
+    /// layout and instruction scheduling, never arithmetic or fault law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from
+    /// [`QuantizedNetwork::input_dim`]` × LANES`.
+    pub fn forward_batch_into<'s, const LANES: usize, C: LaneCorruptor<LANES> + ?Sized>(
+        &self,
+        input: &[Q16],
+        corruptor: &mut C,
+        scratch: &'s mut BatchScratch<LANES>,
+    ) -> &'s [Q16] {
+        assert_eq!(
+            input.len(),
+            self.input_dim() * LANES,
+            "lane-major input plane width mismatch"
+        );
+        let BatchScratch {
+            ping, pong, events, ..
+        } = scratch;
+        forward_batch_loop(&self.layers, input, ping, pong, corruptor, events)
+    }
+
+    /// The batched steady-state query path: quantises `LANES` `f32` inputs
+    /// into the lane-major plane and runs the whole batch through every
+    /// layer simultaneously, allocation-free once `scratch` has warmed up.
+    /// Returns the lane-major Q16.16 output plane (`out[o * LANES + l]`),
+    /// borrowing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `inputs[l].len()` differs from
+    /// [`QuantizedNetwork::input_dim`].
+    pub fn infer_batch_into<'s, const LANES: usize, C: LaneCorruptor<LANES> + ?Sized>(
+        &self,
+        inputs: &[&[f32]; LANES],
+        corruptor: &mut C,
+        scratch: &'s mut BatchScratch<LANES>,
+    ) -> &'s [Q16] {
+        let in_dim = self.input_dim();
+        for input in inputs {
+            assert_eq!(input.len(), in_dim, "input width mismatch");
+        }
+        let BatchScratch {
+            qin,
+            ping,
+            pong,
+            events,
+        } = scratch;
+        qin.clear();
+        qin.reserve(in_dim * LANES);
+        for i in 0..in_dim {
+            for input in inputs {
+                qin.push(Q16::from_f32(input[i]));
+            }
+        }
+        forward_batch_loop(&self.layers, qin, ping, pong, corruptor, events)
     }
 }
 
@@ -488,6 +790,132 @@ mod tests {
         assert_eq!(stats.bit_flips[SIGN_BIT], 0, "sign bit flipped");
         for bit in 0..IMMUNE_LSBS {
             assert_eq!(stats.bit_flips[bit], 0, "immune LSB {bit} flipped");
+        }
+    }
+
+    fn batch_matches_scalar_at_width<const LANES: usize>(seed: u64) {
+        use shmd_volt::fault::{BatchFaultStream, FaultStream};
+        // A deeper, wider net than the smoke fixture so multiple layers,
+        // ping-pong swaps, and multi-output planes are all exercised.
+        let net = NetworkBuilder::new(4)
+            .hidden(9)
+            .hidden(5)
+            .output(2)
+            .seed(seed)
+            .build()
+            .expect("valid network")
+            .quantized();
+        let model = FaultModel::from_error_rate(0.4)
+            .unwrap()
+            .with_near_zero_width(20);
+        let inputs_owned: Vec<Vec<f32>> = (0..LANES)
+            .map(|l| {
+                (0..4)
+                    .map(|i| ((seed as f32).mul_add(0.01, (l * 4 + i) as f32 * 0.17)).sin())
+                    .collect()
+            })
+            .collect();
+        let inputs: [&[f32]; LANES] = std::array::from_fn(|l| inputs_owned[l].as_slice());
+        let seeds: [u64; LANES] = std::array::from_fn(|l| seed ^ (l as u64).wrapping_mul(0x9e37));
+        let mut batch_scratch = BatchScratch::<LANES>::new();
+        let mut stream = BatchFaultStream::new(&model, seeds);
+        let plane = net
+            .infer_batch_into(&inputs, &mut stream, &mut batch_scratch)
+            .to_vec();
+        assert_eq!(plane.len(), 2 * LANES);
+        let mut scratch = InferenceScratch::new();
+        for l in 0..LANES {
+            let mut scalar_stream = FaultStream::new(&model, seeds[l]);
+            let scalar = net.infer_into(inputs[l], &mut scalar_stream, &mut scratch);
+            for (o, &expected) in scalar.iter().enumerate() {
+                assert_eq!(
+                    plane[o * LANES + l],
+                    expected,
+                    "width {LANES}, lane {l}, output {o} diverged"
+                );
+            }
+            assert_eq!(
+                stream.stats(l),
+                scalar_stream.stats(),
+                "width {LANES}, lane {l} fault statistics diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_inference_is_bit_identical_to_scalar_at_every_width() {
+        // The tentpole determinism claim, at every batch width the serving
+        // layer can dispatch: lane l of the batched path reproduces the
+        // scalar path bit for bit — outputs *and* fault statistics.
+        batch_matches_scalar_at_width::<1>(101);
+        batch_matches_scalar_at_width::<2>(102);
+        batch_matches_scalar_at_width::<3>(103);
+        batch_matches_scalar_at_width::<4>(104);
+        batch_matches_scalar_at_width::<5>(105);
+        batch_matches_scalar_at_width::<6>(106);
+        batch_matches_scalar_at_width::<7>(107);
+        batch_matches_scalar_at_width::<8>(108);
+        batch_matches_scalar_at_width::<9>(109);
+        batch_matches_scalar_at_width::<10>(110);
+        batch_matches_scalar_at_width::<11>(111);
+        batch_matches_scalar_at_width::<12>(112);
+        batch_matches_scalar_at_width::<13>(113);
+        batch_matches_scalar_at_width::<14>(114);
+        batch_matches_scalar_at_width::<15>(115);
+        batch_matches_scalar_at_width::<16>(116);
+    }
+
+    #[test]
+    fn exact_batch_matches_exact_scalar() {
+        use shmd_volt::fault::ExactLanes;
+        const LANES: usize = 8;
+        let net = small_net(21).quantized();
+        let inputs_owned: Vec<Vec<f32>> = (0..LANES)
+            .map(|l| (0..4).map(|i| ((l * 4 + i) as f32 * 0.23).cos()).collect())
+            .collect();
+        let inputs: [&[f32]; LANES] = std::array::from_fn(|l| inputs_owned[l].as_slice());
+        let mut scratch = BatchScratch::<LANES>::new();
+        let plane = net
+            .infer_batch_into(&inputs, &mut ExactLanes, &mut scratch)
+            .to_vec();
+        for (l, input) in inputs.iter().enumerate() {
+            let scalar = net.infer(input, &mut ExactDatapath);
+            for (o, &expected) in scalar.iter().enumerate() {
+                assert_eq!(plane[o * LANES + l].to_f32(), expected, "lane {l}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn batch_bit_identity_holds_for_arbitrary_inputs_and_seeds(
+            seed in any::<u64>(),
+            er in 0.05f64..0.9,
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(-1.0f32..1.0, 4), 8)
+        ) {
+            use shmd_volt::fault::{BatchFaultStream, FaultStream};
+            const LANES: usize = 8;
+            let net = small_net(31).quantized();
+            let model = FaultModel::from_error_rate(er).unwrap().with_near_zero_width(20);
+            let input_refs: [&[f32]; LANES] =
+                std::array::from_fn(|l| inputs[l].as_slice());
+            let seeds: [u64; LANES] =
+                std::array::from_fn(|l| seed.wrapping_add(l as u64));
+            let mut batch_scratch = BatchScratch::<LANES>::new();
+            let mut stream = BatchFaultStream::new(&model, seeds);
+            let plane = net
+                .infer_batch_into(&input_refs, &mut stream, &mut batch_scratch)
+                .to_vec();
+            let mut scratch = InferenceScratch::new();
+            for l in 0..LANES {
+                let mut scalar_stream = FaultStream::new(&model, seeds[l]);
+                let scalar = net.infer_into(input_refs[l], &mut scalar_stream, &mut scratch);
+                for (o, &expected) in scalar.iter().enumerate() {
+                    prop_assert_eq!(plane[o * LANES + l], expected,
+                        "lane {} output {} diverged", l, o);
+                }
+            }
         }
     }
 

@@ -1,0 +1,189 @@
+//! Batched-serving benchmark: the structure-of-arrays lane-parallel
+//! inference path vs the scalar serving path, swept over lane widths
+//! (1/4/8/16) and error rates.
+//!
+//! Writes `BENCH_6.json` (override with `--out PATH`) and prints the same
+//! numbers as a table. `--check` exits non-zero if any width's verdict
+//! stream diverges from the scalar (`lanes = 1`) deployment, if any width
+//! is not thread-invariant, if any shard degraded, or if the best
+//! single-thread batched speedup at the paper's er = 0.1 operating point
+//! falls below the regression floor (`--speedup-floor`, default 1.5).
+//! Unlike thread scaling, the lane speedup is a single-thread comparison,
+//! so the floor applies unclamped even in a 1-core container — that mode
+//! is what CI runs (with `--fast`) as a batching smoke test.
+
+use hmd_bench::cli::Scale;
+use hmd_bench::{batch, setup, table, Args};
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+
+/// Hidden width of the second, wider deployment the sweep measures. The
+/// scale fixture (hidden 8/12) is event-bound at er = 0.1 — roughly one
+/// fault event per ten multiplications regardless of network size — so
+/// lane batching shows its full effect on detectors whose layers give the
+/// straight-line MAC kernel more work per event. 32 keeps training at
+/// bench scale cheap while putting the MAC:event ratio near the paper's
+/// two-hidden-layer deployments.
+const WIDE_HIDDEN: usize = 32;
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_6.json");
+    let mut speedup_floor = 1.5_f64;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--speedup-floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => speedup_floor = v,
+                _ => {
+                    eprintln!("error: --speedup-floor needs a positive number");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "flags: --seed N  --threads N  --paper  --fast  --check  \
+                 --speedup-floor X  --out PATH"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let (scale_name, queries) = match args.scale {
+        Scale::Fast => ("fast", 2_000),
+        Scale::Medium => ("medium", 20_000),
+        Scale::Paper => ("paper", 100_000),
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let hidden = setup::train_config(&args).hidden;
+    let fixture_label = format!("16-{hidden}-1");
+    let wide = setup::victim_with_hidden(&dataset, 0, &args, WIDE_HIDDEN);
+    let wide_label = format!("16-{WIDE_HIDDEN}-1");
+    let curve = Calibrator::new().calibrate(&DeviceProfile::reference());
+    let exec = args.exec();
+
+    let mut points = batch::measure_sweep(
+        &baseline,
+        &fixture_label,
+        &curve,
+        &dataset,
+        args.seed,
+        queries,
+        &exec,
+    );
+    points.extend(batch::measure_sweep(
+        &wide,
+        &wide_label,
+        &curve,
+        &dataset,
+        args.seed,
+        queries,
+        &exec,
+    ));
+
+    table::title(&format!(
+        "Batched serving throughput, {queries} queries/deployment ({scale_name})"
+    ));
+    table::header(&[
+        "network",
+        "er",
+        "lanes",
+        "scalar (q/s)",
+        "batched (q/s)",
+        "speedup",
+        "threaded (q/s)",
+        "identical",
+    ]);
+    for p in &points {
+        table::row(&[
+            p.network.clone(),
+            format!("{}", p.error_rate),
+            format!("{}", p.lanes),
+            format!("{:.0}", p.scalar_qps),
+            format!("{:.0}", p.batched_qps),
+            format!("{:.2}x", p.speedup()),
+            format!("{:.0}", p.threaded_qps),
+            if p.matches_scalar && p.thread_invariant {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+        ]);
+    }
+    println!(
+        "(same stream, same seeds; only the lane width — and, for the threaded \
+         column, the worker pool — differs between replays)"
+    );
+
+    let doc = batch::render_json(&points, args.seed, scale_name, exec.thread_count());
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        for p in &points {
+            if !p.matches_scalar {
+                eprintln!(
+                    "FAIL: er {} lanes {}: batched replay diverged from scalar",
+                    p.error_rate, p.lanes
+                );
+                failed = true;
+            }
+            if !p.thread_invariant {
+                eprintln!(
+                    "FAIL: er {} lanes {}: threaded replay diverged from serial",
+                    p.error_rate, p.lanes
+                );
+                failed = true;
+            }
+            if p.degraded_shards != 0 {
+                eprintln!(
+                    "FAIL: er {} lanes {}: {} shards degraded at a reachable target",
+                    p.error_rate, p.lanes, p.degraded_shards
+                );
+                failed = true;
+            }
+        }
+        // Perf-regression gate: the best wide-lane speedup at the paper's
+        // operating point must clear the floor. Single-thread numbers, so
+        // no hardware clamp applies.
+        let best = points
+            .iter()
+            .filter(|p| p.error_rate == 0.1 && p.lanes >= 8)
+            .map(|p| p.speedup())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best < speedup_floor {
+            eprintln!(
+                "FAIL: best batched speedup {best:.2}x at er = 0.1 (lanes >= 8) \
+                 below floor {speedup_floor:.2}x"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: every width bit-identical to scalar and thread-invariant, \
+             no degradation, best er = 0.1 speedup {best:.2}x above {speedup_floor:.2}x"
+        );
+    }
+}

@@ -43,6 +43,33 @@ pub fn victim(dataset: &Dataset, rotation: usize, args: &Args) -> BaselineHmd {
     .expect("training on a generated dataset always succeeds")
 }
 
+/// Trains a victim baseline with an overridden hidden-layer width (other
+/// hyper-parameters from the chosen scale). Used by the batched-serving
+/// bench to measure a wider deployment alongside the standard fixture.
+///
+/// # Panics
+///
+/// Panics if training fails (cannot happen for generated datasets).
+pub fn victim_with_hidden(
+    dataset: &Dataset,
+    rotation: usize,
+    args: &Args,
+    hidden: usize,
+) -> BaselineHmd {
+    let split = dataset.three_fold_split(rotation);
+    let config = HmdTrainConfig {
+        hidden,
+        ..train_config(args)
+    };
+    train_baseline(
+        dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &config,
+    )
+    .expect("training on a generated dataset always succeeds")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

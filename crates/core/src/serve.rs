@@ -76,11 +76,11 @@ use crate::supervisor::{
     retry_backoff, ShardHealth, SupervisionRecord, Supervisor, SupervisorConfig,
 };
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
-use shmd_ann::network::InferenceScratch;
+use shmd_ann::network::{BatchScratch, InferenceScratch};
 use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
 use shmd_volt::controller::{ControllerAction, ControllerState};
 use shmd_volt::environment::delivered_error_rate_at;
-use shmd_volt::fault::FaultStream;
+use shmd_volt::fault::{BatchFaultStream, FaultStream};
 use shmd_volt::multiplier::FREEZE_ERROR_RATE;
 use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
@@ -114,6 +114,17 @@ const REJECTED_QUERY_MARK: u64 = 0x07e1_ec7e_dbad_feed;
 /// window — older batches age out instead of growing without bound.
 pub const BATCH_LATENCY_WINDOW: usize = 1024;
 
+/// Widest lane width the batched structure-of-arrays inference path
+/// supports. [`ServeConfig::lanes`] is clamped into `1..=MAX_LANES` at
+/// deployment.
+pub const MAX_LANES: usize = 16;
+
+/// Default batched-inference lane width: eight `i64` accumulator lanes
+/// keep the inner MAC loop inside a couple of cache lines while amortizing
+/// one weight load (and one fault-gap countdown sweep) across eight
+/// queries.
+pub const DEFAULT_LANES: usize = 8;
+
 /// Configuration of a [`MonitoringService`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -131,6 +142,13 @@ pub struct ServeConfig {
     /// Worker pool for batch processing. Affects wall-clock only, never
     /// results.
     pub exec: ExecConfig,
+    /// Lane width of the batched structure-of-arrays inference path: how
+    /// many same-shard queries one worker scores simultaneously. Clamped
+    /// to `1..=`[`MAX_LANES`] at deployment; width 1 selects the scalar
+    /// path. Like [`ServeConfig::exec`], this affects wall-clock only,
+    /// never results — every lane's fault stream is seeded per query
+    /// exactly as the scalar path seeds it.
+    pub lanes: usize,
 }
 
 impl ServeConfig {
@@ -148,6 +166,7 @@ impl ServeConfig {
             policy: DetectionPolicy::Single,
             seed: 42,
             exec: ExecConfig::auto(),
+            lanes: DEFAULT_LANES,
         }
     }
 
@@ -183,6 +202,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_exec(mut self, exec: ExecConfig) -> ServeConfig {
         self.exec = exec;
+        self
+    }
+
+    /// Sets the batched-inference lane width (clamped to
+    /// `1..=`[`MAX_LANES`] at deployment; 1 selects the scalar path).
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> ServeConfig {
+        self.lanes = lanes;
         self
     }
 }
@@ -368,6 +395,64 @@ impl ShardView<'_> {
         delta.histogram.record(score);
         (score, label)
     }
+
+    /// Scores `LANES` same-shard stochastic queries simultaneously: one
+    /// structure-of-arrays forward pass per policy draw, telemetry
+    /// accumulated into `delta`.
+    ///
+    /// Lane `l`'s fault stream uses exactly the scalar per-query seed
+    /// derivation (`derive_seed(shard_seed, [QUERY_TAG, position])`), one
+    /// [`BatchFaultStream`] is shared across all `k` policy draws exactly
+    /// as the scalar path shares one [`FaultStream`], and the batched
+    /// datapath advances each lane in the same per-multiplication order
+    /// as a scalar inference — so every lane's score, label, and fault
+    /// stats are bit-identical to [`ShardView::answer`] at the same
+    /// position. Batching rearranges wall-clock, never semantics.
+    fn answer_block<const LANES: usize>(
+        &self,
+        policy: DetectionPolicy,
+        positions: &[u64; LANES],
+        features: &[&[f32]; LANES],
+        scratch: &mut BatchScratch<LANES>,
+        lane_draws: &mut Vec<f64>,
+        delta: &mut ShardDelta,
+    ) -> [(f64, Label); LANES] {
+        let BackendView::Stochastic(hmd) = self.backend else {
+            unreachable!("answer_block is only dispatched to stochastic shards")
+        };
+        let k = policy.detections();
+        let seeds: [u64; LANES] =
+            std::array::from_fn(|l| derive_seed(self.seed, &[QUERY_TAG, positions[l]]));
+        let mut stream = BatchFaultStream::new(hmd.fault_model(), seeds);
+        lane_draws.clear();
+        lane_draws.resize(k * LANES, 0.0);
+        for d in 0..k {
+            let plane = hmd.score_features_batch_with(features, &mut stream, scratch);
+            for (l, score) in plane.into_iter().enumerate() {
+                lane_draws[l * k + d] = score;
+            }
+        }
+        for l in 0..LANES {
+            delta.faults.fold_tally(&stream.tally(l));
+        }
+        let threshold = Detector::threshold(hmd);
+        std::array::from_fn(|l| {
+            let draws = &mut lane_draws[l * k..(l + 1) * k];
+            draws.sort_by(f64::total_cmp);
+            let score = match policy {
+                DetectionPolicy::Single => draws[0],
+                DetectionPolicy::AnyOf(_) => draws[k - 1],
+                DetectionPolicy::MajorityOf(_) => draws[k.div_ceil(2) - 1],
+            };
+            let label = Label::from_bool(score >= threshold);
+            delta.queries += 1;
+            if label.is_malware() {
+                delta.flags += 1;
+            }
+            delta.histogram.record(score);
+            (score, label)
+        })
+    }
 }
 
 /// One worker's accumulated telemetry for one shard over the ranges it
@@ -482,6 +567,155 @@ fn validate_features(features: &[f32], expected: usize) -> Result<(), RejectReas
     Ok(())
 }
 
+/// Everything a batch worker needs from the main thread, by shared
+/// reference: the claim cursor, the query slice, the immutable shard
+/// views, and the routing tables. Bundled so the per-width monomorphized
+/// worker ([`batch_worker`]) has one parameter instead of ten.
+struct BatchCtx<'a> {
+    cursor: &'a AtomicUsize,
+    features: &'a [Vec<f32>],
+    views: &'a [ShardView<'a>],
+    mask: &'a [bool],
+    serving: &'a [usize],
+    n: usize,
+    n_shards: usize,
+    chunk: usize,
+    base: u64,
+    policy: DetectionPolicy,
+    input_dim: usize,
+}
+
+/// One worker's claim loop at compile-time lane width `LANES`.
+///
+/// Width 1 degenerates to the original scalar worker: nothing is grouped
+/// and every query is answered in stream order. At wider widths each
+/// claimed range is answered in three stages — rejects and
+/// baseline/degraded queries scalar in place, stochastic queries grouped
+/// by target shard and scored in lane blocks of `LANES` via
+/// [`ShardView::answer_block`], and per-shard remainders scalar. Results
+/// are written into slot-indexed positions of the range, so the verdict
+/// vector (and therefore stitching and the running checksum) is oblivious
+/// to the regrouping; and because per-query fault streams are seeded by
+/// stream position, the verdicts themselves are bit-identical at every
+/// width.
+fn batch_worker<const LANES: usize>(
+    ctx: &BatchCtx<'_>,
+) -> (Vec<(usize, Vec<Verdict>)>, Vec<ShardDelta>) {
+    let mut ranges: Vec<(usize, Vec<Verdict>)> = Vec::new();
+    let mut deltas: Vec<ShardDelta> = vec![ShardDelta::default(); ctx.n_shards];
+    let mut scratch = InferenceScratch::new();
+    let mut draws: Vec<f64> = Vec::new();
+    let mut batch_scratch = BatchScratch::<LANES>::new();
+    let mut lane_draws: Vec<f64> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); ctx.n_shards];
+    loop {
+        let lo = ctx.cursor.fetch_add(ctx.chunk, Ordering::Relaxed);
+        if lo >= ctx.n {
+            break;
+        }
+        let hi = (lo + ctx.chunk).min(ctx.n);
+        let mut out: Vec<Option<Verdict>> = vec![None; hi - lo];
+        for group in &mut groups {
+            group.clear();
+        }
+        for (i, query) in ctx.features[lo..hi].iter().enumerate() {
+            let position = ctx.base + (lo + i) as u64;
+            let home = (position % ctx.n_shards as u64) as usize;
+            let target = if ctx.mask[home] {
+                home
+            } else {
+                // Deterministic re-route around quarantined shards: still
+                // a function of the stream position only.
+                ctx.serving[(position % ctx.serving.len() as u64) as usize]
+            };
+            match validate_features(query, ctx.input_dim) {
+                Ok(()) => {
+                    if LANES > 1 && matches!(ctx.views[target].backend, BackendView::Stochastic(_))
+                    {
+                        groups[target].push(i);
+                    } else {
+                        let (score, label) = ctx.views[target].answer(
+                            ctx.policy,
+                            position,
+                            query,
+                            &mut scratch,
+                            &mut draws,
+                            &mut deltas[target],
+                        );
+                        out[i] = Some(Verdict {
+                            query: position,
+                            shard: target,
+                            score,
+                            label,
+                            disposition: QueryDisposition::Served,
+                        });
+                    }
+                }
+                Err(reason) => {
+                    out[i] = Some(Verdict {
+                        query: position,
+                        shard: target,
+                        score: 0.0,
+                        label: Label::from_bool(false),
+                        disposition: QueryDisposition::Rejected(reason),
+                    });
+                }
+            }
+        }
+        for (target, group) in groups.iter().enumerate() {
+            let mut blocks = group.chunks_exact(LANES);
+            for block in blocks.by_ref() {
+                let positions: [u64; LANES] =
+                    std::array::from_fn(|l| ctx.base + (lo + block[l]) as u64);
+                let lane_features: [&[f32]; LANES] =
+                    std::array::from_fn(|l| ctx.features[lo + block[l]].as_slice());
+                let answers = ctx.views[target].answer_block::<LANES>(
+                    ctx.policy,
+                    &positions,
+                    &lane_features,
+                    &mut batch_scratch,
+                    &mut lane_draws,
+                    &mut deltas[target],
+                );
+                for (l, (score, label)) in answers.into_iter().enumerate() {
+                    out[block[l]] = Some(Verdict {
+                        query: positions[l],
+                        shard: target,
+                        score,
+                        label,
+                        disposition: QueryDisposition::Served,
+                    });
+                }
+            }
+            for &i in blocks.remainder() {
+                let position = ctx.base + (lo + i) as u64;
+                let (score, label) = ctx.views[target].answer(
+                    ctx.policy,
+                    position,
+                    &ctx.features[lo + i],
+                    &mut scratch,
+                    &mut draws,
+                    &mut deltas[target],
+                );
+                out[i] = Some(Verdict {
+                    query: position,
+                    shard: target,
+                    score,
+                    label,
+                    disposition: QueryDisposition::Served,
+                });
+            }
+        }
+        ranges.push((
+            lo,
+            out.into_iter()
+                .map(|v| v.expect("every query in a claimed range is answered"))
+                .collect(),
+        ));
+    }
+    (ranges, deltas)
+}
+
 /// Swaps a shard onto a freshly calibrated stochastic backend under a new
 /// generation seed. Returns `false` (leaving the shard untouched) when the
 /// fault model cannot be built at the offset.
@@ -523,6 +757,12 @@ pub struct MonitoringService {
     seed: u64,
     batch_size: usize,
     exec: ExecConfig,
+    /// Batched-inference lane width (1 = scalar), clamped into
+    /// `1..=`[`MAX_LANES`]. A wall-clock knob like `exec`: verdicts,
+    /// checksums, and telemetry are bit-identical at every width, so it
+    /// is never checkpointed and [`MonitoringService::restore`] gives it
+    /// the default.
+    lanes: usize,
     /// The unprotected model: the fallback backend, and the template for
     /// supervised rebuilds.
     baseline: BaselineHmd,
@@ -649,6 +889,7 @@ impl MonitoringService {
             seed: config.seed,
             batch_size: config.batch_size.max(1),
             exec: config.exec,
+            lanes: config.lanes.clamp(1, MAX_LANES),
             baseline: baseline.clone(),
             input_dim: baseline.quantized().input_dim(),
             supervisor: None,
@@ -741,6 +982,11 @@ impl MonitoringService {
     /// The deployed policy.
     pub fn policy(&self) -> DetectionPolicy {
         self.policy
+    }
+
+    /// The batched-inference lane width in effect (1 = scalar path).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Feature width the deployed model expects; queries of any other
@@ -865,8 +1111,6 @@ impl MonitoringService {
             !serving.is_empty(),
             "the supervisor never empties the serving set"
         );
-        let views: Vec<ShardView<'_>> = self.shards.iter().map(Shard::view).collect();
-
         // Lock-free range claiming over the query stream (the atomic
         // task-claim idiom of `crate::exec`, at query-range granularity):
         // each worker repeatedly claims the next contiguous chunk of the
@@ -874,72 +1118,51 @@ impl MonitoringService {
         // shard views with thread-local scratch, draws, fault streams,
         // and telemetry deltas. Verdicts are a pure function of stream
         // position, so which worker claims which range affects wall-clock
-        // only, never output.
+        // only, never output. The lane width is dispatched once per
+        // worker invocation to a monomorphized claim loop; width 1 *is*
+        // the scalar path, wider widths regroup each range into
+        // same-shard lane blocks (see `batch_worker`).
         let workers = self.exec.thread_count().min((n / MIN_CLAIM).max(1));
         let chunk = (n / (workers * 4).max(1)).clamp(MIN_CLAIM, 8192);
-        let cursor = AtomicUsize::new(0);
-        let cursor_ref = &cursor;
-        let features_ref = &features;
-        let views_ref = &views;
-        let mask_ref = &mask;
-        let serving_ref = &serving;
+        let lanes = self.lanes;
         type WorkerRanges = Vec<(usize, Vec<Verdict>)>;
-        let worker_out: Vec<(WorkerRanges, Vec<ShardDelta>)> =
-            parallel_map_n(&self.exec, workers, |_worker| {
-                let mut ranges: WorkerRanges = Vec::new();
-                let mut deltas: Vec<ShardDelta> = vec![ShardDelta::default(); n_shards];
-                let mut scratch = InferenceScratch::new();
-                let mut draws: Vec<f64> = Vec::new();
-                loop {
-                    let lo = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
-                    if lo >= n {
-                        break;
-                    }
-                    let hi = (lo + chunk).min(n);
-                    let mut out = Vec::with_capacity(hi - lo);
-                    for (i, query) in features_ref[lo..hi].iter().enumerate() {
-                        let position = base + (lo + i) as u64;
-                        let home = (position % n_shards as u64) as usize;
-                        let target = if mask_ref[home] {
-                            home
-                        } else {
-                            // Deterministic re-route around quarantined
-                            // shards: still a function of the stream
-                            // position only.
-                            serving_ref[(position % serving_ref.len() as u64) as usize]
-                        };
-                        out.push(match validate_features(query, input_dim) {
-                            Ok(()) => {
-                                let (score, label) = views_ref[target].answer(
-                                    policy,
-                                    position,
-                                    query,
-                                    &mut scratch,
-                                    &mut draws,
-                                    &mut deltas[target],
-                                );
-                                Verdict {
-                                    query: position,
-                                    shard: target,
-                                    score,
-                                    label,
-                                    disposition: QueryDisposition::Served,
-                                }
-                            }
-                            Err(reason) => Verdict {
-                                query: position,
-                                shard: target,
-                                score: 0.0,
-                                label: Label::from_bool(false),
-                                disposition: QueryDisposition::Rejected(reason),
-                            },
-                        });
-                    }
-                    ranges.push((lo, out));
-                }
-                (ranges, deltas)
-            });
-        drop(views);
+        let worker_out: Vec<(WorkerRanges, Vec<ShardDelta>)> = {
+            let views: Vec<ShardView<'_>> = self.shards.iter().map(Shard::view).collect();
+            let cursor = AtomicUsize::new(0);
+            let ctx = BatchCtx {
+                cursor: &cursor,
+                features,
+                views: &views,
+                mask: &mask,
+                serving: &serving,
+                n,
+                n_shards,
+                chunk,
+                base,
+                policy,
+                input_dim,
+            };
+            let ctx_ref = &ctx;
+            parallel_map_n(&self.exec, workers, |_worker| match lanes {
+                1 => batch_worker::<1>(ctx_ref),
+                2 => batch_worker::<2>(ctx_ref),
+                3 => batch_worker::<3>(ctx_ref),
+                4 => batch_worker::<4>(ctx_ref),
+                5 => batch_worker::<5>(ctx_ref),
+                6 => batch_worker::<6>(ctx_ref),
+                7 => batch_worker::<7>(ctx_ref),
+                8 => batch_worker::<8>(ctx_ref),
+                9 => batch_worker::<9>(ctx_ref),
+                10 => batch_worker::<10>(ctx_ref),
+                11 => batch_worker::<11>(ctx_ref),
+                12 => batch_worker::<12>(ctx_ref),
+                13 => batch_worker::<13>(ctx_ref),
+                14 => batch_worker::<14>(ctx_ref),
+                15 => batch_worker::<15>(ctx_ref),
+                16 => batch_worker::<16>(ctx_ref),
+                w => unreachable!("lane width {w} outside 1..=MAX_LANES"),
+            })
+        };
 
         // Fold: telemetry deltas are additive and order-independent;
         // verdict ranges partition the batch, so stitching them by start
@@ -1418,6 +1641,9 @@ impl MonitoringService {
                 RestoreError::InvalidState("batch size overflows usize".to_string())
             })?,
             exec,
+            // Wall-clock only, so not part of the checkpoint: any width
+            // resumes the stream bit-identically.
+            lanes: DEFAULT_LANES,
             baseline: baseline.clone(),
             input_dim: expected,
             supervisor,
@@ -1620,6 +1846,76 @@ mod tests {
                 "telemetry differs at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn every_lane_width_is_bit_identical_to_the_scalar_path() {
+        let (dataset, baseline, curve) = setup();
+        let dim = baseline.quantized().input_dim();
+        // A stream that exercises the regrouping: well-formed queries
+        // interleaved with poison (so lane blocks form around rejected
+        // slots) across both policies that take multiple draws.
+        let mut batch: Vec<Vec<f32>> = Vec::new();
+        for i in 0..120 {
+            if i % 17 == 5 {
+                batch.push(vec![f32::NAN; dim]);
+            } else if i % 23 == 7 {
+                batch.push(vec![0.5; dim + 1]);
+            } else {
+                batch.push(baseline.spec().extract(dataset.trace(i % dataset.len())));
+            }
+        }
+        for policy in [
+            DetectionPolicy::Single,
+            DetectionPolicy::AnyOf(3),
+            DetectionPolicy::MajorityOf(5),
+        ] {
+            let run = |lanes: usize, threads: ExecConfig| {
+                let config = ServeConfig::new(3)
+                    .with_seed(21)
+                    .with_policy(policy)
+                    .with_batch_size(40)
+                    .with_exec(threads)
+                    .with_lanes(lanes);
+                let mut service =
+                    MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
+                let mut verdicts = Vec::new();
+                for chunk in batch.chunks(40) {
+                    verdicts.extend(service.process_feature_batch(chunk));
+                }
+                (verdicts, service.snapshot().without_timing())
+            };
+            let (scalar_verdicts, scalar_snapshot) = run(1, ExecConfig::serial());
+            for lanes in [2, 3, 4, 8, 16] {
+                let (verdicts, snapshot) = run(lanes, ExecConfig::serial());
+                assert_eq!(
+                    verdicts, scalar_verdicts,
+                    "verdict stream differs at {lanes} lanes under {policy:?}"
+                );
+                assert_eq!(
+                    snapshot, scalar_snapshot,
+                    "telemetry differs at {lanes} lanes under {policy:?}"
+                );
+            }
+            // Lanes and threads compose without perturbing results.
+            let (verdicts, snapshot) = run(8, ExecConfig::threads(4));
+            assert_eq!(verdicts, scalar_verdicts, "8 lanes × 4 threads differs");
+            assert_eq!(snapshot, scalar_snapshot, "8×4 telemetry differs");
+        }
+    }
+
+    #[test]
+    fn lane_width_is_clamped_and_reported() {
+        let (_, baseline, curve) = setup();
+        for (asked, got) in [(0, 1), (1, 1), (8, 8), (16, 16), (64, MAX_LANES)] {
+            let service =
+                MonitoringService::deploy(&baseline, &curve, ServeConfig::new(1).with_lanes(asked))
+                    .expect("valid config");
+            assert_eq!(service.lanes(), got, "asked {asked}");
+        }
+        let default = MonitoringService::deploy(&baseline, &curve, ServeConfig::new(1))
+            .expect("valid config");
+        assert_eq!(default.lanes(), DEFAULT_LANES);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use crate::baseline::BaselineHmd;
 use crate::detector::Detector;
-use shmd_ann::network::{InferenceScratch, QuantizedNetwork};
+use shmd_ann::network::{BatchScratch, InferenceScratch, QuantizedNetwork};
 use shmd_volt::calibration::CalibrationCurve;
 use shmd_volt::fault::{
-    FaultInjector, FaultModel, FaultModelError, InjectorState, ProductCorruptor,
+    FaultInjector, FaultModel, FaultModelError, InjectorState, LaneCorruptor, ProductCorruptor,
 };
 use shmd_volt::voltage::Millivolts;
 use shmd_workload::features::FeatureSpec;
@@ -272,6 +272,32 @@ impl StochasticHmd {
     ) -> f64 {
         let out = self.quantized.infer_into(features, corruptor, scratch);
         f64::from(out[0].to_f32())
+    }
+
+    /// Scores `LANES` feature vectors simultaneously through one
+    /// structure-of-arrays forward pass — the batched counterpart of
+    /// [`StochasticHmd::score_features_with`]. Lane `l`'s score is
+    /// bit-identical to a scalar `score_features_with(features[l], ..)`
+    /// driven by the corruptor stream lane `l` wraps, because the batched
+    /// datapath advances every lane through the same per-multiplication
+    /// schedule as a scalar inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's feature width mismatches the network input.
+    pub fn score_features_batch_with<const LANES: usize, C>(
+        &self,
+        features: &[&[f32]; LANES],
+        corruptor: &mut C,
+        scratch: &mut BatchScratch<LANES>,
+    ) -> [f64; LANES]
+    where
+        C: LaneCorruptor<LANES> + ?Sized,
+    {
+        let out = self
+            .quantized
+            .infer_batch_into(features, corruptor, scratch);
+        std::array::from_fn(|l| f64::from(out[l].to_f32()))
     }
 }
 

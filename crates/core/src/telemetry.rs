@@ -28,7 +28,7 @@
 
 use crate::supervisor::ShardHealth;
 use serde::{Deserialize, Serialize};
-use shmd_volt::fault::FaultStats;
+use shmd_volt::fault::{FaultStats, FaultTally};
 use std::fmt;
 
 /// Number of bins in a [`ScoreHistogram`] (scores span `[0, 1]`).
@@ -108,6 +108,16 @@ impl FaultCounters {
         self.multiplies += stats.multiplies;
         self.faulty += stats.faulty;
         self.bit_flips += stats.total_flips();
+    }
+
+    /// Adds a batched lane's tally — the same fold as
+    /// [`FaultCounters::fold`] fed by a [`FaultTally`], which the batched
+    /// stream produces without materializing a heap-backed `FaultStats`
+    /// per lane per block.
+    pub fn fold_tally(&mut self, tally: &FaultTally) {
+        self.multiplies += tally.multiplies;
+        self.faulty += tally.faulty;
+        self.bit_flips += tally.bit_flips;
     }
 
     /// Adds another counter record into this one — the additive fold the

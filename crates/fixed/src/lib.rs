@@ -310,6 +310,151 @@ impl Accumulator {
     }
 }
 
+/// `LANES` independent Q32.32 accumulators advanced in lock-step — the
+/// structure-of-arrays counterpart of [`Accumulator`] for batched dot
+/// products.
+///
+/// The batched inference path multiplies one shared weight against `LANES`
+/// activations at a time. Keeping the running sums in a flat
+/// `[i64; LANES]` array makes the fault-free MAC a straight-line
+/// multiply/saturating-add loop over fixed-width lanes that the
+/// autovectorizer can unroll, while each lane's arithmetic — including
+/// saturation — stays bit-identical to a scalar [`Accumulator`] fed the
+/// same (possibly corrupted) products in the same order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneAccumulator<const LANES: usize> {
+    sums: [i64; LANES],
+}
+
+impl<const LANES: usize> LaneAccumulator<LANES> {
+    /// Creates `LANES` empty (zero) accumulators.
+    #[inline]
+    pub fn new() -> LaneAccumulator<LANES> {
+        LaneAccumulator { sums: [0; LANES] }
+    }
+
+    /// Adds `weight · xs[l]` to every lane, exactly (no corruption). This
+    /// is the batched hot path: no per-lane branching, one shared weight
+    /// broadcast across the lane array.
+    #[inline]
+    pub fn mac_exact(&mut self, weight: Q16, xs: &[Q16; LANES]) {
+        for (s, &x) in self.sums.iter_mut().zip(xs) {
+            *s = s.saturating_add(Q16::raw_product(weight, x));
+        }
+    }
+
+    /// Accumulates a whole fault-free *span*: `weights[j] · plane[j·LANES + l]`
+    /// for every `j` and lane, with no corruption and no per-product
+    /// branching. `plane` is a lane-major slice of exactly
+    /// `weights.len() × LANES` activations. This is the kernel the
+    /// run-length batched MAC loop hands its spans to — the whole nest is
+    /// visible to the optimizer at once, so it unrolls and vectorizes
+    /// without bounds checks or callback indirection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `plane` is not `weights.len() × LANES` long.
+    #[inline]
+    pub fn mac_span(&mut self, weights: &[Q16], plane: &[Q16]) {
+        debug_assert_eq!(plane.len(), weights.len() * LANES);
+        for (w, xs) in weights.iter().zip(plane.chunks_exact(LANES)) {
+            for (s, &x) in self.sums.iter_mut().zip(xs) {
+                *s = s.saturating_add(Q16::raw_product(*w, x));
+            }
+        }
+    }
+
+    /// [`mac_span`](Self::mac_span) with plain wrapping adds instead of
+    /// saturating ones. Bit-identical to the saturating span — and to the
+    /// exact linear sum — **only** when the caller has proved no partial
+    /// sum can leave the `i64` range (e.g. via a per-row
+    /// `Σ|wᵢ| · 2³¹` magnitude bound over the accumulator's starting
+    /// value); with that proof the saturation clamps are dead code, and
+    /// dropping them roughly halves the vectorized span cost. Callers
+    /// without such a bound must use the saturating variant.
+    #[inline]
+    pub fn mac_span_wrapping(&mut self, weights: &[Q16], plane: &[Q16]) {
+        debug_assert_eq!(plane.len(), weights.len() * LANES);
+        for (w, xs) in weights.iter().zip(plane.chunks_exact(LANES)) {
+            for (s, &x) in self.sums.iter_mut().zip(xs) {
+                *s = s.wrapping_add(Q16::raw_product(*w, x));
+            }
+        }
+    }
+
+    /// Adds `weight · xs[l]` to every lane, routing the raw product of
+    /// each lane whose bit is set in `due` through `fault` (identity for
+    /// the rest). Called on the rare multiplications where at least one
+    /// lane's fault countdown expired.
+    #[inline]
+    pub fn mac_faulty(
+        &mut self,
+        weight: Q16,
+        xs: &[Q16; LANES],
+        due: u64,
+        mut fault: impl FnMut(usize, i64) -> i64,
+    ) {
+        for (l, (s, &x)) in self.sums.iter_mut().zip(xs).enumerate() {
+            let mut p = Q16::raw_product(weight, x);
+            if due & (1 << l) != 0 {
+                p = fault(l, p);
+            }
+            *s = s.saturating_add(p);
+        }
+    }
+
+    /// Adds a Q16.16 value (e.g. a shared bias term) to every lane.
+    #[inline]
+    pub fn add_q16(&mut self, value: Q16) {
+        let raw = i64::from(value.to_bits()) << (PRODUCT_FRAC_BITS - FRAC_BITS);
+        for l in 0..LANES {
+            self.sums[l] = self.sums[l].saturating_add(raw);
+        }
+    }
+
+    /// Converts lane `l`'s Q32.32 sum back to Q16.16, saturating.
+    #[inline]
+    pub fn to_q16(&self, lane: usize) -> Q16 {
+        Q16::from_raw_product(self.sums[lane])
+    }
+
+    /// Returns lane `l`'s raw Q32.32 running sum.
+    #[inline]
+    pub fn raw(&self, lane: usize) -> i64 {
+        self.sums[lane]
+    }
+
+    /// Replaces lane `l`'s raw Q32.32 running sum — the escape hatch for a
+    /// caller that recomputed a lane sequentially (e.g. the batched MAC's
+    /// exact replay when its no-overflow bound cannot be established).
+    #[inline]
+    pub fn set_raw(&mut self, lane: usize, raw: i64) {
+        self.sums[lane] = raw;
+    }
+
+    /// Substitutes one product in lane `l`'s already-accumulated sum:
+    /// removes `original` and adds `corrupted` in its place.
+    ///
+    /// Only valid when the caller has *proved* that no partial sum of the
+    /// row — original, corrupted, or mid-patch — can leave the `i64`
+    /// range (see the batched MAC's per-row magnitude bound); under that
+    /// proof wrapping arithmetic never actually wraps and the patched sum
+    /// is bit-identical to re-running the saturating accumulation with
+    /// the corrupted product in sequence.
+    #[inline]
+    pub fn patch(&mut self, lane: usize, original: i64, corrupted: i64) {
+        self.sums[lane] = self.sums[lane]
+            .wrapping_sub(original)
+            .wrapping_add(corrupted);
+    }
+}
+
+impl<const LANES: usize> Default for LaneAccumulator<LANES> {
+    fn default() -> LaneAccumulator<LANES> {
+        LaneAccumulator::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +537,124 @@ mod tests {
         let mut acc = Accumulator::new();
         acc.add_q16(Q16::from_f64(-1.5));
         assert_eq!(acc.to_q16().to_f64(), -1.5);
+    }
+
+    #[test]
+    fn lane_accumulator_matches_scalar_lanes() {
+        // Each lane of a LaneAccumulator must be bit-identical to a scalar
+        // Accumulator fed the same products — including saturation, bias,
+        // and corrupted lanes.
+        const LANES: usize = 8;
+        let mut lanes = LaneAccumulator::<LANES>::new();
+        let mut scalars = [Accumulator::new(); LANES];
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for step in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let w = Q16::from_bits((x >> 16) as i32);
+            let xs: [Q16; LANES] =
+                std::array::from_fn(|l| Q16::from_bits((x.rotate_left(8 * l as u32) >> 24) as i32));
+            // Every third step corrupts two lanes; the rest run exact.
+            if step % 3 == 0 {
+                let due = 0b0010_0100u64;
+                lanes.mac_faulty(w, &xs, due, |l, p| p ^ (1 << (20 + l)));
+                for (l, acc) in scalars.iter_mut().enumerate() {
+                    if due & (1 << l) != 0 {
+                        acc.mac(w, xs[l], |p| p ^ (1 << (20 + l)));
+                    } else {
+                        acc.mac(w, xs[l], |p| p);
+                    }
+                }
+            } else {
+                lanes.mac_exact(w, &xs);
+                for (l, acc) in scalars.iter_mut().enumerate() {
+                    acc.mac(w, xs[l], |p| p);
+                }
+            }
+        }
+        let bias = Q16::from_f64(-1.25);
+        lanes.add_q16(bias);
+        for (l, acc) in scalars.iter_mut().enumerate() {
+            acc.add_q16(bias);
+            assert_eq!(lanes.raw(l), acc.raw(), "lane {l} raw sum diverged");
+            assert_eq!(lanes.to_q16(l), acc.to_q16(), "lane {l} result diverged");
+        }
+    }
+
+    #[test]
+    fn mac_span_matches_per_product_mac_exact() {
+        // The span kernel is a pure batching of mac_exact: same products,
+        // same saturating order, same lane sums — including near-saturation
+        // values where the add order would show through any shortcut.
+        const LANES: usize = 4;
+        let mut x = 0x13198a2e_03707344u64;
+        let mut draw = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Q16::from_bits((x >> 20) as i32)
+        };
+        let weights: Vec<Q16> = (0..37).map(|_| draw()).collect();
+        let mut plane: Vec<Q16> = (0..37 * LANES).map(|_| draw()).collect();
+        plane[5] = Q16::MAX; // push one lane toward saturation early
+        let mut span = LaneAccumulator::<LANES>::new();
+        span.mac_span(&weights, &plane);
+        let mut per = LaneAccumulator::<LANES>::new();
+        for (j, w) in weights.iter().enumerate() {
+            let xs: &[Q16; LANES] = plane[j * LANES..(j + 1) * LANES].try_into().unwrap();
+            per.mac_exact(*w, xs);
+        }
+        for l in 0..LANES {
+            assert_eq!(span.raw(l), per.raw(l), "lane {l} diverged");
+        }
+        // An empty span is a no-op.
+        let before = span;
+        span.mac_span(&[], &[]);
+        assert_eq!(span, before);
+    }
+
+    #[test]
+    fn wrapping_span_matches_saturating_span_under_the_magnitude_bound() {
+        // The wrapping fast path is only claimed bit-identical when
+        // Σ|wⱼ|·2³¹ stays inside i64 — build operands that satisfy the
+        // bound (everything the quantizer emits does) and check the two
+        // kernels agree lane for lane.
+        const LANES: usize = 8;
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        let mut draw = |scale: u32| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Q16::from_bits((x >> scale) as i32)
+        };
+        // |w| < 2^14 bits each, 61 of them: Σ|w|·2³¹ < 2^51 ≪ 2^63.
+        let weights: Vec<Q16> = (0..61).map(|_| draw(50)).collect();
+        let plane: Vec<Q16> = (0..61 * LANES).map(|_| draw(33)).collect();
+        let bound: u128 = weights
+            .iter()
+            .map(|w| u128::from(w.to_bits().unsigned_abs()) << 31)
+            .sum();
+        assert!(bound <= i64::MAX as u128, "fixture violates its own bound");
+        let mut saturating = LaneAccumulator::<LANES>::new();
+        saturating.mac_span(&weights, &plane);
+        let mut wrapping = LaneAccumulator::<LANES>::new();
+        wrapping.mac_span_wrapping(&weights, &plane);
+        assert_eq!(saturating, wrapping);
+    }
+
+    #[test]
+    fn lane_accumulator_saturates_like_scalar() {
+        let mut lanes = LaneAccumulator::<2>::new();
+        let mut scalar = Accumulator::new();
+        let big = Q16::MAX;
+        for _ in 0..100_000 {
+            lanes.mac_exact(big, &[big, big]);
+            scalar.mac(big, big, |p| p);
+        }
+        assert_eq!(lanes.raw(0), scalar.raw());
+        assert_eq!(lanes.raw(1), scalar.raw());
+        assert_eq!(lanes.to_q16(0), Q16::MAX);
     }
 
     #[test]

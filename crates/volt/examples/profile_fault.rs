@@ -55,4 +55,15 @@ fn main() {
         });
         println!("er={er}: geometric {g:.2} ns/call, per-draw {p:.2} ns/call");
     }
+
+    // Event decomposition: near-zero products absorb before any flip
+    // draw, so (near_zero − exact) / er isolates the gap-resample side
+    // of an event and the remainder is the flip machinery.
+    {
+        let er = 0.1;
+        let model = FaultModel::from_error_rate(er).unwrap();
+        let mut geo = FaultInjector::new(model, 1);
+        let a = time(n, || geo.corrupt_product(black_box(1)) as u64);
+        println!("er={er}: geometric near-zero {a:.2} ns/call");
+    }
 }
