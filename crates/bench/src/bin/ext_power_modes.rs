@@ -45,7 +45,11 @@ fn main() {
         let vdd = Volts(v);
         table::row(&[
             format!("{vdd}"),
-            table::pct(battery.battery_per_day(&duty, vdd)),
+            table::pct(
+                battery
+                    .battery_per_day(&duty, vdd)
+                    .expect("100 detections/s is a feasible duty"),
+            ),
             format!("{:.0}", battery.detections_per_joule(&duty, vdd)),
         ]);
     }

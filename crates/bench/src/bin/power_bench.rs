@@ -1,0 +1,225 @@
+//! Power-Pareto benchmark: the energy/accuracy/robustness frontier of
+//! undervolted operating points, plus an energy-aware scheduled pool
+//! held under a measured service power budget.
+//!
+//! Writes `BENCH_7.json` (override with `--out PATH`) and prints the
+//! same numbers as two tables. `--check` exits non-zero if the selected
+//! operating point's package-level saving leaves the paper's ~15% band
+//! (0.10–0.22), if deepening the undervolt ever *loses* core power
+//! against RHMD, if the Figure 7 voltage-axis endpoint drops to 75% or
+//! below, if the scheduled pool exceeds its measured budget, freezes a
+//! shard, diverges across thread counts, or loses budget state through
+//! a mid-stream checkpoint/restore — that mode is what CI runs (with
+//! `--fast`) as the power smoke test.
+
+use hmd_bench::cli::Scale;
+use hmd_bench::{power, setup, table, Args};
+use shmd_volt::calibration::{Calibrator, DeviceProfile};
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_7.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let (scale_name, batch_size) = match args.scale {
+        Scale::Fast => ("fast", 64),
+        Scale::Medium => ("medium", 256),
+        Scale::Paper => ("paper", 1024),
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let device = DeviceProfile::reference();
+    let curve = Calibrator::new().calibrate(&device);
+    let exec = args.exec();
+
+    let points = power::pareto_sweep(&dataset, &baseline, &curve, &device, &args);
+    let limit = power::fig7_limit();
+
+    table::title(&format!(
+        "Operating-point Pareto sweep, reference device ({scale_name})"
+    ));
+    table::header(&[
+        "target er",
+        "temp C",
+        "offset mV",
+        "vdd",
+        "delivered",
+        "pkg W",
+        "pkg save",
+        "vs RHMD",
+        "accuracy",
+        "evasion det",
+    ]);
+    let na = || "-".to_string();
+    for p in &points {
+        table::row(&[
+            format!("{:.2}", p.target_er),
+            format!("{:.0}", p.temp_c),
+            format!("{}", p.offset_mv),
+            format!("{:.3}", p.vdd),
+            if p.freezes {
+                "FREEZE".to_string()
+            } else {
+                format!("{:.3}", p.delivered_er)
+            },
+            format!("{:.2}", p.package_power_w),
+            format!("{:.1}%", 100.0 * p.package_saving_vs_baseline),
+            format!("{:.1}%", 100.0 * p.core_saving_vs_rhmd),
+            p.accuracy.map_or_else(na, |v| format!("{v:.3}")),
+            p.evasion_detection.map_or_else(na, |v| format!("{v:.3}")),
+        ]);
+    }
+    println!(
+        "(Fig. 7 voltage-axis endpoint: {:.1}% core saving over RHMD at {:.2} V — \
+         deeper than the calibrated device can schedule)",
+        100.0 * limit.core_saving_vs_rhmd,
+        limit.vdd
+    );
+
+    let service = power::measure_service(&baseline, &dataset, args.seed, batch_size, &exec);
+    table::title(&format!(
+        "Budgeted pool, {} shards x {} batches x {batch_size} queries",
+        service.shards, service.batches
+    ));
+    table::header(&[
+        "unpressured W",
+        "floor W",
+        "budget W",
+        "held at W",
+        "energy mJ",
+        "max target",
+        "crashes",
+        "deterministic",
+        "restores",
+    ]);
+    table::row(&[
+        format!("{:.3}", service.unpressured_w),
+        format!("{:.3}", service.floor_w),
+        format!("{:.3}", service.budget_w),
+        format!("{:.3}", service.projected_w),
+        format!("{:.3}", service.total_energy_uj / 1000.0),
+        format!("{:.2}", service.max_target_er),
+        format!("{}", service.crashes),
+        if service.thread_invariant {
+            "yes"
+        } else {
+            "NO"
+        }
+        .into(),
+        if service.restore_invariant {
+            "yes"
+        } else {
+            "NO"
+        }
+        .into(),
+    ]);
+    println!("(budget measured mid-window between the pool's unpressured draw and its band cap)");
+
+    let doc = power::render_json(
+        &points,
+        limit,
+        &service,
+        args.seed,
+        scale_name,
+        exec.thread_count(),
+    );
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        let selected: Vec<&power::OperatingPoint> = points
+            .iter()
+            .filter(|p| p.target_er == hmd_bench::setup::OPERATING_ERROR_RATE)
+            .collect();
+        for p in &selected {
+            if !(0.10..=0.22).contains(&p.package_saving_vs_baseline) {
+                eprintln!(
+                    "FAIL: selected operating point saves {:.1}% package power, \
+                     outside the paper's ~15% band (10–22%)",
+                    100.0 * p.package_saving_vs_baseline
+                );
+                failed = true;
+                break;
+            }
+        }
+        if selected.is_empty() {
+            eprintln!("FAIL: sweep omitted the selected operating point");
+            failed = true;
+        }
+        // Deepening the undervolt must never cost core power vs RHMD:
+        // the curve rows are ordered shallow-to-deep per temperature.
+        let rhmd_savings: Vec<f64> = points
+            .iter()
+            .filter(|p| (p.temp_c - DeviceProfile::reference().temp_c).abs() < f64::EPSILON)
+            .map(|p| p.core_saving_vs_rhmd)
+            .collect();
+        let sorted = rhmd_savings.windows(2).all(|w| w[1] >= w[0] - 1e-12);
+        if !sorted {
+            eprintln!("FAIL: core saving vs RHMD is not monotone in undervolt depth");
+            failed = true;
+        }
+        if limit.core_saving_vs_rhmd <= 0.75 {
+            eprintln!(
+                "FAIL: Fig. 7 endpoint saves {:.1}% over RHMD, claim needs >75%",
+                100.0 * limit.core_saving_vs_rhmd
+            );
+            failed = true;
+        }
+        if service.projected_w > service.budget_w + 1e-9 {
+            eprintln!(
+                "FAIL: pool projects {:.3} W over its {:.3} W budget",
+                service.projected_w, service.budget_w
+            );
+            failed = true;
+        }
+        if service.crashes != 0 {
+            eprintln!(
+                "FAIL: {} shard crashes — the floor clamp let the scheduler freeze a die",
+                service.crashes
+            );
+            failed = true;
+        }
+        if !service.thread_invariant {
+            eprintln!("FAIL: budgeted replay diverged between serial and threaded runs");
+            failed = true;
+        }
+        if !service.restore_invariant {
+            eprintln!("FAIL: budget state did not survive checkpoint/restore bit-identically");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: ~15% package saving at the operating point, >75% over RHMD \
+             at the Fig. 7 limit, budget held with zero freezes, replay thread-invariant, \
+             restore bit-identical"
+        );
+    }
+}

@@ -24,6 +24,7 @@ pub mod cli;
 pub mod durability;
 pub mod experiments;
 pub mod perf;
+pub mod power;
 pub mod serve;
 pub mod setup;
 pub mod table;

@@ -1,0 +1,534 @@
+//! Power-Pareto measurement: what each undervolted operating point costs
+//! and buys, plus an energy-aware scheduled pool under a service power
+//! budget.
+//!
+//! Two halves, written together to `BENCH_7.json` by the `power_bench`
+//! binary:
+//!
+//! - **operating points**: a sweep over (target error rate × die
+//!   temperature) through the calibrated curve of the reference device —
+//!   supply voltage, core/package power, savings over the baseline HMD
+//!   and over RHMD, and (at the calibration temperature) the detection
+//!   accuracy and evasive-malware detection rate that the paper trades
+//!   those watts against. Rows where the operating point would freeze the
+//!   die at that temperature are flagged, not hidden: they are exactly
+//!   the points the budget scheduler's floor clamp refuses to schedule.
+//! - **scheduled service**: a supervised pool with a
+//!   [`stochastic_hmd::supervisor::PowerBudgetPolicy`] riding a drifting
+//!   thermal environment. The budget is chosen *from measurement* —
+//!   midway between the pool's unpressured draw and its band-cap floor —
+//!   so the gate always exercises real budget pressure, at every scale.
+//!   The run must hold the budget, never freeze a shard, replay
+//!   bit-identically serial vs threaded, and survive a mid-stream
+//!   checkpoint/restore with its accrued energy and scheduler targets
+//!   intact.
+//!
+//! Honest-noise note: the calibrated sweep stops at the device's freeze
+//! offset, far shallower than Figure 7's 0.68 V endpoint — the >75%
+//! saving over RHMD is therefore reported against the *voltage axis*
+//! ([`fig7_limit`]), not claimed at any schedulable operating point. See
+//! EXPERIMENTS.md.
+
+use crate::cli::Args;
+use crate::setup::OPERATING_ERROR_RATE;
+use shmd_attack::campaign::AttackCampaign;
+use shmd_attack::reverse::ReverseConfig;
+use shmd_attack::ProxyKind;
+use shmd_power::cmos::{CmosPowerModel, PowerScope};
+use shmd_volt::calibration::{CalibrationCurve, DeviceProfile};
+use shmd_volt::environment::{delivered_error_rate_at, freezes_at, EnvironmentConfig};
+use shmd_volt::voltage::{Volts, NOMINAL_CORE_VOLTAGE};
+use shmd_workload::dataset::Dataset;
+use stochastic_hmd::checkpoint::ServiceCheckpoint;
+use stochastic_hmd::exec::{derive_seed, ExecConfig};
+use stochastic_hmd::serve::{MonitoringService, ServeConfig};
+use stochastic_hmd::stochastic::StochasticHmd;
+use stochastic_hmd::supervisor::{PowerBudgetPolicy, SupervisorConfig};
+use stochastic_hmd::train::evaluate;
+use stochastic_hmd::BaselineHmd;
+
+/// Target error rates the Pareto sweep walks, nominal-to-deep.
+pub const PARETO_ERROR_RATES: [f64; 4] = [0.05, OPERATING_ERROR_RATE, 0.2, 0.3];
+
+/// Die temperatures the sweep samples: a cool morning, the calibration
+/// point, and a loaded afternoon. Temperature inversion makes the cool
+/// die the dangerous one.
+pub const PARETO_TEMPS_C: [f64; 3] = [45.0, 49.0, 58.0];
+
+/// Batches the scheduled-service run replays.
+pub const SERVICE_BATCHES: usize = 40;
+
+/// Shards in the scheduled pool.
+pub const SERVICE_SHARDS: usize = 3;
+
+/// Seed tag separating the sweep's RNG streams from the figures'.
+const TAG_PARETO: u64 = 0x07;
+
+/// One (target error rate × temperature) cell of the Pareto sweep.
+#[derive(Clone, Debug)]
+pub struct OperatingPoint {
+    /// Calibration target error rate.
+    pub target_er: f64,
+    /// Die temperature, °C.
+    pub temp_c: f64,
+    /// Curve-derived undervolt offset, mV.
+    pub offset_mv: i32,
+    /// Supply voltage at the offset, volts.
+    pub vdd: f64,
+    /// Error rate the die physically delivers there at this temperature.
+    pub delivered_er: f64,
+    /// Whether the operating point crosses the freeze threshold at this
+    /// temperature (temperature inversion: cool dies freeze shallower).
+    pub freezes: bool,
+    /// Busy core power, watts.
+    pub core_power_w: f64,
+    /// Package power (core + uncore), watts.
+    pub package_power_w: f64,
+    /// Fractional core-power saving over the baseline HMD at nominal.
+    pub core_saving_vs_baseline: f64,
+    /// Fractional package-power saving over the baseline HMD at nominal.
+    pub package_saving_vs_baseline: f64,
+    /// Fractional core-power saving over RHMD (nominal + overhead).
+    pub core_saving_vs_rhmd: f64,
+    /// Detection accuracy at this target rate — measured once per rate,
+    /// on the calibration-temperature row only.
+    pub accuracy: Option<f64>,
+    /// Evasive-malware detection rate under the MLP transfer attack —
+    /// calibration-temperature rows only.
+    pub evasion_detection: Option<f64>,
+}
+
+/// Figure 7's voltage-axis endpoint: the analytic saving over RHMD at
+/// 0.68 V, far deeper than any schedulable operating point of the
+/// calibrated device.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig7Limit {
+    /// The endpoint supply voltage, volts.
+    pub vdd: f64,
+    /// Core-power saving over RHMD there.
+    pub core_saving_vs_rhmd: f64,
+}
+
+/// The analytic Figure 7 endpoint.
+pub fn fig7_limit() -> Fig7Limit {
+    let vdd = Volts(0.68);
+    Fig7Limit {
+        vdd: vdd.as_f64(),
+        core_saving_vs_rhmd: CmosPowerModel::i7_5557u().savings_over_rhmd(vdd, PowerScope::Core),
+    }
+}
+
+/// Runs the (target error rate × temperature) sweep. Accuracy and the
+/// evasion campaign run once per target rate, attached to its
+/// calibration-temperature row.
+pub fn pareto_sweep(
+    dataset: &Dataset,
+    baseline: &BaselineHmd,
+    curve: &CalibrationCurve,
+    device: &DeviceProfile,
+    args: &Args,
+) -> Vec<OperatingPoint> {
+    let model = CmosPowerModel::i7_5557u();
+    let rotation = 0;
+    let split = dataset.three_fold_split(rotation);
+    let mut rows = Vec::new();
+    for (i, &target_er) in PARETO_ERROR_RATES.iter().enumerate() {
+        let offset = curve
+            .offset_for_error_rate(target_er)
+            .expect("sweep rates are reachable on the reference device");
+        let vdd = NOMINAL_CORE_VOLTAGE.with_offset(offset);
+        let core_power_w = model.power_w(vdd, PowerScope::Core);
+        let package_power_w = model.power_w(vdd, PowerScope::Package);
+        // Security/accuracy cost of the rate, measured once at the
+        // calibration temperature (the fault law depends on the
+        // delivered rate, not on which temperature delivered it).
+        let seed = derive_seed(args.seed, &[TAG_PARETO, i as u64]);
+        let mut protected =
+            StochasticHmd::from_baseline(baseline, target_er, seed).expect("valid rate");
+        let accuracy = evaluate(&mut protected, dataset, split.testing()).accuracy();
+        let campaign = AttackCampaign::new(ReverseConfig::new(ProxyKind::Mlp).with_seed(args.seed));
+        let report = campaign
+            .run(&mut protected, dataset, rotation)
+            .expect("attack campaign runs");
+        let evasion_detection = report.transfer.detection_rate();
+        for &temp_c in &PARETO_TEMPS_C {
+            let at_calibration = (temp_c - device.temp_c).abs() < f64::EPSILON;
+            rows.push(OperatingPoint {
+                target_er,
+                temp_c,
+                offset_mv: offset.get(),
+                vdd: vdd.as_f64(),
+                delivered_er: delivered_error_rate_at(device, offset, temp_c),
+                freezes: freezes_at(device, offset, temp_c),
+                core_power_w,
+                package_power_w,
+                core_saving_vs_baseline: model.savings_over_baseline(vdd, PowerScope::Core),
+                package_saving_vs_baseline: model.savings_over_baseline(vdd, PowerScope::Package),
+                core_saving_vs_rhmd: model.savings_over_rhmd(vdd, PowerScope::Core),
+                accuracy: at_calibration.then_some(accuracy),
+                evasion_detection: at_calibration.then_some(evasion_detection),
+            });
+        }
+    }
+    rows
+}
+
+/// The scheduled-service measurement: a budgeted pool in a drifting
+/// thermal world, with its thread-invariance and restore verdicts.
+#[derive(Clone, Debug)]
+pub struct ServiceRun {
+    /// Shards in the pool.
+    pub shards: usize,
+    /// Batches replayed.
+    pub batches: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// The pool's projected draw with an unconstrained budget, watts.
+    pub unpressured_w: f64,
+    /// The pool's projected draw at the policy band cap, watts.
+    pub floor_w: f64,
+    /// The budget the measured run was held to (midway between the two,
+    /// so the gate always exercises real pressure), watts.
+    pub budget_w: f64,
+    /// Projected draw at the end of the budgeted run, watts.
+    pub projected_w: f64,
+    /// Energy accrued across the pool over the run, microjoules.
+    pub total_energy_uj: f64,
+    /// Deepest scheduler target reached by any shard.
+    pub max_target_er: f64,
+    /// Shard crashes (with no chaos plan, only a freeze could crash — so
+    /// this must be zero).
+    pub crashes: u64,
+    /// Verdict checksum of the serial budgeted run.
+    pub checksum: u64,
+    /// Serial vs threaded replay bit-identical (verdicts + telemetry).
+    pub thread_invariant: bool,
+    /// Mid-stream checkpoint/restore resumed bit-identically (verdicts +
+    /// energy + scheduler state).
+    pub restore_invariant: bool,
+}
+
+/// The scheduled pool's world: the reference device under a drifting
+/// office thermal trace, supervised every batch, budgeted by `policy`.
+fn service_supervision(seed: u64, policy: PowerBudgetPolicy) -> SupervisorConfig {
+    let device = DeviceProfile::reference();
+    let environment = EnvironmentConfig::drifting(device.temp_c, seed);
+    SupervisorConfig::new(device)
+        .with_environment(environment)
+        .with_power_budget(policy)
+}
+
+fn service_config(seed: u64, batch_size: usize, exec: ExecConfig) -> ServeConfig {
+    ServeConfig::new(SERVICE_SHARDS)
+        .with_seed(seed)
+        .with_target_error_rate(0.2)
+        .with_batch_size(batch_size)
+        .with_exec(exec)
+}
+
+/// Replays the feature stream through a fresh budgeted deployment.
+fn replay(
+    baseline: &BaselineHmd,
+    features: &[Vec<Vec<f32>>],
+    seed: u64,
+    batch_size: usize,
+    budget_w: f64,
+    exec: ExecConfig,
+) -> stochastic_hmd::telemetry::TelemetrySnapshot {
+    let policy = PowerBudgetPolicy::new(budget_w);
+    let mut service = MonitoringService::supervised(
+        baseline,
+        service_supervision(seed, policy),
+        service_config(seed, batch_size, exec),
+    )
+    .expect("the reference device calibrates at er = 0.2");
+    for batch in features {
+        service.process_feature_batch(batch);
+    }
+    service.snapshot()
+}
+
+/// Builds the service's feature stream from the dataset.
+pub fn service_stream(
+    baseline: &BaselineHmd,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Vec<Vec<Vec<f32>>> {
+    let spec = baseline.spec();
+    (0..SERVICE_BATCHES)
+        .map(|b| {
+            (0..batch_size)
+                .map(|i| spec.extract(dataset.trace((b * batch_size + i) % dataset.len())))
+                .collect()
+        })
+        .collect()
+}
+
+/// Measures the scheduled service: probes the attainable power window,
+/// budgets the pool to its midpoint, and verdicts thread invariance and
+/// checkpoint/restore.
+pub fn measure_service(
+    baseline: &BaselineHmd,
+    dataset: &Dataset,
+    seed: u64,
+    batch_size: usize,
+    exec: &ExecConfig,
+) -> ServiceRun {
+    let features = service_stream(baseline, dataset, batch_size);
+
+    // Probe the attainable window: an unconstrained budget leaves the
+    // scheduler's opportunistic phase alone; a zero budget drives every
+    // shard to the policy band cap (held best-effort — the scheduler
+    // never freezes a shard to make a number).
+    let unpressured_w = replay(
+        baseline,
+        &features,
+        seed,
+        batch_size,
+        f64::MAX,
+        ExecConfig::serial(),
+    )
+    .service_power_w
+    .expect("a budget policy always publishes its projection");
+    let floor_w = replay(
+        baseline,
+        &features,
+        seed,
+        batch_size,
+        0.0,
+        ExecConfig::serial(),
+    )
+    .service_power_w
+    .expect("a budget policy always publishes its projection");
+    // Midway between the two: attainable, but only under real pressure.
+    // On a run whose thermal trace leaves no headroom the midpoint
+    // degenerates to the unpressured draw, which is still a valid hold.
+    let budget_w = f64::midpoint(floor_w, unpressured_w);
+
+    let serial = replay(
+        baseline,
+        &features,
+        seed,
+        batch_size,
+        budget_w,
+        ExecConfig::serial(),
+    );
+    let threaded = replay(baseline, &features, seed, batch_size, budget_w, *exec);
+    let thread_invariant = serial.without_timing() == threaded.without_timing();
+
+    // Checkpoint mid-stream through the binary codec, restore at a
+    // different thread count, and replay the tail: energy, scheduler
+    // targets, and the open load window must all survive.
+    let policy = PowerBudgetPolicy::new(budget_w);
+    let mut interrupted = MonitoringService::supervised(
+        baseline,
+        service_supervision(seed, policy),
+        service_config(seed, batch_size, ExecConfig::serial()),
+    )
+    .expect("deploys");
+    let cut = SERVICE_BATCHES / 2;
+    for batch in &features[..cut] {
+        interrupted.process_feature_batch(batch);
+    }
+    let bytes = interrupted.checkpoint().encode();
+    drop(interrupted);
+    let restore_invariant = match ServiceCheckpoint::decode(&bytes) {
+        Ok(decoded) => match MonitoringService::restore(
+            baseline,
+            Some(service_supervision(seed, policy)),
+            &decoded,
+            ExecConfig::threads(4),
+        ) {
+            Ok(mut restored) => {
+                for batch in &features[cut..] {
+                    restored.process_feature_batch(batch);
+                }
+                restored.snapshot().without_timing() == serial.without_timing()
+            }
+            Err(_) => false,
+        },
+        Err(_) => false,
+    };
+
+    ServiceRun {
+        shards: SERVICE_SHARDS,
+        batches: SERVICE_BATCHES,
+        queries: serial.queries,
+        unpressured_w,
+        floor_w,
+        budget_w,
+        projected_w: serial
+            .service_power_w
+            .expect("the budgeted run publishes its projection"),
+        total_energy_uj: serial.total_energy_uj(),
+        max_target_er: serial
+            .shards
+            .iter()
+            .filter_map(|s| s.power_target_er)
+            .fold(0.0, f64::max),
+        crashes: serial.total_crashes(),
+        checksum: serial.verdict_checksum,
+        thread_invariant,
+        restore_invariant,
+    }
+}
+
+/// Renders both halves as the hand-built JSON written to `BENCH_7.json`
+/// (checksums as decimal strings because they exceed 2^53).
+pub fn render_json(
+    points: &[OperatingPoint],
+    limit: Fig7Limit,
+    service: &ServiceRun,
+    seed: u64,
+    scale: &str,
+    threads: usize,
+) -> String {
+    let opt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.4}"));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"power_pareto\",\n");
+    out.push_str("  \"unit\": \"watts\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"selected_operating_point\": {OPERATING_ERROR_RATE},\n"
+    ));
+    out.push_str("  \"operating_points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"target_er\": {}, \"temp_c\": {:.1}, \"offset_mv\": {}, \
+             \"vdd\": {:.4}, \"delivered_er\": {:.4}, \"freezes\": {}, \
+             \"core_power_w\": {:.4}, \"package_power_w\": {:.4}, \
+             \"core_saving_vs_baseline\": {:.4}, \"package_saving_vs_baseline\": {:.4}, \
+             \"core_saving_vs_rhmd\": {:.4}, \"accuracy\": {}, \
+             \"evasion_detection\": {}}}{}\n",
+            p.target_er,
+            p.temp_c,
+            p.offset_mv,
+            p.vdd,
+            p.delivered_er,
+            p.freezes,
+            p.core_power_w,
+            p.package_power_w,
+            p.core_saving_vs_baseline,
+            p.package_saving_vs_baseline,
+            p.core_saving_vs_rhmd,
+            opt(p.accuracy),
+            opt(p.evasion_detection),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"fig7_limit\": {{\"vdd\": {:.2}, \"core_saving_vs_rhmd\": {:.4}, \
+         \"note\": \"voltage-axis endpoint; deeper than the calibrated device's freeze offset\"}},\n",
+        limit.vdd, limit.core_saving_vs_rhmd
+    ));
+    out.push_str(&format!(
+        "  \"service\": {{\"shards\": {}, \"batches\": {}, \"queries\": {}, \
+         \"unpressured_w\": {:.4}, \"floor_w\": {:.4}, \"budget_w\": {:.4}, \
+         \"projected_w\": {:.4}, \"total_energy_uj\": {:.1}, \"max_target_er\": {:.2}, \
+         \"crashes\": {}, \"checksum\": \"{}\", \"thread_invariant\": {}, \
+         \"restore_invariant\": {}}}\n",
+        service.shards,
+        service.batches,
+        service.queries,
+        service.unpressured_w,
+        service.floor_w,
+        service.budget_w,
+        service.projected_w,
+        service.total_energy_uj,
+        service.max_target_er,
+        service.crashes,
+        service.checksum,
+        service.thread_invariant,
+        service.restore_invariant,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup;
+    use crate::Args;
+
+    fn fixture() -> (Dataset, BaselineHmd) {
+        let args = Args::parse_from(["--fast".to_string()]);
+        let dataset = setup::dataset(&args);
+        let baseline = setup::victim(&dataset, 0, &args);
+        (dataset, baseline)
+    }
+
+    #[test]
+    fn service_holds_its_measured_budget_without_freezing() {
+        let (dataset, baseline) = fixture();
+        let run = measure_service(&baseline, &dataset, 11, 16, &ExecConfig::threads(4));
+        assert!(
+            run.projected_w <= run.budget_w + 1e-9,
+            "projected {} W over the {} W budget",
+            run.projected_w,
+            run.budget_w
+        );
+        assert!(run.floor_w <= run.unpressured_w + 1e-9);
+        assert_eq!(run.crashes, 0, "the floor clamp must prevent freezes");
+        assert!(run.total_energy_uj > 0.0);
+        assert!(
+            run.thread_invariant,
+            "budgeted replay diverged across threads"
+        );
+        assert!(
+            run.restore_invariant,
+            "budget state lost in checkpoint round trip"
+        );
+        assert_eq!(run.queries, (SERVICE_BATCHES * 16) as u64);
+    }
+
+    #[test]
+    fn fig7_limit_clears_the_paper_claim() {
+        assert!(fig7_limit().core_saving_vs_rhmd > 0.75);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough_to_grep() {
+        let p = OperatingPoint {
+            target_er: 0.1,
+            temp_c: 49.0,
+            offset_mv: -134,
+            vdd: 1.046,
+            delivered_er: 0.1,
+            freezes: false,
+            core_power_w: 7.9,
+            package_power_w: 16.9,
+            core_saving_vs_baseline: 0.28,
+            package_saving_vs_baseline: 0.15,
+            core_saving_vs_rhmd: 0.36,
+            accuracy: Some(0.94),
+            evasion_detection: None,
+        };
+        let service = ServiceRun {
+            shards: 3,
+            batches: 40,
+            queries: 640,
+            unpressured_w: 23.1,
+            floor_w: 23.0,
+            budget_w: 23.05,
+            projected_w: 23.0,
+            total_energy_uj: 1234.5,
+            max_target_er: 0.3,
+            crashes: 0,
+            checksum: u64::MAX,
+            thread_invariant: true,
+            restore_invariant: true,
+        };
+        let doc = render_json(&[p], fig7_limit(), &service, 42, "fast", 8);
+        assert!(doc.contains("\"bench\": \"power_pareto\""));
+        assert!(doc.contains("\"package_saving_vs_baseline\": 0.1500"));
+        assert!(doc.contains("\"evasion_detection\": null"));
+        assert!(doc.contains("\"checksum\": \"18446744073709551615\""));
+        assert!(doc.contains("\"restore_invariant\": true"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -62,8 +62,10 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SHCK";
 
 /// Format version written by [`ServiceCheckpoint::encode`]. Decoding any
 /// other version fails with [`CheckpointError::UnsupportedVersion`] instead
-/// of misinterpreting bytes.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// of misinterpreting bytes. Version 2 added the energy/power-scheduling
+/// fields (per-shard accrued energy, last busy power, scheduler target and
+/// load-window base; service-wide projected power).
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// Journal record kind: a full service checkpoint.
 const RECORD_CHECKPOINT: u8 = 1;
@@ -222,6 +224,14 @@ pub struct ShardCheckpoint {
     pub retired_faults: FaultCounters,
     /// Score histogram bin counts.
     pub histogram: [u64; HISTOGRAM_BINS],
+    /// Cumulative detection energy, microjoules.
+    pub energy_uj: f64,
+    /// Busy core power (watts) at the last energy accrual.
+    pub last_power_w: Option<f64>,
+    /// The power scheduler's current error-rate target for the shard.
+    pub power_target_er: Option<f64>,
+    /// Shard query count at the last power-scheduling tick.
+    pub power_window_queries: u64,
 }
 
 /// The supervisor's mutable state: the voltage controller's calibration
@@ -267,6 +277,9 @@ pub struct ServiceCheckpoint {
     pub rejected_queries: u64,
     /// Running verdict checksum.
     pub verdict_checksum: u64,
+    /// Projected busy-power total over serving shards at the last
+    /// power-scheduling tick, when a budget policy ran.
+    pub service_power_w: Option<f64>,
     /// Supervisor state, for services deployed via
     /// `MonitoringService::supervised`.
     pub supervisor: Option<SupervisorCheckpoint>,
@@ -291,6 +304,7 @@ impl ServiceCheckpoint {
         w.u64(self.batches);
         w.u64(self.rejected_queries);
         w.u64(self.verdict_checksum);
+        w.opt_f64(self.service_power_w);
         match &self.supervisor {
             None => w.u8(0),
             Some(sup) => {
@@ -349,6 +363,7 @@ impl ServiceCheckpoint {
             batches: r.u64()?,
             rejected_queries: r.u64()?,
             verdict_checksum: r.u64()?,
+            service_power_w: r.opt_f64()?,
             supervisor: match r.u8()? {
                 0 => None,
                 1 => Some(SupervisorCheckpoint {
@@ -500,6 +515,10 @@ fn encode_shard(w: &mut Writer, shard: &ShardCheckpoint) {
     for bin in shard.histogram {
         w.u64(bin);
     }
+    w.f64(shard.energy_uj);
+    w.opt_f64(shard.last_power_w);
+    w.opt_f64(shard.power_target_er);
+    w.u64(shard.power_window_queries);
 }
 
 fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, CheckpointError> {
@@ -560,6 +579,10 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, CheckpointError> 
             }
             bins
         },
+        energy_uj: r.f64()?,
+        last_power_w: r.opt_f64()?,
+        power_target_er: r.opt_f64()?,
+        power_window_queries: r.u64()?,
     })
 }
 
@@ -997,6 +1020,7 @@ mod tests {
             batches: 40,
             rejected_queries: 3,
             verdict_checksum: 0xdead_beef_cafe_f00d,
+            service_power_w: Some(12.75),
             supervisor: Some(SupervisorCheckpoint {
                 calibrated_at_c: 52.25,
                 offset_mv: -231,
@@ -1047,6 +1071,10 @@ mod tests {
                     flags: 100,
                     retired_faults: FaultCounters::default(),
                     histogram: [2; HISTOGRAM_BINS],
+                    energy_uj: 987.5,
+                    last_power_w: Some(6.5),
+                    power_target_er: Some(0.15),
+                    power_window_queries: 300,
                 },
                 ShardCheckpoint {
                     id: 1,
@@ -1072,6 +1100,10 @@ mod tests {
                         bit_flips: 250,
                     },
                     histogram: [1; HISTOGRAM_BINS],
+                    energy_uj: 0.0,
+                    last_power_w: None,
+                    power_target_er: None,
+                    power_window_queries: 0,
                 },
             ],
         }

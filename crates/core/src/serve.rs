@@ -77,12 +77,14 @@ use crate::supervisor::{
 };
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
 use shmd_ann::network::{BatchScratch, InferenceScratch};
+use shmd_power::cmos::CmosPowerModel;
+use shmd_power::latency::LatencyModel;
 use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
 use shmd_volt::controller::{ControllerAction, ControllerState};
-use shmd_volt::environment::delivered_error_rate_at;
+use shmd_volt::environment::{deepest_safe_offset, delivered_error_rate_at};
 use shmd_volt::fault::{BatchFaultStream, FaultStream};
 use shmd_volt::multiplier::FREEZE_ERROR_RATE;
-use shmd_volt::voltage::Millivolts;
+use shmd_volt::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
 use shmd_workload::features::FeatureSpec;
 use shmd_workload::trace::Trace;
 use std::collections::VecDeque;
@@ -491,6 +493,24 @@ struct Shard {
     /// by recalibration — the name survives for checkpoint compatibility).
     retired_faults: FaultCounters,
     histogram: ScoreHistogram,
+    /// Cumulative detection energy, microjoules — accrued on the main
+    /// thread at every batch boundary from the query-count delta, the
+    /// modelled per-detection latency, and the busy core power at the
+    /// shard's live offset. A deterministic function of the query stream
+    /// (see DESIGN.md §13).
+    energy_uj: f64,
+    /// Shard query count energy has been accrued up to. Not checkpointed:
+    /// accrual runs inside every batch, so at any checkpoint boundary it
+    /// equals `queries`.
+    energy_accounted: u64,
+    /// Busy core power (watts) at the last energy accrual.
+    last_power_w: Option<f64>,
+    /// The power scheduler's current error-rate target for this shard
+    /// (`None` until a budget policy first touches it).
+    power_target_er: Option<f64>,
+    /// Shard query count at the last power-scheduling tick — the window
+    /// base for the scheduler's per-shard load estimate.
+    power_window_queries: u64,
 }
 
 impl Shard {
@@ -549,6 +569,9 @@ impl Shard {
             flags: self.flags,
             faults: self.fault_counters(),
             histogram: self.histogram.clone(),
+            energy_uj: self.energy_uj,
+            power_w: self.last_power_w,
+            power_target_er: self.power_target_er,
         }
     }
 }
@@ -779,6 +802,19 @@ pub struct MonitoringService {
     verdict_checksum: u64,
     /// Sliding window of the last [`BATCH_LATENCY_WINDOW`] batch latencies.
     batch_latency_micros: VecDeque<u64>,
+    /// CMOS power model the energy accountant and budget scheduler price
+    /// shards against.
+    power_model: CmosPowerModel,
+    /// Inference latency model (cycle time is voltage-independent on the
+    /// paper's platform, so one model covers every operating point).
+    latency_model: LatencyModel,
+    /// MAC count of the deployed quantized detector, under the repo-wide
+    /// `size_bytes / 4` convention.
+    macs: usize,
+    /// Projected busy-power total over serving shards at the last
+    /// power-scheduling tick (`None` before the first tick or without a
+    /// budget policy).
+    service_power_w: Option<f64>,
 }
 
 impl MonitoringService {
@@ -867,6 +903,11 @@ impl MonitoringService {
                 flags: 0,
                 retired_faults: FaultCounters::default(),
                 histogram: ScoreHistogram::new(),
+                energy_uj: 0.0,
+                energy_accounted: 0,
+                last_power_w: None,
+                power_target_er: None,
+                power_window_queries: 0,
             });
         }
         service.supervisor = Some(supervisor);
@@ -899,6 +940,10 @@ impl MonitoringService {
             rejected_queries: 0,
             verdict_checksum: 0,
             batch_latency_micros: VecDeque::new(),
+            power_model: CmosPowerModel::i7_5557u(),
+            latency_model: LatencyModel::i7_5557u(),
+            macs: baseline.quantized().size_bytes() / 4,
+            service_power_w: None,
         }
     }
 
@@ -933,6 +978,11 @@ impl MonitoringService {
             flags: 0,
             retired_faults: FaultCounters::default(),
             histogram: ScoreHistogram::new(),
+            energy_uj: 0.0,
+            energy_accounted: 0,
+            last_power_w: None,
+            power_target_er: None,
+            power_window_queries: 0,
         }
     }
 
@@ -1198,6 +1248,7 @@ impl MonitoringService {
         }
         self.served += n as u64;
         self.batches += 1;
+        self.accrue_energy();
         // Timing folds exactly once per batch, on the main thread, after
         // the parallel region — workers never touch the clock.
         if self.batch_latency_micros.len() == BATCH_LATENCY_WINDOW {
@@ -1206,6 +1257,39 @@ impl MonitoringService {
         self.batch_latency_micros
             .push_back(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         verdicts
+    }
+
+    /// Accrues modelled detection energy for every query answered this
+    /// batch: queries × per-detection latency × detections per query ×
+    /// busy core power at the shard's live offset. Runs on the main
+    /// thread after the telemetry deltas fold, in shard order, so the
+    /// accrual is a deterministic function of the query stream at any
+    /// thread count.
+    fn accrue_energy(&mut self) {
+        let per_detection_us = self.latency_model.hmd_us(self.macs);
+        let detections = self.policy.detections();
+        for shard in &mut self.shards {
+            let delta = shard.queries - shard.energy_accounted;
+            shard.energy_accounted = shard.queries;
+            if delta == 0 {
+                continue;
+            }
+            let (offset, k) = match &shard.backend {
+                ShardBackend::Stochastic(hmd) => {
+                    (hmd.offset().unwrap_or(Millivolts::new(0)), detections)
+                }
+                // A degraded shard serves the baseline at nominal
+                // voltage, and its k draws collapse to one score — it
+                // pays exactly one inference per query.
+                _ => (Millivolts::new(0), 1),
+            };
+            let power_w = self
+                .power_model
+                .core_power_w(NOMINAL_CORE_VOLTAGE.with_offset(offset));
+            // W × µs = µJ.
+            shard.energy_uj += delta as f64 * per_detection_us * k as f64 * power_w;
+            shard.last_power_w = Some(power_w);
+        }
     }
 
     /// One supervision point, run on the main thread before the batch is
@@ -1221,6 +1305,13 @@ impl MonitoringService {
         };
         let master = self.seed;
         let temp = sup.temperature_at(batch);
+        // Drift counters before this tick's watchdog runs: the power
+        // scheduler backs off exactly the shards flagged *this tick*.
+        let drift_marks: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|shard| shard.supervision.drift_events())
+            .collect();
 
         // Shards rebuilt at the previous point finish their recovery.
         for shard in &mut self.shards {
@@ -1403,7 +1494,171 @@ impl MonitoringService {
             shard.supervision.reset_watchdog(mark);
         }
 
+        // Power scheduling last, so this tick's drift flags and recovery
+        // restarts are visible to the budget policy.
+        self.schedule_power(&sup, temp, &drift_marks);
+
         self.supervisor = Some(sup);
+    }
+
+    /// One power-scheduling tick under the configured
+    /// [`crate::supervisor::PowerBudgetPolicy`] (no-op without one):
+    /// DVFS-style error-rate
+    /// retargeting of every serving stochastic shard as load and
+    /// temperature move, holding the projected busy-power total under the
+    /// service watt budget and every operating point a guard band shy of
+    /// the freeze threshold. Runs on the main thread at supervision
+    /// points, in shard-id order, as a pure function of (shard state,
+    /// batch index) — so schedules replay bit-identically at any thread
+    /// count.
+    fn schedule_power(&mut self, sup: &Supervisor, temp: f64, drift_marks: &[u64]) {
+        let Some(policy) = sup.config().power_budget else {
+            return;
+        };
+        let device = &sup.config().device;
+        let guard = sup.controller().config().guard_band_mv;
+        // The physical floor at this temperature: deepening stops a
+        // guard band shy of wherever the freeze point sits *now*.
+        let floor = deepest_safe_offset(device, temp, guard);
+        let power_model = self.power_model;
+        let nominal_power = power_model.core_power_w(NOMINAL_CORE_VOLTAGE);
+        let serving: Vec<usize> = self
+            .shards
+            .iter()
+            .filter(|shard| shard.supervision.health().is_serving())
+            .map(|shard| shard.id)
+            .collect();
+        if serving.is_empty() {
+            return;
+        }
+
+        // Per-shard load over the window since the previous tick,
+        // against the fair share of the serving set.
+        let window_total: u64 = serving
+            .iter()
+            .map(|&id| self.shards[id].queries - self.shards[id].power_window_queries)
+            .sum();
+        let fair = window_total as f64 / serving.len() as f64;
+
+        // Phases A and B: tentative per-shard targets. A freshly
+        // drift-flagged shard backs off one step toward the nominal end
+        // of the band; a healthy shard on a cool die carrying no more
+        // than its fair share deepens one step.
+        let n = self.shards.len();
+        let mut targets: Vec<Option<f64>> = vec![None; n];
+        let mut flagged: Vec<bool> = vec![false; n];
+        for &id in &serving {
+            let shard = &self.shards[id];
+            let ShardBackend::Stochastic(hmd) = &shard.backend else {
+                continue;
+            };
+            if hmd.offset().is_none() {
+                continue;
+            }
+            let current = shard
+                .power_target_er
+                .unwrap_or_else(|| policy.clamp_target(self.target_error_rate));
+            flagged[id] =
+                shard.supervision.drift_events() > drift_marks.get(id).copied().unwrap_or(u64::MAX);
+            let window = (shard.queries - shard.power_window_queries) as f64;
+            let light = fair == 0.0 || window <= policy.light_load * fair;
+            let target = if flagged[id] {
+                policy.clamp_target(current - policy.step_er)
+            } else if temp <= policy.cool_temp_c && light {
+                policy.clamp_target(current + policy.step_er)
+            } else {
+                current
+            };
+            targets[id] = Some(target);
+        }
+
+        // A target's operating point: the controller's curve-derived
+        // offset, clamped shallow of the physical floor, and the busy
+        // core power it draws.
+        let place = |target: f64| -> (Millivolts, f64) {
+            let offset = match sup.controller().offset_for_target(target) {
+                Ok((offset, _clamped)) => offset,
+                Err(_) => Millivolts::new(0),
+            };
+            let offset = Millivolts::new(offset.get().max(floor.get()));
+            let power = power_model.core_power_w(NOMINAL_CORE_VOLTAGE.with_offset(offset));
+            (offset, power)
+        };
+        let mut offsets: Vec<Option<Millivolts>> = vec![None; n];
+        let mut powers: Vec<f64> = vec![0.0; n];
+        for &id in &serving {
+            match targets[id] {
+                Some(target) => {
+                    let (offset, power) = place(target);
+                    offsets[id] = Some(offset);
+                    powers[id] = power;
+                }
+                // Serving but not retargetable (degraded to baseline):
+                // budgeted at nominal busy power.
+                None => powers[id] = nominal_power,
+            }
+        }
+        let mut total: f64 = serving.iter().map(|&id| powers[id]).sum();
+
+        // Phase C: while the projection exceeds the budget, deepen
+        // healthy shards one step each in id order. Stops as soon as the
+        // projection fits, or when a full pass makes no progress (every
+        // shard at its band cap or physical floor: the budget is held
+        // best-effort, never by freezing a shard).
+        while total > policy.budget_w {
+            let before = total;
+            for &id in &serving {
+                let Some(target) = targets[id] else {
+                    continue;
+                };
+                if flagged[id] || target >= policy.max_target_er {
+                    continue;
+                }
+                let deeper = policy.clamp_target(target + policy.step_er);
+                let (offset, power) = place(deeper);
+                total += power - powers[id];
+                targets[id] = Some(deeper);
+                offsets[id] = Some(offset);
+                powers[id] = power;
+                if total <= policy.budget_w {
+                    break;
+                }
+            }
+            if total >= before {
+                break;
+            }
+        }
+
+        // Apply: write each schedule into the live fault model at the
+        // rate the die physically delivers there, and rebase the
+        // watchdog reference wherever the operating point moved.
+        for &id in &serving {
+            let (Some(target), Some(offset)) = (targets[id], offsets[id]) else {
+                continue;
+            };
+            let shard = &mut self.shards[id];
+            shard.power_target_er = Some(target);
+            let ShardBackend::Stochastic(hmd) = &mut shard.backend else {
+                continue;
+            };
+            if hmd.offset() == Some(offset) {
+                continue;
+            }
+            let delivered = delivered_error_rate_at(device, offset, temp);
+            if delivered >= FREEZE_ERROR_RATE || hmd.apply_offset(offset, delivered).is_err() {
+                // Unreachable by construction (the floor keeps every
+                // schedule a guard band shy of freezing), but a schedule
+                // is never worth crashing a shard over.
+                continue;
+            }
+            let mark = shard.fault_counters();
+            shard.supervision.reset_watchdog(mark);
+        }
+        // Close the load window and publish the projection.
+        for shard in &mut self.shards {
+            shard.power_window_queries = shard.queries;
+        }
+        self.service_power_w = Some(total);
     }
 
     /// Crashes one shard: quarantine it and schedule deterministic
@@ -1499,6 +1754,10 @@ impl MonitoringService {
                 flags: shard.flags,
                 retired_faults: shard.retired_faults,
                 histogram: *shard.histogram.counts(),
+                energy_uj: shard.energy_uj,
+                last_power_w: shard.last_power_w,
+                power_target_er: shard.power_target_er,
+                power_window_queries: shard.power_window_queries,
             })
             .collect();
         ServiceCheckpoint {
@@ -1511,6 +1770,7 @@ impl MonitoringService {
             batches: self.batches,
             rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,
+            service_power_w: self.service_power_w,
             supervisor,
             shards,
         }
@@ -1630,6 +1890,13 @@ impl MonitoringService {
                 flags: s.flags,
                 retired_faults: s.retired_faults,
                 histogram: ScoreHistogram::from_counts(s.histogram),
+                energy_uj: s.energy_uj,
+                // Checkpoints are taken at batch boundaries, where energy
+                // is always fully accrued.
+                energy_accounted: s.queries,
+                last_power_w: s.last_power_w,
+                power_target_er: s.power_target_er,
+                power_window_queries: s.power_window_queries,
             });
         }
         Ok(MonitoringService {
@@ -1653,6 +1920,10 @@ impl MonitoringService {
             rejected_queries: checkpoint.rejected_queries,
             verdict_checksum: checkpoint.verdict_checksum,
             batch_latency_micros: VecDeque::new(),
+            power_model: CmosPowerModel::i7_5557u(),
+            latency_model: LatencyModel::i7_5557u(),
+            macs: baseline.quantized().size_bytes() / 4,
+            service_power_w: checkpoint.service_power_w,
         })
     }
 
@@ -1699,6 +1970,12 @@ impl MonitoringService {
             degradation_events: self.shards.iter().map(|s| s.degradation_events).sum(),
             rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,
+            power_budget_w: self
+                .supervisor
+                .as_ref()
+                .and_then(|sup| sup.config().power_budget)
+                .map(|policy| policy.budget_w),
+            service_power_w: self.service_power_w,
             shards,
             batch_latency_micros: self.batch_latency_micros.iter().copied().collect(),
         }
@@ -2295,5 +2572,228 @@ mod tests {
         assert_eq!(snapshot.total_crashes(), 0);
         assert_eq!(snapshot.total_drift_events(), 0);
         assert!(snapshot.total_faults().multiplies > 0);
+    }
+
+    #[test]
+    fn every_batch_accrues_deterministic_energy() {
+        let (dataset, baseline, curve) = setup();
+        let config = ServeConfig::new(2).with_seed(9).with_batch_size(8);
+        let mut service =
+            MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
+        service.process_stream(&stream(&dataset, 64));
+        let snapshot = service.snapshot();
+        assert!(snapshot.total_energy_uj() > 0.0, "energy accrues per batch");
+        for shard in &snapshot.shards {
+            assert!(
+                shard.energy_uj > 0.0,
+                "shard {} accrued no energy",
+                shard.shard
+            );
+            let power = shard
+                .power_w
+                .expect("busy power recorded after first batch");
+            assert!(
+                power > 0.0 && power < 11.0,
+                "undervolted busy power {power} W out of range"
+            );
+        }
+        // Unsupervised pools have no budget policy: no projection.
+        assert_eq!(snapshot.power_budget_w, None);
+        assert_eq!(snapshot.service_power_w, None);
+        // Energy is a pure function of the stream: a second identical run
+        // accrues bit-identical microjoules.
+        let mut again = MonitoringService::deploy(&baseline, &curve, config).expect("valid config");
+        again.process_stream(&stream(&dataset, 64));
+        assert_eq!(again.snapshot().without_timing(), snapshot.without_timing());
+    }
+
+    #[test]
+    fn power_budget_holds_on_a_hot_die_and_stays_thread_invariant() {
+        use crate::supervisor::PowerBudgetPolicy;
+        use shmd_volt::environment::EnvironmentConfig;
+
+        let (dataset, baseline, _) = setup();
+        let features: Vec<Vec<f32>> = (0..320)
+            .map(|i| baseline.spec().extract(dataset.trace(i % dataset.len())))
+            .collect();
+        // A hot die (above the policy's cool threshold) disables the
+        // opportunistic deepening phase: every retarget below is pure
+        // budget pressure. The error-rate→offset curve is nearly vertical
+        // this close to the freeze cliff, so retargeting only modulates a
+        // narrow power window — the pool draws ~23.11 W at the service
+        // target and ~23.05 W at the band cap. A budget between the two
+        // is attainable only by deepening, which is exactly the mechanism
+        // under test.
+        let policy = PowerBudgetPolicy::new(23.08);
+        let run = |exec: ExecConfig| {
+            let supervision = SupervisorConfig::new(DeviceProfile::reference())
+                .with_environment(EnvironmentConfig::steady(58.0))
+                .with_power_budget(policy);
+            let config = ServeConfig::new(3)
+                .with_seed(23)
+                .with_target_error_rate(0.2)
+                .with_batch_size(8)
+                .with_exec(exec);
+            let mut service =
+                MonitoringService::supervised(&baseline, supervision, config).expect("deploys");
+            let mut verdicts = Vec::new();
+            for chunk in features.chunks(8) {
+                verdicts.extend(service.process_feature_batch(chunk));
+            }
+            (verdicts, service.snapshot().without_timing())
+        };
+
+        let (serial_verdicts, serial) = run(ExecConfig::serial());
+        assert_eq!(serial.power_budget_w, Some(policy.budget_w));
+        let projected = serial
+            .service_power_w
+            .expect("a budget policy publishes its projection");
+        assert!(
+            projected <= policy.budget_w + 1e-9,
+            "projected {projected} W exceeds the {} W budget",
+            policy.budget_w
+        );
+        // The pool idles above the budget at the service target, so the
+        // scheduler must have deepened past it to fit...
+        assert!(
+            serial
+                .shards
+                .iter()
+                .any(|s| s.power_target_er.is_some_and(|t| t > 0.2 + 1e-9)),
+            "budget pressure must deepen some shard past the service target"
+        );
+        // ...and no schedule crossed the freeze threshold, or the physics
+        // tick would have crashed the shard.
+        assert_eq!(serial.total_crashes(), 0);
+        assert!(serial.total_energy_uj() > 0.0);
+
+        for threads in [2, 8] {
+            let (verdicts, snapshot) = run(ExecConfig::threads(threads));
+            assert_eq!(
+                verdicts, serial_verdicts,
+                "verdicts differ at {threads} threads"
+            );
+            assert_eq!(snapshot, serial, "telemetry differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn cool_lightly_loaded_shards_deepen_to_the_band_cap_without_freezing() {
+        use crate::supervisor::PowerBudgetPolicy;
+        use shmd_volt::environment::EnvironmentConfig;
+
+        let (dataset, baseline, _) = setup();
+        // A generous budget: every retarget below is the opportunistic
+        // phase riding a cool die, never budget pressure. The cool die is
+        // exactly where the freeze floor is *shallowest* (temperature
+        // inversion), so this also pins the floor clamp.
+        let supervision = SupervisorConfig::new(DeviceProfile::reference())
+            .with_environment(EnvironmentConfig::steady(45.0))
+            .with_power_budget(PowerBudgetPolicy::new(100.0));
+        let config = ServeConfig::new(3)
+            .with_seed(31)
+            .with_target_error_rate(0.2)
+            .with_batch_size(8);
+        let mut service =
+            MonitoringService::supervised(&baseline, supervision, config).expect("deploys");
+        let features: Vec<Vec<f32>> = (0..160)
+            .map(|i| baseline.spec().extract(dataset.trace(i % dataset.len())))
+            .collect();
+        for chunk in features.chunks(8) {
+            service.process_feature_batch(chunk);
+        }
+        let snapshot = service.snapshot();
+        // One step per tick from 0.2 ratchets every shard to the 0.30
+        // band cap within the run.
+        for shard in &snapshot.shards {
+            assert_eq!(
+                shard.power_target_er,
+                Some(0.30),
+                "shard {} stopped short of the band cap",
+                shard.shard
+            );
+            let power = shard.power_w.expect("busy power recorded");
+            assert!(power < 11.0, "deepened shard still at nominal power");
+        }
+        assert_eq!(
+            snapshot.total_crashes(),
+            0,
+            "floor clamp must prevent freezes"
+        );
+        assert!(
+            projected_fits(&snapshot),
+            "projection under the generous budget"
+        );
+    }
+
+    fn projected_fits(snapshot: &TelemetrySnapshot) -> bool {
+        match (snapshot.service_power_w, snapshot.power_budget_w) {
+            (Some(projected), Some(budget)) => projected <= budget + 1e-9,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn budget_state_survives_checkpoint_restore_bit_identically() {
+        use crate::supervisor::PowerBudgetPolicy;
+        use shmd_volt::environment::EnvironmentConfig;
+
+        let (dataset, baseline, _) = setup();
+        let supervision = || {
+            SupervisorConfig::new(DeviceProfile::reference())
+                .with_environment(EnvironmentConfig::drifting(49.0, 5))
+                .with_power_budget(PowerBudgetPolicy::new(23.0))
+        };
+        let config = ServeConfig::new(3)
+            .with_seed(17)
+            .with_target_error_rate(0.2)
+            .with_batch_size(8);
+        let features: Vec<Vec<f32>> = (0..240)
+            .map(|i| baseline.spec().extract(dataset.trace(i % dataset.len())))
+            .collect();
+        let chunks: Vec<&[Vec<f32>]> = features.chunks(8).collect();
+
+        let mut reference =
+            MonitoringService::supervised(&baseline, supervision(), config).expect("deploys");
+        let mut reference_verdicts = Vec::new();
+        for chunk in &chunks {
+            reference_verdicts.extend(reference.process_feature_batch(chunk));
+        }
+
+        // Checkpoint mid-stream through the binary codec — with accrued
+        // energy, live scheduler targets, and an open load window — and
+        // resume at a different thread count.
+        let mut first =
+            MonitoringService::supervised(&baseline, supervision(), config).expect("deploys");
+        let mut resumed_verdicts = Vec::new();
+        for chunk in &chunks[..12] {
+            resumed_verdicts.extend(first.process_feature_batch(chunk));
+        }
+        let bytes = first.checkpoint().encode();
+        drop(first);
+        let decoded = ServiceCheckpoint::decode(&bytes).expect("codec round trip");
+        let mut restored = MonitoringService::restore(
+            &baseline,
+            Some(supervision()),
+            &decoded,
+            ExecConfig::threads(4),
+        )
+        .expect("restores");
+        for chunk in &chunks[12..] {
+            resumed_verdicts.extend(restored.process_feature_batch(chunk));
+        }
+
+        assert_eq!(resumed_verdicts, reference_verdicts);
+        let resumed = restored.snapshot().without_timing();
+        let uninterrupted = reference.snapshot().without_timing();
+        assert_eq!(
+            resumed, uninterrupted,
+            "resumed energy/scheduler telemetry must be bit-identical"
+        );
+        assert!(uninterrupted.total_energy_uj() > 0.0);
+        assert!(
+            uninterrupted.service_power_w.is_some(),
+            "budget projection survives the round trip"
+        );
     }
 }

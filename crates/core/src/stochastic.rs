@@ -194,6 +194,30 @@ impl StochasticHmd {
         Ok(())
     }
 
+    /// Moves the detector to a new physical operating point in place — the
+    /// software twin of writing a fresh undervolt offset to MSR `0x150`
+    /// under a live detector (the budget scheduler's retarget path). Like
+    /// [`StochasticHmd::retune`], the injector keeps its RNG stream and
+    /// accumulated statistics; the fault law and the recorded offset
+    /// change together so subsequent physics sweeps reason from the new
+    /// operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultModelError::InvalidErrorRate`] if `delivered_er` is
+    /// outside `[0, 1]`.
+    pub fn apply_offset(
+        &mut self,
+        offset: Millivolts,
+        delivered_er: f64,
+    ) -> Result<(), FaultModelError> {
+        let model = for_datapath(FaultModel::from_error_rate(delivered_er)?);
+        self.injector.set_model(model);
+        self.error_rate = delivered_er;
+        self.offset = Some(offset);
+        Ok(())
+    }
+
     /// Snapshots the detector's dynamic state for checkpointing. The
     /// baseline model itself (weights, feature spec) is not captured — a
     /// restore rebuilds those from the baseline the service redeploys with.
@@ -387,6 +411,26 @@ mod tests {
             baseline_m.accuracy(),
             protected_m.accuracy()
         );
+    }
+
+    #[test]
+    fn apply_offset_moves_the_operating_point_and_keeps_the_stream() {
+        let (dataset, base) = setup();
+        let curve = Calibrator::new()
+            .with_step(2)
+            .calibrate(&DeviceProfile::reference());
+        let offset = curve.offset_for_error_rate(0.1).expect("reachable");
+        let mut hmd = StochasticHmd::at_offset(&base, &curve, offset, 5).expect("valid");
+        hmd.score(dataset.trace(0));
+        let stats_before = hmd.fault_stats();
+        let deeper = curve.offset_for_error_rate(0.3).expect("reachable");
+        hmd.apply_offset(deeper, 0.3).expect("valid rate");
+        assert_eq!(hmd.offset(), Some(deeper));
+        assert_eq!(hmd.error_rate(), 0.3);
+        // Like retune, the move keeps the injector's RNG stream and its
+        // accumulated statistics.
+        assert_eq!(hmd.fault_stats().multiplies, stats_before.multiplies);
+        assert!(hmd.apply_offset(deeper, 1.5).is_err());
     }
 
     #[test]

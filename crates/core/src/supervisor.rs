@@ -345,6 +345,105 @@ impl ChaosPlan {
     }
 }
 
+/// Fleet-level energy policy: a service-wide busy-core-power budget the
+/// supervisor enforces DVFS-style at every supervision point by
+/// retargeting individual shards' error rates (deeper undervolt = lower
+/// power *and* stronger moving-target defense — the paper's two wins move
+/// together, so the budget enforcer deepens rather than throttles).
+///
+/// The scheduling rules, applied in phase order on the main thread in
+/// shard-id order (so replays are bit-identical at any thread count):
+///
+/// 1. **Back off** shards the watchdog flagged this tick (their delivered
+///    rate left the confidence band): one `step_er` shallower, floored at
+///    `min_target_er` — a drifting operating point earns margin, not
+///    aggression.
+/// 2. **Deepen** healthy shards one `step_er` when the die is cool
+///    (`temp ≤ cool_temp_c`; temperature inversion makes a cool die fault
+///    *more* at a fixed offset, so a cool tick buys the same error rate at
+///    a shallower voltage — and budget headroom at a deeper one) and the
+///    shard is lightly loaded (its share of the window's queries is at
+///    most `light_load ×` fair share), capped at `max_target_er`.
+/// 3. **Enforce the budget**: while the projected busy core power summed
+///    over serving shards exceeds `budget_w`, deepen healthy shards one
+///    step each in shard-id order; stop when within budget or no shard
+///    can move.
+///
+/// Every retarget's offset is clamped at the *calibration* guard-band
+/// floor and at the physical
+/// [`shmd_volt::environment::deepest_safe_offset`] for the current
+/// temperature, so no scheduled operating point ever satisfies
+/// [`shmd_volt::environment::freezes_at`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerBudgetPolicy {
+    /// Service-wide busy core power budget, watts, summed over serving
+    /// shards.
+    pub budget_w: f64,
+    /// Shallowest per-shard error-rate target the back-off phase may
+    /// reach.
+    pub min_target_er: f64,
+    /// Deepest per-shard error-rate target the deepening phases may
+    /// reach.
+    pub max_target_er: f64,
+    /// Error-rate step of one retarget.
+    pub step_er: f64,
+    /// Deepen only when the die temperature is at or below this, °C.
+    pub cool_temp_c: f64,
+    /// Deepen only shards whose window query share is at most this
+    /// multiple of the fair share.
+    pub light_load: f64,
+}
+
+impl PowerBudgetPolicy {
+    /// A budget of `budget_w` watts with the default scheduling band:
+    /// targets in `[0.05, 0.30]`, steps of `0.05`, deepening below the
+    /// reference calibration temperature at up to 1.1× fair-share load.
+    pub fn new(budget_w: f64) -> PowerBudgetPolicy {
+        PowerBudgetPolicy {
+            budget_w,
+            min_target_er: 0.05,
+            max_target_er: 0.30,
+            step_er: 0.05,
+            cool_temp_c: DeviceProfile::reference().temp_c,
+            light_load: 1.1,
+        }
+    }
+
+    /// Sets the per-shard error-rate target band.
+    #[must_use]
+    pub fn with_target_band(mut self, min_er: f64, max_er: f64) -> PowerBudgetPolicy {
+        self.min_target_er = min_er;
+        self.max_target_er = max_er;
+        self
+    }
+
+    /// Sets the retarget step.
+    #[must_use]
+    pub fn with_step(mut self, step_er: f64) -> PowerBudgetPolicy {
+        self.step_er = step_er;
+        self
+    }
+
+    /// Sets the cool-die threshold for the deepening phase.
+    #[must_use]
+    pub fn with_cool_below(mut self, temp_c: f64) -> PowerBudgetPolicy {
+        self.cool_temp_c = temp_c;
+        self
+    }
+
+    /// Sets the light-load threshold (multiple of fair share).
+    #[must_use]
+    pub fn with_light_load(mut self, multiple: f64) -> PowerBudgetPolicy {
+        self.light_load = multiple;
+        self
+    }
+
+    /// Clamps an error-rate target into the policy band.
+    pub fn clamp_target(&self, er: f64) -> f64 {
+        er.clamp(self.min_target_er, self.max_target_er)
+    }
+}
+
 /// Supervision policy for a [`crate::serve::MonitoringService`].
 #[derive(Clone, Debug)]
 pub struct SupervisorConfig {
@@ -391,6 +490,10 @@ pub struct SupervisorConfig {
     /// at high throughput; still a pure function of the batch index, so
     /// replays stay bit-identical at any thread count.
     pub supervision_cadence: u64,
+    /// Fleet energy policy: when set, the supervisor retargets shard
+    /// error rates at every supervision point to hold the service-wide
+    /// busy-core-power budget (see [`PowerBudgetPolicy`]).
+    pub power_budget: Option<PowerBudgetPolicy>,
 }
 
 impl SupervisorConfig {
@@ -413,6 +516,7 @@ impl SupervisorConfig {
             allow_clamped_recovery: true,
             physics_epsilon: 1e-4,
             supervision_cadence: 1,
+            power_budget: None,
         }
     }
 
@@ -468,6 +572,13 @@ impl SupervisorConfig {
     #[must_use]
     pub fn with_supervision_cadence(mut self, cadence: u64) -> SupervisorConfig {
         self.supervision_cadence = cadence.max(1);
+        self
+    }
+
+    /// Installs a fleet power budget (see [`PowerBudgetPolicy`]).
+    #[must_use]
+    pub fn with_power_budget(mut self, policy: PowerBudgetPolicy) -> SupervisorConfig {
+        self.power_budget = Some(policy);
         self
     }
 }
@@ -733,6 +844,25 @@ mod tests {
         assert_eq!(sup.temperature_at(2), 29.0);
         assert_eq!(sup.temperature_at(5), 49.0);
         assert!(sup.controller().offset().is_undervolt());
+    }
+
+    #[test]
+    fn power_budget_policy_clamps_into_its_band() {
+        let policy = PowerBudgetPolicy::new(30.0)
+            .with_target_band(0.08, 0.25)
+            .with_step(0.02)
+            .with_cool_below(45.0)
+            .with_light_load(1.0);
+        assert_eq!(policy.budget_w, 30.0);
+        assert_eq!(policy.clamp_target(0.01), 0.08);
+        assert_eq!(policy.clamp_target(0.9), 0.25);
+        assert_eq!(policy.clamp_target(0.1), 0.1);
+        let config = SupervisorConfig::new(DeviceProfile::reference()).with_power_budget(policy);
+        assert_eq!(config.power_budget, Some(policy));
+        assert_eq!(
+            SupervisorConfig::new(DeviceProfile::reference()).power_budget,
+            None
+        );
     }
 
     #[test]

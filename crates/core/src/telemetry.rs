@@ -169,6 +169,18 @@ pub struct ShardReport {
     pub faults: FaultCounters,
     /// Distribution of the shard's policy-aggregated scores.
     pub histogram: ScoreHistogram,
+    /// Cumulative detection energy this shard spent, microjoules —
+    /// `queries × modelled latency × core power at the shard's live
+    /// offset`, accrued on the supervision thread at batch boundaries so
+    /// the figure is a deterministic function of the query stream (see
+    /// DESIGN.md §13).
+    pub energy_uj: f64,
+    /// Core power (watts) at the shard's offset when the supervisor last
+    /// accrued energy; `None` before the first accrual.
+    pub power_w: Option<f64>,
+    /// The per-shard error-rate target the power scheduler last assigned;
+    /// `None` when no budget policy is installed.
+    pub power_target_er: Option<f64>,
 }
 
 /// A serialisable snapshot of the whole monitoring service.
@@ -193,6 +205,13 @@ pub struct TelemetrySnapshot {
     /// Order-sensitive checksum over the verdict stream; bit-identical at
     /// any worker-thread count.
     pub verdict_checksum: u64,
+    /// The service-wide core-power budget (watts) the scheduler enforces;
+    /// `None` when no budget policy is installed.
+    pub power_budget_w: Option<f64>,
+    /// Projected busy core power (watts) summed over live shards at the
+    /// last supervision tick; `None` before the first tick or without a
+    /// budget policy.
+    pub service_power_w: Option<f64>,
     /// Per-shard reports, in shard order.
     pub shards: Vec<ShardReport>,
     /// Wall-clock per batch, microseconds, for the most recent batches
@@ -263,6 +282,11 @@ impl TelemetrySnapshot {
         total
     }
 
+    /// Detection energy summed over all shards, microjoules.
+    pub fn total_energy_uj(&self) -> f64 {
+        self.shards.iter().map(|s| s.energy_uj).sum()
+    }
+
     /// Mean latency of the batches in the retained window, microseconds;
     /// `None` before the first batch.
     pub fn mean_batch_latency_micros(&self) -> Option<f64> {
@@ -312,6 +336,18 @@ impl TelemetrySnapshot {
             self.verdict_checksum
         ));
         out.push_str(&format!(
+            "  \"power_budget_w\": {},\n",
+            json_f64(self.power_budget_w)
+        ));
+        out.push_str(&format!(
+            "  \"service_power_w\": {},\n",
+            json_f64(self.service_power_w)
+        ));
+        out.push_str(&format!(
+            "  \"total_energy_uj\": {},\n",
+            json_f64(Some(self.total_energy_uj()))
+        ));
+        out.push_str(&format!(
             "  \"mean_batch_latency_micros\": {},\n",
             json_f64(self.mean_batch_latency_micros())
         ));
@@ -331,7 +367,8 @@ impl TelemetrySnapshot {
                  \"transitions\": {}, \"crashes\": {}, \"drift_events\": {}, \
                  \"retries\": {}, \"queries\": {}, \"flags\": {}, \
                  \"multiplies\": {}, \"faulty\": {}, \"bit_flips\": {}, \
-                 \"histogram\": [{}]}}{}\n",
+                 \"energy_uj\": {}, \"power_w\": {}, \
+                 \"power_target_er\": {}, \"histogram\": [{}]}}{}\n",
                 s.shard,
                 s.seed,
                 s.degraded,
@@ -349,6 +386,9 @@ impl TelemetrySnapshot {
                 s.faults.multiplies,
                 s.faults.faulty,
                 s.faults.bit_flips,
+                json_f64(Some(s.energy_uj)),
+                json_f64(s.power_w),
+                json_f64(s.power_target_er),
                 s.histogram
                     .counts()
                     .iter()
@@ -412,6 +452,11 @@ impl TelemetrySnapshot {
                     bit_flips: obj.field("bit_flips")?.as_u64("bit_flips")?,
                 },
                 histogram: ScoreHistogram::from_counts(counts),
+                // Energy fields are absent in pre-power snapshots; they
+                // read back as "no energy accounted yet".
+                energy_uj: optional_f64(&obj, "energy_uj")?.unwrap_or(0.0),
+                power_w: optional_f64(&obj, "power_w")?,
+                power_target_er: optional_f64(&obj, "power_target_er")?,
             });
         }
         let latency = top
@@ -429,6 +474,13 @@ impl TelemetrySnapshot {
                 v.as_f64("mean_batch_latency_micros")?;
             }
         }
+        // total_energy_uj is likewise derived from the shard rows; only
+        // its type is checked.
+        if let Ok(v) = top.field("total_energy_uj") {
+            if !matches!(v, json::Value::Null) {
+                v.as_f64("total_energy_uj")?;
+            }
+        }
         Ok(TelemetrySnapshot {
             seed: top.field("seed")?.as_u64("seed")?,
             policy: top.field("policy")?.as_str("policy")?.to_string(),
@@ -440,9 +492,20 @@ impl TelemetrySnapshot {
                 .as_u64("degradation_events")?,
             rejected_queries: top.field("rejected_queries")?.as_u64("rejected_queries")?,
             verdict_checksum: top.field("verdict_checksum")?.as_u64("verdict_checksum")?,
+            power_budget_w: optional_f64(&top, "power_budget_w")?,
+            service_power_w: optional_f64(&top, "service_power_w")?,
             shards,
             batch_latency_micros: latency,
         })
+    }
+}
+
+/// Reads an optional float field: absent (pre-power snapshots) and `null`
+/// both map to `None`, mirroring how [`json_f64`] writes them.
+fn optional_f64(obj: &json::Object<'_>, name: &str) -> Result<Option<f64>, String> {
+    match obj.field(name) {
+        Ok(json::Value::Null) | Err(_) => Ok(None),
+        Ok(v) => Ok(Some(v.as_f64(name)?)),
     }
 }
 
@@ -791,6 +854,8 @@ mod tests {
             degradation_events: 1,
             rejected_queries: 4,
             verdict_checksum: u64::MAX - 7,
+            power_budget_w: Some(40.0),
+            service_power_w: Some(16.5),
             shards: vec![
                 ShardReport {
                     shard: 0,
@@ -810,6 +875,9 @@ mod tests {
                         bit_flips: 41,
                     },
                     histogram: histogram.clone(),
+                    energy_uj: 1234.5,
+                    power_w: Some(8.25),
+                    power_target_er: Some(0.12),
                 },
                 ShardReport {
                     shard: 1,
@@ -825,6 +893,9 @@ mod tests {
                     flags: 1,
                     faults: FaultCounters::default(),
                     histogram: ScoreHistogram::new(),
+                    energy_uj: 0.0,
+                    power_w: None,
+                    power_target_er: None,
                 },
             ],
             batch_latency_micros: vec![120, 95],
@@ -923,6 +994,50 @@ mod tests {
                 .mean_batch_latency_micros(),
             None
         );
+    }
+
+    #[test]
+    fn energy_fields_round_trip_and_aggregate() {
+        let snapshot = sample_snapshot();
+        assert_eq!(snapshot.total_energy_uj(), 1234.5);
+        let json = snapshot.to_json();
+        assert!(json.contains("\"power_budget_w\": 40"));
+        assert!(json.contains("\"total_energy_uj\": 1234.5"));
+        assert!(json.contains("\"power_w\": 8.25"));
+        // The idle shard's power fields render as null, not 0.
+        assert!(json.contains("\"energy_uj\": 0, \"power_w\": null, \"power_target_er\": null"));
+        let back = TelemetrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snapshot);
+        assert_eq!(back.total_energy_uj().to_bits(), 1234.5f64.to_bits());
+    }
+
+    #[test]
+    fn pre_power_snapshots_still_parse() {
+        // Snapshots written before energy accounting carry none of the
+        // power fields; they read back as "nothing accounted".
+        let json = sample_snapshot().to_json();
+        let stripped = json
+            .lines()
+            .filter(|l| {
+                !l.contains("\"power_budget_w\"")
+                    && !l.contains("\"service_power_w\"")
+                    && !l.contains("\"total_energy_uj\"")
+            })
+            .map(|l| {
+                let mut l = l.to_string();
+                if let Some(at) = l.find(", \"energy_uj\"") {
+                    let end = l.find(", \"histogram\"").expect("shard row has histogram");
+                    l.replace_range(at..end, "");
+                }
+                l
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = TelemetrySnapshot::from_json(&stripped).expect("parses");
+        assert_eq!(back.power_budget_w, None);
+        assert_eq!(back.service_power_w, None);
+        assert_eq!(back.total_energy_uj(), 0.0);
+        assert!(back.shards.iter().all(|s| s.power_w.is_none()));
     }
 
     #[test]

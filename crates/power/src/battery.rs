@@ -11,6 +11,7 @@ use crate::cmos::{CmosPowerModel, PowerScope};
 use crate::latency::LatencyModel;
 use serde::{Deserialize, Serialize};
 use shmd_volt::voltage::Volts;
+use std::fmt;
 
 /// An always-on detection duty cycle on a battery-powered device.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -20,6 +21,28 @@ pub struct DetectionDutyCycle {
     /// MACs per detection (model size).
     pub macs: usize,
 }
+
+/// Error: the duty cycle demands more detection time per second than a
+/// second contains — the device cannot physically keep up, so projecting
+/// a battery fraction from it would silently extrapolate fiction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InfeasibleDuty {
+    /// Detection microseconds demanded per wall-clock second (> 10⁶).
+    pub busy_us_per_second: f64,
+}
+
+impl fmt::Display for InfeasibleDuty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duty cycle demands {:.0} µs of detection per second (max 1e6): \
+             the device cannot keep up",
+            self.busy_us_per_second
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleDuty {}
 
 impl Default for DetectionDutyCycle {
     fn default() -> DetectionDutyCycle {
@@ -57,11 +80,35 @@ impl BatteryModel {
         self.power.power_w(vdd, PowerScope::Core) * seconds
     }
 
+    /// Fraction of each second the core spends detecting under this duty
+    /// cycle (undervolting leaves the clock alone, so this is
+    /// voltage-independent). Above 1.0 the duty cycle is infeasible.
+    pub fn utilization(&self, duty: &DetectionDutyCycle) -> f64 {
+        duty.detections_per_second * self.latency.hmd_us(duty.macs) * 1e-6
+    }
+
     /// Fraction of the battery per day that always-on detection costs at
     /// the given voltage.
-    pub fn battery_per_day(&self, duty: &DetectionDutyCycle, vdd: Volts) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleDuty`] when `detections_per_second ×
+    /// latency_us` exceeds 10⁶ — the requested rate needs more than one
+    /// second of detection per second of wall clock, so no finite battery
+    /// fraction describes it.
+    pub fn battery_per_day(
+        &self,
+        duty: &DetectionDutyCycle,
+        vdd: Volts,
+    ) -> Result<f64, InfeasibleDuty> {
+        let utilization = self.utilization(duty);
+        if utilization > 1.0 {
+            return Err(InfeasibleDuty {
+                busy_us_per_second: utilization * 1e6,
+            });
+        }
         let per_second = self.energy_per_detection_j(duty, vdd) * duty.detections_per_second;
-        per_second * 86_400.0 / self.capacity_j
+        Ok(per_second * 86_400.0 / self.capacity_j)
     }
 
     /// Detections per joule at the given voltage.
@@ -82,11 +129,15 @@ mod tests {
     #[test]
     fn undervolting_extends_battery() {
         let (battery, duty) = setup();
-        let nominal = battery.battery_per_day(&duty, NOMINAL_CORE_VOLTAGE);
-        let undervolted = battery.battery_per_day(
-            &duty,
-            NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-134)),
-        );
+        let nominal = battery
+            .battery_per_day(&duty, NOMINAL_CORE_VOLTAGE)
+            .expect("default duty is feasible");
+        let undervolted = battery
+            .battery_per_day(
+                &duty,
+                NOMINAL_CORE_VOLTAGE.with_offset(Millivolts::new(-134)),
+            )
+            .expect("default duty is feasible");
         assert!(undervolted < nominal);
         let saving = 1.0 - undervolted / nominal;
         assert!(
@@ -121,10 +172,44 @@ mod tests {
         // Sanity: 100 detections/s of a 71 KB model must not drain a watch
         // battery in a day.
         let (battery, duty) = setup();
-        let fraction = battery.battery_per_day(&duty, NOMINAL_CORE_VOLTAGE);
+        let fraction = battery
+            .battery_per_day(&duty, NOMINAL_CORE_VOLTAGE)
+            .expect("default duty is feasible");
         assert!(
             fraction < 1.0,
             "always-on detection uses {fraction} batteries/day"
         );
+    }
+
+    #[test]
+    fn infeasible_duty_is_rejected_not_extrapolated() {
+        // Regression: at detections_per_second × latency_us > 10⁶ the
+        // device cannot keep up, yet the model used to report a finite
+        // battery fraction as if it could.
+        let (battery, duty) = setup();
+        let latency_us = battery.latency.hmd_us(duty.macs);
+        let infeasible = DetectionDutyCycle {
+            detections_per_second: 2e6 / latency_us,
+            ..duty
+        };
+        assert!(battery.utilization(&infeasible) > 1.0);
+        let err = battery
+            .battery_per_day(&infeasible, NOMINAL_CORE_VOLTAGE)
+            .expect_err("an over-committed duty cycle must be rejected");
+        assert!(
+            (err.busy_us_per_second - 2e6).abs() < 1.0,
+            "demanded {} µs/s",
+            err.busy_us_per_second
+        );
+        assert!(err.to_string().contains("cannot keep up"));
+        // The feasibility boundary itself is fine: exactly one second of
+        // detection per second is the densest schedulable duty.
+        let saturated = DetectionDutyCycle {
+            detections_per_second: 1e6 / latency_us,
+            ..duty
+        };
+        assert!(battery
+            .battery_per_day(&saturated, NOMINAL_CORE_VOLTAGE)
+            .is_ok());
     }
 }

@@ -50,10 +50,20 @@ impl CmosPowerModel {
         }
     }
 
-    /// Core power at a supply voltage, in watts.
+    /// Core power at a supply voltage, in watts (nominal clock).
     pub fn core_power_w(&self, vdd: Volts) -> f64 {
+        self.core_power_at_freq_w(vdd, 1.0)
+    }
+
+    /// Core power with the clock scaled to `freq_ratio` of nominal, in
+    /// watts. Dynamic power is `C·V²·f`, so only the dynamic component
+    /// tracks the frequency ratio; leakage depends on voltage alone.
+    /// This is why DVFS (voltage *and* frequency down) draws less power
+    /// than undervolting at the same voltage — and why it repays that
+    /// gap with interest in latency (see [`crate::dvfs`]).
+    pub fn core_power_at_freq_w(&self, vdd: Volts, freq_ratio: f64) -> f64 {
         let r = vdd.as_f64() / self.vdd_nominal.as_f64();
-        let dynamic = self.dynamic_fraction * r * r;
+        let dynamic = self.dynamic_fraction * r * r * freq_ratio;
         let leakage = (1.0 - self.dynamic_fraction)
             * r
             * (self.leakage_k * (vdd.as_f64() - self.vdd_nominal.as_f64())).exp();
@@ -142,6 +152,39 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_selected_operating_points_pin_the_paper_claims() {
+        // The budget scheduler derives its offsets from the reference
+        // device's calibration curve rather than hardcoded millivolt
+        // figures. Pin both paper power claims against what it actually
+        // selects: the ~15% package band at the er = 0.1 selection, and
+        // Fig. 7's >75% core-scope claim as the limit the deepening
+        // direction approaches (the calibrated sweep freezes well before
+        // Fig. 7's 40% voltage scaling, so deeper must always mean more
+        // core-scope saving on the way there).
+        use shmd_volt::calibration::{Calibrator, DeviceProfile};
+        let m = CmosPowerModel::i7_5557u();
+        let curve = Calibrator::new()
+            .with_step(2)
+            .calibrate(&DeviceProfile::reference());
+        let selected = curve.offset_for_error_rate(0.1).expect("reachable");
+        let selected_vdd = NOMINAL_CORE_VOLTAGE.with_offset(selected);
+        let s = m.savings_over_baseline(selected_vdd, PowerScope::Package);
+        assert!(
+            (0.10..=0.22).contains(&s),
+            "package savings at the selected offset {selected}: {s}"
+        );
+        // Deepening toward the freeze guard strictly grows the core-scope
+        // saving over RHMD...
+        let deepest_vdd = NOMINAL_CORE_VOLTAGE.with_offset(curve.freeze_offset());
+        assert!(
+            m.savings_over_rhmd(deepest_vdd, PowerScope::Core)
+                > m.savings_over_rhmd(selected_vdd, PowerScope::Core)
+        );
+        // ...and the direction's limit, Fig. 7's 0.68 V, clears 75%.
+        assert!(m.savings_over_rhmd(volts(0.68), PowerScope::Core) > 0.75);
+    }
+
+    #[test]
     fn rhmd_draws_more_than_baseline() {
         let m = CmosPowerModel::i7_5557u();
         let at_nominal = m.savings_over_rhmd(NOMINAL_CORE_VOLTAGE, PowerScope::Core);
@@ -181,11 +224,30 @@ mod tests {
 
         #[test]
         fn savings_over_rhmd_exceed_savings_over_baseline(v in 0.5f64..=1.18) {
+            // RHMD pays its switching overhead in *both* scopes: the core
+            // overhead factor dominates Core, and it survives the uncore
+            // dilution in Package.
             let m = CmosPowerModel::i7_5557u();
-            prop_assert!(
-                m.savings_over_rhmd(volts(v), PowerScope::Core)
-                    > m.savings_over_baseline(volts(v), PowerScope::Core)
-            );
+            for scope in [PowerScope::Core, PowerScope::Package] {
+                prop_assert!(
+                    m.savings_over_rhmd(volts(v), scope)
+                        > m.savings_over_baseline(volts(v), scope)
+                );
+            }
+        }
+
+        #[test]
+        fn frequency_scaling_only_touches_the_dynamic_share(v in 0.6f64..=1.18, f in 0.1f64..=1.0) {
+            let m = CmosPowerModel::i7_5557u();
+            let full = m.core_power_w(volts(v));
+            let scaled = m.core_power_at_freq_w(volts(v), f);
+            // Scaled power sits strictly between leakage-only (f → 0) and
+            // full-clock power, and the removed share is linear in f.
+            prop_assert!(scaled < full);
+            prop_assert!(scaled > m.core_power_at_freq_w(volts(v), 0.0));
+            let removed_half = full - m.core_power_at_freq_w(volts(v), 0.5);
+            let removed = full - scaled;
+            prop_assert!((removed - 2.0 * removed_half * (1.0 - f)).abs() < 1e-9);
         }
     }
 }

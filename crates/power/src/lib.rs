@@ -24,7 +24,7 @@ pub mod latency;
 pub mod memory;
 pub mod rng_cost;
 
-pub use battery::{BatteryModel, DetectionDutyCycle};
+pub use battery::{BatteryModel, DetectionDutyCycle, InfeasibleDuty};
 pub use cmos::{CmosPowerModel, PowerScope};
 pub use dvfs::{DvfsComparison, OperatingPoint, StrategyOutcome};
 pub use latency::LatencyModel;

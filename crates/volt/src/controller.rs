@@ -134,13 +134,40 @@ impl AdaptiveVoltageController {
         curve: &CalibrationCurve,
         config: &ControllerConfig,
     ) -> Result<(Millivolts, bool), CalibrationError> {
-        let floor = Millivolts::new(curve.freeze_offset().get() + config.guard_band_mv.abs());
-        match curve.offset_for_error_rate(config.target_error_rate) {
+        Self::derive_offset_for(curve, config.target_error_rate, config.guard_band_mv)
+    }
+
+    fn derive_offset_for(
+        curve: &CalibrationCurve,
+        target_error_rate: f64,
+        guard_band_mv: i32,
+    ) -> Result<(Millivolts, bool), CalibrationError> {
+        let floor = Millivolts::new(curve.freeze_offset().get() + guard_band_mv.abs());
+        match curve.offset_for_error_rate(target_error_rate) {
             Ok(offset) if offset.get() >= floor.get() => Ok((offset, false)),
             Ok(_) => Ok((floor, true)),
             Err(CalibrationError::ErrorRateUnreachable { .. }) => Ok((floor, true)),
             Err(e) => Err(e),
         }
+    }
+
+    /// The offset the *current* calibration curve would assign to an
+    /// arbitrary target error rate, under the same guard-band clamp the
+    /// controller applies to its own target — the lookup a fleet-level
+    /// power scheduler uses to retarget individual shards without touching
+    /// the controller's configured setpoint. Returns the offset and whether
+    /// the guard band clamped it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationError::InvalidErrorRate`] when the target rate
+    /// is outside `[0, 1]`; unreachable targets clamp to the guard-band
+    /// floor instead of failing, exactly like the controller's own target.
+    pub fn offset_for_target(
+        &self,
+        target_error_rate: f64,
+    ) -> Result<(Millivolts, bool), CalibrationError> {
+        Self::derive_offset_for(&self.curve, target_error_rate, self.config.guard_band_mv)
     }
 
     /// The offset currently applied.
@@ -448,6 +475,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn offset_for_target_reuses_the_live_curve_and_guard_band() {
+        let c = controller();
+        // The controller's own target round-trips through the lookup.
+        let (own, clamped) = c.offset_for_target(c.target_error_rate()).expect("ok");
+        assert_eq!(own, c.offset());
+        assert!(!clamped);
+        // A deeper target maps to a deeper (more negative) offset…
+        let (deeper, _) = c.offset_for_target(0.3).expect("ok");
+        assert!(deeper.get() < own.get());
+        // …an aggressive one clamps at the guard-band floor instead of
+        // erroring…
+        let (floor, clamped) = c.offset_for_target(0.499).expect("ok");
+        assert!(clamped);
+        assert_eq!(
+            floor.get(),
+            c.curve().freeze_offset().get() + c.config().guard_band_mv
+        );
+        // …and an invalid one is a typed error.
+        assert!(matches!(
+            c.offset_for_target(1.5),
+            Err(CalibrationError::InvalidErrorRate(_))
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! cross [`FREEZE_ERROR_RATE`] here — i.e. does the core hang instead of
 //! computing?).
 
-use crate::calibration::DeviceProfile;
+use crate::calibration::{DeviceProfile, SWEEP_LIMIT_MV};
 use crate::multiplier::FREEZE_ERROR_RATE;
 use crate::voltage::{Millivolts, NOMINAL_CORE_VOLTAGE};
 use serde::{Deserialize, Serialize};
@@ -234,6 +234,25 @@ pub fn freezes_at(device: &DeviceProfile, offset: Millivolts, temp_c: f64) -> bo
     delivered_error_rate_at(device, offset, temp_c) >= FREEZE_ERROR_RATE
 }
 
+/// The deepest offset `device` can hold at `temp_c` without freezing,
+/// backed off by `guard_band_mv` — the *physical* safety floor at the
+/// current temperature, as opposed to the calibration-time floor a stale
+/// curve remembers. A power scheduler clamps every retarget against this
+/// before applying it, so a shard it deepens on a cool die can never be
+/// scheduled into a hang. Scans the same 1 mV grid as the calibrator; if
+/// no offset down to [`SWEEP_LIMIT_MV`] freezes, the sweep limit itself is
+/// the floor.
+pub fn deepest_safe_offset(device: &DeviceProfile, temp_c: f64, guard_band_mv: i32) -> Millivolts {
+    let mut mv = 0i32;
+    while mv >= SWEEP_LIMIT_MV {
+        if freezes_at(device, Millivolts::new(mv), temp_c) {
+            return Millivolts::new(mv + guard_band_mv.abs());
+        }
+        mv -= 1;
+    }
+    Millivolts::new(SWEEP_LIMIT_MV + guard_band_mv.abs())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +365,31 @@ mod tests {
             curve.error_rate_at(offset).to_bits(),
             "sweep points are exact evaluations of the same model"
         );
+    }
+
+    #[test]
+    fn deepest_safe_offset_tracks_temperature_inversion() {
+        let device = DeviceProfile::reference();
+        let guard = 3;
+        let at_cal = deepest_safe_offset(&device, device.temp_c, guard);
+        // The floor must itself be safe, and one guard band deeper must
+        // freeze (the scan stops at the first freezing millivolt).
+        assert!(!freezes_at(&device, at_cal, device.temp_c));
+        assert!(freezes_at(
+            &device,
+            Millivolts::new(at_cal.get() - guard),
+            device.temp_c
+        ));
+        // Temperature inversion: a hot die tolerates deeper offsets, a
+        // cold die fewer.
+        let hot = deepest_safe_offset(&device, device.temp_c + 30.0, guard);
+        let cold = deepest_safe_offset(&device, device.temp_c - 30.0, guard);
+        assert!(hot.get() < at_cal.get(), "hot floor {hot} vs {at_cal}");
+        assert!(cold.get() > at_cal.get(), "cold floor {cold} vs {at_cal}");
+        // And it agrees with the calibrator's freeze point at the
+        // calibration temperature.
+        let curve = Calibrator::new().with_step(1).calibrate(&device);
+        assert_eq!(at_cal.get(), curve.freeze_offset().get() + guard);
     }
 
     #[test]

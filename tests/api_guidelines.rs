@@ -54,6 +54,8 @@ fn substrate_types_are_send_and_sync() {
     assert_send_sync::<shmd_attack::EvasiveSample>();
     assert_send_sync::<shmd_power::CmosPowerModel>();
     assert_send_sync::<shmd_power::BatteryModel>();
+    assert_send_sync::<shmd_power::LatencyModel>();
+    assert_send_sync::<stochastic_hmd::supervisor::PowerBudgetPolicy>();
 }
 
 #[test]
@@ -75,6 +77,7 @@ fn error_types_are_well_behaved() {
     assert_error::<stochastic_hmd::CheckpointError>();
     assert_error::<stochastic_hmd::RestoreError>();
     assert_error::<shmd_attack::ReverseError>();
+    assert_error::<shmd_power::InfeasibleDuty>();
 }
 
 #[test]
