@@ -1,0 +1,148 @@
+//! Daemon benchmark: the wire → admission → verdict path end to end —
+//! ingest throughput, reject accounting under overload (predicted vs
+//! observed, conservation law), a mid-stream rolling upgrade (zero
+//! committed queries lost, verdict checksum bit-identical to a
+//! never-upgraded reference, serial and worker-pool successors), and an
+//! exhaustive hostile-bytes corpus over every wire frame kind.
+//!
+//! Writes `BENCH_8.json` (override with `--out PATH`) and prints the same
+//! numbers as a table. `--check` exits non-zero if any invariant fails —
+//! that mode is what CI runs (with `--fast`) as the daemon smoke test;
+//! CI also diffs serial vs 8-thread JSON with `threads`/`timing`
+//! stripped, so everything else in the document must be bit-identical.
+
+use hmd_bench::cli::Scale;
+use hmd_bench::{daemon, setup, table, Args};
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_8.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let (scale_name, batch_size) = match args.scale {
+        Scale::Fast => ("fast", 8),
+        Scale::Medium => ("medium", 32),
+        Scale::Paper => ("paper", 128),
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let exec = args.exec();
+
+    let report = daemon::measure(&baseline, &dataset, args.seed, batch_size, &exec);
+
+    table::title(&format!(
+        "Monitoring daemon, {} shards, rolling upgrade mid-stream ({scale_name})",
+        daemon::DAEMON_SHARDS
+    ));
+    table::header(&["measure", "value", "verdict"]);
+    table::row(&[
+        "ingest throughput".into(),
+        format!("{:.0} queries/s", report.throughput.qps),
+        format!("{} queries", report.throughput.queries),
+    ]);
+    table::row(&[
+        "overload accounting".into(),
+        format!(
+            "{} offered / {} admitted",
+            report.overload.stats.offered_frames, report.overload.stats.admitted_frames
+        ),
+        if report.overload.conserved && report.overload.predicted {
+            "exact".into()
+        } else {
+            "DIVERGED".into()
+        },
+    ]);
+    for (name, p) in [
+        ("upgrade (serial)", &report.upgrade_serial),
+        ("upgrade (pool)", &report.upgrade_threaded),
+    ] {
+        table::row(&[
+            name.into(),
+            format!(
+                "drain {} batches, gap {} rejects, handoff {} B",
+                p.drained_batches, p.drain_rejects, p.handoff_bytes
+            ),
+            if p.identical {
+                "identical".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+    table::row(&[
+        "hostile corpus".into(),
+        format!(
+            "{} inputs over {} kinds",
+            report.hostile.inputs, report.hostile.kinds
+        ),
+        format!("{} survivors", report.hostile.survivors),
+    ]);
+    println!("(the upgrade drains, checkpoints, hands off, and the successor proves checksum identity before serving)");
+
+    let doc = daemon::render_json(&report, args.seed, scale_name, exec.thread_count());
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        if !report.overload.conserved {
+            eprintln!("FAIL: admission accounting broke conservation");
+            failed = true;
+        }
+        if !report.overload.predicted {
+            eprintln!("FAIL: admission counters diverged from their predicted values");
+            failed = true;
+        }
+        if !report.upgrade_serial.identical {
+            eprintln!("FAIL: serial upgrade lost queries or diverged from the reference");
+            failed = true;
+        }
+        if !report.upgrade_threaded.identical {
+            eprintln!("FAIL: worker-pool upgrade lost queries or diverged from the reference");
+            failed = true;
+        }
+        if report.upgrade_serial.checksum != report.upgrade_threaded.checksum {
+            eprintln!("FAIL: serial and pooled upgrades disagree");
+            failed = true;
+        }
+        if report.hostile.survivors != 0 {
+            eprintln!(
+                "FAIL: {} hostile inputs decoded as valid frames",
+                report.hostile.survivors
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: accounting exact, upgrade lossless and bit-identical at every \
+             thread count, hostile corpus fully rejected"
+        );
+    }
+}

@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod batch;
 pub mod chaos;
 pub mod cli;
+pub mod daemon;
 pub mod durability;
 pub mod experiments;
 pub mod perf;

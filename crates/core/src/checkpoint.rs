@@ -47,6 +47,12 @@
 //! `crash_restore` example / `crash_restore_bench` binary for the
 //! kill-and-resume harness.
 
+// Checkpoints and journals are decoded from disk after a crash — bytes
+// that may be torn, rotted, or foreign. Every failure on this path must be
+// a typed error the recovery protocol can act on, never a panic.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+
+use crate::codec::{fnv1a, fnv1a_tagged, CodecError, Reader, Writer};
 use crate::deploy::DetectionPolicy;
 use crate::supervisor::ShardHealth;
 use crate::telemetry::{FaultCounters, HISTOGRAM_BINS};
@@ -107,6 +113,15 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> CheckpointError {
+        match e {
+            CodecError::Truncated => CheckpointError::Truncated,
+            CodecError::Corrupted(what) => CheckpointError::Corrupted(what),
+        }
+    }
+}
 
 /// Error restoring a [`crate::serve::MonitoringService`] from a decoded
 /// [`ServiceCheckpoint`] (see `MonitoringService::restore`).
@@ -339,15 +354,16 @@ impl ServiceCheckpoint {
             }
             return Err(CheckpointError::Truncated);
         }
-        if bytes[..4] != CHECKPOINT_MAGIC {
+        let Some((body, tail)) = bytes.split_last_chunk::<8>() else {
+            return Err(CheckpointError::Truncated);
+        };
+        if body.get(..4) != Some(&CHECKPOINT_MAGIC[..]) {
             return Err(CheckpointError::BadMagic);
         }
-        let body = &bytes[..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
-        if fnv1a(body) != stored {
+        if fnv1a(body) != u64::from_le_bytes(*tail) {
             return Err(CheckpointError::Corrupted("checksum mismatch".to_string()));
         }
-        let mut r = Reader::new(&body[4..]);
+        let mut r = Reader::new(body.get(4..).unwrap_or(&[]));
         let version = r.u16()?;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::UnsupportedVersion(version));
@@ -663,156 +679,6 @@ fn decode_fault_stats(r: &mut Reader<'_>) -> Result<FaultStats, CheckpointError>
     })
 }
 
-/// FNV-1a 64-bit, the integrity checksum of checkpoints and journal
-/// records. Not cryptographic — it detects torn writes and bit rot, not
-/// adversaries (a journal lives inside the TEE's trust boundary).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Little-endian byte sink for the checkpoint codec.
-struct Writer {
-    bytes: Vec<u8>,
-}
-
-impl Writer {
-    fn new() -> Writer {
-        Writer { bytes: Vec::new() }
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.bytes.push(v);
-    }
-
-    fn u16(&mut self, v: u16) {
-        self.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u32(&mut self, v: u32) {
-        self.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn i32(&mut self, v: i32) {
-        self.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn opt_u64(&mut self, v: Option<u64>) {
-        match v {
-            None => self.u8(0),
-            Some(v) => {
-                self.u8(1);
-                self.u64(v);
-            }
-        }
-    }
-
-    fn opt_f64(&mut self, v: Option<f64>) {
-        match v {
-            None => self.u8(0),
-            Some(v) => {
-                self.u8(1);
-                self.f64(v);
-            }
-        }
-    }
-
-    fn string(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.bytes.extend_from_slice(s.as_bytes());
-    }
-}
-
-/// Bounds-checked little-endian byte source for the checkpoint codec.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
-        if self.remaining() < n {
-            return Err(CheckpointError::Truncated);
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
-    }
-
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-    }
-
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-
-    fn i32(&mut self) -> Result<i32, CheckpointError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-    }
-
-    fn f64(&mut self) -> Result<f64, CheckpointError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.u64()?)),
-            tag => Err(CheckpointError::Corrupted(format!(
-                "invalid option tag {tag}"
-            ))),
-        }
-    }
-
-    fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.f64()?)),
-            tag => Err(CheckpointError::Corrupted(format!(
-                "invalid option tag {tag}"
-            ))),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, CheckpointError> {
-        let len = self.u32()? as usize;
-        if len > self.remaining() {
-            return Err(CheckpointError::Truncated);
-        }
-        String::from_utf8(self.take(len)?.to_vec())
-            .map_err(|_| CheckpointError::Corrupted("string is not utf-8".to_string()))
-    }
-}
-
 /// The commit marker appended to the journal after a batch's state
 /// mutations and *before* its verdicts are exposed to the caller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -919,12 +785,7 @@ impl StateJournal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.push(kind);
         frame.extend_from_slice(payload);
-        let mut sum = fnv1a(&[kind]);
-        for &b in payload {
-            sum ^= u64::from(b);
-            sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&fnv1a_tagged(kind, payload).to_le_bytes());
         self.file.write_all(&frame)?;
         self.file.sync_data()
     }
@@ -952,27 +813,32 @@ impl StateJournal {
         let mut checkpoint: Option<ServiceCheckpoint> = None;
         let mut commits: Vec<BatchCommit> = Vec::new();
         while pos < bytes.len() {
-            let remaining = bytes.len() - pos;
-            if remaining < RECORD_OVERHEAD {
+            let Some(rest) = bytes.get(pos..) else {
+                break;
+            };
+            if rest.len() < RECORD_OVERHEAD {
                 break; // torn frame header/trailer
             }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
-            if len > remaining - RECORD_OVERHEAD {
+            let Some(len_bytes) = rest.first_chunk::<4>() else {
+                break;
+            };
+            let len = u32::from_le_bytes(*len_bytes) as usize;
+            if len > rest.len() - RECORD_OVERHEAD {
                 break; // frame claims more payload than the file holds
             }
-            let kind = bytes[pos + 4];
-            let payload = &bytes[pos + 5..pos + 5 + len];
-            let stored = u64::from_le_bytes(
-                bytes[pos + 5 + len..pos + RECORD_OVERHEAD + len]
-                    .try_into()
-                    .expect("8"),
-            );
-            let mut sum = fnv1a(&[kind]);
-            for &b in payload {
-                sum ^= u64::from(b);
-                sum = sum.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            if sum != stored {
+            let Some(&kind) = rest.get(4) else {
+                break;
+            };
+            let Some(payload) = rest.get(5..5 + len) else {
+                break;
+            };
+            let Some(stored_bytes) = rest
+                .get(5 + len..RECORD_OVERHEAD + len)
+                .and_then(|tail| tail.first_chunk::<8>())
+            else {
+                break;
+            };
+            if fnv1a_tagged(kind, payload) != u64::from_le_bytes(*stored_bytes) {
                 break; // torn or bit-rotted record
             }
             match kind {
@@ -987,10 +853,15 @@ impl StateJournal {
                     if len != BATCH_COMMIT_LEN {
                         break;
                     }
+                    let mut r = Reader::new(payload);
+                    let (Ok(batch), Ok(stream_pos), Ok(checksum)) = (r.u64(), r.u64(), r.u64())
+                    else {
+                        break; // impossible at BATCH_COMMIT_LEN, but typed
+                    };
                     commits.push(BatchCommit {
-                        batch: u64::from_le_bytes(payload[0..8].try_into().expect("8")),
-                        stream_pos: u64::from_le_bytes(payload[8..16].try_into().expect("8")),
-                        checksum: u64::from_le_bytes(payload[16..24].try_into().expect("8")),
+                        batch,
+                        stream_pos,
+                        checksum,
                     });
                 }
                 _ => break, // unknown kind: treat as corruption
@@ -1006,6 +877,7 @@ impl StateJournal {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

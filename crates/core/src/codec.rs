@@ -1,0 +1,286 @@
+//! The shared byte-codec discipline of every binary format in this crate.
+//!
+//! [`crate::checkpoint`] and [`crate::wire`] both speak length-prefixed,
+//! little-endian, FNV-1a-checksummed binary formats that must survive
+//! hostile bytes: truncations, bit flips, and length-field lies all decode
+//! to typed errors, never a panic, and never an allocation beyond what the
+//! input itself can justify. This module is the one implementation of that
+//! discipline — a bounds-checked [`Reader`], an append-only [`Writer`],
+//! and the [`fnv1a`] checksum — so the two formats cannot drift apart in
+//! how carefully they treat untrusted input.
+//!
+//! Everything here is `pub(crate)`: the codec is an implementation detail
+//! of the formats built on it, not an API.
+
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use std::fmt;
+
+/// A low-level decode failure, format-agnostic: either the input ended
+/// before the structure did, or a structural field (option tag, UTF-8
+/// string) is self-inconsistent. The formats built on the codec convert
+/// this into their own typed error via `From`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum CodecError {
+    /// The input ended before the structure did.
+    Truncated,
+    /// A structural field is self-inconsistent.
+    Corrupted(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input is truncated"),
+            CodecError::Corrupted(what) => write!(f, "input is corrupted: {what}"),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the integrity checksum of checkpoints, journal records,
+/// and wire frames. Not cryptographic — it detects torn writes and bit
+/// rot, not adversaries (both the journal and the wire live inside the
+/// TEE's trust boundary; hostile bytes must fail *safely*, not
+/// undetectably).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a over a one-byte record kind followed by its payload, without
+/// materialising the concatenation — the journal-record checksum.
+pub(crate) fn fnv1a_tagged(kind: u8, payload: &[u8]) -> u64 {
+    let mut hash = fnv1a(&[kind]);
+    for &b in payload {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Little-endian byte sink.
+pub(crate) struct Writer {
+    pub(crate) bytes: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer { bytes: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i32(&mut self, v: i32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+        }
+    }
+
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+        }
+    }
+
+    pub(crate) fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian byte source. Every read checks the
+/// remaining input first; no method can panic, for any input.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        match self.bytes.get(self.pos..self.pos.saturating_add(n)) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => Err(CodecError::Truncated),
+        }
+    }
+
+    /// `take` for a compile-time size, returning the array directly.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        match self.take(N)?.first_chunk::<N>() {
+            Some(chunk) => Ok(*chunk),
+            // Unreachable — take(N) returned exactly N bytes — but a typed
+            // error costs nothing and keeps this module panic-free by
+            // construction rather than by argument.
+            None => Err(CodecError::Truncated),
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_array::<1>()?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take_array()?))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    pub(crate) fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.take_array()?))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(CodecError::Corrupted(format!("invalid option tag {tag}"))),
+        }
+    }
+
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            tag => Err(CodecError::Corrupted(format!("invalid option tag {tag}"))),
+        }
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| CodecError::Corrupted("string is not utf-8".to_string()))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.i32(-42);
+        w.f64(-0.125);
+        w.f32(3.5);
+        w.opt_u64(Some(9));
+        w.opt_u64(None);
+        w.opt_f64(Some(f64::NEG_INFINITY));
+        w.string("héllo");
+        let mut r = Reader::new(&w.bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i32().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.f32().unwrap(), 3.5);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(f64::NEG_INFINITY));
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_past_the_end_fail_typed() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+        // The failed read consumes nothing.
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u8(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn string_length_lies_are_bounded_by_remaining_input() {
+        // A string claiming u32::MAX bytes over a 4-byte input must fail
+        // before any allocation.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let mut r = Reader::new(&w.bytes);
+        assert_eq!(r.string(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn tagged_checksum_matches_concatenation() {
+        let payload = [1u8, 2, 3, 4, 5];
+        let mut concat = vec![7u8];
+        concat.extend_from_slice(&payload);
+        assert_eq!(fnv1a_tagged(7, &payload), fnv1a(&concat));
+    }
+}

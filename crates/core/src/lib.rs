@@ -32,7 +32,14 @@
 //!   snapshot;
 //! - [`checkpoint`] — crash consistency: versioned binary service
 //!   checkpoints plus a write-ahead state journal, so a killed monitor
-//!   restores and resumes its verdict stream bit-identically.
+//!   restores and resumes its verdict stream bit-identically;
+//! - [`wire`] — the daemon's length-prefixed binary wire protocol:
+//!   hostile bytes (truncations, bit flips, length-field lies) decode to
+//!   typed errors, never a panic, never an over-allocation;
+//! - [`daemon`] — the always-on deployment: admission control (bounded
+//!   queue, tenant quotas, hang deadlines) in front of the service, plus
+//!   the zero-downtime rolling-upgrade state machine
+//!   (drain → checkpoint → hand-off → checksum-verified resume).
 //!
 //! # Example
 //!
@@ -63,6 +70,8 @@
 
 pub mod baseline;
 pub mod checkpoint;
+pub(crate) mod codec;
+pub mod daemon;
 pub mod deploy;
 pub mod detector;
 pub mod enclave;
@@ -76,11 +85,15 @@ pub mod stochastic;
 pub mod supervisor;
 pub mod telemetry;
 pub mod train;
+pub mod wire;
 pub mod xval;
 
 pub use baseline::BaselineHmd;
 pub use checkpoint::{
     BatchCommit, CheckpointError, JournalRecovery, RestoreError, ServiceCheckpoint, StateJournal,
+};
+pub use daemon::{
+    AdmissionConfig, AdmissionStats, Daemon, DaemonPhase, HandoffError, HANDOFF_FRAME_CAP,
 };
 pub use deploy::{DetectionPolicy, PolicyDetector};
 pub use detector::{Detector, Label};
@@ -100,4 +113,8 @@ pub use telemetry::{
     FaultCounters, ScoreHistogram, ShardReport, TelemetryParseError, TelemetrySnapshot,
 };
 pub use train::{train_baseline, HmdTrainConfig, TrainHmdError};
+pub use wire::{
+    decode_frame, encode_frame, Frame, RejectCode, WireError, DEFAULT_MAX_FRAME_BYTES,
+    FRAME_OVERHEAD, WIRE_MAGIC, WIRE_VERSION,
+};
 pub use xval::{cross_validate, XvalSummary};

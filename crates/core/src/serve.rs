@@ -63,6 +63,14 @@
 //! scripted crash/drift schedule into `BENCH_4.json`; the
 //! `monitoring_service` and `chaos_recovery` examples walk the APIs.
 
+// The ingest path takes bytes-derived feature vectors from outside the
+// process (see `crate::daemon`): no unwrap/expect may survive here.
+// Unchecked indexing *is* used on internally-constructed buffers (range
+// claims, shard vectors) where the index is arithmetic over lengths this
+// module itself established — see DESIGN.md §14 for why the indexing
+// gate is scoped to the byte-decoding modules instead.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::baseline::BaselineHmd;
 use crate::checkpoint::{
     BackendCheckpoint, BatchCommit, RestoreError, ServiceCheckpoint, ShardCheckpoint, StateJournal,
@@ -729,12 +737,13 @@ fn batch_worker<const LANES: usize>(
                 });
             }
         }
-        ranges.push((
-            lo,
-            out.into_iter()
-                .map(|v| v.expect("every query in a claimed range is answered"))
-                .collect(),
-        ));
+        // Both ingestion arms fill their slot and the lane pass covers
+        // every grouped index (chunks + remainder), so no slot is None;
+        // flatten keeps the path panic-free and the debug assert keeps
+        // the invariant honest under test.
+        let answered: Vec<Verdict> = out.into_iter().flatten().collect();
+        debug_assert_eq!(answered.len(), hi - lo, "unanswered query in claimed range");
+        ranges.push((lo, answered));
     }
     (ranges, deltas)
 }
@@ -1074,6 +1083,33 @@ impl MonitoringService {
         Ok(())
     }
 
+    /// Forcibly degrades a *non-serving* shard to the baseline detector
+    /// at nominal voltage — the admission layer's hang deadline (see
+    /// [`crate::daemon`]): a shard stuck outside the serving set past its
+    /// deadline goes back to answering, just without the moving-target
+    /// defense, instead of wedging the daemon behind its retry schedule.
+    /// Returns `false` (touching nothing) for an out-of-range id or a
+    /// shard that is still serving.
+    pub fn force_degrade_shard(&mut self, id: usize, reason: &str) -> bool {
+        let baseline = self.baseline.clone();
+        let Some(shard) = self.shards.get_mut(id) else {
+            return false;
+        };
+        if shard.supervision.health().is_serving() {
+            return false;
+        }
+        shard.retire_backend();
+        shard.backend = ShardBackend::Baseline(baseline);
+        shard.supervision.transition(ShardHealth::Degraded);
+        shard.supervision.attempt = 0;
+        shard.supervision.next_retry_batch = None;
+        shard.degraded_reason = Some(reason.to_string());
+        shard.degradation_events += 1;
+        let mark = shard.fault_counters();
+        shard.supervision.reset_watchdog(mark);
+        true
+    }
+
     /// Rebuilds every shard's detector against `curve` (a fresh
     /// calibration: temperature drifted, device aged, target changed).
     ///
@@ -1356,9 +1392,20 @@ impl MonitoringService {
                     sup.config().backoff_base,
                 );
             } else if (delivered - current_er).abs() > sup.config().physics_epsilon {
-                if let ShardBackend::Stochastic(hmd) = &mut self.shards[id].backend {
-                    hmd.retune(delivered)
-                        .expect("delivered rate is a probability");
+                // delivered < FREEZE_ERROR_RATE < 1 here, so retune only
+                // fails if the physics model hands back a non-probability
+                // — treat that like a freeze instead of panicking.
+                let retuned = match &mut self.shards[id].backend {
+                    ShardBackend::Stochastic(hmd) => hmd.retune(delivered).is_ok(),
+                    _ => true,
+                };
+                if !retuned {
+                    self.crash_shard(
+                        id,
+                        batch,
+                        format!("retune rejected delivered er {delivered:.3}"),
+                        sup.config().backoff_base,
+                    );
                 }
             }
         }
@@ -1983,6 +2030,7 @@ impl MonitoringService {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::train::{train_baseline, HmdTrainConfig};

@@ -1,0 +1,770 @@
+//! The daemon's length-prefixed binary wire protocol.
+//!
+//! A deployed monitor (see [`crate::daemon`]) takes queries over a byte
+//! stream, and a byte stream is the attack surface PAPERS.md's RHMD line
+//! warns about: the *deployed detector*, not just the model, is what an
+//! adversary probes. This module therefore reuses the checkpoint codec's
+//! discipline end to end — magic + `u16` version + little-endian
+//! length-prefixed payload + trailing FNV-1a, remaining-bytes bounds
+//! checks before every allocation — so hostile bytes (truncations, bit
+//! flips, length-field lies, foreign formats) decode to a typed
+//! [`WireError`], never a panic, and never an allocation beyond the
+//! declared frame cap.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! [magic "SHWP" 4B][version u16][kind u8][payload-len u32][payload]
+//! [fnv1a u64 over everything before it]
+//! ```
+//!
+//! [`decode_frame`] validates in paranoia order: magic, version, the
+//! declared length against the caller's frame cap (**before** any
+//! allocation or payload read — a length-field lie costs nothing), then
+//! the availability of the full frame, then the trailing checksum, and
+//! only then the payload structure. Requests and responses share one
+//! [`Frame`] enum so a relay or a fuzzer can speak both directions.
+
+// Every byte on this path arrives from outside the process. The whole
+// module is audited to "hostile bytes never panic": no unwrap, no expect,
+// no unchecked indexing.
+#![deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+
+use crate::codec::{fnv1a, CodecError, Reader, Writer};
+use crate::serve::{QueryDisposition, RejectReason, Verdict};
+use std::fmt;
+
+/// First bytes of every wire frame ("Stochastic-HMD Wire Protocol").
+pub const WIRE_MAGIC: [u8; 4] = *b"SHWP";
+
+/// Protocol version written by [`encode_frame`]. Decoding any other
+/// version fails with [`WireError::UnsupportedVersion`] instead of
+/// misinterpreting bytes.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Bytes of framing around a payload: magic + version + kind + length
+/// before it, checksum after it.
+pub const FRAME_OVERHEAD: usize = 4 + 2 + 1 + 4 + 8;
+
+/// Default cap on a whole frame (header + payload + checksum). A frame
+/// declaring more payload than fits is rejected with
+/// [`WireError::Oversized`] before any allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Error decoding a wire frame from bytes, or admitting one in-process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The bytes do not start with [`WIRE_MAGIC`] — not a wire frame.
+    BadMagic,
+    /// The frame was written by an unknown protocol version.
+    UnsupportedVersion(u16),
+    /// The input ended before the frame did.
+    Truncated,
+    /// The frame is self-inconsistent (checksum mismatch, invalid tag,
+    /// impossible length, trailing payload bytes, non-UTF-8 string).
+    Corrupted(String),
+    /// The declared frame length exceeds the receiver's cap. Raised
+    /// before any allocation: a length-field lie costs the receiver
+    /// nothing.
+    Oversized {
+        /// Whole-frame length the header declares.
+        declared: u64,
+        /// The receiver's frame cap.
+        cap: u64,
+    },
+    /// The receiver's admission queue cannot take the submission — the
+    /// bounded in-flight queue (or the submitter's tenant quota) is full.
+    Backpressure {
+        /// Queries already queued against the violated bound.
+        queued: u64,
+        /// The violated bound.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a wire frame: bad magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Truncated => write!(f, "wire frame is truncated"),
+            WireError::Corrupted(what) => write!(f, "wire frame is corrupted: {what}"),
+            WireError::Oversized { declared, cap } => {
+                write!(
+                    f,
+                    "frame declares {declared} bytes, over the {cap}-byte cap"
+                )
+            }
+            WireError::Backpressure { queued, cap } => {
+                write!(f, "admission queue full: {queued} of {cap} queries queued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> WireError {
+        match e {
+            // Inside a checksummed frame the payload cannot honestly run
+            // short — a short structure is a length lie, i.e. corruption.
+            CodecError::Truncated => WireError::Corrupted("payload is truncated".to_string()),
+            CodecError::Corrupted(what) => WireError::Corrupted(what),
+        }
+    }
+}
+
+/// Why the daemon refused a frame, carried in [`Frame::Reject`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The bounded in-flight queue is full.
+    Backpressure,
+    /// The frame declared more bytes than the admission cap.
+    Oversized,
+    /// The submitting tenant's quota is exhausted.
+    TenantQuota,
+    /// The daemon is draining for a rolling upgrade.
+    Draining,
+    /// The daemon has shut down.
+    ShuttingDown,
+}
+
+impl RejectCode {
+    fn tag(self) -> u8 {
+        match self {
+            RejectCode::Backpressure => 0,
+            RejectCode::Oversized => 1,
+            RejectCode::TenantQuota => 2,
+            RejectCode::Draining => 3,
+            RejectCode::ShuttingDown => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<RejectCode, WireError> {
+        Ok(match tag {
+            0 => RejectCode::Backpressure,
+            1 => RejectCode::Oversized,
+            2 => RejectCode::TenantQuota,
+            3 => RejectCode::Draining,
+            4 => RejectCode::ShuttingDown,
+            _ => return Err(WireError::Corrupted(format!("invalid reject code {tag}"))),
+        })
+    }
+}
+
+impl fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RejectCode::Backpressure => "backpressure",
+            RejectCode::Oversized => "oversized",
+            RejectCode::TenantQuota => "tenant-quota",
+            RejectCode::Draining => "draining",
+            RejectCode::ShuttingDown => "shutting-down",
+        })
+    }
+}
+
+/// One protocol message — request or response; a relay (or fuzzer)
+/// speaks both directions with one codec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Request: score a batch of raw feature vectors. Queries are
+    /// length-prefixed individually, so a wrong-width query travels fine
+    /// and is rejected *per-query* by ingestion validation, not at the
+    /// frame level.
+    SubmitBatch {
+        /// Submitting tenant, for per-tenant admission quotas.
+        tenant: u32,
+        /// The feature vectors.
+        queries: Vec<Vec<f32>>,
+    },
+    /// Request: the service's telemetry snapshot.
+    Snapshot,
+    /// Request: change the calibration target error rate.
+    Retarget {
+        /// The new target.
+        target_error_rate: f64,
+    },
+    /// Request: checkpoint now (journaled) and return the encoded bytes.
+    Checkpoint,
+    /// Request: advance the rolling-upgrade state machine — start (or
+    /// finish) draining and, once drained, emit [`Frame::HandoffState`].
+    Handoff,
+    /// Request: stop admitting work permanently.
+    Shutdown,
+    /// Response: the request succeeded and has no payload to return.
+    Ack,
+    /// Response to an admitted [`Frame::SubmitBatch`], produced when the
+    /// daemon pumps its queue.
+    Verdicts {
+        /// Tenant the batch belonged to.
+        tenant: u32,
+        /// Verdicts in query order.
+        verdicts: Vec<Verdict>,
+    },
+    /// Response: the telemetry snapshot as its canonical JSON document.
+    SnapshotText {
+        /// [`crate::telemetry::TelemetrySnapshot::to_json`] output.
+        json: String,
+    },
+    /// Response: the frame was refused by admission control.
+    Reject {
+        /// Why.
+        code: RejectCode,
+        /// Occupancy of the violated bound at refusal.
+        queued: u64,
+        /// The violated bound.
+        cap: u64,
+    },
+    /// Response: an encoded [`crate::checkpoint::ServiceCheckpoint`].
+    CheckpointBytes {
+        /// [`crate::checkpoint::ServiceCheckpoint::encode`] output.
+        bytes: Vec<u8>,
+    },
+    /// Response: the rolling-upgrade hand-off — the drained service's
+    /// final checkpoint plus the identity the successor must reproduce
+    /// before taking traffic.
+    HandoffState {
+        /// Encoded final checkpoint.
+        checkpoint: Vec<u8>,
+        /// Verdict checksum at hand-off; the restored successor must
+        /// match it bit-for-bit.
+        verdict_checksum: u64,
+        /// Stream position at hand-off.
+        served: u64,
+        /// Batches processed at hand-off.
+        batches: u64,
+    },
+    /// Response: the request decoded but could not be served.
+    ErrorReply {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Frame kind tags. Requests are low, responses start at 16.
+const KIND_SUBMIT_BATCH: u8 = 1;
+const KIND_SNAPSHOT: u8 = 2;
+const KIND_RETARGET: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+const KIND_HANDOFF: u8 = 5;
+const KIND_SHUTDOWN: u8 = 6;
+const KIND_ACK: u8 = 16;
+const KIND_VERDICTS: u8 = 17;
+const KIND_SNAPSHOT_TEXT: u8 = 18;
+const KIND_REJECT: u8 = 19;
+const KIND_CHECKPOINT_BYTES: u8 = 20;
+const KIND_HANDOFF_STATE: u8 = 21;
+const KIND_ERROR_REPLY: u8 = 22;
+
+impl Frame {
+    /// The frame's kind tag.
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::SubmitBatch { .. } => KIND_SUBMIT_BATCH,
+            Frame::Snapshot => KIND_SNAPSHOT,
+            Frame::Retarget { .. } => KIND_RETARGET,
+            Frame::Checkpoint => KIND_CHECKPOINT,
+            Frame::Handoff => KIND_HANDOFF,
+            Frame::Shutdown => KIND_SHUTDOWN,
+            Frame::Ack => KIND_ACK,
+            Frame::Verdicts { .. } => KIND_VERDICTS,
+            Frame::SnapshotText { .. } => KIND_SNAPSHOT_TEXT,
+            Frame::Reject { .. } => KIND_REJECT,
+            Frame::CheckpointBytes { .. } => KIND_CHECKPOINT_BYTES,
+            Frame::HandoffState { .. } => KIND_HANDOFF_STATE,
+            Frame::ErrorReply { .. } => KIND_ERROR_REPLY,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            Frame::SubmitBatch { tenant, queries } => {
+                w.u32(*tenant);
+                w.u32(queries.len() as u32);
+                for query in queries {
+                    w.u32(query.len() as u32);
+                    for &f in query {
+                        w.f32(f);
+                    }
+                }
+            }
+            Frame::Snapshot | Frame::Checkpoint | Frame::Handoff | Frame::Shutdown | Frame::Ack => {
+            }
+            Frame::Retarget { target_error_rate } => w.f64(*target_error_rate),
+            Frame::Verdicts { tenant, verdicts } => {
+                w.u32(*tenant);
+                w.u32(verdicts.len() as u32);
+                for v in verdicts {
+                    encode_verdict(w, v);
+                }
+            }
+            Frame::SnapshotText { json } => w.string(json),
+            Frame::Reject { code, queued, cap } => {
+                w.u8(code.tag());
+                w.u64(*queued);
+                w.u64(*cap);
+            }
+            Frame::CheckpointBytes { bytes } => {
+                w.u32(bytes.len() as u32);
+                w.bytes.extend_from_slice(bytes);
+            }
+            Frame::HandoffState {
+                checkpoint,
+                verdict_checksum,
+                served,
+                batches,
+            } => {
+                w.u32(checkpoint.len() as u32);
+                w.bytes.extend_from_slice(checkpoint);
+                w.u64(*verdict_checksum);
+                w.u64(*served);
+                w.u64(*batches);
+            }
+            Frame::ErrorReply { message } => w.string(message),
+        }
+    }
+
+    fn decode_payload(kind: u8, r: &mut Reader<'_>) -> Result<Frame, WireError> {
+        Ok(match kind {
+            KIND_SUBMIT_BATCH => {
+                let tenant = r.u32()?;
+                let count = r.u32()? as usize;
+                // Each query costs at least its own 4-byte length prefix;
+                // a count the remaining payload cannot hold is a lie, not
+                // an allocation request.
+                if count.saturating_mul(4) > r.remaining() {
+                    return Err(WireError::Corrupted(format!(
+                        "query count {count} exceeds the payload"
+                    )));
+                }
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    if len.saturating_mul(4) > r.remaining() {
+                        return Err(WireError::Corrupted(format!(
+                            "query length {len} exceeds the payload"
+                        )));
+                    }
+                    let mut query = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        query.push(r.f32()?);
+                    }
+                    queries.push(query);
+                }
+                Frame::SubmitBatch { tenant, queries }
+            }
+            KIND_SNAPSHOT => Frame::Snapshot,
+            KIND_RETARGET => Frame::Retarget {
+                target_error_rate: r.f64()?,
+            },
+            KIND_CHECKPOINT => Frame::Checkpoint,
+            KIND_HANDOFF => Frame::Handoff,
+            KIND_SHUTDOWN => Frame::Shutdown,
+            KIND_ACK => Frame::Ack,
+            KIND_VERDICTS => {
+                let tenant = r.u32()?;
+                let count = r.u32()? as usize;
+                // A verdict is at least 26 body bytes (8 + 8 + 8 + 1 + 1).
+                if count.saturating_mul(26) > r.remaining() {
+                    return Err(WireError::Corrupted(format!(
+                        "verdict count {count} exceeds the payload"
+                    )));
+                }
+                let mut verdicts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    verdicts.push(decode_verdict(r)?);
+                }
+                Frame::Verdicts { tenant, verdicts }
+            }
+            KIND_SNAPSHOT_TEXT => Frame::SnapshotText { json: r.string()? },
+            KIND_REJECT => Frame::Reject {
+                code: RejectCode::from_tag(r.u8()?)?,
+                queued: r.u64()?,
+                cap: r.u64()?,
+            },
+            KIND_CHECKPOINT_BYTES => {
+                let len = r.u32()? as usize;
+                if len > r.remaining() {
+                    return Err(WireError::Corrupted(format!(
+                        "checkpoint length {len} exceeds the payload"
+                    )));
+                }
+                Frame::CheckpointBytes {
+                    bytes: r.take(len)?.to_vec(),
+                }
+            }
+            KIND_HANDOFF_STATE => {
+                let len = r.u32()? as usize;
+                if len > r.remaining() {
+                    return Err(WireError::Corrupted(format!(
+                        "checkpoint length {len} exceeds the payload"
+                    )));
+                }
+                Frame::HandoffState {
+                    checkpoint: r.take(len)?.to_vec(),
+                    verdict_checksum: r.u64()?,
+                    served: r.u64()?,
+                    batches: r.u64()?,
+                }
+            }
+            KIND_ERROR_REPLY => Frame::ErrorReply {
+                message: r.string()?,
+            },
+            _ => return Err(WireError::Corrupted(format!("invalid frame kind {kind}"))),
+        })
+    }
+}
+
+fn encode_verdict(w: &mut Writer, v: &Verdict) {
+    w.u64(v.query);
+    w.u64(v.shard as u64);
+    w.f64(v.score);
+    w.u8(u8::from(v.label.is_malware()));
+    match v.disposition {
+        QueryDisposition::Served => w.u8(0),
+        QueryDisposition::Rejected(RejectReason::WidthMismatch { got, expected }) => {
+            w.u8(1);
+            w.u64(got as u64);
+            w.u64(expected as u64);
+        }
+        QueryDisposition::Rejected(RejectReason::NonFiniteFeature { index }) => {
+            w.u8(2);
+            w.u64(index as u64);
+        }
+    }
+}
+
+fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
+    let query = r.u64()?;
+    let shard = usize::try_from(r.u64()?)
+        .map_err(|_| WireError::Corrupted("shard id overflows usize".to_string()))?;
+    let score = r.f64()?;
+    let label = crate::detector::Label::from_bool(match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => return Err(WireError::Corrupted(format!("invalid label tag {tag}"))),
+    });
+    let overflow = |_| WireError::Corrupted("verdict field overflows usize".to_string());
+    let disposition = match r.u8()? {
+        0 => QueryDisposition::Served,
+        1 => QueryDisposition::Rejected(RejectReason::WidthMismatch {
+            got: usize::try_from(r.u64()?).map_err(overflow)?,
+            expected: usize::try_from(r.u64()?).map_err(overflow)?,
+        }),
+        2 => QueryDisposition::Rejected(RejectReason::NonFiniteFeature {
+            index: usize::try_from(r.u64()?).map_err(overflow)?,
+        }),
+        tag => {
+            return Err(WireError::Corrupted(format!(
+                "invalid disposition tag {tag}"
+            )))
+        }
+    };
+    Ok(Verdict {
+        query,
+        shard,
+        score,
+        label,
+        disposition,
+    })
+}
+
+/// Serialises one frame: [`WIRE_MAGIC`], [`WIRE_VERSION`], the kind tag,
+/// a `u32` payload length, the payload, and a trailing FNV-1a checksum
+/// over everything before it.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes.extend_from_slice(&WIRE_MAGIC);
+    w.u16(WIRE_VERSION);
+    w.u8(frame.kind());
+    // Payload length back-patched once the payload is written.
+    let len_at = w.bytes.len();
+    w.u32(0);
+    frame.encode_payload(&mut w);
+    let payload_len = (w.bytes.len() - len_at - 4) as u32;
+    if let Some(slot) = w.bytes.get_mut(len_at..len_at + 4) {
+        slot.copy_from_slice(&payload_len.to_le_bytes());
+    }
+    let checksum = fnv1a(&w.bytes);
+    w.u64(checksum);
+    w.bytes
+}
+
+/// Decodes one frame from the front of `bytes`, returning it and the
+/// number of bytes consumed (so a stream of concatenated frames decodes
+/// frame by frame).
+///
+/// `max_frame_bytes` caps the *whole* frame. The declared length is
+/// checked against it before the payload is read or any allocation made,
+/// and every container inside the payload is bounds-checked against the
+/// bytes actually present — a hostile length field can never cost more
+/// than the cap.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] for foreign bytes,
+/// [`WireError::UnsupportedVersion`] for an unknown protocol version,
+/// [`WireError::Oversized`] for a frame over the cap,
+/// [`WireError::Truncated`] when the input ends early, and
+/// [`WireError::Corrupted`] for checksum mismatches, invalid tags,
+/// impossible lengths, or trailing payload bytes. Never panics, for any
+/// input.
+pub fn decode_frame(bytes: &[u8], max_frame_bytes: u32) -> Result<(Frame, usize), WireError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        let n = bytes.len().min(WIRE_MAGIC.len());
+        if bytes.get(..n) != WIRE_MAGIC.get(..n) {
+            return Err(WireError::BadMagic);
+        }
+        return Err(WireError::Truncated);
+    }
+    if bytes.get(..4) != Some(&WIRE_MAGIC[..]) {
+        return Err(WireError::BadMagic);
+    }
+    let mut header = Reader::new(bytes.get(4..).unwrap_or(&[]));
+    let version = header.u16()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = header.u8()?;
+    let payload_len = header.u32()? as usize;
+    let total = FRAME_OVERHEAD.saturating_add(payload_len);
+    if total as u64 > u64::from(max_frame_bytes) {
+        return Err(WireError::Oversized {
+            declared: total as u64,
+            cap: u64::from(max_frame_bytes),
+        });
+    }
+    if bytes.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let Some(body) = bytes.get(..total - 8) else {
+        return Err(WireError::Truncated);
+    };
+    let Some(stored) = bytes
+        .get(total - 8..total)
+        .and_then(|tail| tail.first_chunk::<8>())
+    else {
+        return Err(WireError::Truncated);
+    };
+    if fnv1a(body) != u64::from_le_bytes(*stored) {
+        return Err(WireError::Corrupted("checksum mismatch".to_string()));
+    }
+    let mut r = Reader::new(body.get(FRAME_OVERHEAD - 8..).unwrap_or(&[]));
+    let frame = Frame::decode_payload(kind, &mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Corrupted(format!(
+            "{} trailing payload bytes",
+            r.remaining()
+        )));
+    }
+    Ok((frame, total))
+}
+
+#[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
+mod tests {
+    use super::*;
+    use crate::detector::Label;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::SubmitBatch {
+                tenant: 3,
+                queries: vec![vec![1.0, -2.5, 0.0], vec![f32::NAN], vec![]],
+            },
+            Frame::Snapshot,
+            Frame::Retarget {
+                target_error_rate: 0.15,
+            },
+            Frame::Checkpoint,
+            Frame::Handoff,
+            Frame::Shutdown,
+            Frame::Ack,
+            Frame::Verdicts {
+                tenant: 9,
+                verdicts: vec![
+                    Verdict {
+                        query: 41,
+                        shard: 2,
+                        score: 0.75,
+                        label: Label::from_bool(true),
+                        disposition: QueryDisposition::Served,
+                    },
+                    Verdict {
+                        query: 42,
+                        shard: 0,
+                        score: 0.0,
+                        label: Label::from_bool(false),
+                        disposition: QueryDisposition::Rejected(RejectReason::WidthMismatch {
+                            got: 7,
+                            expected: 24,
+                        }),
+                    },
+                    Verdict {
+                        query: 43,
+                        shard: 1,
+                        score: 0.0,
+                        label: Label::from_bool(false),
+                        disposition: QueryDisposition::Rejected(RejectReason::NonFiniteFeature {
+                            index: 5,
+                        }),
+                    },
+                ],
+            },
+            Frame::SnapshotText {
+                json: "{\"queries\": 640}".to_string(),
+            },
+            Frame::Reject {
+                code: RejectCode::Backpressure,
+                queued: 8192,
+                cap: 8192,
+            },
+            Frame::CheckpointBytes {
+                bytes: vec![0x53, 0x48, 0x43, 0x4b, 1, 2, 3],
+            },
+            Frame::HandoffState {
+                checkpoint: vec![9; 40],
+                verdict_checksum: 0xdead_beef_cafe_f00d,
+                served: 640,
+                batches: 40,
+            },
+            Frame::ErrorReply {
+                message: "no".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            let (back, consumed) = decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES).expect("decodes");
+            assert_eq!(consumed, bytes.len());
+            match (&frame, &back) {
+                // NaN features break PartialEq; compare bit patterns.
+                (Frame::SubmitBatch { queries: a, .. }, Frame::SubmitBatch { queries: b, .. }) => {
+                    let bits = |qs: &Vec<Vec<f32>>| -> Vec<Vec<u32>> {
+                        qs.iter()
+                            .map(|q| q.iter().map(|f| f.to_bits()).collect())
+                            .collect()
+                    };
+                    assert_eq!(bits(a), bits(b));
+                }
+                _ => assert_eq!(frame, back),
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_sequence() {
+        let mut stream = encode_frame(&Frame::Snapshot);
+        stream.extend_from_slice(&encode_frame(&Frame::Ack));
+        let (first, used) = decode_frame(&stream, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(first, Frame::Snapshot);
+        let (second, _) = decode_frame(&stream[used..], DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(second, Frame::Ack);
+    }
+
+    #[test]
+    fn foreign_versioned_and_oversized_bytes_fail_typed() {
+        assert_eq!(
+            decode_frame(b"SHCK rest of a checkpoint...", DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::BadMagic)
+        );
+        assert_eq!(
+            decode_frame(b"", DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::Truncated)
+        );
+        let mut versioned = encode_frame(&Frame::Ack);
+        versioned[4] = 0x2a;
+        assert_eq!(
+            decode_frame(&versioned, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::UnsupportedVersion(0x2a))
+        );
+        // A length-field lie far over the cap: rejected as oversized
+        // before the (absent) payload is ever touched.
+        let mut lying = encode_frame(&Frame::Ack);
+        lying[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&lying, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::Oversized {
+                declared: FRAME_OVERHEAD as u64 + u64::from(u32::MAX),
+                cap: u64::from(DEFAULT_MAX_FRAME_BYTES),
+            })
+        );
+    }
+
+    #[test]
+    fn truncations_and_bit_flips_of_every_kind_never_panic() {
+        for frame in sample_frames() {
+            let bytes = encode_frame(&frame);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_frame(&bytes[..cut], DEFAULT_MAX_FRAME_BYTES).is_err(),
+                    "prefix {cut} of kind {} decoded",
+                    frame.kind()
+                );
+            }
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[i] ^= 1 << bit;
+                    // A flip may still decode (e.g. in a float payload the
+                    // checksum also covers — no: the checksum covers all
+                    // body bytes, so any body flip fails; a checksum-byte
+                    // flip fails too). Either way it must not panic, and
+                    // any error must be typed.
+                    let _ = decode_frame(&bad, DEFAULT_MAX_FRAME_BYTES);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn container_count_lies_are_bounded_by_the_payload() {
+        // Hand-build a SubmitBatch whose query count claims 2^31 entries
+        // over an 8-byte payload; the checksum is valid, so the decoder
+        // reaches the count check and must refuse before allocating.
+        let mut w = Writer::new();
+        w.bytes.extend_from_slice(&WIRE_MAGIC);
+        w.u16(WIRE_VERSION);
+        w.u8(1); // SubmitBatch
+        w.u32(8); // payload: tenant + count
+        w.u32(0); // tenant
+        w.u32(1 << 31); // query count lie
+        let checksum = fnv1a(&w.bytes);
+        w.u64(checksum);
+        match decode_frame(&w.bytes, DEFAULT_MAX_FRAME_BYTES) {
+            Err(WireError::Corrupted(what)) => assert!(what.contains("query count")),
+            other => panic!("length lie decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_corruption() {
+        let mut w = Writer::new();
+        w.bytes.extend_from_slice(&WIRE_MAGIC);
+        w.u16(WIRE_VERSION);
+        w.u8(16); // Ack, which has no payload
+        w.u32(3);
+        w.bytes.extend_from_slice(&[1, 2, 3]);
+        let checksum = fnv1a(&w.bytes);
+        w.u64(checksum);
+        match decode_frame(&w.bytes, DEFAULT_MAX_FRAME_BYTES) {
+            Err(WireError::Corrupted(what)) => assert!(what.contains("trailing")),
+            other => panic!("trailing bytes decoded: {other:?}"),
+        }
+    }
+}

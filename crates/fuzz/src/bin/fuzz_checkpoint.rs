@@ -1,0 +1,33 @@
+//! Fuzzes `ServiceCheckpoint::decode` with truncations, bit flips,
+//! length-field lies, and garbage derived from a real checkpoint. Every
+//! hostile input must return a typed `CheckpointError`; any panic kills
+//! the process, which is the failure signal.
+
+use shmd_fuzz::{corpus, mutate, FuzzArgs, Tally};
+use stochastic_hmd::ServiceCheckpoint;
+
+fn main() {
+    let args = FuzzArgs::parse("fuzz_checkpoint");
+    let mut rng = args.rng();
+    let corpus = corpus();
+    // The pristine artifact must round-trip: the harness is fuzzing a
+    // working decoder, not one that rejects everything.
+    assert!(
+        ServiceCheckpoint::decode(&corpus.checkpoint).is_ok(),
+        "corpus checkpoint does not decode"
+    );
+    let mut tally = Tally::default();
+    for _ in 0..args.iters {
+        for bad in mutate::hostile_set(&corpus.checkpoint, &mut rng, 64) {
+            // Checkpoints are whole-artifact checksummed: every mutation
+            // of a valid artifact must fail typed (a truncation to the
+            // empty prefix included).
+            match ServiceCheckpoint::decode(&bad) {
+                Err(_) => tally.record(true),
+                Ok(_) if bad == corpus.checkpoint => tally.record(false),
+                Ok(_) => panic!("mutated checkpoint ({} bytes) decoded", bad.len()),
+            }
+        }
+    }
+    println!("{}", tally.summary("checkpoint"));
+}

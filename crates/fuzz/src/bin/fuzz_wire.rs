@@ -1,0 +1,36 @@
+//! Fuzzes `decode_frame` with truncations, bit flips, length-field lies,
+//! and garbage derived from one valid frame of *every* wire kind. Frames
+//! are whole-frame checksummed, so every mutation must fail typed; the
+//! frame cap bounds allocation no matter what the length fields claim.
+
+use shmd_fuzz::{corpus, mutate, FuzzArgs, Tally};
+use stochastic_hmd::{decode_frame, DEFAULT_MAX_FRAME_BYTES};
+
+fn main() {
+    let args = FuzzArgs::parse("fuzz_wire");
+    let mut rng = args.rng();
+    let corpus = corpus();
+    // Use a cap that admits the corpus frames (the HandoffState frame
+    // carries a whole checkpoint) so mutations exercise payload parsing,
+    // not just the size gate.
+    let cap = DEFAULT_MAX_FRAME_BYTES.max(1 << 26);
+    for frame in &corpus.frames {
+        assert!(
+            decode_frame(frame, cap).is_ok(),
+            "corpus frame does not decode"
+        );
+    }
+    let mut tally = Tally::default();
+    for _ in 0..args.iters {
+        for frame in &corpus.frames {
+            for bad in mutate::hostile_set(frame, &mut rng, 24) {
+                match decode_frame(&bad, cap) {
+                    Err(_) => tally.record(true),
+                    Ok(_) if &bad == frame => tally.record(false),
+                    Ok(_) => panic!("mutated frame ({} bytes) decoded", bad.len()),
+                }
+            }
+        }
+    }
+    println!("{}", tally.summary("wire"));
+}

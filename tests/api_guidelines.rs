@@ -30,6 +30,12 @@ fn core_types_are_send_and_sync() {
     assert_send_sync::<stochastic_hmd::StateJournal>();
     assert_send_sync::<stochastic_hmd::BatchCommit>();
     assert_send_sync::<stochastic_hmd::JournalRecovery>();
+    assert_send_sync::<stochastic_hmd::Frame>();
+    assert_send_sync::<stochastic_hmd::RejectCode>();
+    assert_send_sync::<stochastic_hmd::Daemon>();
+    assert_send_sync::<stochastic_hmd::DaemonPhase>();
+    assert_send_sync::<stochastic_hmd::AdmissionConfig>();
+    assert_send_sync::<stochastic_hmd::AdmissionStats>();
 }
 
 #[test]
@@ -76,6 +82,8 @@ fn error_types_are_well_behaved() {
     assert_error::<stochastic_hmd::ServeError>();
     assert_error::<stochastic_hmd::CheckpointError>();
     assert_error::<stochastic_hmd::RestoreError>();
+    assert_error::<stochastic_hmd::WireError>();
+    assert_error::<stochastic_hmd::HandoffError>();
     assert_error::<shmd_attack::ReverseError>();
     assert_error::<shmd_power::InfeasibleDuty>();
 }
@@ -91,6 +99,19 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
         stochastic_hmd::CheckpointError::BadMagic.to_string(),
         stochastic_hmd::CheckpointError::UnsupportedVersion(9).to_string(),
         stochastic_hmd::RestoreError::SupervisorRequired.to_string(),
+        stochastic_hmd::WireError::BadMagic.to_string(),
+        stochastic_hmd::WireError::UnsupportedVersion(9).to_string(),
+        stochastic_hmd::WireError::Oversized {
+            declared: 1 << 40,
+            cap: 1 << 20,
+        }
+        .to_string(),
+        stochastic_hmd::HandoffError::NotHandoff.to_string(),
+        stochastic_hmd::HandoffError::ChecksumMismatch {
+            expected: 1,
+            got: 2,
+        }
+        .to_string(),
     ];
     for msg in samples {
         let first = msg.chars().next().expect("non-empty");
