@@ -1,0 +1,252 @@
+//! The denoising attacker's cost curve against a live stochastic oracle.
+//!
+//! The paper's §IX names the stochastic defense's own limitation: an
+//! attacker who repeat-queries the oracle can average the randomised
+//! boundary back into focus. This module makes that cost explicit. The
+//! attacker climbs a ladder of queries-per-sample, majority-voting the
+//! oracle's labels at each rung ([`crate::adaptive`]), until the denoised
+//! proxy agrees with a clean reference detector often enough — and the
+//! search records what every rung cost in victim queries, because each
+//! query is an execution of the sample on the victim machine and the
+//! defender's practical deterrent is exactly that bill.
+//!
+//! The oracle is a [`Detector`], so a bare [`StochasticHmd`] and a live
+//! `stochastic_hmd::arena::ArenaOracle` (the full serving stack, re-query
+//! counter included) plug in interchangeably; `arena_bench` sweeps the
+//! curve across delivered error rates to show the paper's implied
+//! monotone cost curve end to end.
+//!
+//! [`StochasticHmd`]: stochastic_hmd::stochastic::StochasticHmd
+
+use crate::adaptive::{denoised_reverse_engineer, query_cost};
+use crate::reverse::{effectiveness, ReverseConfig, ReverseError};
+use shmd_workload::dataset::Dataset;
+use stochastic_hmd::detector::Detector;
+
+/// Default ladder of queries-per-sample the cost-curve search climbs.
+/// Odd rungs only (majority votes never tie), roughly geometric so the
+/// search spans two orders of magnitude of attacker budget in four runs.
+pub const DEFAULT_QUERY_LADDER: [usize; 4] = [1, 3, 9, 25];
+
+/// One rung of the denoising cost curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DenoisePoint {
+    /// Repeat queries per training sample at this rung.
+    pub queries_per_sample: usize,
+    /// Victim queries this rung spent (`samples × queries_per_sample`).
+    pub query_cost: usize,
+    /// Agreement of the denoised proxy with the clean reference labels
+    /// on the held-out test fold; `0.0` when the proxy never converged
+    /// (the oracle answered every query identically).
+    pub agreement: f64,
+}
+
+/// The denoising attacker's measured cost curve against one oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenoiseCurve {
+    /// Agreement the attacker was trying to reach.
+    pub target_agreement: f64,
+    /// Every rung climbed, in ladder order. The search stops at the
+    /// first rung that reaches the target, so a cheap oracle shows a
+    /// short curve.
+    pub points: Vec<DenoisePoint>,
+    /// The first ladder rung whose proxy reached the target agreement;
+    /// `None` when the ladder saturated without reaching it (the oracle
+    /// defeated this attacker budget).
+    pub required: Option<usize>,
+}
+
+impl DenoiseCurve {
+    /// The required queries-per-sample, with ladder saturation mapped to
+    /// `usize::MAX` so cost curves stay comparable (and monotonicity
+    /// checks treat "never reached" as the most expensive outcome).
+    pub fn required_or_saturated(&self) -> usize {
+        self.required.unwrap_or(usize::MAX)
+    }
+
+    /// Victim queries the whole search spent, every rung included —
+    /// the honest attacker bill, not just the winning rung's cost.
+    pub fn total_query_cost(&self) -> usize {
+        self.points.iter().map(|p| p.query_cost).sum()
+    }
+}
+
+/// Climbs the queries-per-sample `ladder` against `oracle`, stopping at
+/// the first rung whose denoised proxy agrees with `reference` on at
+/// least `target_agreement` of the test fold.
+///
+/// `oracle` answers the attacker's (repeat) training queries — the
+/// stochastic victim being attacked. `reference` supplies the clean
+/// labels the attacker is trying to recover (the deterministic baseline
+/// the defense was deployed from); agreement against it measures how much
+/// of the boundary the voting actually un-blurred. A rung whose oracle
+/// labels are degenerate (every answer identical) scores agreement `0.0`
+/// and the climb continues.
+///
+/// # Errors
+///
+/// [`ReverseError::NoQueries`] when `query_indices` or `ladder` is
+/// empty; [`ReverseError::Fit`] when a proxy fit fails outright.
+#[allow(clippy::too_many_arguments)]
+pub fn denoise_cost_search(
+    oracle: &mut dyn Detector,
+    reference: &mut dyn Detector,
+    dataset: &Dataset,
+    query_indices: &[usize],
+    test_indices: &[usize],
+    config: &ReverseConfig,
+    ladder: &[usize],
+    target_agreement: f64,
+) -> Result<DenoiseCurve, ReverseError> {
+    if query_indices.is_empty() || ladder.is_empty() {
+        return Err(ReverseError::NoQueries);
+    }
+    let mut points = Vec::with_capacity(ladder.len());
+    let mut required = None;
+    for &k in ladder {
+        let agreement = match denoised_reverse_engineer(oracle, dataset, query_indices, config, k) {
+            Ok(proxy) => effectiveness(&proxy, reference, dataset, test_indices),
+            Err(ReverseError::DegenerateOracle) => 0.0,
+            Err(e) => return Err(e),
+        };
+        points.push(DenoisePoint {
+            queries_per_sample: k.max(1),
+            query_cost: query_cost(query_indices.len(), k),
+            agreement,
+        });
+        if agreement >= target_agreement {
+            required = Some(k.max(1));
+            break;
+        }
+    }
+    Ok(DenoiseCurve {
+        target_agreement,
+        points,
+        required,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProxyKind;
+    use shmd_workload::dataset::DatasetConfig;
+    use shmd_workload::features::FeatureSpec;
+    use stochastic_hmd::stochastic::StochasticHmd;
+    use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+    use stochastic_hmd::BaselineHmd;
+
+    fn setup() -> (Dataset, BaselineHmd) {
+        let dataset = Dataset::generate(&DatasetConfig::small(150), 29);
+        let split = dataset.three_fold_split(0);
+        let victim = train_baseline(
+            &dataset,
+            split.victim_training(),
+            FeatureSpec::frequency(),
+            &HmdTrainConfig::fast(),
+        )
+        .expect("trains");
+        (dataset, victim)
+    }
+
+    #[test]
+    fn deterministic_oracle_needs_one_query_per_sample() {
+        let (dataset, victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let mut oracle = victim.clone();
+        let mut reference = victim.clone();
+        let curve = denoise_cost_search(
+            &mut oracle,
+            &mut reference,
+            &dataset,
+            split.attacker_training(),
+            split.testing(),
+            &ReverseConfig::new(ProxyKind::LogisticRegression),
+            &DEFAULT_QUERY_LADDER,
+            0.7,
+        )
+        .expect("search");
+        assert_eq!(curve.required, Some(1), "clean labels need no voting");
+        assert_eq!(curve.points.len(), 1, "the climb stops at the target");
+        assert_eq!(
+            curve.total_query_cost(),
+            split.attacker_training().len(),
+            "one query per sample"
+        );
+    }
+
+    #[test]
+    fn noisy_oracle_costs_more_queries_than_a_clean_one() {
+        let (dataset, victim) = setup();
+        let split = dataset.three_fold_split(0);
+        // A clean reference to measure agreement against, and a heavily
+        // stochastic oracle to attack.
+        let mut reference = victim.clone();
+        let mut clean_oracle = victim.clone();
+        let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
+        let clean = denoise_cost_search(
+            &mut clean_oracle,
+            &mut reference,
+            &dataset,
+            split.attacker_training(),
+            split.testing(),
+            &cfg,
+            &DEFAULT_QUERY_LADDER,
+            0.75,
+        )
+        .expect("clean search");
+        let mut noisy_oracle = StochasticHmd::from_baseline(&victim, 0.4, 7).expect("valid");
+        let noisy = denoise_cost_search(
+            &mut noisy_oracle,
+            &mut reference,
+            &dataset,
+            split.attacker_training(),
+            split.testing(),
+            &cfg,
+            &DEFAULT_QUERY_LADDER,
+            0.75,
+        )
+        .expect("noisy search");
+        assert!(
+            noisy.required_or_saturated() >= clean.required_or_saturated(),
+            "noise must not make denoising cheaper: {noisy:?} vs {clean:?}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_typed_errors() {
+        let (dataset, victim) = setup();
+        let split = dataset.three_fold_split(0);
+        let mut oracle = victim.clone();
+        let mut reference = victim.clone();
+        let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
+        assert_eq!(
+            denoise_cost_search(
+                &mut oracle,
+                &mut reference,
+                &dataset,
+                &[],
+                split.testing(),
+                &cfg,
+                &DEFAULT_QUERY_LADDER,
+                0.8,
+            )
+            .unwrap_err(),
+            ReverseError::NoQueries
+        );
+        assert_eq!(
+            denoise_cost_search(
+                &mut oracle,
+                &mut reference,
+                &dataset,
+                split.attacker_training(),
+                split.testing(),
+                &cfg,
+                &[],
+                0.8,
+            )
+            .unwrap_err(),
+            ReverseError::NoQueries
+        );
+    }
+}

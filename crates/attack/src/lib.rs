@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod arena;
 pub mod campaign;
 pub mod evasion;
 pub mod gradient;
@@ -49,11 +50,12 @@ pub mod transfer;
 pub mod validated;
 
 pub use adaptive::{denoised_reverse_engineer, query_cost};
+pub use arena::{denoise_cost_search, DenoiseCurve, DenoisePoint, DEFAULT_QUERY_LADDER};
 pub use campaign::{AttackCampaign, AttackReport};
 pub use evasion::{evade, generate_evasive_malware, EvasionConfig, EvasiveSample};
 pub use gradient::{evade_by_gradient, injection_gradient};
 pub use reverse::{reverse_engineer, Proxy, ReverseConfig, ReverseError};
-pub use transfer::{transferability, TransferOutcome};
+pub use transfer::{transferability, NoTransferAttempts, TransferOutcome};
 pub use validated::{validated_outcome, ValidatedOutcome, ValidationConfig};
 
 use serde::{Deserialize, Serialize};

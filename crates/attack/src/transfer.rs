@@ -4,7 +4,24 @@ use crate::evasion::{generate_evasive_malware, EvasionConfig};
 use crate::reverse::Proxy;
 use serde::{Deserialize, Serialize};
 use shmd_workload::dataset::Dataset;
+use std::fmt;
 use stochastic_hmd::detector::Detector;
+
+/// Error reading a rate from a [`TransferOutcome`] with `attempted == 0`:
+/// the experiment never ran (no malware index was detected by the proxy,
+/// or none was supplied), so there is no rate to report — a caller
+/// folding this into "the attack failed" would be lying in the
+/// defender's favour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoTransferAttempts;
+
+impl fmt::Display for NoTransferAttempts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("no transfer attempts: the experiment never ran")
+    }
+}
+
+impl std::error::Error for NoTransferAttempts {}
 
 /// Outcome of a transferability experiment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,18 +37,52 @@ pub struct TransferOutcome {
 impl TransferOutcome {
     /// The paper's "transferability attack success rate": the fraction of
     /// evasive malware (proxy-evading) that also evades the victim.
-    /// Returns 0 when no sample evaded the proxy.
-    pub fn success_rate(&self) -> f64 {
-        if self.evaded_proxy == 0 {
-            return 0.0;
+    ///
+    /// The three cases are kept distinct instead of collapsing to `0.0`:
+    /// `Ok(Some(rate))` when at least one sample evaded the proxy;
+    /// `Ok(None)` when samples were attempted but the attacker's evasion
+    /// step never converged against the proxy (the *proxy* defeated the
+    /// attack, which says nothing about the victim); and
+    /// `Err(NoTransferAttempts)` when `attempted == 0`, i.e. the
+    /// experiment never ran at all.
+    ///
+    /// # Errors
+    ///
+    /// [`NoTransferAttempts`] when `attempted == 0`.
+    pub fn success_rate(&self) -> Result<Option<f64>, NoTransferAttempts> {
+        if self.attempted == 0 {
+            return Err(NoTransferAttempts);
         }
-        self.evaded_victim as f64 / self.evaded_proxy as f64
+        if self.evaded_proxy == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.evaded_victim as f64 / self.evaded_proxy as f64))
     }
 
     /// The defender's view: the fraction of evasive malware *detected*
-    /// (Figure 5's y-axis).
-    pub fn detection_rate(&self) -> f64 {
-        1.0 - self.success_rate()
+    /// (Figure 5's y-axis). Mirrors [`TransferOutcome::success_rate`]:
+    /// `Ok(None)` when no evasive sample ever existed to detect.
+    ///
+    /// # Errors
+    ///
+    /// [`NoTransferAttempts`] when `attempted == 0`.
+    pub fn detection_rate(&self) -> Result<Option<f64>, NoTransferAttempts> {
+        Ok(self.success_rate()?.map(|rate| 1.0 - rate))
+    }
+
+    /// Scalar collapse for aggregate tables: the success rate, counting
+    /// a non-converged proxy attack (and a never-run experiment) as zero
+    /// attacker success. Use [`TransferOutcome::success_rate`] anywhere
+    /// the distinction matters.
+    pub fn assumed_success_rate(&self) -> f64 {
+        self.success_rate().ok().flatten().unwrap_or(0.0)
+    }
+
+    /// Scalar collapse mirroring [`TransferOutcome::assumed_success_rate`]:
+    /// the detection rate, counting a non-converged attack as full
+    /// detection.
+    pub fn assumed_detection_rate(&self) -> f64 {
+        1.0 - self.assumed_success_rate()
     }
 }
 
@@ -109,15 +160,33 @@ mod tests {
             evaded_proxy: 80,
             evaded_victim: 20,
         };
-        assert!((outcome.success_rate() - 0.25).abs() < 1e-12);
-        assert!((outcome.detection_rate() - 0.75).abs() < 1e-12);
+        let rate = outcome.success_rate().expect("attempted > 0");
+        assert!((rate.expect("converged") - 0.25).abs() < 1e-12);
+        let detected = outcome.detection_rate().expect("attempted > 0");
+        assert!((detected.expect("converged") - 0.75).abs() < 1e-12);
+        assert!((outcome.assumed_success_rate() - 0.25).abs() < 1e-12);
+        assert!((outcome.assumed_detection_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
-    fn zero_proxy_evasions_is_zero_success() {
+    fn never_run_experiment_is_a_typed_error() {
         let outcome = TransferOutcome::default();
-        assert_eq!(outcome.success_rate(), 0.0);
-        assert_eq!(outcome.detection_rate(), 1.0);
+        assert_eq!(outcome.success_rate(), Err(NoTransferAttempts));
+        assert_eq!(outcome.detection_rate(), Err(NoTransferAttempts));
+        assert_eq!(outcome.assumed_success_rate(), 0.0);
+        assert_eq!(outcome.assumed_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn non_converged_proxy_attack_is_distinct_from_failure() {
+        let outcome = TransferOutcome {
+            attempted: 40,
+            evaded_proxy: 0,
+            evaded_victim: 0,
+        };
+        assert_eq!(outcome.success_rate(), Ok(None));
+        assert_eq!(outcome.detection_rate(), Ok(None));
+        assert_eq!(outcome.assumed_success_rate(), 0.0);
     }
 
     #[test]
@@ -144,7 +213,7 @@ mod tests {
             DEFAULT_DETECTION_PERIODS,
         );
         assert!(
-            baseline_outcome.success_rate() > 0.25,
+            baseline_outcome.assumed_success_rate() > 0.25,
             "baseline should be substantially evadable: {baseline_outcome:?}"
         );
 
@@ -161,7 +230,7 @@ mod tests {
             DEFAULT_DETECTION_PERIODS,
         );
         assert!(
-            protected_outcome.success_rate() < baseline_outcome.success_rate(),
+            protected_outcome.assumed_success_rate() < baseline_outcome.assumed_success_rate(),
             "stochastic victim must be harder to transfer to: {protected_outcome:?} vs {baseline_outcome:?}"
         );
     }

@@ -60,7 +60,7 @@ pub fn ripple_ablation(dataset: &Dataset, args: &Args, fractions: &[f64]) -> Vec
                 .run(&mut hmd, dataset, rotation)
                 .expect("attack succeeds");
             eff += report.re_effectiveness;
-            success += report.transfer.success_rate();
+            success += report.transfer.assumed_success_rate();
         }
         let n = seeds as f64;
         rows.push(RippleRow {
@@ -124,7 +124,7 @@ pub fn policy_ablation(
                 &EvasionConfig::default(),
                 1, // the policy already aggregates detections internally
             );
-            detected += outcome.detection_rate();
+            detected += outcome.assumed_detection_rate();
         }
         let n = seeds as f64;
         rows.push(PolicyRow {

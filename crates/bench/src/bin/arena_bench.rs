@@ -1,0 +1,239 @@
+//! Adaptive-attacker arena benchmark: denoising, transfer, and drift
+//! attacks against the live monitoring service, with the
+//! uncertainty-aware ensemble re-query measured as the counter.
+//!
+//! Writes `BENCH_9.json` (override with `--out PATH`) and prints the same
+//! numbers as tables. `--check` exits non-zero when any arena gate fails:
+//!
+//! 1. the denoising attacker's required queries-per-sample is not
+//!    monotone nondecreasing in the delivered error rate;
+//! 2. mean transfer success against the undervolted live service
+//!    (error rate ≥ 0.1) exceeds success against the fault-free victim;
+//! 3. the ensemble re-query recovers less than half the accuracy the
+//!    band-edge error rate cost (unless nothing meaningful was lost);
+//! 4. any scenario is not thread-invariant (serial ≠ threaded replay),
+//!    the mid-arena checkpoint/restore diverges, or pure workload drift
+//!    fires the delivered-rate watchdog.
+//!
+//! CI runs `--fast --threads 8 --check` as the arena smoke test and
+//! diffs the timing-stripped JSON of a serial rerun against it.
+
+use hmd_bench::arena::{self, ArenaPlan};
+use hmd_bench::cli::Scale;
+use hmd_bench::{setup, table, Args};
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_9.json");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(v) => out_path = v,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(flag),
+        }
+    }
+    let args = match Args::try_from_iter(rest) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("flags: --seed N  --threads N  --paper  --fast  --check  --out PATH");
+            std::process::exit(2);
+        }
+    };
+
+    let scale_name = match args.scale {
+        Scale::Fast => "fast",
+        Scale::Medium => "medium",
+        Scale::Paper => "paper",
+    };
+    let dataset = setup::dataset(&args);
+    let baseline = setup::victim(&dataset, 0, &args);
+    let exec = args.exec();
+    let plan = ArenaPlan::for_scale(args.scale);
+
+    let matrix = arena::run_arena(&baseline, &dataset, &plan, args.seed, &exec);
+
+    table::title(&format!(
+        "Denoising cost curve, target agreement {:.2} ({scale_name})",
+        matrix.denoise_target
+    ));
+    table::header(&["error rate", "required k", "search cost", "oracle queries"]);
+    for cell in &matrix.denoise {
+        table::row(&[
+            format!("{:.2}", cell.error_rate),
+            match cell.curve.required {
+                Some(k) => format!("{k}"),
+                None => "saturated".into(),
+            },
+            format!("{}", cell.curve.total_query_cost()),
+            format!("{}", cell.oracle_queries),
+        ]);
+    }
+
+    table::title("Transfer matrix (live service + offline RHMD rows)");
+    table::header(&[
+        "victim",
+        "er",
+        "attacker",
+        "attempted",
+        "evasive",
+        "transferred",
+        "success",
+        "queries",
+    ]);
+    for c in &matrix.transfer {
+        table::row(&[
+            c.victim.to_string(),
+            format!("{:.2}", c.error_rate),
+            c.attacker.to_string(),
+            format!("{}", c.attempted),
+            format!("{}", c.evaded_proxy),
+            format!("{}", c.evaded_victim),
+            format!("{:.2}", c.success),
+            format!("{}", c.query_cost),
+        ]);
+    }
+
+    table::title("Defender accuracy (eval stream, vs ground truth)");
+    table::header(&["victim", "er", "accuracy", "delta vs er=0"]);
+    for c in &matrix.accuracy {
+        table::row(&[
+            c.victim.to_string(),
+            format!("{:.2}", c.error_rate),
+            format!("{:.3}", c.accuracy),
+            format!("{:+.3}", c.delta),
+        ]);
+    }
+
+    let rq = &matrix.requery;
+    table::title(&format!(
+        "Re-query counter at er {:.2} (band {:.2}, {} replicas + anomaly vote)",
+        rq.error_rate, rq.band, rq.replicas
+    ));
+    table::header(&[
+        "clean",
+        "noisy",
+        "requery",
+        "recovered",
+        "extra draws/query",
+    ]);
+    table::row(&[
+        format!("{:.3}", rq.acc_clean),
+        format!("{:.3}", rq.acc_noisy),
+        format!("{:.3}", rq.acc_requery),
+        format!("{:.0}%", rq.recovered * 100.0),
+        format!("{:.2}", rq.requery_rate()),
+    ]);
+    println!(
+        "({} band hits, {} ensemble draws over {} queries; serial == {}-thread: {}; \
+         mid-arena restore identical: {})",
+        rq.band_hits,
+        rq.requeries,
+        rq.served,
+        exec.thread_count(),
+        if rq.thread_invariant { "yes" } else { "NO" },
+        if rq.restore_identical { "yes" } else { "NO" },
+    );
+
+    let d = &matrix.drift;
+    table::title(&format!(
+        "Workload drift: {} Dirichlet segments, fixed er {:.2}",
+        d.segments,
+        setup::OPERATING_ERROR_RATE
+    ));
+    table::header(&[
+        "queries",
+        "drift events",
+        "crashes",
+        "retries",
+        "deterministic",
+    ]);
+    table::row(&[
+        format!("{}", d.queries),
+        format!("{}", d.drift_events),
+        format!("{}", d.crashes),
+        format!("{}", d.retries),
+        if d.thread_invariant { "yes" } else { "NO" }.into(),
+    ]);
+
+    let doc = arena::render_json(&matrix, args.seed, scale_name, exec.thread_count());
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if check {
+        let mut failed = false;
+        if !matrix.denoise_monotone() {
+            eprintln!(
+                "FAIL: denoising cost curve not monotone in error rate: {:?}",
+                matrix
+                    .denoise
+                    .iter()
+                    .map(|c| (c.error_rate, c.curve.required))
+                    .collect::<Vec<_>>()
+            );
+            failed = true;
+        }
+        let base_success = matrix.service_success_at(0.0);
+        let undervolted = matrix.pooled_service_success(0.1);
+        if undervolted > base_success + 1e-9 {
+            eprintln!(
+                "FAIL: pooled transfer success {undervolted:.3} against undervolted \
+                 victims (er >= 0.1) exceeds the fault-free baseline {base_success:.3}"
+            );
+            failed = true;
+        }
+        if !rq.recovers_half() {
+            eprintln!(
+                "FAIL: re-query recovered only {:.0}% of the {:.3} accuracy lost \
+                 (clean {:.3}, noisy {:.3}, requery {:.3})",
+                rq.recovered * 100.0,
+                rq.lost(),
+                rq.acc_clean,
+                rq.acc_noisy,
+                rq.acc_requery
+            );
+            failed = true;
+        }
+        if !rq.thread_invariant {
+            eprintln!(
+                "FAIL: re-query replay diverged between serial and {} threads",
+                exec.thread_count()
+            );
+            failed = true;
+        }
+        if !rq.restore_identical {
+            eprintln!("FAIL: mid-arena checkpoint/restore diverged from the original run");
+            failed = true;
+        }
+        if d.drift_events != 0 {
+            eprintln!(
+                "FAIL: pure workload drift fired the delivered-rate watchdog {} times",
+                d.drift_events
+            );
+            failed = true;
+        }
+        if !d.thread_invariant {
+            eprintln!("FAIL: drift replay diverged between serial and threaded");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: denoising cost monotone, undervolting does not help the \
+             transfer attacker, re-query recovers the band-edge loss, drift watchdog \
+             quiet, every replay thread-invariant and restore-identical"
+        );
+    }
+}

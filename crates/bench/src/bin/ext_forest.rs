@@ -25,7 +25,7 @@ fn main() {
             report.proxy.clone(),
             "baseline".into(),
             table::pct(report.re_effectiveness),
-            table::pct(report.transfer.success_rate()),
+            table::pct(report.transfer.assumed_success_rate()),
         ]);
         let (mut eff, mut succ) = (0.0, 0.0);
         for s in 0..seeds {
@@ -34,7 +34,7 @@ fn main() {
                     .expect("valid");
             let report = campaign.run(&mut protected, &dataset, 0).expect("attack");
             eff += report.re_effectiveness / seeds as f64;
-            succ += report.transfer.success_rate() / seeds as f64;
+            succ += report.transfer.assumed_success_rate() / seeds as f64;
         }
         table::row(&[
             proxy.to_string(),

@@ -154,7 +154,7 @@ pub fn security_matrix(dataset: &Dataset, args: &Args, rotations: usize) -> Vec<
             .run(&mut baseline, dataset, rotation)
             .expect("attack on generated data succeeds");
         acc[0] = report.re_effectiveness;
-        acc[2] = report.transfer.success_rate();
+        acc[2] = report.transfer.assumed_success_rate();
 
         // The stochastic victim's outcome depends on its fault draws;
         // average several injector seeds per rotation.
@@ -172,7 +172,7 @@ pub fn security_matrix(dataset: &Dataset, args: &Args, rotations: usize) -> Vec<
                 .run(&mut protected, dataset, rotation)
                 .expect("attack on generated data succeeds");
             acc[1] += report.re_effectiveness / seeds as f64;
-            acc[3] += report.transfer.success_rate() / seeds as f64;
+            acc[3] += report.transfer.assumed_success_rate() / seeds as f64;
         }
         acc
     });
@@ -248,7 +248,7 @@ pub fn rhmd_comparison(dataset: &Dataset, args: &Args) -> Vec<RhmdRow> {
             let report = campaign
                 .run(&mut rhmd, dataset, rotation)
                 .expect("attack succeeds");
-            (report.transfer.detection_rate(), accuracy)
+            (report.transfer.assumed_detection_rate(), accuracy)
         } else {
             let mut protected =
                 StochasticHmd::from_baseline(&base, OPERATING_ERROR_RATE, cell_seed)
@@ -259,7 +259,7 @@ pub fn rhmd_comparison(dataset: &Dataset, args: &Args) -> Vec<RhmdRow> {
             let report = campaign
                 .run(&mut protected, dataset, rotation)
                 .expect("attack succeeds");
-            (report.transfer.detection_rate(), accuracy)
+            (report.transfer.assumed_detection_rate(), accuracy)
         }
     });
 
@@ -314,7 +314,7 @@ pub fn tradeoff_sweep(dataset: &Dataset, args: &Args, er_grid: &[f64]) -> Vec<Tr
         TradeoffRow {
             error_rate: er,
             accuracy,
-            transfer_robustness: report.transfer.detection_rate(),
+            transfer_robustness: report.transfer.assumed_detection_rate(),
             re_robustness: 1.0 - report.re_effectiveness,
         }
     })

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod arena;
 pub mod batch;
 pub mod chaos;
 pub mod cli;

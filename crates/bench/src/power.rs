@@ -150,7 +150,7 @@ pub fn pareto_sweep(
         let report = campaign
             .run(&mut protected, dataset, rotation)
             .expect("attack campaign runs");
-        let evasion_detection = report.transfer.detection_rate();
+        let evasion_detection = report.transfer.assumed_detection_rate();
         for &temp_c in &PARETO_TEMPS_C {
             let at_calibration = (temp_c - device.temp_c).abs() < f64::EPSILON;
             rows.push(OperatingPoint {

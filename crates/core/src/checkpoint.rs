@@ -70,8 +70,10 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SHCK";
 /// other version fails with [`CheckpointError::UnsupportedVersion`] instead
 /// of misinterpreting bytes. Version 2 added the energy/power-scheduling
 /// fields (per-shard accrued energy, last busy power, scheduler target and
-/// load-window base; service-wide projected power).
-pub const CHECKPOINT_VERSION: u16 = 2;
+/// load-window base; service-wide projected power). Version 3 added the
+/// uncertainty-aware re-query fields (per-shard band hits and re-query
+/// draws; service-wide re-query band and replica count).
+pub const CHECKPOINT_VERSION: u16 = 3;
 
 /// Journal record kind: a full service checkpoint.
 const RECORD_CHECKPOINT: u8 = 1;
@@ -247,6 +249,10 @@ pub struct ShardCheckpoint {
     pub power_target_er: Option<f64>,
     /// Shard query count at the last power-scheduling tick.
     pub power_window_queries: u64,
+    /// Queries whose score landed inside the re-query confidence band.
+    pub band_hits: u64,
+    /// Extra ensemble draws spent answering band hits.
+    pub requeries: u64,
 }
 
 /// The supervisor's mutable state: the voltage controller's calibration
@@ -295,6 +301,11 @@ pub struct ServiceCheckpoint {
     /// Projected busy-power total over serving shards at the last
     /// power-scheduling tick, when a budget policy ran.
     pub service_power_w: Option<f64>,
+    /// Half-width of the uncertainty re-query band around the threshold,
+    /// when re-query was enabled.
+    pub requery_band: Option<f64>,
+    /// Ensemble replicas drawn per band hit (0 when re-query is off).
+    pub requery_replicas: u64,
     /// Supervisor state, for services deployed via
     /// `MonitoringService::supervised`.
     pub supervisor: Option<SupervisorCheckpoint>,
@@ -320,6 +331,8 @@ impl ServiceCheckpoint {
         w.u64(self.rejected_queries);
         w.u64(self.verdict_checksum);
         w.opt_f64(self.service_power_w);
+        w.opt_f64(self.requery_band);
+        w.u64(self.requery_replicas);
         match &self.supervisor {
             None => w.u8(0),
             Some(sup) => {
@@ -380,6 +393,8 @@ impl ServiceCheckpoint {
             rejected_queries: r.u64()?,
             verdict_checksum: r.u64()?,
             service_power_w: r.opt_f64()?,
+            requery_band: r.opt_f64()?,
+            requery_replicas: r.u64()?,
             supervisor: match r.u8()? {
                 0 => None,
                 1 => Some(SupervisorCheckpoint {
@@ -535,6 +550,8 @@ fn encode_shard(w: &mut Writer, shard: &ShardCheckpoint) {
     w.opt_f64(shard.last_power_w);
     w.opt_f64(shard.power_target_er);
     w.u64(shard.power_window_queries);
+    w.u64(shard.band_hits);
+    w.u64(shard.requeries);
 }
 
 fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, CheckpointError> {
@@ -599,6 +616,8 @@ fn decode_shard(r: &mut Reader<'_>) -> Result<ShardCheckpoint, CheckpointError> 
         last_power_w: r.opt_f64()?,
         power_target_er: r.opt_f64()?,
         power_window_queries: r.u64()?,
+        band_hits: r.u64()?,
+        requeries: r.u64()?,
     })
 }
 
@@ -893,6 +912,8 @@ mod tests {
             rejected_queries: 3,
             verdict_checksum: 0xdead_beef_cafe_f00d,
             service_power_w: Some(12.75),
+            requery_band: Some(0.08),
+            requery_replicas: 4,
             supervisor: Some(SupervisorCheckpoint {
                 calibrated_at_c: 52.25,
                 offset_mv: -231,
@@ -947,6 +968,8 @@ mod tests {
                     last_power_w: Some(6.5),
                     power_target_er: Some(0.15),
                     power_window_queries: 300,
+                    band_hits: 12,
+                    requeries: 48,
                 },
                 ShardCheckpoint {
                     id: 1,
@@ -976,6 +999,8 @@ mod tests {
                     last_power_w: None,
                     power_target_er: None,
                     power_window_queries: 0,
+                    band_hits: 0,
+                    requeries: 0,
                 },
             ],
         }

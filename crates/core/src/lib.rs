@@ -39,7 +39,11 @@
 //! - [`daemon`] — the always-on deployment: admission control (bounded
 //!   queue, tenant quotas, hang deadlines) in front of the service, plus
 //!   the zero-downtime rolling-upgrade state machine
-//!   (drain → checkpoint → hand-off → checksum-verified resume).
+//!   (drain → checkpoint → hand-off → checksum-verified resume);
+//! - [`arena`] — the adaptive-attacker arena: the live service behind
+//!   the black-box [`detector::Detector`] interface with a query-cost
+//!   meter, so denoising/transfer attacks drive the deployed stack
+//!   rather than a bare detector.
 //!
 //! # Example
 //!
@@ -68,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod baseline;
 pub mod checkpoint;
 pub(crate) mod codec;
@@ -88,6 +93,7 @@ pub mod train;
 pub mod wire;
 pub mod xval;
 
+pub use arena::ArenaOracle;
 pub use baseline::BaselineHmd;
 pub use checkpoint::{
     BatchCommit, CheckpointError, JournalRecovery, RestoreError, ServiceCheckpoint, StateJournal,
@@ -103,7 +109,8 @@ pub use monitor::{monitor_all, monitor_trace, MonitorOutcome, MonitorReport};
 pub use rhmd::{Rhmd, RhmdConstruction};
 pub use roc::{RocCurve, RocError, RocPoint};
 pub use serve::{
-    MonitoringService, QueryDisposition, RejectReason, ServeConfig, ServeError, Verdict,
+    MonitoringService, QueryDisposition, RejectReason, RequeryConfig, ServeConfig, ServeError,
+    Verdict, VerdictConfidence, MAX_REQUERY_REPLICAS,
 };
 pub use stochastic::StochasticHmd;
 pub use supervisor::{

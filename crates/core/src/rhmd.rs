@@ -16,6 +16,7 @@ use crate::train::{train_baseline, HmdTrainConfig, TrainHmdError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use shmd_ml::anomaly::{AnomalyConfig, AnomalyScorer};
 use shmd_workload::dataset::Dataset;
 use shmd_workload::features::{DetectionPeriod, FeatureKind, FeatureSpec};
 use shmd_workload::trace::Trace;
@@ -88,12 +89,17 @@ impl fmt::Display for RhmdConstruction {
     }
 }
 
-/// A trained RHMD: diverse base detectors plus a switching RNG.
+/// A trained RHMD: diverse base detectors plus a switching RNG, and
+/// optionally a Tang-style unsupervised anomaly scorer as one more
+/// switching target (see [`Rhmd::train_with_anomaly`]).
 #[derive(Clone, Debug)]
 pub struct Rhmd {
     name: String,
     construction: RhmdConstruction,
     bases: Vec<BaselineHmd>,
+    /// Benign-only anomaly member: the feature spec it reads and the
+    /// fitted scorer. Counts as one extra pick in the switching draw.
+    anomaly: Option<(FeatureSpec, AnomalyScorer)>,
     rng: StdRng,
 }
 
@@ -121,8 +127,47 @@ impl Rhmd {
             name: construction.to_string(),
             construction,
             bases,
+            anomaly: None,
             rng: StdRng::seed_from_u64(switch_seed),
         })
+    }
+
+    /// Trains an RHMD whose switching pool additionally holds a
+    /// Tang-style unsupervised anomaly scorer (RAID'14): fitted on the
+    /// *benign* rows of the training fold only, over the construction's
+    /// first feature spec. The scorer has a genuinely different failure
+    /// surface from the supervised bases — an adversarial sample crafted
+    /// against a discriminative boundary does not automatically sit
+    /// inside the benign density — so the ensemble gains diversity at the
+    /// cost of one more switching target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainHmdError`] from base-detector training;
+    /// [`TrainHmdError::BadTrainingData`] when the fold holds no benign
+    /// rows to fit the anomaly envelope on.
+    pub fn train_with_anomaly(
+        dataset: &Dataset,
+        indices: &[usize],
+        construction: RhmdConstruction,
+        config: &HmdTrainConfig,
+        switch_seed: u64,
+    ) -> Result<Rhmd, TrainHmdError> {
+        let mut rhmd = Rhmd::train(dataset, indices, construction, config, switch_seed)?;
+        let spec = construction.specs()[0];
+        let labeled = dataset.labeled_features(indices, spec);
+        let benign: Vec<Vec<f32>> = labeled
+            .inputs
+            .iter()
+            .zip(&labeled.labels)
+            .filter(|(_, &malware)| !malware)
+            .map(|(row, _)| row.clone())
+            .collect();
+        let scorer = AnomalyScorer::fit(&benign, &AnomalyConfig::default())
+            .map_err(|e| TrainHmdError::BadTrainingData(e.to_string()))?;
+        rhmd.name = format!("{construction}+A");
+        rhmd.anomaly = Some((spec, scorer));
+        Ok(rhmd)
     }
 
     /// The construction this RHMD implements.
@@ -135,9 +180,22 @@ impl Rhmd {
         &self.bases
     }
 
-    /// Total stored model size in bytes (every base detector).
+    /// The anomaly member, when trained via [`Rhmd::train_with_anomaly`].
+    pub fn anomaly(&self) -> Option<&AnomalyScorer> {
+        self.anomaly.as_ref().map(|(_, scorer)| scorer)
+    }
+
+    /// Total stored model size in bytes (every base detector, plus the
+    /// anomaly member's moments when present).
     pub fn size_bytes(&self) -> usize {
-        self.bases.iter().map(|b| b.quantized().size_bytes()).sum()
+        self.bases
+            .iter()
+            .map(|b| b.quantized().size_bytes())
+            .sum::<usize>()
+            + self
+                .anomaly
+                .as_ref()
+                .map_or(0, |(_, scorer)| scorer.size_bytes())
     }
 }
 
@@ -147,9 +205,17 @@ impl Detector for Rhmd {
     }
 
     fn score(&mut self, trace: &Trace) -> f64 {
-        let pick = self.rng.gen_range(0..self.bases.len());
-        let base = &self.bases[pick];
-        base.score_features(&base.spec().extract(trace))
+        let pool = self.bases.len() + usize::from(self.anomaly.is_some());
+        let pick = self.rng.gen_range(0..pool);
+        match self.bases.get(pick) {
+            Some(base) => base.score_features(&base.spec().extract(trace)),
+            None => match &self.anomaly {
+                Some((spec, scorer)) => scorer.score(&spec.extract(trace)),
+                // Unreachable: pick < pool implies an anomaly member when
+                // pick >= bases.len().
+                None => 0.0,
+            },
+        }
     }
 }
 
@@ -229,6 +295,36 @@ mod tests {
             scores.len() > 1
         });
         assert!(varying, "random switching must vary scores somewhere");
+    }
+
+    #[test]
+    fn anomaly_member_keeps_accuracy_and_grows_the_pool() {
+        let d = dataset();
+        let split = d.three_fold_split(0);
+        let mut rhmd = Rhmd::train_with_anomaly(
+            &d,
+            split.victim_training(),
+            RhmdConstruction::TwoFeatures,
+            &HmdTrainConfig::fast(),
+            7,
+        )
+        .expect("train");
+        assert!(rhmd.anomaly().is_some());
+        assert_eq!(rhmd.name(), "RHMD-2F+A");
+        assert_eq!(rhmd.bases().len(), 2);
+        // The anomaly member's moments count toward the stored size.
+        let plain = Rhmd::train(
+            &d,
+            split.victim_training(),
+            RhmdConstruction::TwoFeatures,
+            &HmdTrainConfig::fast(),
+            7,
+        )
+        .expect("train plain");
+        assert!(rhmd.size_bytes() > plain.size_bytes());
+        // Switching through the anomaly member keeps the ensemble usable.
+        let m = evaluate(&mut rhmd, &d, split.testing());
+        assert!(m.accuracy() > 0.7, "{m}");
     }
 
     #[test]

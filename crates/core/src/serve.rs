@@ -85,6 +85,7 @@ use crate::supervisor::{
 };
 use crate::telemetry::{FaultCounters, ScoreHistogram, ShardReport, TelemetrySnapshot};
 use shmd_ann::network::{BatchScratch, InferenceScratch};
+use shmd_ml::anomaly::AnomalyScorer;
 use shmd_power::cmos::CmosPowerModel;
 use shmd_power::latency::LatencyModel;
 use shmd_volt::calibration::{CalibrationCurve, CalibrationError};
@@ -109,6 +110,11 @@ const SERVE_TAG: u64 = 0x5e7e;
 /// shard seed and the query's stream position), so query streams never
 /// collide with shard-level derivations.
 const QUERY_TAG: u64 = 0x09e4;
+
+/// Tag mixed into every re-query fault-stream seed derivation (over the
+/// shard seed and the query's stream position), so ensemble re-query
+/// draws never overlap the primary scoring stream at the same position.
+const REQUERY_TAG: u64 = 0x7e9e;
 
 /// Smallest query range a worker claims from the batch cursor. Claims
 /// below this would spend more time on the atomic than on inference.
@@ -135,6 +141,50 @@ pub const MAX_LANES: usize = 16;
 /// queries.
 pub const DEFAULT_LANES: usize = 8;
 
+/// Most ensemble replicas one re-query will ever draw.
+/// [`RequeryConfig::replicas`] is clamped into `1..=MAX_REQUERY_REPLICAS`
+/// wherever it is consumed, which keeps the vote tally inside a `u8`
+/// (1 primary + replicas + optional anomaly vote ≤ 252) and bounds the
+/// worst-case inference amplification a mis-set config can cause.
+pub const MAX_REQUERY_REPLICAS: usize = 250;
+
+/// Uncertainty-aware re-query policy: verdicts whose policy-consistent
+/// score lands within `band` of the decision threshold are re-scored by a
+/// small ensemble — `replicas` fresh stochastic draws on a dedicated
+/// re-query fault stream, plus the service's installed anomaly scorer
+/// when one is present (see
+/// [`MonitoringService::install_anomaly_scorer`]) — and the final label
+/// is the strict majority of all votes.
+///
+/// The re-query stream is seeded from `(shard seed, `[`REQUERY_TAG`]`,
+/// stream position)`, so the whole mechanism stays a pure function of
+/// seeds: serial and N-thread runs, scalar and lane-batched paths, and
+/// checkpoint/restore all produce bit-identical re-queried verdicts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequeryConfig {
+    /// Half-width of the confidence band around the decision threshold.
+    /// Scores with `|score - threshold| <= band` trigger a re-query;
+    /// `band <= 0` disables re-query in all but name.
+    pub band: f64,
+    /// Fresh stochastic draws per re-query, clamped into
+    /// `1..=`[`MAX_REQUERY_REPLICAS`] at use.
+    pub replicas: usize,
+}
+
+impl RequeryConfig {
+    /// A re-query policy with `band` around the threshold and the given
+    /// replica count.
+    pub fn new(band: f64, replicas: usize) -> RequeryConfig {
+        RequeryConfig { band, replicas }
+    }
+
+    /// The replica count actually used: clamped into
+    /// `1..=`[`MAX_REQUERY_REPLICAS`].
+    pub fn effective_replicas(&self) -> usize {
+        self.replicas.clamp(1, MAX_REQUERY_REPLICAS)
+    }
+}
+
 /// Configuration of a [`MonitoringService`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -159,6 +209,10 @@ pub struct ServeConfig {
     /// never results — every lane's fault stream is seeded per query
     /// exactly as the scalar path seeds it.
     pub lanes: usize,
+    /// Uncertainty-aware re-query policy. `None` (the default) answers
+    /// every query from its primary draws alone; `Some` re-scores
+    /// borderline verdicts across an ensemble (see [`RequeryConfig`]).
+    pub requery: Option<RequeryConfig>,
 }
 
 impl ServeConfig {
@@ -177,6 +231,7 @@ impl ServeConfig {
             seed: 42,
             exec: ExecConfig::auto(),
             lanes: DEFAULT_LANES,
+            requery: None,
         }
     }
 
@@ -222,6 +277,13 @@ impl ServeConfig {
         self.lanes = lanes;
         self
     }
+
+    /// Enables uncertainty-aware re-query of borderline verdicts.
+    #[must_use]
+    pub fn with_requery(mut self, requery: RequeryConfig) -> ServeConfig {
+        self.requery = Some(requery);
+        self
+    }
 }
 
 /// Error deploying or reconfiguring a [`MonitoringService`].
@@ -233,6 +295,15 @@ pub enum ServeError {
     InvalidTargetErrorRate(f64),
     /// Supervisor construction failed to calibrate the configured device.
     Calibration(CalibrationError),
+    /// An anomaly scorer's fitted feature width does not match the
+    /// deployed model's input layer
+    /// ([`MonitoringService::install_anomaly_scorer`]).
+    AnomalyDimMismatch {
+        /// Width the scorer was fitted on.
+        got: usize,
+        /// Width the deployed model expects.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -242,6 +313,12 @@ impl fmt::Display for ServeError {
                 write!(f, "target error rate {er} is not a probability below 1")
             }
             ServeError::Calibration(e) => write!(f, "supervisor calibration failed: {e}"),
+            ServeError::AnomalyDimMismatch { got, expected } => {
+                write!(
+                    f,
+                    "anomaly scorer width {got} does not match model input {expected}"
+                )
+            }
         }
     }
 }
@@ -298,6 +375,35 @@ pub enum QueryDisposition {
     Rejected(RejectReason),
 }
 
+/// How sure the service is about a verdict, and whether the
+/// uncertainty-aware ensemble re-queried it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictConfidence {
+    /// The primary score sat outside the configured confidence band (or
+    /// re-query is disabled): the verdict is the plain thresholding of
+    /// the policy-consistent score.
+    Confident,
+    /// The primary score landed inside the confidence band; the label is
+    /// the strict majority over the re-query ensemble (ties resolve
+    /// benign). The score field still reports the *primary* order
+    /// statistic, so re-query can flip `label` relative to
+    /// `score >= threshold`.
+    Requeried {
+        /// Total votes cast: 1 primary + replicas + 1 if an anomaly
+        /// scorer is installed.
+        votes: u8,
+        /// Votes that said malware.
+        positives: u8,
+    },
+}
+
+impl VerdictConfidence {
+    /// Whether the verdict went through ensemble re-query.
+    pub fn is_requeried(&self) -> bool {
+        matches!(self, VerdictConfidence::Requeried { .. })
+    }
+}
+
 /// One answered query.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Verdict {
@@ -313,12 +419,19 @@ pub struct Verdict {
     pub label: Label,
     /// Served by a detector, or rejected at ingestion.
     pub disposition: QueryDisposition,
+    /// Confident primary verdict, or re-queried across the ensemble.
+    pub confidence: VerdictConfidence,
 }
 
 impl Verdict {
     /// Whether ingestion validation rejected this query.
     pub fn is_rejected(&self) -> bool {
         matches!(self.disposition, QueryDisposition::Rejected(_))
+    }
+
+    /// Whether the uncertainty-aware ensemble re-queried this verdict.
+    pub fn is_requeried(&self) -> bool {
+        self.confidence.is_requeried()
     }
 }
 
@@ -352,9 +465,65 @@ enum BackendView<'a> {
 struct ShardView<'a> {
     seed: u64,
     backend: BackendView<'a>,
+    /// Service-wide re-query policy (`None` = re-query disabled).
+    requery: Option<RequeryConfig>,
+    /// Service-wide anomaly scorer, voting in every re-query when
+    /// installed.
+    anomaly: Option<&'a AnomalyScorer>,
 }
 
 impl ShardView<'_> {
+    /// Resolves a stochastic shard's primary `(score, threshold)` into a
+    /// final label: a confident thresholding outside the band, or a
+    /// strict-majority vote over the re-query ensemble inside it.
+    ///
+    /// The ensemble draws `replicas` fresh scores from a fault stream
+    /// seeded by `(shard seed, REQUERY_TAG, position)` — disjoint from
+    /// the primary QUERY_TAG stream, but equally a pure function of the
+    /// stream position — and adds the anomaly scorer's vote when one is
+    /// installed. Ties resolve benign (strict majority), matching the
+    /// service's bias toward false negatives over alert floods at the
+    /// boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &self,
+        hmd: &StochasticHmd,
+        position: u64,
+        features: &[f32],
+        score: f64,
+        threshold: f64,
+        scratch: &mut InferenceScratch,
+        delta: &mut ShardDelta,
+    ) -> (Label, VerdictConfidence) {
+        let primary = score >= threshold;
+        let Some(cfg) = self.requery else {
+            return (Label::from_bool(primary), VerdictConfidence::Confident);
+        };
+        // `<=` so a NaN score (never in-band) stays on the confident path.
+        let in_band = (score - threshold).abs() <= cfg.band;
+        if !in_band {
+            return (Label::from_bool(primary), VerdictConfidence::Confident);
+        }
+        let replicas = cfg.effective_replicas();
+        delta.band_hits += 1;
+        delta.requeries += replicas as u64;
+        let seed = derive_seed(self.seed, &[REQUERY_TAG, position]);
+        let mut stream = FaultStream::new(hmd.fault_model(), seed);
+        let mut votes: u8 = 1;
+        let mut positives = u8::from(primary);
+        for _ in 0..replicas {
+            let replica = hmd.score_features_with(features, &mut stream, scratch);
+            votes += 1;
+            positives += u8::from(replica >= threshold);
+        }
+        delta.faults.fold(&stream.stats());
+        if let Some(anomaly) = self.anomaly {
+            votes += 1;
+            positives += u8::from(anomaly.is_anomalous(features));
+        }
+        let label = Label::from_bool(2 * u16::from(positives) > u16::from(votes));
+        (label, VerdictConfidence::Requeried { votes, positives })
+    }
     /// Scores one query under the policy, accumulating telemetry into the
     /// worker-local `delta`.
     ///
@@ -373,9 +542,9 @@ impl ShardView<'_> {
         scratch: &mut InferenceScratch,
         draws: &mut Vec<f64>,
         delta: &mut ShardDelta,
-    ) -> (f64, Label) {
+    ) -> (f64, Label, VerdictConfidence) {
         let k = policy.detections();
-        let (score, threshold) = match self.backend {
+        let (score, label, confidence) = match self.backend {
             BackendView::Stochastic(hmd) => {
                 let seed = derive_seed(self.seed, &[QUERY_TAG, position]);
                 let mut stream = FaultStream::new(hmd.fault_model(), seed);
@@ -390,20 +559,28 @@ impl ShardView<'_> {
                     DetectionPolicy::AnyOf(_) => draws[k - 1],
                     DetectionPolicy::MajorityOf(_) => draws[k.div_ceil(2) - 1],
                 };
-                (score, Detector::threshold(hmd))
+                let threshold = Detector::threshold(hmd);
+                let (label, confidence) =
+                    self.resolve(hmd, position, features, score, threshold, scratch, delta);
+                (score, label, confidence)
             }
             // The baseline is deterministic: all k draws are one value, so
-            // every policy order statistic equals the single score.
-            BackendView::Baseline(hmd) => (hmd.score_features(features), Detector::threshold(hmd)),
+            // every policy order statistic equals the single score — and
+            // re-querying it would only re-produce that value, so the
+            // baseline never enters the ensemble.
+            BackendView::Baseline(hmd) => {
+                let score = hmd.score_features(features);
+                let label = Label::from_bool(score >= Detector::threshold(hmd));
+                (score, label, VerdictConfidence::Confident)
+            }
             BackendView::Down => unreachable!("crashed shard received a query"),
         };
-        let label = Label::from_bool(score >= threshold);
         delta.queries += 1;
         if label.is_malware() {
             delta.flags += 1;
         }
         delta.histogram.record(score);
-        (score, label)
+        (score, label, confidence)
     }
 
     /// Scores `LANES` same-shard stochastic queries simultaneously: one
@@ -417,16 +594,21 @@ impl ShardView<'_> {
     /// datapath advances each lane in the same per-multiplication order
     /// as a scalar inference — so every lane's score, label, and fault
     /// stats are bit-identical to [`ShardView::answer`] at the same
-    /// position. Batching rearranges wall-clock, never semantics.
+    /// position. Batching rearranges wall-clock, never semantics — a lane
+    /// whose score lands in the confidence band re-queries through the
+    /// same scalar [`ShardView::resolve`] path (`requery_scratch`), on a
+    /// stream seeded by its own position.
+    #[allow(clippy::too_many_arguments)]
     fn answer_block<const LANES: usize>(
         &self,
         policy: DetectionPolicy,
         positions: &[u64; LANES],
         features: &[&[f32]; LANES],
         scratch: &mut BatchScratch<LANES>,
+        requery_scratch: &mut InferenceScratch,
         lane_draws: &mut Vec<f64>,
         delta: &mut ShardDelta,
-    ) -> [(f64, Label); LANES] {
+    ) -> [(f64, Label, VerdictConfidence); LANES] {
         let BackendView::Stochastic(hmd) = self.backend else {
             unreachable!("answer_block is only dispatched to stochastic shards")
         };
@@ -454,13 +636,21 @@ impl ShardView<'_> {
                 DetectionPolicy::AnyOf(_) => draws[k - 1],
                 DetectionPolicy::MajorityOf(_) => draws[k.div_ceil(2) - 1],
             };
-            let label = Label::from_bool(score >= threshold);
+            let (label, confidence) = self.resolve(
+                hmd,
+                positions[l],
+                features[l],
+                score,
+                threshold,
+                requery_scratch,
+                delta,
+            );
             delta.queries += 1;
             if label.is_malware() {
                 delta.flags += 1;
             }
             delta.histogram.record(score);
-            (score, label)
+            (score, label, confidence)
         })
     }
 }
@@ -472,6 +662,10 @@ impl ShardView<'_> {
 struct ShardDelta {
     queries: u64,
     flags: u64,
+    /// Verdicts whose primary score landed inside the confidence band.
+    band_hits: u64,
+    /// Ensemble replica draws spent on re-queries.
+    requeries: u64,
     faults: FaultCounters,
     histogram: ScoreHistogram,
 }
@@ -496,6 +690,15 @@ struct Shard {
     degradation_events: u64,
     queries: u64,
     flags: u64,
+    /// Verdicts whose primary score landed inside the re-query confidence
+    /// band (0 while re-query is disabled).
+    band_hits: u64,
+    /// Cumulative ensemble replica draws spent on re-queries.
+    requeries: u64,
+    /// Re-query count energy has been accrued up to. Like
+    /// `energy_accounted`, not checkpointed: at any batch boundary it
+    /// equals `requeries`.
+    requeries_accounted: u64,
     /// Fault counters folded at every batch boundary from the per-query
     /// fault streams (and, historically, from injector generations retired
     /// by recalibration — the name survives for checkpoint compatibility).
@@ -522,8 +725,14 @@ struct Shard {
 }
 
 impl Shard {
-    /// The immutable view a batch's workers score against.
-    fn view(&self) -> ShardView<'_> {
+    /// The immutable view a batch's workers score against. The re-query
+    /// policy and anomaly scorer are service-wide and ride in on every
+    /// view.
+    fn view<'a>(
+        &'a self,
+        requery: Option<RequeryConfig>,
+        anomaly: Option<&'a AnomalyScorer>,
+    ) -> ShardView<'a> {
         ShardView {
             seed: self.seed,
             backend: match &self.backend {
@@ -531,6 +740,8 @@ impl Shard {
                 ShardBackend::Baseline(hmd) => BackendView::Baseline(hmd),
                 ShardBackend::Down => BackendView::Down,
             },
+            requery,
+            anomaly,
         }
     }
 
@@ -538,6 +749,8 @@ impl Shard {
     fn fold_delta(&mut self, delta: &ShardDelta) {
         self.queries += delta.queries;
         self.flags += delta.flags;
+        self.band_hits += delta.band_hits;
+        self.requeries += delta.requeries;
         self.retired_faults.merge(&delta.faults);
         self.histogram.merge(&delta.histogram);
     }
@@ -575,6 +788,8 @@ impl Shard {
             retries: self.supervision.retries(),
             queries: self.queries,
             flags: self.flags,
+            band_hits: self.band_hits,
+            requeries: self.requeries,
             faults: self.fault_counters(),
             histogram: self.histogram.clone(),
             energy_uj: self.energy_uj,
@@ -665,7 +880,7 @@ fn batch_worker<const LANES: usize>(
                     {
                         groups[target].push(i);
                     } else {
-                        let (score, label) = ctx.views[target].answer(
+                        let (score, label, confidence) = ctx.views[target].answer(
                             ctx.policy,
                             position,
                             query,
@@ -679,6 +894,7 @@ fn batch_worker<const LANES: usize>(
                             score,
                             label,
                             disposition: QueryDisposition::Served,
+                            confidence,
                         });
                     }
                 }
@@ -689,6 +905,7 @@ fn batch_worker<const LANES: usize>(
                         score: 0.0,
                         label: Label::from_bool(false),
                         disposition: QueryDisposition::Rejected(reason),
+                        confidence: VerdictConfidence::Confident,
                     });
                 }
             }
@@ -705,22 +922,24 @@ fn batch_worker<const LANES: usize>(
                     &positions,
                     &lane_features,
                     &mut batch_scratch,
+                    &mut scratch,
                     &mut lane_draws,
                     &mut deltas[target],
                 );
-                for (l, (score, label)) in answers.into_iter().enumerate() {
+                for (l, (score, label, confidence)) in answers.into_iter().enumerate() {
                     out[block[l]] = Some(Verdict {
                         query: positions[l],
                         shard: target,
                         score,
                         label,
                         disposition: QueryDisposition::Served,
+                        confidence,
                     });
                 }
             }
             for &i in blocks.remainder() {
                 let position = ctx.base + (lo + i) as u64;
-                let (score, label) = ctx.views[target].answer(
+                let (score, label, confidence) = ctx.views[target].answer(
                     ctx.policy,
                     position,
                     &ctx.features[lo + i],
@@ -734,6 +953,7 @@ fn batch_worker<const LANES: usize>(
                     score,
                     label,
                     disposition: QueryDisposition::Served,
+                    confidence,
                 });
             }
         }
@@ -795,6 +1015,13 @@ pub struct MonitoringService {
     /// is never checkpointed and [`MonitoringService::restore`] gives it
     /// the default.
     lanes: usize,
+    /// Uncertainty-aware re-query policy (`None` = disabled). Part of the
+    /// verdict stream's definition, so it *is* checkpointed.
+    requery: Option<RequeryConfig>,
+    /// Ensemble anomaly scorer voting in re-queries. Immutable model
+    /// weights like `baseline`: never checkpointed, re-installed by the
+    /// caller after [`MonitoringService::restore`].
+    anomaly: Option<AnomalyScorer>,
     /// The unprotected model: the fallback backend, and the template for
     /// supervised rebuilds.
     baseline: BaselineHmd,
@@ -910,6 +1137,9 @@ impl MonitoringService {
                 degradation_events: degradation,
                 queries: 0,
                 flags: 0,
+                band_hits: 0,
+                requeries: 0,
+                requeries_accounted: 0,
                 retired_faults: FaultCounters::default(),
                 histogram: ScoreHistogram::new(),
                 energy_uj: 0.0,
@@ -940,6 +1170,8 @@ impl MonitoringService {
             batch_size: config.batch_size.max(1),
             exec: config.exec,
             lanes: config.lanes.clamp(1, MAX_LANES),
+            requery: config.requery,
+            anomaly: None,
             baseline: baseline.clone(),
             input_dim: baseline.quantized().input_dim(),
             supervisor: None,
@@ -985,6 +1217,9 @@ impl MonitoringService {
             degradation_events: degradation,
             queries: 0,
             flags: 0,
+            band_hits: 0,
+            requeries: 0,
+            requeries_accounted: 0,
             retired_faults: FaultCounters::default(),
             histogram: ScoreHistogram::new(),
             energy_uj: 0.0,
@@ -1046,6 +1281,53 @@ impl MonitoringService {
     /// The batched-inference lane width in effect (1 = scalar path).
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// The uncertainty-aware re-query policy in effect, if any.
+    pub fn requery(&self) -> Option<RequeryConfig> {
+        self.requery
+    }
+
+    /// Enables (or replaces) uncertainty-aware re-query at runtime.
+    /// `None` disables it. Takes effect from the next batch; counters
+    /// already accrued are kept.
+    pub fn set_requery(&mut self, requery: Option<RequeryConfig>) {
+        self.requery = requery;
+    }
+
+    /// The installed ensemble anomaly scorer, if any.
+    pub fn anomaly_scorer(&self) -> Option<&AnomalyScorer> {
+        self.anomaly.as_ref()
+    }
+
+    /// Installs an unsupervised anomaly scorer as an extra re-query
+    /// ensemble member (Tang-style benign-envelope deviation — see
+    /// [`shmd_ml::anomaly`]). It votes on every re-queried verdict from
+    /// the next batch on; it never answers confident verdicts, so
+    /// installing one changes nothing while re-query is disabled.
+    ///
+    /// Model weights are deterministic caller inputs (like `baseline`),
+    /// so the scorer is not checkpointed: re-install the same scorer
+    /// after [`MonitoringService::restore`] to resume bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AnomalyDimMismatch`] when the scorer's
+    /// fitted width differs from the deployed model's input layer.
+    pub fn install_anomaly_scorer(&mut self, scorer: AnomalyScorer) -> Result<(), ServeError> {
+        if scorer.input_dim() != self.input_dim {
+            return Err(ServeError::AnomalyDimMismatch {
+                got: scorer.input_dim(),
+                expected: self.input_dim,
+            });
+        }
+        self.anomaly = Some(scorer);
+        Ok(())
+    }
+
+    /// Removes the installed anomaly scorer, returning it.
+    pub fn uninstall_anomaly_scorer(&mut self) -> Option<AnomalyScorer> {
+        self.anomaly.take()
     }
 
     /// Feature width the deployed model expects; queries of any other
@@ -1213,7 +1495,13 @@ impl MonitoringService {
         let lanes = self.lanes;
         type WorkerRanges = Vec<(usize, Vec<Verdict>)>;
         let worker_out: Vec<(WorkerRanges, Vec<ShardDelta>)> = {
-            let views: Vec<ShardView<'_>> = self.shards.iter().map(Shard::view).collect();
+            let requery = self.requery;
+            let anomaly = self.anomaly.as_ref();
+            let views: Vec<ShardView<'_>> = self
+                .shards
+                .iter()
+                .map(|shard| shard.view(requery, anomaly))
+                .collect();
             let cursor = AtomicUsize::new(0);
             let ctx = BatchCtx {
                 cursor: &cursor,
@@ -1307,7 +1595,14 @@ impl MonitoringService {
         for shard in &mut self.shards {
             let delta = shard.queries - shard.energy_accounted;
             shard.energy_accounted = shard.queries;
-            if delta == 0 {
+            // Every ensemble replica draw is a full inference at the
+            // shard's live offset — the honest energy price of the
+            // re-query counter-measure. (The anomaly scorer's vote is a
+            // handful of flops against the model's MACs; below the
+            // model's resolution.)
+            let requery_delta = shard.requeries - shard.requeries_accounted;
+            shard.requeries_accounted = shard.requeries;
+            if delta == 0 && requery_delta == 0 {
                 continue;
             }
             let (offset, k) = match &shard.backend {
@@ -1323,7 +1618,8 @@ impl MonitoringService {
                 .power_model
                 .core_power_w(NOMINAL_CORE_VOLTAGE.with_offset(offset));
             // W × µs = µJ.
-            shard.energy_uj += delta as f64 * per_detection_us * k as f64 * power_w;
+            shard.energy_uj +=
+                (delta as f64 * k as f64 + requery_delta as f64) * per_detection_us * power_w;
             shard.last_power_w = Some(power_w);
         }
     }
@@ -1805,6 +2101,8 @@ impl MonitoringService {
                 last_power_w: shard.last_power_w,
                 power_target_er: shard.power_target_er,
                 power_window_queries: shard.power_window_queries,
+                band_hits: shard.band_hits,
+                requeries: shard.requeries,
             })
             .collect();
         ServiceCheckpoint {
@@ -1818,6 +2116,8 @@ impl MonitoringService {
             rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,
             service_power_w: self.service_power_w,
+            requery_band: self.requery.map(|r| r.band),
+            requery_replicas: self.requery.map_or(0, |r| r.replicas as u64),
             supervisor,
             shards,
         }
@@ -1834,7 +2134,10 @@ impl MonitoringService {
     /// [`SupervisorConfig`] for a supervised checkpoint — both are
     /// deterministic inputs the caller reconstructs, exactly as it did at
     /// first deployment. `exec` only chooses the worker pool and never
-    /// affects results.
+    /// affects results. An ensemble anomaly scorer is likewise model
+    /// weights, not mutable state: re-install the same scorer via
+    /// [`MonitoringService::install_anomaly_scorer`] after restoring to
+    /// resume re-queried verdicts bit-identically.
     ///
     /// # Errors
     ///
@@ -1935,6 +2238,11 @@ impl MonitoringService {
                 degradation_events: s.degradation_events,
                 queries: s.queries,
                 flags: s.flags,
+                band_hits: s.band_hits,
+                requeries: s.requeries,
+                // Checkpoints are taken at batch boundaries, where
+                // re-query energy is always fully accrued.
+                requeries_accounted: s.requeries,
                 retired_faults: s.retired_faults,
                 histogram: ScoreHistogram::from_counts(s.histogram),
                 energy_uj: s.energy_uj,
@@ -1958,6 +2266,15 @@ impl MonitoringService {
             // Wall-clock only, so not part of the checkpoint: any width
             // resumes the stream bit-identically.
             lanes: DEFAULT_LANES,
+            requery: checkpoint.requery_band.map(|band| RequeryConfig {
+                band,
+                replicas: usize::try_from(checkpoint.requery_replicas.max(1))
+                    .unwrap_or(MAX_REQUERY_REPLICAS)
+                    .clamp(1, MAX_REQUERY_REPLICAS),
+            }),
+            // Model weights, not mutable state: the caller re-installs
+            // the same scorer it installed at first deployment.
+            anomaly: None,
             baseline: baseline.clone(),
             input_dim: expected,
             supervisor,
@@ -2014,6 +2331,8 @@ impl MonitoringService {
             batches: self.batches,
             queries: self.served,
             flags: shards.iter().map(|s| s.flags).sum(),
+            band_hits: shards.iter().map(|s| s.band_hits).sum(),
+            requeries: shards.iter().map(|s| s.requeries).sum(),
             degradation_events: self.shards.iter().map(|s| s.degradation_events).sum(),
             rejected_queries: self.rejected_queries,
             verdict_checksum: self.verdict_checksum,

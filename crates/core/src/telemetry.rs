@@ -164,6 +164,11 @@ pub struct ShardReport {
     pub queries: u64,
     /// Queries this shard flagged as malware.
     pub flags: u64,
+    /// Verdicts whose primary score landed inside the uncertainty-aware
+    /// re-query confidence band (0 while re-query is disabled).
+    pub band_hits: u64,
+    /// Ensemble replica draws this shard spent on re-queries.
+    pub requeries: u64,
     /// Fault-injection counters folded from the shard's injector(s),
     /// including generations replaced by recalibration.
     pub faults: FaultCounters,
@@ -196,6 +201,12 @@ pub struct TelemetrySnapshot {
     pub queries: u64,
     /// Queries flagged as malware across all shards.
     pub flags: u64,
+    /// Verdicts re-query found inside the confidence band, summed over
+    /// all shards.
+    pub band_hits: u64,
+    /// Ensemble replica draws spent on re-queries, summed over all
+    /// shards.
+    pub requeries: u64,
     /// Cumulative shard degradations (a shard recalibrated back to
     /// stochastic and degraded again counts twice).
     pub degradation_events: u64,
@@ -323,6 +334,8 @@ impl TelemetrySnapshot {
         out.push_str(&format!("  \"batches\": {},\n", self.batches));
         out.push_str(&format!("  \"queries\": {},\n", self.queries));
         out.push_str(&format!("  \"flags\": {},\n", self.flags));
+        out.push_str(&format!("  \"band_hits\": {},\n", self.band_hits));
+        out.push_str(&format!("  \"requeries\": {},\n", self.requeries));
         out.push_str(&format!(
             "  \"degradation_events\": {},\n",
             self.degradation_events
@@ -366,6 +379,7 @@ impl TelemetrySnapshot {
                  \"degraded_reason\": {}, \"health\": \"{}\", \
                  \"transitions\": {}, \"crashes\": {}, \"drift_events\": {}, \
                  \"retries\": {}, \"queries\": {}, \"flags\": {}, \
+                 \"band_hits\": {}, \"requeries\": {}, \
                  \"multiplies\": {}, \"faulty\": {}, \"bit_flips\": {}, \
                  \"energy_uj\": {}, \"power_w\": {}, \
                  \"power_target_er\": {}, \"histogram\": [{}]}}{}\n",
@@ -383,6 +397,8 @@ impl TelemetrySnapshot {
                 s.retries,
                 s.queries,
                 s.flags,
+                s.band_hits,
+                s.requeries,
                 s.faults.multiplies,
                 s.faults.faulty,
                 s.faults.bit_flips,
@@ -446,6 +462,10 @@ impl TelemetrySnapshot {
                 retries: obj.field("retries")?.as_u64("retries")?,
                 queries: obj.field("queries")?.as_u64("queries")?,
                 flags: obj.field("flags")?.as_u64("flags")?,
+                // Re-query counters are absent in pre-arena snapshots;
+                // they read back as "no re-queries yet".
+                band_hits: optional_u64(&obj, "band_hits")?.unwrap_or(0),
+                requeries: optional_u64(&obj, "requeries")?.unwrap_or(0),
                 faults: FaultCounters {
                     multiplies: obj.field("multiplies")?.as_u64("multiplies")?,
                     faulty: obj.field("faulty")?.as_u64("faulty")?,
@@ -487,6 +507,8 @@ impl TelemetrySnapshot {
             batches: top.field("batches")?.as_u64("batches")?,
             queries: top.field("queries")?.as_u64("queries")?,
             flags: top.field("flags")?.as_u64("flags")?,
+            band_hits: optional_u64(&top, "band_hits")?.unwrap_or(0),
+            requeries: optional_u64(&top, "requeries")?.unwrap_or(0),
             degradation_events: top
                 .field("degradation_events")?
                 .as_u64("degradation_events")?,
@@ -506,6 +528,16 @@ fn optional_f64(obj: &json::Object<'_>, name: &str) -> Result<Option<f64>, Strin
     match obj.field(name) {
         Ok(json::Value::Null) | Err(_) => Ok(None),
         Ok(v) => Ok(Some(v.as_f64(name)?)),
+    }
+}
+
+/// Reads an optional counter field: absent (pre-arena snapshots) and
+/// `null` both map to `None`, the same back-compat idiom as
+/// [`optional_f64`].
+fn optional_u64(obj: &json::Object<'_>, name: &str) -> Result<Option<u64>, String> {
+    match obj.field(name) {
+        Ok(json::Value::Null) | Err(_) => Ok(None),
+        Ok(v) => Ok(Some(v.as_u64(name)?)),
     }
 }
 
@@ -851,6 +883,8 @@ mod tests {
             batches: 2,
             queries: 3,
             flags: 2,
+            band_hits: 1,
+            requeries: 5,
             degradation_events: 1,
             rejected_queries: 4,
             verdict_checksum: u64::MAX - 7,
@@ -869,6 +903,8 @@ mod tests {
                     retries: 0,
                     queries: 2,
                     flags: 1,
+                    band_hits: 1,
+                    requeries: 5,
                     faults: FaultCounters {
                         multiplies: 408,
                         faulty: 37,
@@ -891,6 +927,8 @@ mod tests {
                     retries: 4,
                     queries: 1,
                     flags: 1,
+                    band_hits: 0,
+                    requeries: 0,
                     faults: FaultCounters::default(),
                     histogram: ScoreHistogram::new(),
                     energy_uj: 0.0,
@@ -1038,6 +1076,35 @@ mod tests {
         assert_eq!(back.service_power_w, None);
         assert_eq!(back.total_energy_uj(), 0.0);
         assert!(back.shards.iter().all(|s| s.power_w.is_none()));
+    }
+
+    #[test]
+    fn pre_requery_snapshots_still_parse() {
+        // Snapshots written before uncertainty-aware re-query carry no
+        // band-hit or re-query counters; they read back as zero.
+        let json = sample_snapshot().to_json();
+        let stripped = json
+            .lines()
+            .filter(|l| {
+                !l.trim_start().starts_with("\"band_hits\"") && {
+                    !l.trim_start().starts_with("\"requeries\"")
+                }
+            })
+            .map(|l| {
+                let mut l = l.to_string();
+                if let Some(at) = l.find(", \"band_hits\"") {
+                    let end = l.find(", \"multiplies\"").expect("shard row has faults");
+                    l.replace_range(at..end, "");
+                }
+                l
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = TelemetrySnapshot::from_json(&stripped).expect("parses");
+        assert_eq!(back.band_hits, 0);
+        assert_eq!(back.requeries, 0);
+        assert!(back.shards.iter().all(|s| s.band_hits == 0));
+        assert!(back.shards.iter().all(|s| s.requeries == 0));
     }
 
     #[test]

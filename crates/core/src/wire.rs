@@ -36,7 +36,7 @@
 )]
 
 use crate::codec::{fnv1a, CodecError, Reader, Writer};
-use crate::serve::{QueryDisposition, RejectReason, Verdict};
+use crate::serve::{QueryDisposition, RejectReason, Verdict, VerdictConfidence};
 use std::fmt;
 
 /// First bytes of every wire frame ("Stochastic-HMD Wire Protocol").
@@ -44,8 +44,9 @@ pub const WIRE_MAGIC: [u8; 4] = *b"SHWP";
 
 /// Protocol version written by [`encode_frame`]. Decoding any other
 /// version fails with [`WireError::UnsupportedVersion`] instead of
-/// misinterpreting bytes.
-pub const WIRE_VERSION: u16 = 1;
+/// misinterpreting bytes. Version 2 added the verdict confidence tag
+/// (uncertainty-aware re-query disposition).
+pub const WIRE_VERSION: u16 = 2;
 
 /// Bytes of framing around a payload: magic + version + kind + length
 /// before it, checksum after it.
@@ -371,8 +372,9 @@ impl Frame {
             KIND_VERDICTS => {
                 let tenant = r.u32()?;
                 let count = r.u32()? as usize;
-                // A verdict is at least 26 body bytes (8 + 8 + 8 + 1 + 1).
-                if count.saturating_mul(26) > r.remaining() {
+                // A verdict is at least 27 body bytes
+                // (8 + 8 + 8 + 1 + 1 + 1).
+                if count.saturating_mul(27) > r.remaining() {
                     return Err(WireError::Corrupted(format!(
                         "verdict count {count} exceeds the payload"
                     )));
@@ -439,6 +441,14 @@ fn encode_verdict(w: &mut Writer, v: &Verdict) {
             w.u64(index as u64);
         }
     }
+    match v.confidence {
+        VerdictConfidence::Confident => w.u8(0),
+        VerdictConfidence::Requeried { votes, positives } => {
+            w.u8(1);
+            w.u8(votes);
+            w.u8(positives);
+        }
+    }
 }
 
 fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
@@ -467,12 +477,25 @@ fn decode_verdict(r: &mut Reader<'_>) -> Result<Verdict, WireError> {
             )))
         }
     };
+    let confidence = match r.u8()? {
+        0 => VerdictConfidence::Confident,
+        1 => VerdictConfidence::Requeried {
+            votes: r.u8()?,
+            positives: r.u8()?,
+        },
+        tag => {
+            return Err(WireError::Corrupted(format!(
+                "invalid confidence tag {tag}"
+            )))
+        }
+    };
     Ok(Verdict {
         query,
         shard,
         score,
         label,
         disposition,
+        confidence,
     })
 }
 
@@ -601,6 +624,7 @@ mod tests {
                         score: 0.75,
                         label: Label::from_bool(true),
                         disposition: QueryDisposition::Served,
+                        confidence: VerdictConfidence::Confident,
                     },
                     Verdict {
                         query: 42,
@@ -611,6 +635,7 @@ mod tests {
                             got: 7,
                             expected: 24,
                         }),
+                        confidence: VerdictConfidence::Confident,
                     },
                     Verdict {
                         query: 43,
@@ -620,6 +645,18 @@ mod tests {
                         disposition: QueryDisposition::Rejected(RejectReason::NonFiniteFeature {
                             index: 5,
                         }),
+                        confidence: VerdictConfidence::Confident,
+                    },
+                    Verdict {
+                        query: 44,
+                        shard: 3,
+                        score: 0.51,
+                        label: Label::from_bool(true),
+                        disposition: QueryDisposition::Served,
+                        confidence: VerdictConfidence::Requeried {
+                            votes: 7,
+                            positives: 5,
+                        },
                     },
                 ],
             },

@@ -1,0 +1,250 @@
+//! Unsupervised one-class anomaly scoring over feature vectors.
+//!
+//! Tang et al. (RAID'14) detect malware as a *deviation from learned
+//! benign behaviour*: the model only ever sees benign executions at
+//! training time, and anything whose microarchitectural footprint sits
+//! far from that baseline is flagged. That gives an RHMD-style ensemble a
+//! base learner with a genuinely different failure surface from the
+//! supervised members — an adversarial sample crafted against a
+//! discriminative boundary does not automatically sit inside the benign
+//! density.
+//!
+//! [`AnomalyScorer`] is the deterministic, dependency-free version of
+//! that idea: per-feature mean/std moments fitted on benign rows only,
+//! an anomaly *distance* that is the RMS of the standardized per-feature
+//! deviations, and a decision threshold placed at a configurable quantile
+//! of the training distances. [`AnomalyScorer::score`] maps the distance
+//! through a logistic centred on that threshold so callers get a score in
+//! `(0, 1)` with the usual `>= 0.5` ⇒ anomalous convention — the same
+//! calling convention every other detector in the workspace uses.
+
+use crate::FitError;
+use std::fmt;
+
+/// Default training-distance quantile at which the decision threshold is
+/// placed: 95% of the benign training rows score below it.
+pub const DEFAULT_ANOMALY_QUANTILE: f64 = 0.95;
+
+/// Configuration for [`AnomalyScorer::fit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnomalyConfig {
+    /// Quantile of the benign training distances used as the decision
+    /// threshold. Clamped into `[0.5, 1.0]` at fit time.
+    pub quantile: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> AnomalyConfig {
+        AnomalyConfig {
+            quantile: DEFAULT_ANOMALY_QUANTILE,
+        }
+    }
+}
+
+/// A one-class (benign-only) anomaly detector over fixed-width feature
+/// vectors.
+///
+/// Fit on benign rows only; [`AnomalyScorer::score`] returns a value in
+/// `(0, 1)` where `>= 0.5` means the row deviates from the learned benign
+/// envelope more than the configured quantile of the training set did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnomalyScorer {
+    /// Per-feature training means.
+    means: Vec<f64>,
+    /// Per-feature training standard deviations, floored away from zero so
+    /// constant features never divide by zero.
+    stds: Vec<f64>,
+    /// Decision threshold on the anomaly distance.
+    threshold: f64,
+    /// Logistic slope: fixed from the training-distance spread so the
+    /// score saturates smoothly rather than step-functioning.
+    scale: f64,
+}
+
+impl fmt::Display for AnomalyScorer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AnomalyScorer(dim={}, threshold={:.4})",
+            self.means.len(),
+            self.threshold
+        )
+    }
+}
+
+/// Smallest standard deviation used for standardization; constant
+/// features contribute a finite deviation instead of dividing by zero.
+const STD_FLOOR: f64 = 1e-6;
+
+impl AnomalyScorer {
+    /// Fits the benign envelope on `benign` rows.
+    ///
+    /// # Errors
+    ///
+    /// - [`FitError::EmptyTrainingSet`] when `benign` is empty;
+    /// - [`FitError::RaggedRow`] when a row's width differs from the
+    ///   first row's.
+    pub fn fit(benign: &[Vec<f32>], config: &AnomalyConfig) -> Result<AnomalyScorer, FitError> {
+        if benign.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        let width = benign[0].len();
+        for (i, row) in benign.iter().enumerate() {
+            if row.len() != width {
+                return Err(FitError::RaggedRow(i));
+            }
+        }
+        let n = benign.len() as f64;
+        let mut means = vec![0.0f64; width];
+        for row in benign {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += f64::from(x);
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0f64; width];
+        for row in benign {
+            for ((s, m), &x) in stds.iter_mut().zip(&means).zip(row) {
+                let d = f64::from(x) - *m;
+                *s += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt().max(STD_FLOOR);
+        }
+        let scorer = AnomalyScorer {
+            means,
+            stds,
+            threshold: 0.0,
+            scale: 1.0,
+        };
+        let mut distances: Vec<f64> = benign.iter().map(|row| scorer.distance(row)).collect();
+        distances.sort_by(f64::total_cmp);
+        let q = config.quantile.clamp(0.5, 1.0);
+        let rank = ((distances.len() as f64 - 1.0) * q).round() as usize;
+        let threshold = distances[rank.min(distances.len() - 1)];
+        // Slope from the training spread: one spread past the threshold
+        // saturates the logistic to ~0.73, three spreads to ~0.95.
+        let spread = (distances[distances.len() - 1] - distances[0]).max(STD_FLOOR);
+        Ok(AnomalyScorer {
+            threshold,
+            scale: spread,
+            ..scorer
+        })
+    }
+
+    /// Feature width the scorer was fitted on.
+    pub fn input_dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Raw anomaly distance: RMS of the standardized per-feature
+    /// deviations from the benign envelope. Rows of the wrong width
+    /// compare only the overlapping prefix and count the missing features
+    /// as maximally deviant, so the distance is total rather than partial.
+    pub fn distance(&self, features: &[f32]) -> f64 {
+        let width = self.means.len();
+        if width == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0f64;
+        for i in 0..width {
+            let z = match features.get(i) {
+                Some(&x) if x.is_finite() => (f64::from(x) - self.means[i]) / self.stds[i],
+                // Missing or non-finite feature: maximally deviant.
+                _ => 1.0 / STD_FLOOR,
+            };
+            sum += z * z;
+        }
+        (sum / width as f64).sqrt()
+    }
+
+    /// Anomaly score in `(0, 1)`: a logistic over the distance centred on
+    /// the fitted threshold, so `>= 0.5` ⇔ the distance exceeds the
+    /// training quantile.
+    pub fn score(&self, features: &[f32]) -> f64 {
+        let d = self.distance(features);
+        1.0 / (1.0 + (-(d - self.threshold) / self.scale).exp())
+    }
+
+    /// Whether the row deviates from the benign envelope past the fitted
+    /// threshold.
+    pub fn is_anomalous(&self, features: &[f32]) -> bool {
+        self.score(features) >= 0.5
+    }
+
+    /// Approximate model size in bytes (for the workspace-wide
+    /// `size_bytes` accounting convention).
+    pub fn size_bytes(&self) -> usize {
+        (self.means.len() + self.stds.len() + 2) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign_cluster() -> Vec<Vec<f32>> {
+        // A tight cluster around (1, 2) with mild jitter.
+        (0..40)
+            .map(|i| {
+                let j = (i % 7) as f32 * 0.01;
+                vec![1.0 + j, 2.0 - j]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn benign_rows_score_low_outliers_high() {
+        let scorer = AnomalyScorer::fit(&benign_cluster(), &AnomalyConfig::default()).unwrap();
+        assert!(scorer.score(&[1.0, 2.0]) < 0.5);
+        assert!(scorer.score(&[50.0, -50.0]) > 0.5);
+        assert!(scorer.is_anomalous(&[50.0, -50.0]));
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let a = AnomalyScorer::fit(&benign_cluster(), &AnomalyConfig::default()).unwrap();
+        let b = AnomalyScorer::fit(&benign_cluster(), &AnomalyConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.score(&[3.0, 3.0]).to_bits(),
+            b.score(&[3.0, 3.0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_a_typed_error() {
+        assert_eq!(
+            AnomalyScorer::fit(&[], &AnomalyConfig::default()),
+            Err(FitError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn ragged_rows_are_a_typed_error() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        assert_eq!(
+            AnomalyScorer::fit(&rows, &AnomalyConfig::default()),
+            Err(FitError::RaggedRow(1))
+        );
+    }
+
+    #[test]
+    fn wrong_width_and_non_finite_rows_read_as_anomalous() {
+        let scorer = AnomalyScorer::fit(&benign_cluster(), &AnomalyConfig::default()).unwrap();
+        assert!(scorer.is_anomalous(&[1.0]), "short row");
+        assert!(scorer.is_anomalous(&[f32::NAN, 2.0]), "NaN feature");
+        assert!(!scorer.score(&[f32::INFINITY, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn constant_features_never_divide_by_zero() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|_| vec![3.0, 3.0]).collect();
+        let scorer = AnomalyScorer::fit(&rows, &AnomalyConfig::default()).unwrap();
+        assert!(scorer.score(&[3.0, 3.0]).is_finite());
+        assert!(scorer.score(&[9.0, 9.0]) > scorer.score(&[3.0, 3.0]));
+    }
+}

@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod forest;
 pub mod logistic;
 pub mod metrics;
 pub mod scaler;
 pub mod tree;
 
+pub use anomaly::{AnomalyConfig, AnomalyScorer};
 pub use forest::{ForestConfig, RandomForest};
 pub use logistic::{LogisticConfig, LogisticRegression};
 pub use metrics::{mean_std, ConfusionMatrix};

@@ -1,0 +1,506 @@
+//! Seeded mid-stream workload drift: Dirichlet family-mix shifts.
+//!
+//! A fleet's workload is not stationary — a patch Tuesday floods the
+//! stream with system utilities, a worm outbreak skews it toward one
+//! malware family. The monitoring service's delivered-rate watchdog must
+//! tell *workload* drift (the mix of programs changes, the physics does
+//! not) apart from *physics* drift (the delivered fault rate moves). This
+//! module generates the former on demand: a [`DriftSchedule`] is a
+//! sequence of segments whose family mixes are drawn from a symmetric
+//! Dirichlet distribution, and a [`DriftStream`] maps a stream position
+//! to a concrete program index of a [`Dataset`] — a **pure function of
+//! `(seed, position)`**, so a serial replay and an 8-thread replay of the
+//! same arena see byte-identical query streams, and a checkpoint/restore
+//! resumes mid-segment without any stream state to save.
+//!
+//! # Example
+//!
+//! ```
+//! use shmd_workload::dataset::{Dataset, DatasetConfig};
+//! use shmd_workload::drift::{DriftSchedule, DriftStream};
+//!
+//! let dataset = Dataset::generate(&DatasetConfig::small(60), 1);
+//! let schedule = DriftSchedule::dirichlet(3, 100, 1.0, 42)?;
+//! let stream = DriftStream::new(&dataset, &schedule, 7)?;
+//! // Positions map deterministically to dataset program indices.
+//! assert_eq!(stream.pick(5), stream.pick(5));
+//! assert!(stream.pick(5) < dataset.len());
+//! # Ok::<(), shmd_workload::drift::DriftError>(())
+//! ```
+
+use crate::dataset::Dataset;
+use crate::families::{BenignFamily, MalwareFamily, ProgramClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The golden-gamma increment of splitmix64: decorrelates per-position
+/// draw streams derived from one seed.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Domain tag separating drift-stream seeds from every other consumer of
+/// the master seed.
+const DRIFT_TAG: u64 = 0xd21f_7000_0000_0000;
+
+/// Error building a [`DriftSchedule`] or [`DriftStream`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriftError {
+    /// The schedule has no segments.
+    EmptySchedule,
+    /// A segment covers zero queries.
+    EmptySegment(usize),
+    /// A segment's weight vector length differs from the class list's.
+    WeightWidth {
+        /// The offending segment.
+        segment: usize,
+        /// Weights supplied.
+        got: usize,
+        /// Classes in the schedule.
+        expected: usize,
+    },
+    /// No program of any scheduled class exists in the dataset.
+    NoPrograms,
+}
+
+impl fmt::Display for DriftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftError::EmptySchedule => f.write_str("drift schedule has no segments"),
+            DriftError::EmptySegment(i) => write!(f, "drift segment {i} covers zero queries"),
+            DriftError::WeightWidth {
+                segment,
+                got,
+                expected,
+            } => write!(
+                f,
+                "segment {segment} has {got} weights for {expected} classes"
+            ),
+            DriftError::NoPrograms => {
+                f.write_str("the dataset holds no program of any scheduled class")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftError {}
+
+/// Every program class, in a fixed canonical order (benign families
+/// first, then malware families) — the default class list of a
+/// [`DriftSchedule`].
+pub const ALL_CLASSES: [ProgramClass; 9] = [
+    ProgramClass::Benign(BenignFamily::Browser),
+    ProgramClass::Benign(BenignFamily::TextEditor),
+    ProgramClass::Benign(BenignFamily::SystemUtility),
+    ProgramClass::Benign(BenignFamily::CpuBenchmark),
+    ProgramClass::Malware(MalwareFamily::Backdoor),
+    ProgramClass::Malware(MalwareFamily::Rogue),
+    ProgramClass::Malware(MalwareFamily::PasswordStealer),
+    ProgramClass::Malware(MalwareFamily::Trojan),
+    ProgramClass::Malware(MalwareFamily::Worm),
+];
+
+/// One stationary stretch of the stream: a family mix held for a span of
+/// queries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftSegment {
+    /// Queries the segment covers. The final segment of a schedule
+    /// extends indefinitely past its span.
+    pub queries: u64,
+    /// Per-class sampling weights, parallel to the schedule's class
+    /// list. Normalised at stream-build time.
+    pub weights: Vec<f64>,
+}
+
+/// A piecewise-stationary family-mix schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftSchedule {
+    classes: Vec<ProgramClass>,
+    segments: Vec<DriftSegment>,
+}
+
+impl DriftSchedule {
+    /// Builds a schedule from explicit segments over a class list.
+    ///
+    /// # Errors
+    ///
+    /// [`DriftError::EmptySchedule`] without segments,
+    /// [`DriftError::EmptySegment`] for a zero-query segment,
+    /// [`DriftError::WeightWidth`] when a weight vector's length differs
+    /// from the class list's.
+    pub fn new(
+        classes: Vec<ProgramClass>,
+        segments: Vec<DriftSegment>,
+    ) -> Result<DriftSchedule, DriftError> {
+        if segments.is_empty() {
+            return Err(DriftError::EmptySchedule);
+        }
+        for (i, segment) in segments.iter().enumerate() {
+            if segment.queries == 0 {
+                return Err(DriftError::EmptySegment(i));
+            }
+            if segment.weights.len() != classes.len() {
+                return Err(DriftError::WeightWidth {
+                    segment: i,
+                    got: segment.weights.len(),
+                    expected: classes.len(),
+                });
+            }
+        }
+        Ok(DriftSchedule { classes, segments })
+    }
+
+    /// Draws `segments` family mixes from a symmetric
+    /// Dirichlet(`concentration`) over [`ALL_CLASSES`], each held for
+    /// `queries_per_segment` queries. Lower concentrations produce
+    /// spikier mixes (one family dominates a segment); `1.0` is uniform
+    /// over the simplex. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriftError::EmptySchedule`] when `segments == 0`,
+    /// [`DriftError::EmptySegment`] when `queries_per_segment == 0`.
+    pub fn dirichlet(
+        segments: usize,
+        queries_per_segment: u64,
+        concentration: f64,
+        seed: u64,
+    ) -> Result<DriftSchedule, DriftError> {
+        let classes = ALL_CLASSES.to_vec();
+        let alpha = if concentration.is_finite() && concentration > 0.0 {
+            concentration
+        } else {
+            1.0
+        };
+        let mut out = Vec::with_capacity(segments);
+        for s in 0..segments {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ DRIFT_TAG ^ (s as u64).wrapping_mul(GOLDEN_GAMMA));
+            let mut weights: Vec<f64> =
+                (0..classes.len()).map(|_| gamma(&mut rng, alpha)).collect();
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 {
+                for w in &mut weights {
+                    *w /= total;
+                }
+            } else {
+                let n = weights.len() as f64;
+                weights.iter_mut().for_each(|w| *w = 1.0 / n);
+            }
+            out.push(DriftSegment {
+                queries: queries_per_segment,
+                weights,
+            });
+        }
+        DriftSchedule::new(classes, out)
+    }
+
+    /// The schedule's class list.
+    pub fn classes(&self) -> &[ProgramClass] {
+        &self.classes
+    }
+
+    /// The schedule's segments.
+    pub fn segments(&self) -> &[DriftSegment] {
+        &self.segments
+    }
+
+    /// Index of the segment covering a stream position; positions past
+    /// the last segment's span stay in the last segment.
+    pub fn segment_at(&self, position: u64) -> usize {
+        let mut start = 0u64;
+        for (i, segment) in self.segments.iter().enumerate() {
+            let end = start.saturating_add(segment.queries);
+            if position < end {
+                return i;
+            }
+            start = end;
+        }
+        self.segments.len() - 1
+    }
+
+    /// Total queries the schedule spans before the final mix holds.
+    pub fn span(&self) -> u64 {
+        self.segments
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.queries))
+    }
+}
+
+/// A drifting query stream over a [`Dataset`]: position → program index,
+/// as a pure function of the stream seed.
+#[derive(Clone, Debug)]
+pub struct DriftStream<'a> {
+    dataset: &'a Dataset,
+    schedule: &'a DriftSchedule,
+    /// Per-segment cumulative weights over classes that exist in the
+    /// dataset; classes with no programs carry zero mass.
+    cumulative: Vec<Vec<f64>>,
+    /// Program indices of the dataset grouped per schedule class.
+    members: Vec<Vec<usize>>,
+    seed: u64,
+}
+
+impl<'a> DriftStream<'a> {
+    /// Binds a schedule to a dataset.
+    ///
+    /// Classes scheduled but absent from the dataset are dropped from
+    /// the mix (their mass renormalises over the present classes).
+    ///
+    /// # Errors
+    ///
+    /// [`DriftError::NoPrograms`] when no scheduled class has any
+    /// program in the dataset.
+    pub fn new(
+        dataset: &'a Dataset,
+        schedule: &'a DriftSchedule,
+        seed: u64,
+    ) -> Result<DriftStream<'a>, DriftError> {
+        let members: Vec<Vec<usize>> = schedule
+            .classes
+            .iter()
+            .map(|&class| {
+                dataset
+                    .programs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.class() == class)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        if members.iter().all(Vec::is_empty) {
+            return Err(DriftError::NoPrograms);
+        }
+        let cumulative = schedule
+            .segments
+            .iter()
+            .map(|segment| {
+                let mut acc = 0.0;
+                segment
+                    .weights
+                    .iter()
+                    .zip(&members)
+                    .map(|(&w, m)| {
+                        if !m.is_empty() && w > 0.0 {
+                            acc += w;
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(DriftStream {
+            dataset,
+            schedule,
+            cumulative,
+            members,
+            seed,
+        })
+    }
+
+    /// The program index queried at a stream position. Pure in
+    /// `(seed, position)`: any thread, any replay, any resume computes
+    /// the same index.
+    pub fn pick(&self, position: u64) -> usize {
+        let segment = self.schedule.segment_at(position);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ DRIFT_TAG ^ position.wrapping_mul(GOLDEN_GAMMA));
+        let cumulative = &self.cumulative[segment];
+        let total = cumulative.last().copied().unwrap_or(0.0);
+        let class = if total > 0.0 {
+            let u: f64 = rng.gen::<f64>() * total;
+            cumulative.iter().position(|&c| u < c).unwrap_or(0)
+        } else {
+            // Degenerate segment (all scheduled mass on absent classes):
+            // fall back to any present class.
+            self.members.iter().position(|m| !m.is_empty()).unwrap_or(0)
+        };
+        let members = if self.members[class].is_empty() {
+            // The drawn class has no programs: walk to the next present
+            // class deterministically.
+            self.members
+                .iter()
+                .cycle()
+                .skip(class)
+                .find(|m| !m.is_empty())
+                .map_or(&[][..], Vec::as_slice)
+        } else {
+            self.members[class].as_slice()
+        };
+        members[rng.gen_range(0..members.len())]
+    }
+
+    /// The class queried at a stream position.
+    pub fn class_at(&self, position: u64) -> ProgramClass {
+        self.dataset.program(self.pick(position)).class()
+    }
+}
+
+/// Marsaglia–Tsang Gamma(`alpha`, 1) sampler; the `alpha < 1` boost uses
+/// `Gamma(alpha) = Gamma(alpha + 1) · U^(1/alpha)`.
+fn gamma(rng: &mut StdRng, alpha: f64) -> f64 {
+    if alpha < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = crate::program::gaussian(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::small(90), 11)
+    }
+
+    #[test]
+    fn dirichlet_mixes_are_distributions() {
+        let schedule = DriftSchedule::dirichlet(4, 50, 0.5, 3).expect("schedule");
+        assert_eq!(schedule.segments().len(), 4);
+        for segment in schedule.segments() {
+            let total: f64 = segment.weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "sums to {total}");
+            assert!(segment.weights.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_shift_across_segments() {
+        let a = DriftSchedule::dirichlet(3, 100, 1.0, 9).expect("a");
+        let b = DriftSchedule::dirichlet(3, 100, 1.0, 9).expect("b");
+        assert_eq!(a, b);
+        // Adjacent segments draw genuinely different mixes.
+        assert_ne!(a.segments()[0].weights, a.segments()[1].weights);
+        let c = DriftSchedule::dirichlet(3, 100, 1.0, 10).expect("c");
+        assert_ne!(a.segments()[0].weights, c.segments()[0].weights);
+    }
+
+    #[test]
+    fn segment_lookup_covers_the_stream_and_saturates() {
+        let schedule = DriftSchedule::dirichlet(3, 10, 1.0, 1).expect("schedule");
+        assert_eq!(schedule.segment_at(0), 0);
+        assert_eq!(schedule.segment_at(9), 0);
+        assert_eq!(schedule.segment_at(10), 1);
+        assert_eq!(schedule.segment_at(29), 2);
+        // Past the span, the final mix holds.
+        assert_eq!(schedule.segment_at(1_000_000), 2);
+        assert_eq!(schedule.span(), 30);
+    }
+
+    #[test]
+    fn picks_are_pure_functions_of_seed_and_position() {
+        let d = dataset();
+        let schedule = DriftSchedule::dirichlet(2, 40, 1.0, 5).expect("schedule");
+        let stream = DriftStream::new(&d, &schedule, 21).expect("stream");
+        let forward: Vec<usize> = (0..80).map(|p| stream.pick(p)).collect();
+        let backward: Vec<usize> = (0..80).rev().map(|p| stream.pick(p)).collect();
+        let reversed: Vec<usize> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed, "order of evaluation must not matter");
+        assert!(forward.iter().all(|&i| i < d.len()));
+        let other = DriftStream::new(&d, &schedule, 22).expect("stream 2");
+        let shifted: Vec<usize> = (0..80).map(|p| other.pick(p)).collect();
+        assert_ne!(forward, shifted, "seed must matter");
+    }
+
+    #[test]
+    fn mix_shift_is_visible_in_the_class_stream() {
+        let d = dataset();
+        // Two hand-built segments: all browsers, then all worms.
+        let mut first = vec![0.0; ALL_CLASSES.len()];
+        first[0] = 1.0; // Browser
+        let mut second = vec![0.0; ALL_CLASSES.len()];
+        second[8] = 1.0; // Worm
+        let schedule = DriftSchedule::new(
+            ALL_CLASSES.to_vec(),
+            vec![
+                DriftSegment {
+                    queries: 50,
+                    weights: first,
+                },
+                DriftSegment {
+                    queries: 50,
+                    weights: second,
+                },
+            ],
+        )
+        .expect("schedule");
+        let stream = DriftStream::new(&d, &schedule, 4).expect("stream");
+        for p in 0..50 {
+            assert_eq!(
+                stream.class_at(p),
+                ProgramClass::Benign(BenignFamily::Browser),
+                "position {p}"
+            );
+        }
+        for p in 50..100 {
+            assert_eq!(
+                stream.class_at(p),
+                ProgramClass::Malware(MalwareFamily::Worm),
+                "position {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn absent_classes_renormalise_rather_than_wedge() {
+        use crate::builder::DatasetBuilder;
+        // A dataset with only worms and system utilities.
+        let d = DatasetBuilder::new()
+            .add(ProgramClass::Malware(MalwareFamily::Worm), 20)
+            .add(ProgramClass::Benign(BenignFamily::SystemUtility), 20)
+            .seed(2)
+            .build()
+            .expect("dataset");
+        let schedule = DriftSchedule::dirichlet(2, 30, 1.0, 6).expect("schedule");
+        let stream = DriftStream::new(&d, &schedule, 3).expect("stream");
+        for p in 0..60 {
+            let class = stream.class_at(p);
+            assert!(
+                class == ProgramClass::Malware(MalwareFamily::Worm)
+                    || class == ProgramClass::Benign(BenignFamily::SystemUtility),
+                "position {p} drew absent class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_degenerate_schedules() {
+        assert_eq!(
+            DriftSchedule::new(ALL_CLASSES.to_vec(), vec![]),
+            Err(DriftError::EmptySchedule)
+        );
+        assert_eq!(
+            DriftSchedule::dirichlet(2, 0, 1.0, 1),
+            Err(DriftError::EmptySegment(0))
+        );
+        let bad = DriftSchedule::new(
+            ALL_CLASSES.to_vec(),
+            vec![DriftSegment {
+                queries: 10,
+                weights: vec![1.0; 3],
+            }],
+        );
+        assert_eq!(
+            bad,
+            Err(DriftError::WeightWidth {
+                segment: 0,
+                got: 3,
+                expected: 9,
+            })
+        );
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod builder;
 pub mod dataset;
+pub mod drift;
 pub mod export;
 pub mod families;
 pub mod features;
@@ -41,6 +42,7 @@ pub mod program;
 pub mod trace;
 
 pub use dataset::{Dataset, DatasetConfig, LabeledFeatures, ThreeFoldSplit};
+pub use drift::{DriftError, DriftSchedule, DriftSegment, DriftStream};
 pub use families::{BenignFamily, MalwareFamily, ProgramClass};
 pub use features::{DetectionPeriod, FeatureKind, FeatureSpec, FEATURE_DIM};
 pub use isa::InsnCategory;

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.re_effectiveness * 100.0,
             report.transfer.evaded_proxy,
             report.transfer.attempted,
-            report.transfer.success_rate() * 100.0
+            report.transfer.assumed_success_rate() * 100.0
         );
 
         // ...and the undervolted twin.
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.re_effectiveness * 100.0,
             report.transfer.evaded_proxy,
             report.transfer.attempted,
-            report.transfer.success_rate() * 100.0
+            report.transfer.assumed_success_rate() * 100.0
         );
     }
     println!();

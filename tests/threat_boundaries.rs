@@ -97,26 +97,41 @@ fn random_forest_proxy_attacks_all_victims() {
 
 #[test]
 fn denoising_beyond_query_budget_has_diminishing_returns() {
+    // One pinned fault stream quantises effectiveness in steps of one
+    // test sample, so any single seed can show a spurious late gain (or
+    // an early plateau). The claim under test is a *trend* — extra votes
+    // buy less once the noise is already voted away — so measure it as
+    // one: average the per-rung effectiveness over a small sweep of
+    // independent fault streams and assert the averaged gains diminish.
     let (dataset, victim) = setup();
     let split = dataset.three_fold_split(0);
     let cfg = ReverseConfig::new(ProxyKind::LogisticRegression);
-    let mut effs = Vec::new();
-    for k in [1usize, 5, 25] {
-        // The seed pins one fault stream; the small test split quantises
-        // effectiveness in steps of one sample, so an unlucky stream can
-        // show a spurious late gain.
-        let mut sto = StochasticHmd::from_baseline(&victim, 0.3, 2).expect("valid");
-        let proxy =
-            denoised_reverse_engineer(&mut sto, &dataset, split.attacker_training(), &cfg, k)
-                .expect("RE");
-        effs.push(effectiveness(&proxy, &mut sto, &dataset, split.testing()));
+    const SEEDS: [u64; 5] = [0, 1, 2, 3, 4];
+    let rungs = [1usize, 5, 25];
+    let mut mean_effs = [0.0f64; 3];
+    for seed in SEEDS {
+        for (slot, &k) in rungs.iter().enumerate() {
+            let mut sto = StochasticHmd::from_baseline(&victim, 0.3, seed).expect("valid");
+            let proxy =
+                denoised_reverse_engineer(&mut sto, &dataset, split.attacker_training(), &cfg, k)
+                    .expect("RE");
+            mean_effs[slot] +=
+                effectiveness(&proxy, &mut sto, &dataset, split.testing()) / SEEDS.len() as f64;
+        }
     }
     // 5→25 queries buys less than 1→5 does (noise is already voted away).
-    let first_gain = effs[1] - effs[0];
-    let second_gain = effs[2] - effs[1];
+    let first_gain = mean_effs[1] - mean_effs[0];
+    let second_gain = mean_effs[2] - mean_effs[1];
     assert!(
-        second_gain <= first_gain + 0.05,
-        "denoising returns must diminish: {effs:?}"
+        second_gain <= first_gain + 0.02,
+        "denoising returns must diminish on average over {} fault streams: {mean_effs:?}",
+        SEEDS.len()
+    );
+    // And the first rung of votes must actually help at er 0.3 — the
+    // trend is diminishing returns on a real gain, not a flat line.
+    assert!(
+        first_gain > 0.0,
+        "majority voting should recover some boundary: {mean_effs:?}"
     );
 }
 

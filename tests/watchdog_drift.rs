@@ -1,0 +1,147 @@
+//! Watchdog-under-drift semantics: the delivered-rate watchdog monitors
+//! the *physics* (the fault stream), not the workload, so a pure
+//! program-mix shift at a fixed operating point must never fire it —
+//! recalibrating on workload drift would churn generations for nothing.
+//! A genuine delivered-rate excursion (a thermal spike) must still fire
+//! even while the workload is drifting underneath it: the two signals
+//! are independent and the watchdog must not lose one in the other.
+
+use shmd_volt::calibration::DeviceProfile;
+use shmd_workload::dataset::{Dataset, DatasetConfig};
+use shmd_workload::drift::{DriftSchedule, DriftStream};
+use shmd_workload::features::FeatureSpec;
+use stochastic_hmd::exec::ExecConfig;
+use stochastic_hmd::serve::{MonitoringService, ServeConfig};
+use stochastic_hmd::supervisor::{ChaosEvent, ChaosPlan, SupervisorConfig};
+use stochastic_hmd::train::{train_baseline, HmdTrainConfig};
+use stochastic_hmd::BaselineHmd;
+
+const BATCHES: u64 = 30;
+const BATCH: usize = 8;
+
+fn setup() -> (Dataset, BaselineHmd) {
+    let dataset = Dataset::generate(&DatasetConfig::small(100), 23);
+    let split = dataset.three_fold_split(0);
+    let baseline = train_baseline(
+        &dataset,
+        split.victim_training(),
+        FeatureSpec::frequency(),
+        &HmdTrainConfig::fast(),
+    )
+    .expect("trains");
+    (dataset, baseline)
+}
+
+/// Streams `BATCHES` batches of Dirichlet-drifting workload through a
+/// supervised pool and returns the service for inspection.
+fn drive_drifting_workload(
+    baseline: &BaselineHmd,
+    dataset: &Dataset,
+    supervision: SupervisorConfig,
+    seed: u64,
+    exec: ExecConfig,
+) -> MonitoringService {
+    // Spiky mixes (concentration 0.3): single families dominate whole
+    // segments, the harshest workload shift short of an absent class.
+    let schedule = DriftSchedule::dirichlet(4, BATCHES * BATCH as u64 / 4, 0.3, seed)
+        .expect("schedule is well-formed");
+    let stream = DriftStream::new(dataset, &schedule, seed ^ 0x5eed)
+        .expect("generated datasets cover every family");
+    let spec = baseline.spec();
+    let config = ServeConfig::new(2)
+        .with_seed(seed)
+        .with_batch_size(BATCH)
+        .with_target_error_rate(0.1)
+        .with_exec(exec);
+    let mut service =
+        MonitoringService::supervised(baseline, supervision, config).expect("deploys");
+    let mut position = 0u64;
+    for _ in 0..BATCHES {
+        let batch: Vec<Vec<f32>> = (0..BATCH)
+            .map(|i| spec.extract(dataset.trace(stream.pick(position + i as u64))))
+            .collect();
+        let verdicts = service.process_feature_batch(&batch);
+        assert_eq!(verdicts.len(), BATCH, "drifting workload dropped queries");
+        position += BATCH as u64;
+    }
+    service
+}
+
+#[test]
+fn workload_mix_shift_does_not_fire_the_watchdog() {
+    let (dataset, baseline) = setup();
+    // The same tightened watchdog the thermal-drift test uses: windows
+    // complete many times over this stream, so a zero count means the
+    // watchdog stayed quiet, not that it never looked.
+    let supervision =
+        SupervisorConfig::new(DeviceProfile::reference()).with_watchdog(2048, 6.0, 0.02);
+    let service =
+        drive_drifting_workload(&baseline, &dataset, supervision, 31, ExecConfig::serial());
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.queries, BATCHES * BATCH as u64);
+    assert_eq!(
+        snapshot.total_drift_events(),
+        0,
+        "a workload mix shift at a fixed operating point must not read as \
+         delivered-rate drift"
+    );
+    assert_eq!(snapshot.total_crashes(), 0);
+    assert_eq!(
+        snapshot.total_retries(),
+        0,
+        "no false recalibration on pure workload drift"
+    );
+    assert!(service.shard_healths().iter().all(|h| h.is_serving()));
+}
+
+#[test]
+fn workload_drift_replays_bit_identically_across_thread_counts() {
+    let (dataset, baseline) = setup();
+    let run = |exec: ExecConfig| {
+        let supervision =
+            SupervisorConfig::new(DeviceProfile::reference()).with_watchdog(2048, 6.0, 0.02);
+        let service = drive_drifting_workload(&baseline, &dataset, supervision, 31, exec);
+        (
+            service.verdict_checksum(),
+            service.snapshot().without_timing(),
+        )
+    };
+    let (serial_checksum, serial_snapshot) = run(ExecConfig::serial());
+    let (threaded_checksum, threaded_snapshot) = run(ExecConfig::threads(8));
+    assert_eq!(serial_checksum, threaded_checksum);
+    assert_eq!(serial_snapshot, threaded_snapshot);
+}
+
+#[test]
+fn delivered_rate_excursion_still_fires_during_workload_drift() {
+    let (dataset, baseline) = setup();
+    // The −15 °C spike from the thermal-drift test, injected *while* the
+    // workload is shifting: the watchdog reads the fault stream, so the
+    // mix churn underneath must not mask a real physics excursion.
+    let chaos = ChaosPlan::none().with_event(ChaosEvent::DriftSpike {
+        batch: 6,
+        delta_c: -15.0,
+        duration: 12,
+    });
+    let supervision = SupervisorConfig::new(DeviceProfile::reference())
+        .with_chaos(chaos)
+        .with_watchdog(2048, 6.0, 0.02);
+    let service =
+        drive_drifting_workload(&baseline, &dataset, supervision, 31, ExecConfig::serial());
+    let snapshot = service.snapshot();
+    assert_eq!(
+        snapshot.total_crashes(),
+        0,
+        "a −15 °C drift is not a freeze"
+    );
+    assert!(
+        snapshot.total_drift_events() >= 1,
+        "the watchdog lost a real delivered-rate excursion in workload churn"
+    );
+    assert!(
+        service.shard_healths().iter().all(|h| h.is_serving()),
+        "drift recovery must end serving: {:?}",
+        service.shard_healths()
+    );
+    assert_eq!(snapshot.queries, BATCHES * BATCH as u64);
+}
